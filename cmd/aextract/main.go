@@ -1,0 +1,91 @@
+// Command aextract extracts the access area of SQL statements: from
+// arguments, or line-by-line from stdin (streaming mode, with new-shape
+// notifications per the stream extension of Section 4).
+//
+// Usage:
+//
+//	aextract "SELECT * FROM T WHERE u BETWEEN 1 AND 8"
+//	loggen -n 100 -format jsonl | aextract -jsonl -monitor
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/extract"
+	"repro/internal/qlog"
+	"repro/internal/skyserver"
+)
+
+func main() {
+	jsonl := flag.Bool("jsonl", false, "read qlog JSONL records from stdin instead of raw SQL lines")
+	monitor := flag.Bool("monitor", false, "print stream-monitor events (new shapes/predicates)")
+	showSQL := flag.Bool("sql", false, "print the intermediate-format SQL instead of σ-notation")
+	flag.Parse()
+
+	ex := extract.New(skyserver.Schema())
+	var mon *qlog.Monitor
+	if *monitor {
+		mon = qlog.NewMonitor(func(e qlog.Event) {
+			fmt.Printf("! %s: %s (seq %d)\n", e.Kind, e.Detail, e.Record.Seq)
+		})
+	}
+
+	process := func(rec qlog.Record) {
+		area, err := ex.ExtractSQL(rec.SQL)
+		if err != nil {
+			fmt.Printf("✗ %v\n", err)
+			return
+		}
+		if mon != nil {
+			mon.Observe(rec, area)
+		}
+		flags := ""
+		if !area.Exact {
+			flags += " [approx]"
+		}
+		if area.Truncated {
+			flags += " [truncated]"
+		}
+		if area.IsEmpty() {
+			flags += " [empty]"
+		}
+		if *showSQL {
+			fmt.Printf("%s%s\n", area.IntermediateSQL(), flags)
+			return
+		}
+		fmt.Printf("%s%s\n", area, flags)
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		for i, sql := range args {
+			process(qlog.Record{Seq: i, SQL: sql})
+		}
+		return
+	}
+
+	if *jsonl {
+		recs, err := qlog.ReadJSONL(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aextract:", err)
+			os.Exit(1)
+		}
+		for _, rec := range recs {
+			process(rec)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	seq := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		process(qlog.Record{Seq: seq, SQL: line})
+		seq++
+	}
+}

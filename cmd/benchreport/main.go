@@ -1,0 +1,56 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation (Section 6) on the synthetic SkyServer substrate and prints a
+// paper-vs-measured comparison. See DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	benchreport [-scale 20000] [-seed 42] [-exp all|table1|fig1a|fig1b|fig1c|coverage|olapclus|olapclusraw|efficiency|requery|ablation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 20000, "number of log queries to generate")
+	seed := flag.Int64("seed", 42, "generator seed")
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling)")
+	flag.Parse()
+
+	env := experiments.NewEnv(*scale, *seed)
+	want := strings.ToLower(*exp)
+	ran := 0
+	run := func(name string, f func() string) {
+		if want != "all" && want != name {
+			return
+		}
+		ran++
+		fmt.Println(strings.Repeat("=", 100))
+		fmt.Print(f())
+		fmt.Println()
+	}
+
+	run("table1", func() string { return env.RunTable1().Report })
+	run("fig1a", func() string { return env.RunFigure1('a').Report })
+	run("fig1b", func() string { return env.RunFigure1('b').Report })
+	run("fig1c", func() string { return env.RunFigure1('c').Report })
+	run("coverage", func() string { return env.RunCoverage().Report })
+	run("olapclus", func() string { return env.RunOLAPClusExact().Report })
+	run("olapclusraw", func() string { return env.RunOLAPClusRaw().Report })
+	run("efficiency", func() string { return env.RunEfficiency().Report })
+	run("requery", func() string { return env.RunRequery().Report })
+	run("ablation", func() string { return env.RunAblation().Report })
+	run("ablationsigma", func() string { return env.RunAblationSigma().Report })
+	run("density", func() string { return env.RunDensity().Report })
+	run("scaling", func() string { return env.RunScaling().Report })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

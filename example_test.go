@@ -1,0 +1,60 @@
+package skyaccess_test
+
+import (
+	"fmt"
+
+	skyaccess "repro"
+)
+
+// ExampleExtractor demonstrates single-query access-area extraction,
+// including the FULL OUTER JOIN rule of the paper's Example 2.
+func ExampleExtractor() {
+	ex := skyaccess.NewExtractor(skyaccess.SkyServerSchema())
+
+	area, _ := ex.ExtractSQL("SELECT * FROM SpecObjAll WHERE plate BETWEEN 296 AND 3200")
+	fmt.Println(area)
+
+	area, _ = ex.ExtractSQL("SELECT * FROM galSpecExtra FULL OUTER JOIN galSpecIndx ON galSpecExtra.specobjid = galSpecIndx.specObjID")
+	fmt.Println(area)
+
+	// Output:
+	// σ[SpecObjAll.plate <= 3200 AND SpecObjAll.plate >= 296](SpecObjAll)
+	// σ(galSpecExtra × galSpecIndx)
+}
+
+// ExampleMiner mines a small batch of statements into aggregated access
+// areas.
+func ExampleMiner() {
+	miner := skyaccess.NewMiner(skyaccess.Config{Schema: skyaccess.SkyServerSchema()})
+	var batch []string
+	for i := 0; i < 12; i++ {
+		// Many users probing the same small plate window.
+		batch = append(batch, fmt.Sprintf("SELECT * FROM SpecObjAll WHERE plate BETWEEN %d AND %d", 296+i%3, 3200+i%3))
+	}
+	result := miner.MineSQL(batch)
+	for _, c := range result.Clusters {
+		fmt.Printf("%d queries: %s\n", c.Cardinality, c.Expr())
+	}
+	// Output:
+	// 12 queries: (296 <= SpecObjAll.plate <= 3202)
+}
+
+// ExampleNewStreamMonitor shows the stream extension: operators get
+// notified when a new query shape appears.
+func ExampleNewStreamMonitor() {
+	mon := skyaccess.NewStreamMonitor(func(e skyaccess.StreamEvent) {
+		fmt.Printf("%s: %s\n", e.Kind, e.Detail)
+	})
+	ex := skyaccess.NewExtractor(skyaccess.SkyServerSchema())
+	for seq, sql := range []string{
+		"SELECT z FROM Photoz WHERE objid = 1",
+		"SELECT z FROM Photoz WHERE objid = 2", // same shape: silent
+	} {
+		if area, err := ex.ExtractSQL(sql); err == nil {
+			mon.Observe(skyaccess.Record{Seq: seq, SQL: sql}, area)
+		}
+	}
+	// Output:
+	// new-query-shape: Photoz|Photoz.objid
+	// new-predicate-column: Photoz.objid
+}

@@ -1,0 +1,53 @@
+// Quickstart: extract the access areas of a handful of queries and mine a
+// small statement batch — the 20-line tour of the public API.
+package main
+
+import (
+	"fmt"
+
+	skyaccess "repro"
+)
+
+func main() {
+	schema := skyaccess.SkyServerSchema()
+	ex := skyaccess.NewExtractor(schema)
+
+	// 1. Single-query access areas (Sections 2 and 4 of the paper).
+	queries := []string{
+		// The BETWEEN example of Section 2.3.
+		"SELECT * FROM SpecObjAll WHERE plate BETWEEN 296 AND 3200",
+		// NOT push-down (Section 4.1).
+		"SELECT * FROM Photoz WHERE NOT (z < 0 OR z > 0.1)",
+		// FULL OUTER JOIN drops its constraint (Section 4.2, Example 2).
+		"SELECT * FROM galSpecExtra FULL OUTER JOIN galSpecIndx ON galSpecExtra.specobjid = galSpecIndx.specObjID",
+		// EXISTS flattening (Section 4.4, Lemma 4).
+		"SELECT * FROM galSpecExtra WHERE bptclass > 0 AND EXISTS (SELECT * FROM galSpecIndx WHERE galSpecIndx.specObjID = galSpecExtra.specobjid)",
+		// Aggregate HAVING with a vacuous constraint (Section 4.3).
+		"SELECT plate, COUNT(*) FROM SpecObjAll WHERE mjd > 52000 GROUP BY plate HAVING COUNT(*) > 5",
+	}
+	fmt.Println("— access areas —")
+	for _, q := range queries {
+		area, err := ex.ExtractSQL(q)
+		if err != nil {
+			fmt.Printf("  error: %v\n", err)
+			continue
+		}
+		fmt.Printf("  %s\n", area)
+	}
+
+	// 2. Mining a batch: identical and overlapping areas aggregate.
+	var batch []string
+	for i := 0; i < 40; i++ {
+		batch = append(batch, fmt.Sprintf(
+			"SELECT ra, dec FROM PhotoObjAll WHERE ra <= %d AND dec <= 10", 200+i%10))
+	}
+	batch = append(batch, "SELECT * FROM zooSpec WHERE p_el > 0.9") // noise
+
+	miner := skyaccess.NewMiner(skyaccess.Config{Schema: schema})
+	result := miner.MineSQL(batch)
+	fmt.Println("\n— mined clusters —")
+	for _, c := range result.Clusters {
+		fmt.Printf("  #%d: %d queries -> %s\n", c.ID, c.Cardinality, c.Expr())
+	}
+	fmt.Printf("  (noise: %d queries)\n", result.NoiseQueries)
+}

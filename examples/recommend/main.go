@@ -1,0 +1,47 @@
+// Recommend: the QueRIE-style orientation of Sections 3.2/6.3 — given what
+// one user has been querying, suggest the community hotspots (aggregated
+// access areas) nearest to their interests that they have not explored yet.
+package main
+
+import (
+	"fmt"
+
+	skyaccess "repro"
+)
+
+func main() {
+	schema := skyaccess.SkyServerSchema()
+	db := skyaccess.SkyServerDatabase(800, 1)
+	stats := skyaccess.NewAccessStats()
+	skyaccess.SeedStatsFromDatabase(db, stats)
+
+	// Mine the community's interests from a synthetic log.
+	miner := skyaccess.NewMiner(skyaccess.Config{Schema: schema, Stats: stats})
+	result := miner.MineRecords(skyaccess.GenerateSkyServerLog(6000, 42))
+	fmt.Printf("community log mined: %d clusters\n\n", len(result.Clusters))
+
+	// The user has been probing low photometric redshifts.
+	ex := skyaccess.NewExtractor(schema)
+	var mine []*skyaccess.AccessArea
+	for _, sql := range []string{
+		"SELECT objid FROM Photoz WHERE z >= 0 AND z <= 0.1",
+		"SELECT objid, zerr FROM Photoz WHERE z BETWEEN 0.02 AND 0.08",
+	} {
+		if a, err := ex.ExtractSQL(sql); err == nil {
+			mine = append(mine, a)
+		}
+	}
+
+	fmt.Println("you queried:")
+	for _, a := range mine {
+		fmt.Printf("  %s\n", a)
+	}
+	fmt.Println("\nothers near you are querying (nearest first):")
+	for _, rec := range miner.Recommend(result, mine, 5) {
+		expr := rec.Cluster.Expr()
+		if len(expr) > 80 {
+			expr = expr[:80] + "…"
+		}
+		fmt.Printf("  d=%.3f  %5d queries  %s\n", rec.Distance, rec.Cluster.Cardinality, expr)
+	}
+}

@@ -1,0 +1,53 @@
+// Streaming: process an incoming stream of logged queries and notify the
+// operator about the occurrence of new predicates and query types — the
+// extension sketched at the start of Section 4.
+package main
+
+import (
+	"fmt"
+
+	skyaccess "repro"
+	"repro/internal/qlog"
+)
+
+func main() {
+	schema := skyaccess.SkyServerSchema()
+	ex := skyaccess.NewExtractor(schema)
+
+	events := 0
+	monitor := skyaccess.NewStreamMonitor(func(e qlog.Event) {
+		events++
+		fmt.Printf("  [notify] %-22s %s (first seen at seq %d)\n", e.Kind, e.Detail, e.Record.Seq)
+	})
+
+	// Simulate a stream: a steady diet of familiar queries, then novel ones.
+	stream := []string{
+		"SELECT z FROM Photoz WHERE objid = 1237657855534432934",
+		"SELECT z FROM Photoz WHERE objid = 1237657855534499999",
+		"SELECT z FROM Photoz WHERE objid = 1237657855534500000",
+		// New column on a known relation.
+		"SELECT * FROM Photoz WHERE z < 0.1",
+		// New relation entirely.
+		"SELECT * FROM sppParams WHERE fehadop BETWEEN -0.3 AND 0.5",
+		// New categorical value.
+		"SELECT * FROM SpecObjAll WHERE class = 'QSO'",
+		"SELECT * FROM SpecObjAll WHERE class = 'QSO' AND plate > 300",
+		// Seen before: silent.
+		"SELECT z FROM Photoz WHERE objid = 1237657855534432934",
+	}
+
+	fmt.Println("processing stream:")
+	for seq, sql := range stream {
+		rec := qlog.Record{Seq: seq, SQL: sql}
+		area, err := ex.ExtractSQL(sql)
+		if err != nil {
+			fmt.Printf("  [error]  seq %d: %v\n", seq, err)
+			continue
+		}
+		monitor.Observe(rec, area)
+	}
+	fmt.Printf("\n%d notifications over %d statements; known shapes:\n", events, len(stream))
+	for _, s := range monitor.KnownShapes() {
+		fmt.Printf("  %s\n", s)
+	}
+}

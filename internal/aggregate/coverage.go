@@ -1,0 +1,75 @@
+package aggregate
+
+import (
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// DataSource supplies the database-content geometry needed for the coverage
+// statistics of Table 1. It is implemented by the in-memory database
+// substrate; the paper obtained the same numbers by sampling SkyServer.
+type DataSource interface {
+	// ContentInterval returns content(a) for a numeric column.
+	ContentInterval(column string) (interval.Interval, bool)
+	// ContentValues returns the content value set of a categorical column.
+	ContentValues(column string) ([]string, bool)
+	// ObjectFraction returns n_access / n_content: the fraction of the
+	// objects of the given relations falling inside box and matching the
+	// categorical equalities. For multi-relation areas the fraction refers
+	// to the universal relation (product space).
+	ObjectFraction(relations []string, box *interval.Box, categorical map[string][]string) float64
+}
+
+// ComputeCoverage fills AreaCoverage (v_access / v_content) and
+// ObjectCoverage (n_access / n_content) per Section 6.2.
+func (s *Summary) ComputeCoverage(src DataSource) {
+	area := 1.0
+	constrained := false
+	for _, col := range s.Box.Dims() {
+		content, ok := src.ContentInterval(col)
+		if !ok || content.IsEmpty() {
+			continue
+		}
+		constrained = true
+		inter := s.Box.Get(col).Intersect(content)
+		if inter.IsEmpty() {
+			area = 0
+			break
+		}
+		if w := content.Width(); w > 0 {
+			area *= inter.Width() / w
+		}
+	}
+	if area != 0 {
+		for col, vals := range s.Categorical {
+			contentVals, ok := src.ContentValues(col)
+			if !ok || len(contentVals) == 0 {
+				continue
+			}
+			constrained = true
+			// SkyServer's SQL Server collation is case-insensitive, so
+			// 'star' matches content value 'STAR'.
+			contentSet := make(map[string]struct{}, len(contentVals))
+			for _, v := range contentVals {
+				contentSet[strings.ToUpper(v)] = struct{}{}
+			}
+			inCount := 0
+			for _, v := range vals {
+				if _, ok := contentSet[strings.ToUpper(v)]; ok {
+					inCount++
+				}
+			}
+			if inCount == 0 {
+				area = 0
+				break
+			}
+			area *= float64(inCount) / float64(len(contentVals))
+		}
+	}
+	if !constrained {
+		area = 1
+	}
+	s.AreaCoverage = area
+	s.ObjectCoverage = src.ObjectFraction(s.Relations, s.Box, s.Categorical)
+}

@@ -1,0 +1,94 @@
+package aggregate
+
+import (
+	"math"
+)
+
+// DensityContrast answers the follow-up question the paper's domain experts
+// raised in Section 6.3: "it would be interesting to know how much denser
+// each cluster is, in contrast to its immediate surroundings". It compares
+// the per-volume query density inside the cluster's box against the density
+// in a shell obtained by expanding every bounded dimension by `expand`
+// (fraction of the width, per side) and subtracting the box.
+//
+// Density is measured over all items (the full mined population, clustered
+// or not): an item falls in a region when, for every bounded dimension of
+// the cluster box, the item constrains that column and the hull midpoint of
+// its constraint lies in the region. The result is
+//
+//	(inside / V_box) / (shell / V_shell)
+//
+// +Inf when the shell is empty but the box is not (an isolated plateau),
+// and 1 when the box has no bounded dimensions to measure against.
+func DensityContrast(s *Summary, all []*Item, expand float64) float64 {
+	if expand <= 0 {
+		expand = 0.5
+	}
+	// Bounded dimensions of the cluster box.
+	type dim struct {
+		col              string
+		lo, hi           float64
+		shellLo, shellHi float64
+	}
+	var dims []dim
+	for _, col := range s.Box.Dims() {
+		iv := s.Box.Get(col)
+		if iv.IsEmpty() || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) || iv.Width() == 0 {
+			continue
+		}
+		pad := expand * iv.Width()
+		dims = append(dims, dim{col, iv.Lo, iv.Hi, iv.Lo - pad, iv.Hi + pad})
+	}
+	if len(dims) == 0 {
+		return 1
+	}
+	var inBox, inShell float64
+	for _, it := range all {
+		w := float64(it.Weight)
+		if w <= 0 {
+			w = 1
+		}
+		bounds := it.Area.Bounds()
+		inside, inExpanded := true, true
+		for _, d := range dims {
+			set, ok := bounds[d.col]
+			if !ok {
+				inside, inExpanded = false, false
+				break
+			}
+			mid := set.Hull().Midpoint()
+			if math.IsNaN(mid) {
+				inside, inExpanded = false, false
+				break
+			}
+			if mid < d.shellLo || mid > d.shellHi {
+				inside, inExpanded = false, false
+				break
+			}
+			if mid < d.lo || mid > d.hi {
+				inside = false
+			}
+		}
+		if inside {
+			inBox += w
+		} else if inExpanded {
+			inShell += w
+		}
+	}
+	vBox, vExpanded := 1.0, 1.0
+	for _, d := range dims {
+		vBox *= d.hi - d.lo
+		vExpanded *= d.shellHi - d.shellLo
+	}
+	vShell := vExpanded - vBox
+	if vShell <= 0 {
+		return 1
+	}
+	if inShell == 0 {
+		if inBox == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return (inBox / vBox) / (inShell / vShell)
+}

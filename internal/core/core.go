@@ -1,0 +1,293 @@
+// Package core orchestrates the paper's full pipeline: query log → parse →
+// access-area extraction (Section 4) → deduplication → DBSCAN clustering
+// under the overlap distance (Sections 5-6) → aggregated access areas with
+// the Table-1 statistics.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/aggregate"
+	"repro/internal/dbscan"
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/qlog"
+	"repro/internal/schema"
+)
+
+// Config parameterises a Miner.
+type Config struct {
+	// Schema is the database schema (canonical names, column domains).
+	Schema *schema.Schema
+	// Stats is the access(a) registry; when nil a fresh one is created and
+	// populated from the log itself (Section 5.3's update rule).
+	Stats *schema.Stats
+	// Eps and MinPts are the DBSCAN parameters (defaults 0.06 and 8).
+	// MinPts counts raw queries: deduplicated areas weigh as many points as
+	// the queries they stand for.
+	Eps    float64
+	MinPts int
+	// AutoEps derives Eps from the k-distance curve (k = MinPts) over a
+	// sample of the deduplicated areas — the eps-selection heuristic of the
+	// DBSCAN paper — overriding Eps.
+	AutoEps bool
+	// Mode selects the d_pred variant (see internal/distance).
+	Mode distance.Mode
+	// Algorithm selects the clustering backend: DBSCAN (default) or an
+	// OPTICS run with DBSCAN-style extraction at Eps — the Section 7
+	// future-work item of trying different clustering techniques. The two
+	// agree on cluster structure; OPTICS additionally yields a
+	// reachability ordering and is single-threaded here.
+	Algorithm Algorithm
+	// PredCap is the Section 6.6 CNF cap (0 = default 35).
+	PredCap int
+	// SampleSize caps the number of distinct access areas clustered; the
+	// paper similarly clustered a 5.6M-query sample of the 12.4M log
+	// because of DBSCAN's cost. 0 means no cap.
+	SampleSize int
+	// Seed drives sampling.
+	Seed int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// SigmaRule and MinColumnSupport configure aggregation (Section 6.2);
+	// zero values mean 3 and 0.5.
+	SigmaRule        float64
+	MinColumnSupport float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps == 0 {
+		c.Eps = 0.06
+	}
+	if c.MinPts == 0 {
+		c.MinPts = 8
+	}
+	return c
+}
+
+// Algorithm enumerates clustering backends.
+type Algorithm int
+
+const (
+	// AlgDBSCAN is the paper's choice (Section 6).
+	AlgDBSCAN Algorithm = iota
+	// AlgOPTICS runs OPTICS and extracts the eps-cut clustering.
+	AlgOPTICS
+)
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// PipelineStats carries the extraction coverage and stage timings.
+	PipelineStats *qlog.Stats
+	// Clusters are the aggregated access areas, sorted by cardinality
+	// descending (like Table 1).
+	Clusters []*aggregate.Summary
+	// DistinctAreas is the number of distinct access areas after
+	// deduplication; ClusteredAreas the number fed to DBSCAN after
+	// sampling.
+	DistinctAreas  int
+	ClusteredAreas int
+	// NoiseQueries is the weighted number of queries left unclustered.
+	NoiseQueries int
+	// ContradictoryAreas counts provably-empty areas (excluded from
+	// clustering).
+	ContradictoryAreas int
+	// ChosenEps records the eps actually used (relevant with AutoEps).
+	ChosenEps float64
+}
+
+// Miner runs the pipeline.
+type Miner struct {
+	cfg   Config
+	stats *schema.Stats
+}
+
+// NewMiner builds a Miner; cfg.Schema should normally be set.
+func NewMiner(cfg Config) *Miner {
+	cfg = cfg.withDefaults()
+	st := cfg.Stats
+	if st == nil {
+		st = schema.NewStats()
+	}
+	return &Miner{cfg: cfg, stats: st}
+}
+
+// Stats exposes the access(a) registry (for inspection and reuse).
+func (m *Miner) Stats() *schema.Stats { return m.stats }
+
+// MineSQL is a convenience wrapper over MineRecords for plain statements.
+func (m *Miner) MineSQL(stmts []string) *Result {
+	recs := make([]qlog.Record, len(stmts))
+	for i, s := range stmts {
+		recs[i] = qlog.Record{Seq: i, User: "anon", SQL: s}
+	}
+	return m.MineRecords(recs)
+}
+
+// MineRecords runs the full pipeline over a query log.
+func (m *Miner) MineRecords(recs []qlog.Record) *Result {
+	extractor := &extract.Extractor{Schema: m.cfg.Schema, PredCap: m.cfg.PredCap, Stats: m.stats}
+	pipeline := &qlog.Pipeline{Extractor: extractor, Workers: m.cfg.Workers}
+	areaRecs, stats := pipeline.Run(recs)
+	return m.mine(areaRecs, stats)
+}
+
+// MineAreas clusters already-extracted access areas (used by baselines and
+// ablations to share one extraction pass).
+func (m *Miner) MineAreas(areaRecs []qlog.AreaRecord) *Result {
+	return m.mine(areaRecs, nil)
+}
+
+func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
+	res := &Result{PipelineStats: stats}
+
+	// Deduplicate identical access areas, accumulating weight and users.
+	byKey := make(map[string]*aggregate.Item)
+	var items []*aggregate.Item
+	for i := range areaRecs {
+		ar := &areaRecs[i]
+		if ar.Area.IsEmpty() {
+			res.ContradictoryAreas++
+			continue
+		}
+		key := ar.Area.Key()
+		it, ok := byKey[key]
+		if !ok {
+			it = &aggregate.Item{Area: ar.Area, Users: make(map[string]struct{})}
+			byKey[key] = it
+			items = append(items, it)
+		}
+		it.Weight++
+		if ar.Record.User != "" {
+			it.Users[ar.Record.User] = struct{}{}
+		}
+	}
+	res.DistinctAreas = len(items)
+
+	// Sampling (the paper clustered a sample for the same reason).
+	if m.cfg.SampleSize > 0 && len(items) > m.cfg.SampleSize {
+		r := rand.New(rand.NewSource(m.cfg.Seed))
+		r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		items = items[:m.cfg.SampleSize]
+	}
+	res.ClusteredAreas = len(items)
+
+	metric := &distance.Metric{Mode: m.cfg.Mode, Stats: m.stats}
+	opts := aggregate.Options{SigmaRule: m.cfg.SigmaRule, MinColumnSupport: m.cfg.MinColumnSupport}
+
+	eps := m.cfg.Eps
+	if m.cfg.AutoEps && len(items) > 1 {
+		eps = m.autoEps(items, metric)
+		res.ChosenEps = eps
+	} else {
+		res.ChosenEps = eps
+	}
+
+	// Partition by exact relation set when eps makes cross-partition
+	// neighbourhoods impossible: two areas with different table sets have
+	// d >= d_tables >= 1/(maxTables+1).
+	maxTables := 1
+	for _, it := range items {
+		if len(it.Area.Relations) > maxTables {
+			maxTables = len(it.Area.Relations)
+		}
+	}
+	partitioned := eps < 1.0/float64(maxTables+1)
+
+	groups := map[string][]*aggregate.Item{}
+	var order []string
+	if partitioned {
+		for _, it := range items {
+			key := strings.Join(it.Area.Relations, ",")
+			if _, ok := groups[key]; !ok {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], it)
+		}
+		sort.Strings(order)
+	} else {
+		groups[""] = items
+		order = []string{""}
+	}
+
+	for _, key := range order {
+		part := groups[key]
+		profiles := make([]*distance.Profile, len(part))
+		weights := make([]int, len(part))
+		for i, it := range part {
+			profiles[i] = metric.Profile(it.Area)
+			weights[i] = it.Weight
+		}
+		distFn := func(i, j int) float64 {
+			return metric.ProfileDistance(profiles[i], profiles[j])
+		}
+		var dres *dbscan.Result
+		if m.cfg.Algorithm == AlgOPTICS {
+			o := dbscan.RunOPTICS(len(part), distFn, eps*2, m.cfg.MinPts, weights)
+			dres = o.ExtractDBSCAN(eps)
+		} else {
+			dres = dbscan.Cluster(len(part), distFn,
+				dbscan.Config{Eps: eps, MinPts: m.cfg.MinPts, Workers: m.cfg.Workers, Weights: weights})
+		}
+
+		for _, memberIdx := range dres.ClusterIndices() {
+			members := make([]*aggregate.Item, len(memberIdx))
+			for i, idx := range memberIdx {
+				members[i] = part[idx]
+			}
+			res.Clusters = append(res.Clusters, aggregate.Summarize(0, members, opts))
+		}
+		for i, l := range dres.Labels {
+			if l == dbscan.Noise {
+				res.NoiseQueries += part[i].Weight
+			}
+		}
+	}
+
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		if res.Clusters[i].Cardinality != res.Clusters[j].Cardinality {
+			return res.Clusters[i].Cardinality > res.Clusters[j].Cardinality
+		}
+		return res.Clusters[i].Expr() < res.Clusters[j].Expr()
+	})
+	for i, c := range res.Clusters {
+		c.ID = i + 1
+	}
+	return res
+}
+
+// autoEps picks eps from the k-distance knee over a bounded sample.
+func (m *Miner) autoEps(items []*aggregate.Item, metric *distance.Metric) float64 {
+	const maxSample = 1000
+	sample := items
+	if len(sample) > maxSample {
+		r := rand.New(rand.NewSource(m.cfg.Seed + 1))
+		idx := r.Perm(len(items))[:maxSample]
+		sample = make([]*aggregate.Item, maxSample)
+		for i, j := range idx {
+			sample[i] = items[j]
+		}
+	}
+	profiles := make([]*distance.Profile, len(sample))
+	for i, it := range sample {
+		profiles[i] = metric.Profile(it.Area)
+	}
+	kd := dbscan.KDistances(len(sample), func(i, j int) float64 {
+		return metric.ProfileDistance(profiles[i], profiles[j])
+	}, m.cfg.MinPts)
+	eps := dbscan.SuggestEps(kd)
+	if eps <= 0 {
+		return m.cfg.Eps
+	}
+	return eps
+}
+
+// AttachCoverage fills area/object coverage for every cluster from a data
+// source (Section 6.2's two coverage columns).
+func (r *Result) AttachCoverage(src aggregate.DataSource) {
+	for _, c := range r.Clusters {
+		c.ComputeCoverage(src)
+	}
+}

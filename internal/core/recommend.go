@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/aggregate"
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/predicate"
+)
+
+// Recommendation pairs a cluster with its distance to the user's own
+// activity.
+type Recommendation struct {
+	Cluster *aggregate.Summary
+	// Distance is the minimum Section 5 distance between the user's areas
+	// and a synthetic area representing the cluster.
+	Distance float64
+}
+
+// Recommend ranks the mined clusters for a user by proximity to the user's
+// own recent access areas — the QueRIE-style "interesting queries others
+// ran" orientation the paper's domain experts asked for (Sections 3.2 and
+// 6.3). Clusters the user's areas already sit inside (distance ≈ 0) are
+// skipped: recommending what they already query helps nobody. The remaining
+// clusters are ordered nearest-first, returning at most k.
+func (m *Miner) Recommend(res *Result, userAreas []*extract.AccessArea, k int) []Recommendation {
+	if k <= 0 || len(res.Clusters) == 0 || len(userAreas) == 0 {
+		return nil
+	}
+	metric := &distance.Metric{Mode: m.cfg.Mode, Stats: m.stats}
+	userProfiles := make([]*distance.Profile, len(userAreas))
+	for i, a := range userAreas {
+		userProfiles[i] = metric.Profile(a)
+	}
+	var out []Recommendation
+	for _, c := range res.Clusters {
+		own := false
+		for _, ua := range userAreas {
+			if areaInsideCluster(ua, c) {
+				own = true
+				break
+			}
+		}
+		if own {
+			continue // already the user's own neighbourhood
+		}
+		area := clusterArea(c)
+		cp := metric.Profile(area)
+		best := math.Inf(1)
+		for _, up := range userProfiles {
+			if d := metric.ProfileDistance(up, cp); d < best {
+				best = d
+			}
+		}
+		out = append(out, Recommendation{Cluster: c, Distance: best})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Cluster.Cardinality > out[j].Cluster.Cardinality
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// areaInsideCluster reports whether the user's area falls inside the
+// cluster's aggregated box: same relation set and every constrained column
+// within the cluster's bounds.
+func areaInsideCluster(a *extract.AccessArea, c *aggregate.Summary) bool {
+	if len(a.Relations) != len(c.Relations) {
+		return false
+	}
+	for i, r := range a.Relations {
+		if c.Relations[i] != r {
+			return false
+		}
+	}
+	for col, set := range a.Bounds() {
+		if c.Box.Has(col) && !c.Box.Get(col).ContainsInterval(set.Hull()) {
+			return false
+		}
+	}
+	return true
+}
+
+// clusterArea converts an aggregated cluster back into an access area so
+// the Section 5 distance applies to it: the box becomes range predicates,
+// categorical values become equality disjunctions, and the shared join
+// predicates are dropped (they do not affect proximity ranking).
+func clusterArea(c *aggregate.Summary) *extract.AccessArea {
+	var cnf predicate.CNF
+	for _, col := range c.Box.Dims() {
+		iv := c.Box.Get(col)
+		for _, p := range predicate.ClausesFromInterval(col, iv) {
+			if p.Kind == predicate.TruePred {
+				continue
+			}
+			cnf = append(cnf, predicate.Clause{p})
+		}
+	}
+	for col, vals := range c.Categorical {
+		var cl predicate.Clause
+		for _, v := range vals {
+			cl = append(cl, predicate.CC(col, predicate.Eq, predicate.Str(v)))
+		}
+		if len(cl) > 0 {
+			cnf = append(cnf, cl)
+		}
+	}
+	return &extract.AccessArea{Relations: c.Relations, CNF: cnf, Exact: true}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/schema"
+	"repro/internal/skyserver"
+)
+
+// recommendFixture mines three well-separated populations.
+func recommendFixture(t *testing.T) (*Miner, *Result) {
+	t.Helper()
+	db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: 200, Seed: 1})
+	stats := schema.NewStats()
+	skyserver.SeedStats(db, stats)
+	m := NewMiner(Config{Schema: skyserver.Schema(), Stats: stats, MinPts: 5})
+	var stmts []string
+	for i := 0; i < 20; i++ {
+		// Population A: low-redshift photometry.
+		stmts = append(stmts, fmt.Sprintf("SELECT objid FROM Photoz WHERE z >= 0 AND z <= 0.%d", 1+i%3))
+		// Population B: high-redshift (nearer to A than C).
+		stmts = append(stmts, fmt.Sprintf("SELECT objid FROM Photoz WHERE z >= 2.0 AND z <= 2.%d", 1+i%3))
+		// Population C: a different relation entirely.
+		stmts = append(stmts, fmt.Sprintf("SELECT * FROM zooSpec WHERE ra BETWEEN 10 AND %d", 20+i%3))
+	}
+	res := m.MineSQL(stmts)
+	if len(res.Clusters) != 3 {
+		t.Fatalf("fixture clusters = %d", len(res.Clusters))
+	}
+	return m, res
+}
+
+func TestRecommendRanksByProximity(t *testing.T) {
+	m, res := recommendFixture(t)
+	ex := extract.New(skyserver.Schema())
+	// The user works on low redshifts: population A is "theirs", B should
+	// rank above C.
+	mine, err := ex.ExtractSQL("SELECT objid FROM Photoz WHERE z >= 0 AND z <= 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := m.Recommend(res, []*extract.AccessArea{mine}, 5)
+	if len(recs) < 1 {
+		t.Fatalf("no recommendations")
+	}
+	// The user's own cluster must be excluded.
+	for _, r := range recs {
+		if r.Cluster.Box.Has("Photoz.z") {
+			iv := r.Cluster.Box.Get("Photoz.z")
+			if iv.Lo < 1 { // population A's box
+				t.Errorf("user's own cluster recommended: %s", r.Cluster.Expr())
+			}
+		}
+	}
+	// Nearest first: the high-z Photoz cluster before the zooSpec one.
+	first := recs[0].Cluster
+	hasRel := func(c interface{ Expr() string }, want string) bool { return false }
+	_ = hasRel
+	if first.Relations[0] != "Photoz" {
+		t.Errorf("first recommendation = %v, want the Photoz high-z cluster", first.Relations)
+	}
+	if len(recs) >= 2 && recs[1].Distance < recs[0].Distance {
+		t.Error("recommendations not sorted")
+	}
+}
+
+func TestRecommendEdgeCases(t *testing.T) {
+	m, res := recommendFixture(t)
+	if out := m.Recommend(res, nil, 3); out != nil {
+		t.Error("no user areas should give nil")
+	}
+	ex := extract.New(skyserver.Schema())
+	a, _ := ex.ExtractSQL("SELECT * FROM Photoz WHERE z < 0.1")
+	if out := m.Recommend(res, []*extract.AccessArea{a}, 0); out != nil {
+		t.Error("k=0 should give nil")
+	}
+	out := m.Recommend(res, []*extract.AccessArea{a}, 1)
+	if len(out) != 1 {
+		t.Errorf("k=1 gave %d", len(out))
+	}
+}

@@ -1,0 +1,396 @@
+// Package dbscan is a generic implementation of the DBSCAN clustering
+// algorithm of Ester et al. [10], the noise-aware, k-free algorithm the
+// paper uses to aggregate access areas (Section 6). It works over an
+// arbitrary pairwise distance function; region queries are linear scans
+// parallelised across workers, so clustering n points costs O(n²) distance
+// evaluations.
+package dbscan
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Noise is the label assigned to points not belonging to any cluster.
+const Noise = -1
+
+// Config holds the DBSCAN parameters.
+type Config struct {
+	// Eps is the neighbourhood radius.
+	Eps float64
+	// MinPts is the minimum neighbourhood cardinality (including the point
+	// itself) for a core point.
+	MinPts int
+	// Workers bounds the goroutines used for region queries; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Weights optionally assigns each point a multiplicity: deduplicated
+	// access areas carry the number of raw queries they stand for, and a
+	// point is a core point when the total weight of its eps-neighbourhood
+	// reaches MinPts. Nil means weight 1 everywhere.
+	Weights []int
+}
+
+// Result is the clustering outcome.
+type Result struct {
+	// Labels assigns each input index a cluster id in [0, NumClusters) or
+	// Noise.
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// ClusterIndices returns the member indices of each cluster.
+func (r *Result) ClusterIndices() [][]int {
+	out := make([][]int, r.NumClusters)
+	for i, l := range r.Labels {
+		if l >= 0 {
+			out[l] = append(out[l], i)
+		}
+	}
+	return out
+}
+
+// NoiseCount returns the number of noise points.
+func (r *Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// Cluster runs DBSCAN over n points with the given distance function.
+// dist must be symmetric; it is called concurrently from multiple
+// goroutines and must be safe for concurrent use.
+func Cluster(n int, dist func(i, j int) float64, cfg Config) *Result {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unclassified
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{n: n, dist: dist, cfg: cfg, labels: labels, workers: workers}
+
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unclassified {
+			continue
+		}
+		neighbours := e.regionQuery(i)
+		if e.weightOf(neighbours) < cfg.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		e.expand(i, neighbours, clusterID)
+		clusterID++
+	}
+	return &Result{Labels: labels, NumClusters: clusterID}
+}
+
+const unclassified = -2
+
+// weightOf sums the weights of a neighbourhood (cardinality when no weights
+// are configured).
+func (e *engine) weightOf(idx []int) int {
+	if e.cfg.Weights == nil {
+		return len(idx)
+	}
+	total := 0
+	for _, i := range idx {
+		total += e.cfg.Weights[i]
+	}
+	return total
+}
+
+type engine struct {
+	n       int
+	dist    func(i, j int) float64
+	cfg     Config
+	labels  []int
+	workers int
+}
+
+// regionQuery returns all points within Eps of point i (including i),
+// scanning in parallel.
+func (e *engine) regionQuery(i int) []int {
+	if e.workers == 1 || e.n < 2048 {
+		var out []int
+		for j := 0; j < e.n; j++ {
+			if j == i || e.dist(i, j) <= e.cfg.Eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	chunk := (e.n + e.workers - 1) / e.workers
+	parts := make([][]int, e.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []int
+			for j := lo; j < hi; j++ {
+				if j == i || e.dist(i, j) <= e.cfg.Eps {
+					out = append(out, j)
+				}
+			}
+			parts[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// expand grows cluster id from core point i using the classic seed-set
+// expansion.
+func (e *engine) expand(i int, seeds []int, id int) {
+	e.labels[i] = id
+	queue := make([]int, 0, len(seeds))
+	for _, j := range seeds {
+		if j != i {
+			queue = append(queue, j)
+		}
+	}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		switch e.labels[j] {
+		case Noise:
+			e.labels[j] = id // border point
+			continue
+		case unclassified:
+			e.labels[j] = id
+		default:
+			continue // already in a cluster
+		}
+		neighbours := e.regionQuery(j)
+		if e.weightOf(neighbours) >= e.cfg.MinPts {
+			for _, k := range neighbours {
+				if e.labels[k] == unclassified || e.labels[k] == Noise {
+					queue = append(queue, k)
+				}
+			}
+		}
+	}
+}
+
+// KDistances returns the distance of every point to its k-th nearest
+// neighbour, sorted descending — the eps-selection heuristic from the
+// original DBSCAN paper [10]: plot the curve and pick eps at the "knee".
+// dist must be symmetric; the computation is O(n²) like the clustering
+// itself.
+func KDistances(n int, dist func(i, j int) float64, k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]float64, 0, n)
+	row := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			row = append(row, dist(i, j))
+		}
+		if len(row) == 0 {
+			continue
+		}
+		kk := k
+		if kk > len(row) {
+			kk = len(row)
+		}
+		sort.Float64s(row)
+		out = append(out, row[kk-1])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// SuggestEps picks an eps from the k-distance curve using the maximum-
+// curvature ("knee") point: the index maximising the distance drop relative
+// to its neighbours. It is a pragmatic default, not a replacement for
+// looking at the curve.
+func SuggestEps(kdist []float64) float64 {
+	if len(kdist) == 0 {
+		return 0
+	}
+	if len(kdist) < 3 {
+		return kdist[len(kdist)-1]
+	}
+	bestIdx, bestDrop := 0, 0.0
+	for i := 1; i < len(kdist)-1; i++ {
+		drop := kdist[i-1] - kdist[i+1]
+		if drop > bestDrop {
+			bestDrop = drop
+			bestIdx = i
+		}
+	}
+	return kdist[bestIdx]
+}
+
+// PivotIndex accelerates region queries via the triangle inequality
+// (LAESA): with precomputed distances from every point to a handful of
+// pivots, a candidate x can be skipped when |d(q,p) − d(x,p)| > eps for any
+// pivot p, without evaluating d(q,x). The speed-up is exact ONLY when the
+// distance is a true metric (the endpoint d_pred mode is; the min-matching
+// d_conj aggregation is not guaranteed to be, so the pipeline keeps this
+// opt-in).
+type PivotIndex struct {
+	dist   func(i, j int) float64
+	pivots []int
+	table  [][]float64 // table[k][i] = d(pivots[k], i)
+}
+
+// NewPivotIndex precomputes k pivot rows over n points. Pivots are chosen
+// greedily (farthest-point) starting from index 0, which spreads them well
+// for clustering workloads.
+func NewPivotIndex(n int, dist func(i, j int) float64, k int) *PivotIndex {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	idx := &PivotIndex{dist: dist}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = 1e308
+	}
+	next := 0
+	for len(idx.pivots) < k {
+		idx.pivots = append(idx.pivots, next)
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row[i] = dist(next, i)
+			if row[i] < minDist[i] {
+				minDist[i] = row[i]
+			}
+		}
+		idx.table = append(idx.table, row)
+		// Farthest point from all chosen pivots becomes the next pivot.
+		best, bestD := 0, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if bestD == 0 {
+			break
+		}
+		next = best
+	}
+	return idx
+}
+
+// Region returns all points within eps of q (including q), using pivot
+// pruning to avoid most distance evaluations.
+func (ix *PivotIndex) Region(q int, eps float64, n int) []int {
+	var out []int
+candidates:
+	for j := 0; j < n; j++ {
+		if j == q {
+			out = append(out, j)
+			continue
+		}
+		for k := range ix.pivots {
+			diff := ix.table[k][q] - ix.table[k][j]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > eps {
+				continue candidates
+			}
+		}
+		if ix.dist(q, j) <= eps {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ClusterWithPivots runs DBSCAN using a pivot index for region queries.
+// Exact for metric distances; see PivotIndex.
+func ClusterWithPivots(n int, dist func(i, j int) float64, cfg Config, pivots int) *Result {
+	if n == 0 {
+		return &Result{Labels: []int{}}
+	}
+	ix := NewPivotIndex(n, dist, pivots)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unclassified
+	}
+	e := &engine{n: n, dist: dist, cfg: cfg, labels: labels, workers: 1}
+	region := func(i int) []int { return ix.Region(i, cfg.Eps, n) }
+
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unclassified {
+			continue
+		}
+		neighbours := region(i)
+		if e.weightOf(neighbours) < cfg.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		e.expandWith(i, neighbours, clusterID, region)
+		clusterID++
+	}
+	return &Result{Labels: labels, NumClusters: clusterID}
+}
+
+// expandWith is expand with a pluggable region query.
+func (e *engine) expandWith(i int, seeds []int, id int, region func(int) []int) {
+	e.labels[i] = id
+	queue := make([]int, 0, len(seeds))
+	for _, j := range seeds {
+		if j != i {
+			queue = append(queue, j)
+		}
+	}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		switch e.labels[j] {
+		case Noise:
+			e.labels[j] = id
+			continue
+		case unclassified:
+			e.labels[j] = id
+		default:
+			continue
+		}
+		neighbours := region(j)
+		if e.weightOf(neighbours) >= e.cfg.MinPts {
+			for _, k := range neighbours {
+				if e.labels[k] == unclassified || e.labels[k] == Noise {
+					queue = append(queue, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dbscan
+
+import (
+	"math"
+	"sort"
+)
+
+// OPTICS implements the reachability-ordering generalisation of DBSCAN
+// (Ankerst et al.), realising the paper's Section 7 plan to "experiment
+// with different clustering techniques": one OPTICS run at a generous
+// maxEps supports extracting DBSCAN-style clusterings at ANY smaller eps
+// without re-running the O(n²) computation.
+type OPTICS struct {
+	// Order lists point indices in processing order.
+	Order []int
+	// Reachability[i] is the reachability distance of point i (math.Inf(1)
+	// for the first point of each component).
+	Reachability []float64
+	// CoreDist[i] is the core distance of point i at maxEps (math.Inf(1)
+	// when i is not a core point).
+	CoreDist []float64
+
+	maxEps  float64
+	minPts  int
+	weights []int
+}
+
+// RunOPTICS computes the reachability ordering for n points. dist must be
+// symmetric. weights assigns multiplicities (nil means 1 each), matching
+// the weighted core-point rule of Cluster.
+func RunOPTICS(n int, dist func(i, j int) float64, maxEps float64, minPts int, weights []int) *OPTICS {
+	o := &OPTICS{
+		Reachability: make([]float64, n),
+		CoreDist:     make([]float64, n),
+		maxEps:       maxEps,
+		minPts:       minPts,
+		weights:      weights,
+	}
+	processed := make([]bool, n)
+	for i := range o.Reachability {
+		o.Reachability[i] = math.Inf(1)
+		o.CoreDist[i] = math.Inf(1)
+	}
+	weight := func(i int) int {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+
+	// neighbours returns (index, distance) pairs within maxEps of p.
+	type nd struct {
+		idx int
+		d   float64
+	}
+	neighbours := func(p int) []nd {
+		var out []nd
+		for j := 0; j < n; j++ {
+			if d := dist(p, j); j == p || d <= maxEps {
+				dd := 0.0
+				if j != p {
+					dd = dist(p, j)
+				}
+				out = append(out, nd{j, dd})
+			}
+		}
+		return out
+	}
+	coreDist := func(p int, nbs []nd) float64 {
+		// Weighted core distance: smallest radius containing minPts weight.
+		sorted := append([]nd(nil), nbs...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].d < sorted[b].d })
+		total := 0
+		for _, x := range sorted {
+			total += weight(x.idx)
+			if total >= minPts {
+				return x.d
+			}
+		}
+		return math.Inf(1)
+	}
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		// Seed list as a simple priority structure (n is moderate).
+		seeds := map[int]float64{}
+		current := start
+		for {
+			nbs := neighbours(current)
+			processed[current] = true
+			o.Order = append(o.Order, current)
+			cd := coreDist(current, nbs)
+			o.CoreDist[current] = cd
+			if !math.IsInf(cd, 1) {
+				for _, x := range nbs {
+					if processed[x.idx] {
+						continue
+					}
+					newReach := math.Max(cd, x.d)
+					if old, ok := seeds[x.idx]; !ok || newReach < old {
+						seeds[x.idx] = newReach
+					}
+				}
+			}
+			// Pop the seed with the smallest reachability.
+			if len(seeds) == 0 {
+				break
+			}
+			best, bestD := -1, math.Inf(1)
+			for idx, d := range seeds {
+				if d < bestD || (d == bestD && (best == -1 || idx < best)) {
+					best, bestD = idx, d
+				}
+			}
+			delete(seeds, best)
+			o.Reachability[best] = bestD
+			current = best
+		}
+	}
+	return o
+}
+
+// ExtractDBSCAN derives a DBSCAN-style clustering at eps' <= maxEps from
+// the reachability plot: a new cluster starts whenever reachability exceeds
+// eps' at a point whose core distance (at eps') is within eps'; points with
+// both values above eps' are noise.
+func (o *OPTICS) ExtractDBSCAN(eps float64) *Result {
+	labels := make([]int, len(o.Reachability))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	clusterID := -1
+	for _, p := range o.Order {
+		if o.Reachability[p] > eps {
+			if o.CoreDist[p] <= eps {
+				clusterID++
+				labels[p] = clusterID
+			}
+			// else: noise
+			continue
+		}
+		if clusterID >= 0 {
+			labels[p] = clusterID
+		}
+	}
+	return &Result{Labels: labels, NumClusters: clusterID + 1}
+}

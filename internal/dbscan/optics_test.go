@@ -1,0 +1,82 @@
+package dbscan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOPTICSBlobs(t *testing.T) {
+	var pts []float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, float64(i)*0.1)     // blob A
+		pts = append(pts, 100+float64(i)*0.1) // blob B
+	}
+	pts = append(pts, 50) // outlier
+	o := RunOPTICS(len(pts), euclid1D(pts), 5, 4, nil)
+	res := o.ExtractDBSCAN(0.5)
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	if res.Labels[len(pts)-1] != Noise {
+		t.Errorf("outlier label = %d", res.Labels[len(pts)-1])
+	}
+}
+
+func TestOPTICSMatchesDBSCANClusterCount(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := make([]float64, 400)
+	for i := range pts {
+		// Three dense bands plus sparse background.
+		switch i % 4 {
+		case 0:
+			pts[i] = r.Float64()
+		case 1:
+			pts[i] = 10 + r.Float64()
+		case 2:
+			pts[i] = 20 + r.Float64()
+		default:
+			pts[i] = r.Float64() * 30
+		}
+	}
+	for _, eps := range []float64{0.1, 0.3, 0.5} {
+		direct := Cluster(len(pts), euclid1D(pts), Config{Eps: eps, MinPts: 5})
+		o := RunOPTICS(len(pts), euclid1D(pts), 2.0, 5, nil)
+		viaOptics := o.ExtractDBSCAN(eps)
+		// OPTICS extraction is equivalent up to border-point assignment;
+		// cluster counts and core membership must agree.
+		if direct.NumClusters != viaOptics.NumClusters {
+			t.Errorf("eps=%v: dbscan %d clusters vs optics %d", eps, direct.NumClusters, viaOptics.NumClusters)
+		}
+	}
+}
+
+func TestOPTICSReachabilityShape(t *testing.T) {
+	// Within one dense blob, reachability stays small after the first point.
+	pts := make([]float64, 30)
+	for i := range pts {
+		pts[i] = float64(i) * 0.01
+	}
+	o := RunOPTICS(len(pts), euclid1D(pts), 5, 3, nil)
+	if !math.IsInf(o.Reachability[o.Order[0]], 1) {
+		t.Error("first point should have infinite reachability")
+	}
+	for _, p := range o.Order[1:] {
+		if o.Reachability[p] > 0.05 {
+			t.Errorf("reachability[%d] = %v, want tiny inside blob", p, o.Reachability[p])
+		}
+	}
+}
+
+func TestOPTICSWeighted(t *testing.T) {
+	// A point with weight 10 turns its sparse neighbourhood into a core.
+	pts := []float64{0, 0.1, 50}
+	o := RunOPTICS(len(pts), euclid1D(pts), 5, 5, []int{10, 1, 1})
+	res := o.ExtractDBSCAN(0.5)
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.NumClusters)
+	}
+	if res.Labels[2] != Noise {
+		t.Errorf("far point = %d", res.Labels[2])
+	}
+}

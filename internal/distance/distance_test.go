@@ -1,0 +1,318 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/extract"
+	"repro/internal/interval"
+	"repro/internal/predicate"
+	"repro/internal/schema"
+)
+
+func metricWithAccess(t *testing.T) *Metric {
+	t.Helper()
+	st := schema.NewStats()
+	st.SeedNumericContent("T.a", interval.Closed(0, 5))
+	st.SeedNumericContent("T.b", interval.Closed(0, 5))
+	st.SeedNumericContent("T.u", interval.Closed(0, 100))
+	st.SeedCategorical("S.class", []string{"STAR", "GALAXY", "QSO", "UNKNOWN"})
+	return New(st)
+}
+
+func area(rels []string, cnf predicate.CNF) *extract.AccessArea {
+	return &extract.AccessArea{Relations: rels, CNF: cnf, Exact: true}
+}
+
+func cc(col string, op predicate.Op, v float64) predicate.Pred {
+	return predicate.CC(col, op, predicate.Number(v))
+}
+
+func TestDTables(t *testing.T) {
+	m := metricWithAccess(t)
+	if d := m.DTables([]string{"T"}, []string{"T"}); d != 0 {
+		t.Errorf("same tables d = %v", d)
+	}
+	if d := m.DTables([]string{"T"}, []string{"S"}); d != 1 {
+		t.Errorf("disjoint tables d = %v", d)
+	}
+	if d := m.DTables([]string{"T", "S"}, []string{"T"}); d != 0.5 {
+		t.Errorf("subset tables d = %v", d)
+	}
+	// Corner case of §5.1: no tables at all => 0.
+	if d := m.DTables(nil, nil); d != 0 {
+		t.Errorf("empty tables d = %v", d)
+	}
+}
+
+func TestPaperLiteralExample(t *testing.T) {
+	// §5.2: p1 = a < 3, p2 = a > 2, access(a) = [0, 5] => 1/5 = 0.2.
+	m := metricWithAccess(t)
+	m.Mode = ModePaperLiteral
+	d := m.DPred(cc("T.a", predicate.Lt, 3), cc("T.a", predicate.Gt, 2))
+	if math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("literal d_pred = %v, want 0.2", d)
+	}
+	// Different-column example: a1 < 3, a2 > 2, access = [0,5] both
+	// => (3*3)/(5*5) = 0.36.
+	d = m.DPred(cc("T.a", predicate.Lt, 3), cc("T.b", predicate.Gt, 2))
+	if math.Abs(d-0.36) > 1e-12 {
+		t.Errorf("literal cross-column = %v, want 0.36", d)
+	}
+}
+
+func TestEndpointModeIdentityAndSymmetry(t *testing.T) {
+	m := metricWithAccess(t)
+	p1 := cc("T.a", predicate.Lt, 3)
+	if d := m.DPred(p1, p1); d != 0 {
+		t.Errorf("identical preds d = %v, want 0", d)
+	}
+	p2 := cc("T.a", predicate.Gt, 2)
+	if d1, d2 := m.DPred(p1, p2), m.DPred(p2, p1); d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestEndpointModeValues(t *testing.T) {
+	m := metricWithAccess(t)
+	// a < 3 => clipped [0,3); a > 2 => clipped (2,5]. Endpoint L∞:
+	// max(|0-2|, |3-5|)/5 = 0.4.
+	d := m.DPred(cc("T.a", predicate.Lt, 3), cc("T.a", predicate.Gt, 2))
+	if math.Abs(d-0.4) > 1e-12 {
+		t.Errorf("d = %v, want 0.4", d)
+	}
+	// Equality predicates: |c1 - c2| / W. objid-style chaining.
+	d = m.DPred(cc("T.u", predicate.Eq, 10), cc("T.u", predicate.Eq, 15))
+	if math.Abs(d-0.05) > 1e-12 {
+		t.Errorf("point d = %v, want 0.05", d)
+	}
+	// Cross-column near-full predicates are close (both barely constrain).
+	d = m.DPred(cc("T.a", predicate.Ge, 0), cc("T.b", predicate.Le, 5))
+	if d > 0.01 {
+		t.Errorf("cross-column full ranges d = %v, want ~0", d)
+	}
+	// Cross-column tiny predicates are far.
+	d = m.DPred(cc("T.a", predicate.Eq, 1), cc("T.b", predicate.Eq, 2))
+	if d < 0.99 {
+		t.Errorf("cross-column points d = %v, want ~1", d)
+	}
+}
+
+func TestCategoricalDistance(t *testing.T) {
+	m := metricWithAccess(t)
+	star := predicate.CC("S.class", predicate.Eq, predicate.Str("STAR"))
+	galaxy := predicate.CC("S.class", predicate.Eq, predicate.Str("GALAXY"))
+	if d := m.DPred(star, star); d != 0 {
+		t.Errorf("same value d = %v", d)
+	}
+	if d := m.DPred(star, galaxy); d != 1 {
+		t.Errorf("diff value d = %v", d)
+	}
+	// NE STAR covers 3 of 4 access values; vs EQ GALAXY (subset):
+	// Jaccard distance = 1 - 1/3.
+	neStar := predicate.CC("S.class", predicate.Ne, predicate.Str("STAR"))
+	if d := m.DPred(neStar, galaxy); math.Abs(d-(1-1.0/3)) > 1e-12 {
+		t.Errorf("ne vs eq d = %v", d)
+	}
+	// Paper-literal mode: |common| / |access| = 1/4.
+	m.Mode = ModePaperLiteral
+	if d := m.DPred(neStar, galaxy); d != 0.25 {
+		t.Errorf("literal categorical d = %v, want 0.25", d)
+	}
+}
+
+func TestColumnColumnDistance(t *testing.T) {
+	m := metricWithAccess(t)
+	j1 := predicate.Cols("T.u", predicate.Eq, "S.u")
+	j2 := predicate.Cols("S.u", predicate.Eq, "T.u") // canonicalised equal
+	if d := m.DPred(j1, j2); d != 0 {
+		t.Errorf("same join d = %v", d)
+	}
+	j3 := predicate.Cols("T.u", predicate.Lt, "S.u")
+	if d := m.DPred(j1, j3); d != 0.5 {
+		t.Errorf("same cols diff op d = %v", d)
+	}
+	j4 := predicate.Cols("T.v", predicate.Eq, "S.v")
+	if d := m.DPred(j1, j4); d != 1 {
+		t.Errorf("diff join d = %v", d)
+	}
+	// Column-column vs column-constant.
+	if d := m.DPred(j1, cc("T.u", predicate.Eq, 1)); d != 1 {
+		t.Errorf("mixed kind d = %v", d)
+	}
+}
+
+func TestDistanceIdenticalAreasZero(t *testing.T) {
+	m := metricWithAccess(t)
+	a := area([]string{"T"}, predicate.CNF{{cc("T.a", predicate.Lt, 3)}})
+	if d := m.Distance(a, a); d != 0 {
+		t.Errorf("identical areas d = %v", d)
+	}
+}
+
+func TestDistanceTableComponentAdds(t *testing.T) {
+	m := metricWithAccess(t)
+	a := area([]string{"T"}, predicate.CNF{{cc("T.a", predicate.Lt, 3)}})
+	b := area([]string{"S"}, predicate.CNF{{cc("T.a", predicate.Lt, 3)}})
+	if d := m.Distance(a, b); d != 1 {
+		t.Errorf("d = %v, want 1 (tables disjoint, constraint equal)", d)
+	}
+}
+
+func TestDConjEmptyCases(t *testing.T) {
+	m := metricWithAccess(t)
+	empty := area([]string{"T"}, predicate.CNF{})
+	one := area([]string{"T"}, predicate.CNF{{cc("T.a", predicate.Lt, 3)}})
+	if d := m.Distance(empty, empty); d != 0 {
+		t.Errorf("both empty d = %v", d)
+	}
+	if d := m.Distance(empty, one); d != 1 {
+		t.Errorf("one empty d = %v", d)
+	}
+}
+
+func TestDistanceMinMatchingFindsBestClausePairs(t *testing.T) {
+	m := metricWithAccess(t)
+	// Same two clauses in different order: distance 0.
+	a := area([]string{"T"}, predicate.CNF{
+		{cc("T.a", predicate.Lt, 3)},
+		{cc("T.b", predicate.Gt, 1)},
+	})
+	b := area([]string{"T"}, predicate.CNF{
+		{cc("T.b", predicate.Gt, 1)},
+		{cc("T.a", predicate.Lt, 3)},
+	})
+	if d := m.Distance(a, b); d != 0 {
+		t.Errorf("permuted clauses d = %v", d)
+	}
+}
+
+func TestEqualityChainingSupportsCluster1(t *testing.T) {
+	// The Cluster-1 phenomenon: many "Photoz.objid = c" queries with nearby
+	// constants must have small pairwise distance in endpoint mode.
+	st := schema.NewStats()
+	st.SeedNumericContent("Photoz.objid", interval.Closed(0, 1e6))
+	m := New(st)
+	mk := func(c float64) *extract.AccessArea {
+		return area([]string{"Photoz"}, predicate.CNF{{cc("Photoz.objid", predicate.Eq, c)}})
+	}
+	near := m.Distance(mk(1000), mk(2000))
+	far := m.Distance(mk(1000), mk(900000))
+	if near >= far {
+		t.Errorf("near = %v should be < far = %v", near, far)
+	}
+	if near > 0.01 {
+		t.Errorf("near constants d = %v, want tiny", near)
+	}
+}
+
+func TestUnseededColumnFallback(t *testing.T) {
+	m := New(nil) // no stats at all
+	d := m.DPred(cc("X.q", predicate.Lt, 3), cc("X.q", predicate.Lt, 3))
+	if d != 0 {
+		t.Errorf("identical preds without stats d = %v", d)
+	}
+	d = m.DPred(cc("X.q", predicate.Eq, 1), cc("X.q", predicate.Eq, 1))
+	if d != 0 {
+		t.Errorf("identical points without stats d = %v", d)
+	}
+}
+
+func TestProfileDistanceMatchesDistance(t *testing.T) {
+	m := metricWithAccess(t)
+	a := area([]string{"T"}, predicate.CNF{
+		{cc("T.a", predicate.Lt, 3), cc("T.a", predicate.Gt, 4)},
+		{cc("T.b", predicate.Ge, 1)},
+	})
+	b := area([]string{"T", "S"}, predicate.CNF{
+		{cc("T.b", predicate.Le, 2)},
+	})
+	d1 := m.Distance(a, b)
+	d2 := m.ProfileDistance(m.Profile(a), m.Profile(b))
+	if d1 != d2 {
+		t.Errorf("d = %v vs profile d = %v", d1, d2)
+	}
+}
+
+// Property: the endpoint-mode distance is symmetric, non-negative, bounded
+// by 2 (1 for tables + 1 for constraint), and zero on identical areas.
+func TestPropDistanceMetricProperties(t *testing.T) {
+	m := metricWithAccess(t)
+	cols := []string{"T.a", "T.b", "T.u"}
+	randArea := func(r *rand.Rand) *extract.AccessArea {
+		nClauses := r.Intn(3) + 1
+		cnf := make(predicate.CNF, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			nPreds := r.Intn(2) + 1
+			cl := make(predicate.Clause, 0, nPreds)
+			for j := 0; j < nPreds; j++ {
+				cl = append(cl, cc(cols[r.Intn(len(cols))], predicate.Op(r.Intn(6)), float64(r.Intn(10))))
+			}
+			cnf = append(cnf, cl)
+		}
+		tables := [][]string{{"T"}, {"S"}, {"T", "S"}}[r.Intn(3)]
+		return area(tables, cnf)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randArea(r), randArea(r)
+		dab := m.Distance(a, b)
+		dba := m.Distance(b, a)
+		daa := m.Distance(a, a)
+		// Summation order differs between directions; allow float noise.
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Logf("asymmetry: %v vs %v", dab, dba)
+			return false
+		}
+		if dab < 0 || dab > 2+1e-9 {
+			t.Logf("out of range: %v", dab)
+			return false
+		}
+		return daa == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiteralModeMixedKinds(t *testing.T) {
+	m := metricWithAccess(t)
+	m.Mode = ModePaperLiteral
+	// Mixed numeric/string on the same column: literal mode treats
+	// non-overlap as 0.
+	d := m.DPred(cc("T.a", predicate.Lt, 3), predicate.CC("T.a", predicate.Eq, predicate.Str("x")))
+	if d != 0 {
+		t.Errorf("literal mixed d = %v", d)
+	}
+	// Column-column vs constant in literal mode.
+	d = m.DPred(predicate.Cols("T.a", predicate.Eq, "T.b"), cc("T.a", predicate.Lt, 3))
+	if d != 0 {
+		t.Errorf("literal colcol-vs-cc d = %v", d)
+	}
+}
+
+func TestDTablesCornerBothConstantQueries(t *testing.T) {
+	// §5.1's corner case end to end: two table-free queries.
+	m := metricWithAccess(t)
+	a := area(nil, predicate.CNF{})
+	b := area(nil, predicate.CNF{})
+	if d := m.Distance(a, b); d != 0 {
+		t.Errorf("constant queries d = %v", d)
+	}
+}
+
+func TestDegenerateAccessWidth(t *testing.T) {
+	st := schema.NewStats()
+	st.SeedNumericContent("T.p", interval.Point(5)) // zero-width access
+	m := New(st)
+	if d := m.DPred(cc("T.p", predicate.Eq, 5), cc("T.p", predicate.Eq, 5)); d != 0 {
+		t.Errorf("identical on degenerate access d = %v", d)
+	}
+	// With a degenerate access range the per-predicate hull fallback kicks
+	// in; different constants land a positive distance apart.
+	if d := m.DPred(cc("T.p", predicate.Eq, 5), cc("T.p", predicate.Eq, 6)); d <= 0 {
+		t.Errorf("different on degenerate access d = %v, want > 0", d)
+	}
+}

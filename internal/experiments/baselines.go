@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/memdb"
+	"repro/internal/olapclus"
+	"repro/internal/qlog"
+	"repro/internal/requery"
+	"repro/internal/sqlparser"
+)
+
+// OLAPClusResult is E6's outcome: cluster counts under exact matching vs
+// our method, per equality-heavy population.
+type OLAPClusResult struct {
+	OursClusters  int
+	ExactClusters int
+	Distinct      int
+	Report        string
+}
+
+// RunOLAPClusExact executes E6 (Section 6.4): the population of our Cluster
+// 1 ("Photoz.objid = c") yields one cluster under the overlap distance and
+// approximately one cluster per distinct constant under exact matching.
+func (e *Env) RunOLAPClusExact() *OLAPClusResult {
+	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
+	// Collect the cluster-1 population from the log.
+	byKey := map[string]*weightedArea{}
+	var order []string
+	for _, entry := range e.Entries {
+		if entry.Template != "cluster01" {
+			continue
+		}
+		area, err := ex.ExtractSQL(entry.SQL)
+		if err != nil {
+			continue
+		}
+		k := area.Key()
+		wa, ok := byKey[k]
+		if !ok {
+			wa = &weightedArea{area: area}
+			byKey[k] = wa
+			order = append(order, k)
+		}
+		wa.weight++
+	}
+	areas := make([]*extract.AccessArea, 0, len(order))
+	weights := make([]int, 0, len(order))
+	for _, k := range order {
+		areas = append(areas, byKey[k].area)
+		weights = append(weights, byKey[k].weight)
+	}
+	metric := &distance.Metric{Stats: e.Stats}
+	ours := olapclus.ClusterRawConj(areas, weights, metric, 0.06, 8)
+	exact := olapclus.ClusterExact(areas, weights, 0.1, 1)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6 / §6.4 OLAPClus with exact predicate matching (Cluster-1 population)\n")
+	fmt.Fprintf(&b, "paper: our method 1 cluster, OLAPClus ≈ 100,000 clusters\n")
+	fmt.Fprintf(&b, "ours:  our method %d cluster(s), exact matching %d clusters over %d distinct constants\n",
+		ours.NumClusters, exact.NumClusters, len(areas))
+	return &OLAPClusResult{
+		OursClusters: ours.NumClusters, ExactClusters: exact.NumClusters,
+		Distinct: len(areas), Report: b.String(),
+	}
+}
+
+type weightedArea struct {
+	area   *extract.AccessArea
+	weight int
+}
+
+// RawBreakResult is E7's outcome: per ground-truth template, whether the
+// raw-predicate hybrid keeps the population in one cluster.
+type RawBreakResult struct {
+	// Broken lists templates whose population fragments (or drops to noise)
+	// under raw predicates while staying unified under the exact mapping.
+	Broken []string
+	Report string
+}
+
+// RunOLAPClusRaw executes E7 (Section 6.5): clustering raw predicates with
+// d_conj breaks the clusters that rely on the Section 4.2-4.4
+// transformations.
+func (e *Env) RunOLAPClusRaw() *RawBreakResult {
+	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
+	metric := &distance.Metric{Stats: e.Stats}
+	// The templates the paper reports as broken all mix plain and
+	// transformed forms.
+	candidates := []string{"cluster02", "cluster03", "cluster05", "cluster09",
+		"cluster19", "cluster20", "cluster21"}
+	var broken []string
+	var b strings.Builder
+	fmt.Fprintf(&b, "E7 / §6.5 OLAPClus with d_conj on RAW predicates\n")
+	fmt.Fprintf(&b, "paper: breaks Clusters 2, 5, 8, 9, 11, 12, 18, 19, 20, 22\n")
+	for _, tpl := range candidates {
+		mapped, rawAreas, weights := e.collectBoth(ex, tpl)
+		if len(mapped) < 8 {
+			continue
+		}
+		oursRes := olapclus.ClusterRawConj(mapped, weights, metric, 0.06, 8)
+		rawRes := olapclus.ClusterRawConj(rawAreas, weights, metric, 0.06, 8)
+		ok := oursRes.NumClusters == 1
+		breaks := rawRes.NumClusters != 1 || rawRes.NoiseCount() > len(rawAreas)/5
+		status := "intact"
+		if breaks {
+			status = "BROKEN"
+			broken = append(broken, tpl)
+		}
+		fmt.Fprintf(&b, "  %s: mapped %d cluster(s) [unified=%v], raw %d cluster(s) + %d noise -> %s\n",
+			tpl, oursRes.NumClusters, ok, rawRes.NumClusters, rawRes.NoiseCount(), status)
+	}
+	fmt.Fprintf(&b, "broken templates: %d of %d candidates\n", len(broken), len(candidates))
+	res := &RawBreakResult{Broken: broken}
+	res.Report = b.String()
+	return res
+}
+
+// collectBoth extracts one template's population both ways.
+func (e *Env) collectBoth(ex *extract.Extractor, tpl string) (mapped, raw []*extract.AccessArea, weights []int) {
+	type pair struct {
+		m, r   *extract.AccessArea
+		weight int
+	}
+	byKey := map[string]*pair{}
+	var order []string
+	for _, entry := range e.Entries {
+		if entry.Template != tpl {
+			continue
+		}
+		m, err := ex.ExtractSQL(entry.SQL)
+		if err != nil {
+			continue
+		}
+		r, err := olapclus.RawAreaSQL(e.Schema, entry.SQL)
+		if err != nil {
+			continue
+		}
+		// Dedupe on the raw key so both clusterings see the same points.
+		k := r.Key()
+		p, ok := byKey[k]
+		if !ok {
+			p = &pair{m: m, r: r}
+			byKey[k] = p
+			order = append(order, k)
+		}
+		p.weight++
+	}
+	for _, k := range order {
+		p := byKey[k]
+		mapped = append(mapped, p.m)
+		raw = append(raw, p.r)
+		weights = append(weights, p.weight)
+	}
+	return mapped, raw, weights
+}
+
+// EfficiencyResult is E8's outcome.
+type EfficiencyResult struct {
+	Stats      *qlog.Stats
+	Throughput float64 // queries per second
+	Report     string
+}
+
+// RunEfficiency executes E8 (Section 6.6): end-to-end throughput and the
+// per-stage min/max timings.
+func (e *Env) RunEfficiency() *EfficiencyResult {
+	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
+	p := &qlog.Pipeline{Extractor: ex, Workers: 1} // single-threaded like the paper's i5-750 run
+	start := time.Now()
+	_, st := p.Run(e.Records)
+	elapsed := time.Since(start)
+	qps := float64(st.Total) / elapsed.Seconds()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "E8 / §6.6 efficiency (single worker, %d queries)\n", st.Total)
+	fmt.Fprintf(&b, "paper: 100,000 queries in ~45 s (Intel i5-750) = ~2,200 q/s\n")
+	fmt.Fprintf(&b, "ours:  %d queries in %v = %.0f q/s\n", st.Total, elapsed.Round(time.Millisecond), qps)
+	fmt.Fprintf(&b, "stage ranges (paper: parse <1-94 ms, extract <1-1333 ms, CNF <1 ms-unbounded, consolidate <1-95 ms):\n")
+	stage := func(name string, s qlog.StageTime) {
+		fmt.Fprintf(&b, "  %-12s min %-10v max %-12v mean %v\n", name, s.Min, s.Max, s.Mean())
+	}
+	stage("parse", st.Parse)
+	stage("extract", st.Extract)
+	stage("cnf", st.CNF)
+	stage("consolidate", st.Consolidate)
+	fmt.Fprintf(&b, "queries hitting the 35-predicate cap: %d\n", st.Truncated)
+	return &EfficiencyResult{Stats: st, Throughput: qps, Report: b.String()}
+}
+
+// RequeryResult is E9's outcome.
+type RequeryResult struct {
+	ExtractElapsed time.Duration
+	RequeryElapsed time.Duration
+	Speedup        float64
+	ExtractedCount int
+	RequeryCount   int
+	EmptyResults   int
+	Errors         map[string]int
+	Report         string
+}
+
+// RunRequery executes E9 (Sections 2.2/6.6): the re-issuing baseline against
+// the database vs log-side extraction.
+func (e *Env) RunRequery() *RequeryResult {
+	db := e.DB
+	// Extraction side.
+	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
+	p := &qlog.Pipeline{Extractor: ex, Workers: 1}
+	start := time.Now()
+	areas, st := p.Run(e.Records)
+	extractElapsed := time.Since(start)
+
+	// Re-query side, with SkyServer's operational constraints.
+	base := &requery.Baseline{
+		DB:          db,
+		RowLimit:    500000,
+		RateLimiter: memdb.NewRateLimiter(60),
+		StrictTSQL:  true,
+	}
+	rqRes := base.Run(e.Records)
+
+	speedup := rqRes.Elapsed.Seconds() / extractElapsed.Seconds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "E9 / §6.6 re-querying baseline (%d queries)\n", len(e.Records))
+	fmt.Fprintf(&b, "paper: re-issuing is orders of magnitude slower; misses clusters 18-24; fails on 1,220,358 error queries\n")
+	fmt.Fprintf(&b, "extraction: %d areas in %v\n", len(areas), extractElapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "re-query:   %d areas in %v (%.1fx slower)\n", rqRes.Processed(), rqRes.Elapsed.Round(time.Millisecond), speedup)
+	fmt.Fprintf(&b, "re-query empty result sets (intended areas lost): %d\n", rqRes.EmptyResults)
+	var kinds []string
+	for k := range rqRes.Errors {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "re-query errors (%s): %d\n", k, rqRes.Errors[k])
+	}
+	fmt.Fprintf(&b, "extraction handled %d statements re-querying could not\n",
+		len(areas)-rqRes.Processed())
+	_ = st
+	return &RequeryResult{
+		ExtractElapsed: extractElapsed, RequeryElapsed: rqRes.Elapsed, Speedup: speedup,
+		ExtractedCount: len(areas), RequeryCount: rqRes.Processed(),
+		EmptyResults: rqRes.EmptyResults, Errors: rqRes.Errors, Report: b.String(),
+	}
+}
+
+// AblationResult is E10's outcome.
+type AblationResult struct {
+	EndpointMatched int
+	LiteralMatched  int
+	Report          string
+}
+
+// RunAblation executes E10: Table-1 recovery under the corrected endpoint
+// d_pred vs the paper-literal formula (DESIGN.md §2).
+func (e *Env) RunAblation() *AblationResult {
+	run := func(mode distance.Mode, eps float64) int {
+		m := core.NewMiner(core.Config{Schema: e.Schema, Stats: e.Stats, Mode: mode, Eps: eps})
+		res := m.MineRecords(e.Records)
+		matched := 0
+		for _, row := range paperTable1() {
+			if matchCluster(res, row) != nil {
+				matched++
+			}
+		}
+		return matched
+	}
+	endpoint := run(distance.ModeEndpoint, 0.06)
+	literal := run(distance.ModePaperLiteral, 0.05)
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10 / ablation: d_pred mode (DESIGN.md §2)\n")
+	fmt.Fprintf(&b, "endpoint mode (default): %d/24 paper clusters recovered\n", endpoint)
+	fmt.Fprintf(&b, "paper-literal mode:      %d/24 paper clusters recovered\n", literal)
+	return &AblationResult{EndpointMatched: endpoint, LiteralMatched: literal, Report: b.String()}
+}
+
+// ParseSanity double-checks that the famous §6.6 MySQL-dialect example
+// extracts (used by tests and the report header).
+func ParseSanity() error {
+	_, err := sqlparser.ParseSelect("SELECT Galaxies.objid FROM Galaxies LIMIT 10")
+	return err
+}
+
+// SigmaAblationResult compares the aggregated Cluster-1 box width with and
+// without the 3σ trimming rule of Section 6.2.
+type SigmaAblationResult struct {
+	TrimmedWidth   float64
+	UntrimmedWidth float64
+	WindowWidth    float64
+	Report         string
+}
+
+// RunAblationSigma executes the 3σ-rule ablation: without trimming, stray
+// constants inflate the aggregated box ("we leave out extreme range bounds
+// ... to ensure the robustness of the results").
+func (e *Env) RunAblationSigma() *SigmaAblationResult {
+	run := func(sigma float64) float64 {
+		m := core.NewMiner(core.Config{Schema: e.Schema, Stats: e.Stats, SigmaRule: sigma})
+		res := m.MineRecords(e.Records)
+		row := paperTable1()[0] // Cluster 1
+		c := matchCluster(res, row)
+		if c == nil {
+			return 0
+		}
+		return c.Box.Get(row.column).Width()
+	}
+	trimmed := run(3)
+	untrimmed := run(-1)
+	window := paperTable1()[0].window.Width()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation / §6.2 3σ trimming (Cluster-1 box width vs ground-truth window %.3g)\n", window)
+	fmt.Fprintf(&b, "with 3σ rule:    %.4g (%.2fx window)\n", trimmed, trimmed/window)
+	fmt.Fprintf(&b, "without:         %.4g (%.2fx window)\n", untrimmed, untrimmed/window)
+	return &SigmaAblationResult{TrimmedWidth: trimmed, UntrimmedWidth: untrimmed,
+		WindowWidth: window, Report: b.String()}
+}
+
+// DensityResult reports per-cluster density contrast — the §6.3 follow-up
+// ("how much denser each cluster is, in contrast to its immediate
+// surroundings").
+type DensityResult struct {
+	Contrasts map[int]float64 // cluster ID -> contrast
+	Report    string
+}
+
+// RunDensity mines the log and computes the density contrast of each
+// recovered Table-1 cluster.
+func (e *Env) RunDensity() *DensityResult {
+	miner := e.Miner()
+	res := miner.MineRecords(e.Records)
+
+	// Rebuild the item universe for the contrast baseline.
+	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
+	var all []*aggregate.Item
+	for _, rec := range e.Records {
+		a, err := ex.ExtractSQL(rec.SQL)
+		if err != nil || a.IsEmpty() {
+			continue
+		}
+		all = append(all, &aggregate.Item{Area: a, Weight: 1, Users: map[string]struct{}{}})
+	}
+	out := &DensityResult{Contrasts: make(map[int]float64)}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Density contrast (§6.3 follow-up): query density inside each cluster box vs its surroundings\n")
+	for _, row := range paperTable1() {
+		c := matchCluster(res, row)
+		if c == nil {
+			continue
+		}
+		contrast := aggregate.DensityContrast(c, all, 0.5)
+		out.Contrasts[row.id] = contrast
+		fmt.Fprintf(&b, "  paper cluster %2d: %10.1fx denser than its shell (%d queries)\n",
+			row.id, contrast, c.Cardinality)
+	}
+	fmt.Fprintf(&b, "interpretation: values ≫ 1 confirm the clusters are genuine hotspots, not sampling artefacts\n")
+	out.Report = b.String()
+	return out
+}
+
+// ScalingPoint is one row of the scaling curve.
+type ScalingPoint struct {
+	Queries       int
+	DistinctAreas int
+	ExtractTime   time.Duration
+	ClusterTime   time.Duration
+}
+
+// ScalingResult is the outcome of the scaling experiment.
+type ScalingResult struct {
+	Points []ScalingPoint
+	Report string
+}
+
+// RunScaling measures extraction and clustering time across log sizes —
+// the §6.2 observation that made the paper sample 5.6M of 12.4M queries:
+// extraction scales linearly while DBSCAN's O(n²) region queries dominate
+// as the number of distinct areas grows.
+func (e *Env) RunScaling() *ScalingResult {
+	out := &ScalingResult{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling (§6.2 sampling motivation): extraction is linear, clustering quadratic\n")
+	fmt.Fprintf(&b, "%-10s %-16s %-14s %-14s\n", "queries", "distinct areas", "extract", "cluster")
+	for _, scale := range []int{2000, 4000, 8000} {
+		sub := NewEnvRows(scale, e.Seed, 500)
+		ex := &extract.Extractor{Schema: sub.Schema, Stats: sub.Stats}
+		p := &qlog.Pipeline{Extractor: ex}
+		t0 := time.Now()
+		areas, _ := p.Run(sub.Records)
+		extractTime := time.Since(t0)
+
+		miner := core.NewMiner(core.Config{Schema: sub.Schema, Stats: sub.Stats, Workers: 1})
+		t1 := time.Now()
+		res := miner.MineAreas(areas)
+		clusterTime := time.Since(t1)
+
+		pt := ScalingPoint{
+			Queries: scale, DistinctAreas: res.DistinctAreas,
+			ExtractTime: extractTime, ClusterTime: clusterTime,
+		}
+		out.Points = append(out.Points, pt)
+		fmt.Fprintf(&b, "%-10d %-16d %-14v %-14v\n", pt.Queries, pt.DistinctAreas,
+			pt.ExtractTime.Round(time.Millisecond), pt.ClusterTime.Round(time.Millisecond))
+	}
+	if n := len(out.Points); n >= 2 {
+		first, last := out.Points[0], out.Points[n-1]
+		qRatio := float64(last.Queries) / float64(first.Queries)
+		exRatio := float64(last.ExtractTime) / float64(first.ExtractTime)
+		clRatio := float64(last.ClusterTime) / float64(first.ClusterTime)
+		fmt.Fprintf(&b, "%.0fx more queries -> %.1fx extraction time, %.1fx clustering time\n",
+			qRatio, exRatio, clRatio)
+	}
+	out.Report = b.String()
+	return out
+}

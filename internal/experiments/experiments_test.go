@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// One shared small env keeps the experiment smoke tests fast.
+var testEnv = NewEnv(2500, 42)
+
+func TestRunTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := testEnv.RunTable1()
+	if res.Matched < 20 {
+		t.Errorf("matched = %d/24, want >= 20 at small scale", res.Matched)
+	}
+	if !strings.Contains(res.Report, "recovered") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	for _, which := range []byte{'a', 'b', 'c'} {
+		fig := testEnv.RunFigure1(which)
+		if len(fig.Access) == 0 {
+			t.Errorf("figure 1(%c): no access boxes", which)
+		}
+		if !strings.Contains(fig.Report, "legend") {
+			t.Errorf("figure 1(%c): ASCII rendering missing", which)
+		}
+	}
+}
+
+func TestRunCoverageSmoke(t *testing.T) {
+	res := testEnv.RunCoverage()
+	if c := res.Stats.Coverage(); c < 0.98 || c >= 1 {
+		t.Errorf("coverage = %v", c)
+	}
+}
+
+func TestRunOLAPClusExactSmoke(t *testing.T) {
+	res := testEnv.RunOLAPClusExact()
+	if res.OursClusters != 1 {
+		t.Errorf("our clusters = %d, want 1", res.OursClusters)
+	}
+	if res.ExactClusters < res.Distinct/2 || res.Distinct < 50 {
+		t.Errorf("exact = %d over %d distinct", res.ExactClusters, res.Distinct)
+	}
+}
+
+func TestRunOLAPClusRawSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := testEnv.RunOLAPClusRaw()
+	if len(res.Broken) < 4 {
+		t.Errorf("broken = %v, want most candidates broken", res.Broken)
+	}
+}
+
+func TestRunEfficiencySmoke(t *testing.T) {
+	res := testEnv.RunEfficiency()
+	if res.Throughput < 500 {
+		t.Errorf("throughput = %v q/s", res.Throughput)
+	}
+	if res.Stats.CNF.Max <= 0 {
+		t.Error("stage stats missing")
+	}
+}
+
+func TestRunRequerySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: executes every query")
+	}
+	small := NewEnv(600, 42)
+	res := small.RunRequery()
+	if res.Speedup < 2 {
+		t.Errorf("speedup = %v, requery should be much slower", res.Speedup)
+	}
+	if res.EmptyResults == 0 {
+		t.Error("expected empty-result queries")
+	}
+	if res.RequeryCount >= res.ExtractedCount {
+		t.Errorf("requery processed %d >= extraction %d", res.RequeryCount, res.ExtractedCount)
+	}
+}
+
+func TestRunAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := testEnv.RunAblation()
+	if res.EndpointMatched <= res.LiteralMatched {
+		t.Errorf("endpoint %d should beat literal %d", res.EndpointMatched, res.LiteralMatched)
+	}
+}
+
+func TestRunAblationSigmaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := testEnv.RunAblationSigma()
+	if res.TrimmedWidth <= 0 {
+		t.Fatalf("trimmed width = %v", res.TrimmedWidth)
+	}
+	if res.UntrimmedWidth < res.TrimmedWidth {
+		t.Errorf("untrimmed %v < trimmed %v", res.UntrimmedWidth, res.TrimmedWidth)
+	}
+	if math.IsNaN(res.TrimmedWidth / res.WindowWidth) {
+		t.Error("window width NaN")
+	}
+}
+
+func TestParseSanity(t *testing.T) {
+	if err := ParseSanity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDensitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := testEnv.RunDensity()
+	if len(res.Contrasts) < 15 {
+		t.Fatalf("contrasts for %d clusters, want most of 24", len(res.Contrasts))
+	}
+	// Most recovered clusters are much denser than their surroundings.
+	dense := 0
+	for _, c := range res.Contrasts {
+		if c > 2 || math.IsInf(c, 1) {
+			dense++
+		}
+	}
+	if dense < len(res.Contrasts)/2 {
+		t.Errorf("only %d of %d clusters denser than shell", dense, len(res.Contrasts))
+	}
+}
+
+func TestRunScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := testEnv.RunScaling()
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].DistinctAreas <= res.Points[i-1].DistinctAreas {
+			t.Errorf("distinct areas not growing: %+v", res.Points)
+		}
+	}
+}

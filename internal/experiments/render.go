@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// RenderASCII draws the figure as a text scatter: the content box outline
+// ('.'), each access box ('1', '2', ... outlines), and a sample of the
+// database objects ('·') — the text analogue of the paper's Figure 1
+// panels.
+func (f *FigureResult) RenderASCII(db interface {
+	SampleColumn(column string, n int) []float64
+}, width, height int) string {
+	if width <= 10 {
+		width = 72
+	}
+	if height <= 4 {
+		height = 24
+	}
+	// Plot window: hull of content and access boxes, padded 5%.
+	xiv := f.Content.Get(f.XCol)
+	yiv := f.Content.Get(f.YCol)
+	for _, b := range f.Access {
+		xiv = xiv.Hull(clipFinite(b.Get(f.XCol), xiv))
+		yiv = yiv.Hull(clipFinite(b.Get(f.YCol), yiv))
+	}
+	if xiv.IsEmpty() || yiv.IsEmpty() || xiv.Width() == 0 || yiv.Width() == 0 {
+		return "(nothing to draw)"
+	}
+	xpad, ypad := xiv.Width()*0.05, yiv.Width()*0.05
+	x0, x1 := xiv.Lo-xpad, xiv.Hi+xpad
+	y0, y1 := yiv.Lo-ypad, yiv.Hi+ypad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	px := func(x float64) int { return int((x - x0) / (x1 - x0) * float64(width-1)) }
+	py := func(y float64) int { return height - 1 - int((y-y0)/(y1-y0)*float64(height-1)) }
+	set := func(cx, cy int, ch byte) {
+		if cx >= 0 && cx < width && cy >= 0 && cy < height {
+			grid[cy][cx] = ch
+		}
+	}
+	drawBox := func(b *interval.Box, ch byte) {
+		bx := clipFinite(b.Get(f.XCol), interval.Closed(x0, x1))
+		by := clipFinite(b.Get(f.YCol), interval.Closed(y0, y1))
+		if bx.IsEmpty() || by.IsEmpty() {
+			return
+		}
+		lx, rx := px(bx.Lo), px(bx.Hi)
+		ty, byy := py(by.Hi), py(by.Lo)
+		for cx := lx; cx <= rx; cx++ {
+			set(cx, ty, ch)
+			set(cx, byy, ch)
+		}
+		for cy := ty; cy <= byy; cy++ {
+			set(lx, cy, ch)
+			set(rx, cy, ch)
+		}
+	}
+	// Data sample.
+	xs := db.SampleColumn(f.XCol, 400)
+	ys := db.SampleColumn(f.YCol, 400)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		set(px(xs[i]), py(ys[i]), '.')
+	}
+	drawBox(f.Content, '%')
+	for i, b := range f.Access {
+		drawBox(b, byte('1'+i))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (x: %s ∈ [%.4g, %.4g], y: %s ∈ [%.4g, %.4g])\n",
+		f.Name, f.XCol, x0, x1, f.YCol, y0, y1)
+	sb.WriteString("legend: . data sample   % content box   1,2,... access boxes\n")
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// clipFinite replaces infinite endpoints with the fallback's, so unbounded
+// access boxes draw at the plot border.
+func clipFinite(iv, fallback interval.Interval) interval.Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if math.IsInf(out.Lo, -1) {
+		out.Lo = fallback.Lo
+	}
+	if math.IsInf(out.Hi, 1) {
+		out.Hi = fallback.Hi
+	}
+	if out.Lo > out.Hi {
+		return interval.Empty()
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package extract
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/predicate"
+	"repro/internal/sqlparser"
+)
+
+// convertHaving maps the HAVING clause of an aggregate query (Section 4.3)
+// to a constraint on the universal relation. Each atomic HAVING predicate of
+// the form AGG(a) θ c is replaced per the lemma case analysis, using the
+// effective domain of a — dom(a) intersected with WHERE-derived bounds, the
+// D of Lemmas 2 and 3. Plain column predicates in HAVING behave like WHERE
+// predicates. Columns not belonging to any FROM relation make the predicate
+// vacuous ("we ignore it", Section 4.3).
+func (st *state) convertHaving(sel *sqlparser.SelectStatement, sc *scope, whereConstraint predicate.Expr) (predicate.Expr, error) {
+	bounds := st.whereBounds(whereConstraint)
+	return st.convertHavingExpr(sel.Having, sc, bounds)
+}
+
+// whereBounds projects the (already converted) WHERE constraint per column.
+func (st *state) whereBounds(where predicate.Expr) map[string]interval.Set {
+	cnf, _ := predicate.ToCNF(where, st.ex.predCap())
+	return predicate.Bounds(cnf)
+}
+
+func (st *state) convertHavingExpr(e sqlparser.Expr, sc *scope, bounds map[string]interval.Set) (predicate.Expr, error) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, err := st.convertHavingExpr(x.L, sc, bounds)
+			if err != nil {
+				return nil, err
+			}
+			r, err := st.convertHavingExpr(x.R, sc, bounds)
+			if err != nil {
+				return nil, err
+			}
+			return predicate.NewAnd(l, r), nil
+		case "OR":
+			l, err := st.convertHavingExpr(x.L, sc, bounds)
+			if err != nil {
+				return nil, err
+			}
+			r, err := st.convertHavingExpr(x.R, sc, bounds)
+			if err != nil {
+				return nil, err
+			}
+			// A disjunction of aggregate constraints over-approximates once
+			// either side was itself approximated; the OR of the mapped
+			// areas remains sound.
+			return predicate.NewOr(l, r), nil
+		}
+		if agg, col, op, c, ok := st.matchAggComparison(x, sc); ok {
+			return st.mapAggregate(agg, col, op, c, bounds), nil
+		}
+		// Plain predicate in HAVING (on a grouped column): same handling as
+		// WHERE.
+		return st.convert(x, sc)
+	case *sqlparser.UnaryExpr:
+		if x.Op == "NOT" {
+			inner, err := st.convertHavingExpr(x.X, sc, bounds)
+			if err != nil {
+				return nil, err
+			}
+			// Negating a mapped aggregate constraint is not exact in
+			// general.
+			st.approx()
+			return predicate.ToNNF(predicate.NewNot(inner)), nil
+		}
+		st.approx()
+		return trueExpr(), nil
+	case *sqlparser.BetweenExpr:
+		// AGG(a) BETWEEN c1 AND c2 splits like WHERE BETWEEN.
+		lo := &sqlparser.BinaryExpr{Op: ">=", L: x.X, R: x.Lo}
+		hi := &sqlparser.BinaryExpr{Op: "<=", L: x.X, R: x.Hi}
+		var both sqlparser.Expr = &sqlparser.BinaryExpr{Op: "AND", L: lo, R: hi}
+		if x.Not {
+			both = &sqlparser.UnaryExpr{Op: "NOT", X: both}
+		}
+		return st.convertHavingExpr(both, sc, bounds)
+	default:
+		return st.convert(e, sc)
+	}
+}
+
+// matchAggComparison matches "AGG(col) θ const" or "const θ AGG(col)",
+// including COUNT(*).
+func (st *state) matchAggComparison(b *sqlparser.BinaryExpr, sc *scope) (agg, col string, op predicate.Op, c float64, ok bool) {
+	pop, valid := predicate.ParseOp(b.Op)
+	if !valid {
+		return "", "", 0, 0, false
+	}
+	if fc, isFc := b.L.(*sqlparser.FuncCall); isFc && fc.IsAggregate() {
+		if v, isNum := foldConstant(b.R); isNum && v.Kind == predicate.NumberVal {
+			col, ok = st.aggColumn(fc, sc)
+			return strings.ToUpper(fc.Name), col, pop, v.Num, ok
+		}
+	}
+	if fc, isFc := b.R.(*sqlparser.FuncCall); isFc && fc.IsAggregate() {
+		if v, isNum := foldConstant(b.L); isNum && v.Kind == predicate.NumberVal {
+			col, ok = st.aggColumn(fc, sc)
+			return strings.ToUpper(fc.Name), col, pop.Flip(), v.Num, ok
+		}
+	}
+	return "", "", 0, 0, false
+}
+
+// aggColumn resolves the argument column of an aggregate call; COUNT(*) has
+// no column and returns "".
+func (st *state) aggColumn(fc *sqlparser.FuncCall, sc *scope) (string, bool) {
+	if fc.Star {
+		return "", true
+	}
+	if len(fc.Args) != 1 {
+		return "", false
+	}
+	cr, ok := fc.Args[0].(*sqlparser.ColumnRef)
+	if !ok {
+		return "", false
+	}
+	col, ok := st.resolveColumn(cr, sc)
+	return col, ok
+}
+
+// effectiveDomain computes D = dom(a) ∩ WHERE bounds for the aggregate
+// lemmas. Without schema knowledge dom(a) defaults to (-inf, +inf), the
+// assumption stated before Lemma 2.
+func (st *state) effectiveDomain(col string, bounds map[string]interval.Set) interval.Interval {
+	dom := interval.Full()
+	if st.ex.Schema != nil {
+		if rel, cname, ok := splitQualified(col); ok {
+			if r := st.ex.Schema.Relation(rel); r != nil {
+				if c := r.Column(cname); c != nil {
+					dom = c.EffectiveDomain()
+				}
+			}
+		}
+	}
+	if set, ok := bounds[col]; ok {
+		dom = dom.Intersect(set.Hull())
+	}
+	return dom
+}
+
+func splitQualified(name string) (rel, col string, ok bool) {
+	i := strings.LastIndex(name, ".")
+	if i < 0 {
+		return "", name, false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// columnInFrom reports whether col belongs to one of the universal
+// relation's factors.
+func (st *state) columnInFrom(col string) bool {
+	rel, _, ok := splitQualified(col)
+	if !ok {
+		return false
+	}
+	for _, r := range st.rels {
+		if strings.EqualFold(r, rel) {
+			return true
+		}
+	}
+	return false
+}
+
+// mapAggregate applies the Section 4.3 case analysis for
+// "HAVING AGG(col) θ c" given the effective domain D of col. It returns the
+// replacement constraint: TRUE (the HAVING adds nothing beyond WHERE),
+// FALSE (no group can ever satisfy it, empty access area), or a predicate
+// on col.
+func (st *state) mapAggregate(agg, col string, op predicate.Op, c float64, bounds map[string]interval.Set) predicate.Expr {
+	if agg == "COUNT" {
+		return st.mapCount(op, c)
+	}
+	if col == "" || !st.columnInFrom(col) {
+		// "we check if a belongs to some relation in the FROM clause. If it
+		// does not, we ignore it." (Section 4.3)
+		return trueExpr()
+	}
+	d := st.effectiveDomain(col, bounds)
+	if d.IsEmpty() {
+		// WHERE already contradictory on this column.
+		return predicate.NewLeaf(predicate.False())
+	}
+	switch agg {
+	case "SUM":
+		return st.mapSum(col, op, c, d)
+	case "MIN":
+		return st.mapMinMax(col, op, c, d, true)
+	case "MAX":
+		return st.mapMinMax(col, op, c, d, false)
+	case "AVG":
+		return st.mapAvg(op, c, d)
+	default:
+		st.approx()
+		return trueExpr()
+	}
+}
+
+// mapCount: groups can be padded to any positive cardinality in some state,
+// so every WHERE-satisfying tuple influences whenever the HAVING is
+// satisfiable by some n >= 1; otherwise no group ever qualifies.
+func (st *state) mapCount(op predicate.Op, c float64) predicate.Expr {
+	satisfiable := false
+	switch op {
+	case predicate.Lt:
+		satisfiable = c > 1
+	case predicate.Le:
+		satisfiable = c >= 1
+	case predicate.Eq:
+		satisfiable = c >= 1 && c == math.Trunc(c)
+	case predicate.Gt, predicate.Ge:
+		satisfiable = true // some large n works
+	case predicate.Ne:
+		satisfiable = true
+	}
+	if satisfiable {
+		return trueExpr()
+	}
+	return predicate.NewLeaf(predicate.False())
+}
+
+// mapSum implements Lemmas 1-3 and their symmetric cases. inf/sup denote the
+// bounds of the effective domain D.
+func (st *state) mapSum(col string, op predicate.Op, c float64, d interval.Interval) predicate.Expr {
+	inf, sup := d.Lo, d.Hi
+	pred := func(op predicate.Op) predicate.Expr {
+		return predicate.NewLeaf(predicate.CC(col, op, predicate.Number(c)))
+	}
+	switch op {
+	case predicate.Gt, predicate.Ge:
+		// SUM can be pushed arbitrarily high iff positive values exist.
+		if sup > 0 {
+			return trueExpr() // Lemma 1 case 1, Lemma 3
+		}
+		// All contributions non-positive: a tuple qualifies only alone.
+		if c > sup || (c == sup && op == predicate.Gt && d.HiOpen) {
+			return predicate.NewLeaf(predicate.False()) // Lemma 1, c > supp
+		}
+		if c >= inf {
+			return pred(op) // Lemma 1, c ∈ dom: σ_{v θ c}
+		}
+		return trueExpr() // Lemma 1, c < inf
+	case predicate.Lt, predicate.Le:
+		// Symmetric: SUM can be pushed arbitrarily low iff negatives exist.
+		if inf < 0 {
+			return trueExpr()
+		}
+		if c < inf || (c == inf && op == predicate.Lt && d.LoOpen) {
+			return predicate.NewLeaf(predicate.False())
+		}
+		if c <= sup {
+			return pred(op)
+		}
+		return trueExpr()
+	case predicate.Eq:
+		switch {
+		case sup > 0 && inf < 0:
+			// Mixed signs: the sum can be tuned to any value.
+			return trueExpr()
+		case inf >= 0:
+			// Non-negative contributions only: sum >= each member.
+			if c < inf {
+				return predicate.NewLeaf(predicate.False())
+			}
+			return pred(predicate.Le)
+		default: // sup <= 0
+			if c > sup {
+				return predicate.NewLeaf(predicate.False())
+			}
+			return pred(predicate.Ge)
+		}
+	case predicate.Ne:
+		if inf == 0 && sup == 0 {
+			// D = {0}: every sum is 0.
+			if c == 0 {
+				return predicate.NewLeaf(predicate.False())
+			}
+			return trueExpr()
+		}
+		return trueExpr()
+	}
+	st.approx()
+	return trueExpr()
+}
+
+// mapMinMax handles MIN (isMin) and MAX. The constraining directions are
+// MIN θ c for θ ∈ {<, <=, =} and MAX θ c for θ ∈ {>, >=, =}; the opposite
+// directions let any tuple flip group membership, so only satisfiability
+// matters.
+func (st *state) mapMinMax(col string, op predicate.Op, c float64, d interval.Interval, isMin bool) predicate.Expr {
+	inf, sup := d.Lo, d.Hi
+	pred := func(op predicate.Op) predicate.Expr {
+		return predicate.NewLeaf(predicate.CC(col, op, predicate.Number(c)))
+	}
+	fail := predicate.NewLeaf(predicate.False())
+	if !isMin {
+		// MAX mirrors MIN under value negation; map directly.
+		switch op {
+		case predicate.Gt:
+			if sup > c {
+				return pred(predicate.Gt)
+			}
+			return fail
+		case predicate.Ge:
+			if sup >= c {
+				return pred(predicate.Ge)
+			}
+			return fail
+		case predicate.Lt:
+			if inf < c {
+				return trueExpr()
+			}
+			return fail
+		case predicate.Le:
+			if inf <= c {
+				return trueExpr()
+			}
+			return fail
+		case predicate.Eq:
+			if d.Contains(c) {
+				return pred(predicate.Ge)
+			}
+			return fail
+		case predicate.Ne:
+			if d.IsPoint() && inf == c {
+				return fail
+			}
+			return trueExpr()
+		}
+	}
+	switch op {
+	case predicate.Lt:
+		if inf < c {
+			return pred(predicate.Lt)
+		}
+		return fail
+	case predicate.Le:
+		if inf <= c {
+			return pred(predicate.Le)
+		}
+		return fail
+	case predicate.Gt:
+		if sup > c {
+			return trueExpr()
+		}
+		return fail
+	case predicate.Ge:
+		if sup >= c {
+			return trueExpr()
+		}
+		return fail
+	case predicate.Eq:
+		if d.Contains(c) {
+			return pred(predicate.Le)
+		}
+		return fail
+	case predicate.Ne:
+		if d.IsPoint() && inf == c {
+			return fail
+		}
+		return trueExpr()
+	}
+	st.approx()
+	return trueExpr()
+}
+
+// mapAvg: the average of a constructed group can be steered to any value of
+// the effective domain's hull, so the HAVING reduces to a satisfiability
+// check.
+func (st *state) mapAvg(op predicate.Op, c float64, d interval.Interval) predicate.Expr {
+	inf, sup := d.Lo, d.Hi
+	ok := false
+	switch op {
+	case predicate.Lt:
+		ok = inf < c
+	case predicate.Le:
+		ok = inf <= c
+	case predicate.Gt:
+		ok = sup > c
+	case predicate.Ge:
+		ok = sup >= c
+	case predicate.Eq:
+		ok = d.Contains(c) || (inf <= c && c <= sup)
+	case predicate.Ne:
+		ok = !(d.IsPoint() && inf == c)
+	}
+	if ok {
+		return trueExpr()
+	}
+	return predicate.NewLeaf(predicate.False())
+}

@@ -1,0 +1,362 @@
+package extract
+
+import (
+	"testing"
+)
+
+// Lemma 1: SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > c,
+// dom(T.v) = [inf, supp].
+
+func TestLemma1SupPositive(t *testing.T) {
+	// dom(T.v) unbounded => supp > 0 => access area is T (HAVING vacuous).
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > 100")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s, want TRUE", a.CNF)
+	}
+	if !a.Exact {
+		t.Error("Lemma 1 mapping is exact")
+	}
+}
+
+func TestLemma1SupNonPositiveCGreaterThanSup(t *testing.T) {
+	// NEG.v has dom [-10, 0]; supp = 0 <= 0 and c = 5 > supp => ∅.
+	a := extractQ(t, "SELECT u, SUM(v) FROM NEG GROUP BY u HAVING SUM(v) > 5")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s, want empty", a)
+	}
+}
+
+func TestLemma1SupNonPositiveCInDomain(t *testing.T) {
+	// c = -5 ∈ dom => σ_{v > -5}(NEG).
+	a := extractQ(t, "SELECT u, SUM(v) FROM NEG GROUP BY u HAVING SUM(v) > -5")
+	wantClauses(t, a, "NEG.v > -5")
+}
+
+func TestLemma1SupNonPositiveCBelowInf(t *testing.T) {
+	// c = -100 < inf = -10 => access area is NEG (vacuous).
+	a := extractQ(t, "SELECT u, SUM(v) FROM NEG GROUP BY u HAVING SUM(v) > -100")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s, want TRUE", a.CNF)
+	}
+}
+
+// Lemma 2: WHERE T.v < c1 ... HAVING SUM(T.v) > c2 over unbounded dom(T.v).
+
+func TestLemma2C1Positive(t *testing.T) {
+	// c1 = 3 > 0 => σ_{v < 3}(T): the HAVING adds nothing.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T WHERE T.v < 3 GROUP BY T.u HAVING SUM(T.v) > 100")
+	wantClauses(t, a, "T.v < 3")
+}
+
+func TestLemma2C1NonPosC2NonNeg(t *testing.T) {
+	// c1 = -1 <= 0 and c2 = 5 >= 0 => ∅.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 GROUP BY T.u HAVING SUM(T.v) > 5")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s, want empty", a)
+	}
+}
+
+func TestLemma2C1NonPosC2NegBelowC1(t *testing.T) {
+	// c1 = -1, c2 = -5 < c1 => σ_{v < -1 ∧ v > -5}(T).
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 GROUP BY T.u HAVING SUM(T.v) > -5")
+	wantClauses(t, a, "T.v < -1", "T.v > -5")
+}
+
+func TestLemma2C1NonPosC2NegAboveC1(t *testing.T) {
+	// c1 = -5, c2 = -1: c2 >= c1 => ∅.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -5 GROUP BY T.u HAVING SUM(T.v) > -1")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s, want empty", a)
+	}
+}
+
+// Lemma 3: WHERE T.v > c1 ... HAVING SUM(T.v) > c2 => σ_{v > c1}(T).
+
+func TestLemma3(t *testing.T) {
+	for _, q := range []string{
+		"SELECT T.u, SUM(T.v) FROM T WHERE T.v > 2 GROUP BY T.u HAVING SUM(T.v) > 100",
+		"SELECT T.u, SUM(T.v) FROM T WHERE T.v > -7 GROUP BY T.u HAVING SUM(T.v) > 100",
+	} {
+		a := extractQ(t, q)
+		if len(a.CNF) != 1 || len(a.CNF[0]) != 1 || a.CNF[0][0].Column != "T.v" {
+			t.Errorf("%s: cnf = %s, want only the WHERE bound", q, a.CNF)
+		}
+	}
+}
+
+// Symmetric SUM directions.
+
+func TestSumLessThan(t *testing.T) {
+	// Unbounded domain => negatives exist => SUM < c vacuous.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) < 10")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// POS.v ∈ [0, 10]: all non-negative, c = -3 < inf => ∅.
+	a = extractQ(t, "SELECT u, SUM(v) FROM POS GROUP BY u HAVING SUM(v) < -3")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s, want empty", a)
+	}
+	// POS with c = 4 => σ_{v < 4}.
+	a = extractQ(t, "SELECT u, SUM(v) FROM POS GROUP BY u HAVING SUM(v) < 4")
+	wantClauses(t, a, "POS.v < 4")
+}
+
+func TestSumEquality(t *testing.T) {
+	// Mixed-sign domain: SUM = c always reachable => vacuous.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) = 42")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// Non-negative domain: only tuples with v <= c can be in a group
+	// summing to c.
+	a = extractQ(t, "SELECT u, SUM(v) FROM POS GROUP BY u HAVING SUM(v) = 4")
+	wantClauses(t, a, "POS.v <= 4")
+	// c below every possible sum => ∅.
+	a = extractQ(t, "SELECT u, SUM(v) FROM POS GROUP BY u HAVING SUM(v) = -1")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+}
+
+// COUNT: HAVING constrains no column; only satisfiability matters.
+
+func TestCountVacuousWhenSatisfiable(t *testing.T) {
+	for _, q := range []string{
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) > 5",
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) >= 1",
+		"SELECT T.u, COUNT(v) FROM T GROUP BY T.u HAVING COUNT(v) = 3",
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) <> 2",
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) < 10",
+	} {
+		a := extractQ(t, q)
+		if !a.CNF.IsTrue() {
+			t.Errorf("%s: cnf = %s, want TRUE", q, a.CNF)
+		}
+	}
+}
+
+func TestCountUnsatisfiable(t *testing.T) {
+	for _, q := range []string{
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) < 1",
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) = 0",
+		"SELECT T.u, COUNT(*) FROM T GROUP BY T.u HAVING COUNT(*) = 2.5",
+	} {
+		a := extractQ(t, q)
+		if !a.IsEmpty() {
+			t.Errorf("%s: area = %s, want empty", q, a)
+		}
+	}
+}
+
+func TestCountWithWhereKeepsWhere(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, COUNT(*) FROM T WHERE T.v > 2 GROUP BY T.u HAVING COUNT(*) > 5")
+	wantClauses(t, a, "T.v > 2")
+}
+
+// MIN / MAX.
+
+func TestMinConstrainingDirections(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, MIN(T.v) FROM T GROUP BY T.u HAVING MIN(T.v) < 7")
+	wantClauses(t, a, "T.v < 7")
+	a = extractQ(t, "SELECT T.u, MIN(T.v) FROM T GROUP BY T.u HAVING MIN(T.v) <= 7")
+	wantClauses(t, a, "T.v <= 7")
+	a = extractQ(t, "SELECT T.u, MIN(T.v) FROM T GROUP BY T.u HAVING MIN(T.v) = 7")
+	wantClauses(t, a, "T.v <= 7")
+}
+
+func TestMinVacuousDirections(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, MIN(T.v) FROM T GROUP BY T.u HAVING MIN(T.v) > 7")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+func TestMinUnsatisfiable(t *testing.T) {
+	// POS.v ∈ [0,10]: MIN > 20 impossible.
+	a := extractQ(t, "SELECT u, MIN(v) FROM POS GROUP BY u HAVING MIN(v) > 20")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+	// MIN < 0 on POS: v < 0 impossible but the mapped predicate v < 0
+	// contradicts dom => empty via domain bound.
+	a = extractQ(t, "SELECT u, MIN(v) FROM POS GROUP BY u HAVING MIN(v) < -1")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+}
+
+func TestMaxConstrainingDirections(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, MAX(T.v) FROM T GROUP BY T.u HAVING MAX(T.v) > 7")
+	wantClauses(t, a, "T.v > 7")
+	a = extractQ(t, "SELECT T.u, MAX(T.v) FROM T GROUP BY T.u HAVING MAX(T.v) = 7")
+	wantClauses(t, a, "T.v >= 7")
+	a = extractQ(t, "SELECT T.u, MAX(T.v) FROM T GROUP BY T.u HAVING MAX(T.v) < 7")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+// AVG.
+
+func TestAvgSatisfiabilityOnly(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, AVG(T.v) FROM T GROUP BY T.u HAVING AVG(T.v) > 7")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// POS.v ∈ [0, 10]: AVG > 20 unsatisfiable.
+	a = extractQ(t, "SELECT u, AVG(v) FROM POS GROUP BY u HAVING AVG(v) > 20")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+	a = extractQ(t, "SELECT u, AVG(v) FROM POS GROUP BY u HAVING AVG(v) = 5")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	a = extractQ(t, "SELECT u, AVG(v) FROM POS GROUP BY u HAVING AVG(v) = 25")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+}
+
+// Effective domain: WHERE bounds narrow dom(a) like in Lemma 2/3.
+
+func TestEffectiveDomainFromWhere(t *testing.T) {
+	// dom(T.v) unbounded, but WHERE v < -1 makes supp = -1 <= 0, so
+	// HAVING SUM(v) > -5 constrains: σ_{v < -1 ∧ v > -5}.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 GROUP BY T.u HAVING SUM(T.v) > -5")
+	wantClauses(t, a, "T.v < -1", "T.v > -5")
+}
+
+// HAVING on a column not in any FROM relation is ignored (Section 4.3).
+
+func TestHavingUnknownColumnIgnored(t *testing.T) {
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING SUM(Q.z) > 5")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s, want TRUE", a.CNF)
+	}
+}
+
+// HAVING combinations.
+
+func TestHavingConjunction(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, MIN(T.v) FROM T GROUP BY T.u HAVING MIN(T.v) < 7 AND MAX(T.v) > 2")
+	wantClauses(t, a, "T.v < 7", "T.v > 2")
+}
+
+func TestHavingReversedComparison(t *testing.T) {
+	// "c < AGG(a)" flips to "AGG(a) > c".
+	a := extractQ(t, "SELECT T.u, MAX(T.v) FROM T GROUP BY T.u HAVING 7 < MAX(T.v)")
+	wantClauses(t, a, "T.v > 7")
+}
+
+func TestHavingPlainColumnPredicate(t *testing.T) {
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING T.u > 3")
+	wantClauses(t, a, "T.u > 3")
+}
+
+func TestHavingBetweenAggregate(t *testing.T) {
+	// SUM BETWEEN -5 AND -1 with WHERE v < -1: lower bound constrains v > -5,
+	// upper bound adds v... SUM <= -1 with sup=-1<0 => inf<0 => vacuous.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 GROUP BY T.u HAVING SUM(T.v) BETWEEN -5 AND -1")
+	wantClauses(t, a, "T.v < -1", "T.v >= -5")
+}
+
+func TestHavingAggregateOverExpressionApprox(t *testing.T) {
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING SUM(T.v + T.s) > 5")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+// Additional HAVING shapes exercising the convertHavingExpr walker.
+
+func TestHavingOrOfAggregates(t *testing.T) {
+	// MIN(v) < 2 OR MAX(v) > 8: disjunction of constraining directions.
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING MIN(T.v) < 2 OR MAX(T.v) > 8")
+	wantClauses(t, a, "T.v < 2 OR T.v > 8")
+}
+
+func TestHavingNotAggregate(t *testing.T) {
+	// NOT (MIN(v) < 2): negating a mapped constraint is approximate.
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING NOT (MIN(T.v) < 2)")
+	if a.Exact {
+		t.Error("negated aggregate HAVING must be approximate")
+	}
+	wantClauses(t, a, "T.v >= 2")
+}
+
+func TestHavingNotBetweenAggregate(t *testing.T) {
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING MIN(T.v) NOT BETWEEN 2 AND 8")
+	if a.Exact {
+		t.Error("approximate")
+	}
+	// NOT(min >= 2 AND min <= 8) = min < 2 OR min > 8 -> v < 2 OR vacuous.
+	if a.CNF.IsFalse() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+func TestMinMaxRemainingDirections(t *testing.T) {
+	// MIN <> c over an unbounded domain: vacuous.
+	a := extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING MIN(T.v) <> 7")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// MAX <> c: vacuous too.
+	a = extractQ(t, "SELECT T.u FROM T GROUP BY T.u HAVING MAX(T.v) <> 7")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// MAX >= c on a bounded domain that cannot reach c: empty.
+	a = extractQ(t, "SELECT u, MAX(v) FROM POS GROUP BY u HAVING MAX(v) >= 20")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+	// MAX <= c: vacuous when satisfiable.
+	a = extractQ(t, "SELECT u, MAX(v) FROM POS GROUP BY u HAVING MAX(v) <= 5")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// MIN = c outside the domain: empty.
+	a = extractQ(t, "SELECT u, MIN(v) FROM POS GROUP BY u HAVING MIN(v) = 50")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+	// MIN <= c below the domain: empty.
+	a = extractQ(t, "SELECT u, MIN(v) FROM POS GROUP BY u HAVING MIN(v) <= -1")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+	// MIN >= c: satisfiable -> vacuous.
+	a = extractQ(t, "SELECT u, MIN(v) FROM POS GROUP BY u HAVING MIN(v) >= 5")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// MAX = c inside the domain: v >= c.
+	a = extractQ(t, "SELECT u, MAX(v) FROM POS GROUP BY u HAVING MAX(v) = 5")
+	wantClauses(t, a, "POS.v >= 5")
+	// MIN <> c on a point domain: empty. (Domain {0} via WHERE pinning.)
+	a = extractQ(t, "SELECT u, MIN(v) FROM POS WHERE v = 0 GROUP BY u HAVING MIN(v) <> 0")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+}
+
+func TestSumNotEqual(t *testing.T) {
+	// SUM <> c: vacuous on non-degenerate domains.
+	a := extractQ(t, "SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) <> 5")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	// Degenerate domain {0}: SUM is always 0, so <> 0 is unsatisfiable.
+	a = extractQ(t, "SELECT u, SUM(v) FROM POS WHERE v = 0 GROUP BY u HAVING SUM(v) <> 0")
+	if !a.IsEmpty() {
+		t.Errorf("area = %s", a)
+	}
+	a = extractQ(t, "SELECT u, SUM(v) FROM POS WHERE v = 0 GROUP BY u HAVING SUM(v) <> 3")
+	if !a.CNF.IsTrue() && !a.IsEmpty() {
+		// v = 0 remains as the WHERE constraint.
+		wantClauses(t, a, "POS.v = 0")
+	}
+}

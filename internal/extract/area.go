@@ -1,0 +1,125 @@
+// Package extract maps parsed SQL queries to their access areas — the
+// paper's primary contribution. It transforms every supported query type
+// (simple, join, aggregate, nested; Sections 4.1–4.4) into the intermediate
+// format of Section 2.4:
+//
+//	SELECT * FROM R1, ..., RN WHERE F(p1, ..., pK)
+//
+// with F a conjunctive normal form of atomic predicates, so that the access
+// area is σ_F(R1 × ... × RN). Constructs without an exact mapping are
+// over-approximated and flagged (the "approximation scheme" the paper defers
+// to [5]).
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/predicate"
+)
+
+// AccessArea is the access area of one query in intermediate format
+// (Definition 4 realised per Section 2.4): the universal relation's factor
+// list plus the CNF constraint.
+type AccessArea struct {
+	// Relations lists the canonical relation names of the universal
+	// relation, deduplicated and sorted alphabetically (the clean-up rule of
+	// Section 4.5).
+	Relations []string
+	// CNF is the constraint F. Empty CNF means no constraint; a CNF with an
+	// empty clause means the access area is empty (contradictory
+	// constraint).
+	CNF predicate.CNF
+	// Exact is false when any approximation was applied during extraction.
+	Exact bool
+	// Truncated reports that the 35-predicate CNF cap of Section 6.6 was
+	// hit.
+	Truncated bool
+	// Referenced is the paper's A set (Section 2.1): every column the query
+	// refers to in WHERE, GROUP BY, HAVING or nested clauses — including
+	// columns whose constraints were approximated away and therefore do not
+	// appear in the CNF.
+	Referenced []string
+}
+
+// IsEmpty reports whether the access area is provably empty (∅).
+func (a *AccessArea) IsEmpty() bool { return a.CNF.IsFalse() }
+
+// Tables returns the relation set (alias for Relations, used by the
+// distance function's d_tables component).
+func (a *AccessArea) Tables() []string { return a.Relations }
+
+// Bounds returns the per-column interval-set projection of the constraint.
+func (a *AccessArea) Bounds() map[string]interval.Set {
+	return predicate.Bounds(a.CNF)
+}
+
+// String renders the access area in the paper's σ-notation, e.g.
+// "σ[T.u >= 1 AND T.u <= 8](T)".
+func (a *AccessArea) String() string {
+	rels := strings.Join(a.Relations, " × ")
+	if rels == "" {
+		rels = "∅-relation"
+	}
+	if a.CNF.IsTrue() {
+		return "σ(" + rels + ")"
+	}
+	return "σ[" + a.CNF.String() + "](" + rels + ")"
+}
+
+// IntermediateSQL renders the access area as the intermediate-format query
+// of Section 2.4.
+func (a *AccessArea) IntermediateSQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT * FROM ")
+	b.WriteString(strings.Join(a.Relations, ", "))
+	if !a.CNF.IsTrue() {
+		b.WriteString(" WHERE ")
+		b.WriteString(a.CNF.String())
+	}
+	return b.String()
+}
+
+// Key returns a canonical identity for deduplication.
+func (a *AccessArea) Key() string {
+	return strings.Join(a.Relations, ",") + "§" + a.CNF.Key()
+}
+
+// normalizeRelations deduplicates and alphabetically sorts relation names.
+func normalizeRelations(rels []string) []string {
+	seen := make(map[string]struct{}, len(rels))
+	out := make([]string, 0, len(rels))
+	for _, r := range rels {
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrorKind classifies extraction failures.
+type ErrorKind int
+
+const (
+	// ErrSelfJoin marks queries joining a relation with itself; the paper
+	// excludes them (Section 2.1, "this excludes self-joins, which do not
+	// occur in the SkyServer query log").
+	ErrSelfJoin ErrorKind = iota
+	// ErrUnsupported marks constructs outside the supported mapping.
+	ErrUnsupported
+)
+
+// Error is an extraction failure.
+type Error struct {
+	Kind ErrorKind
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("extract: %s", e.Msg)
+}

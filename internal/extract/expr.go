@@ -1,0 +1,538 @@
+package extract
+
+import (
+	"strings"
+
+	"repro/internal/predicate"
+	"repro/internal/sqlparser"
+)
+
+// convert turns a WHERE/ON/HAVING-style Boolean expression into a predicate
+// expression over canonical columns, flattening nested subqueries per
+// Section 4.4.
+func (st *state) convert(e sqlparser.Expr, sc *scope) (predicate.Expr, error) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			return st.convertAnd(flattenAnd(x), sc)
+		case "OR":
+			l, err := st.convert(x.L, sc)
+			if err != nil {
+				return nil, err
+			}
+			r, err := st.convert(x.R, sc)
+			if err != nil {
+				return nil, err
+			}
+			return predicate.NewOr(l, r), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			return st.convertComparison(x, sc)
+		default:
+			// A bare arithmetic expression in Boolean position is malformed
+			// SQL; approximate as TRUE.
+			st.approx()
+			return trueExpr(), nil
+		}
+
+	case *sqlparser.UnaryExpr:
+		if x.Op == "NOT" {
+			inner, err := st.convert(x.X, sc)
+			if err != nil {
+				return nil, err
+			}
+			// Negating a flattened subquery constraint is the approximation
+			// scheme of Section 4.4 (exact treatment requires [5]).
+			if containsSubquery(x.X) {
+				st.approx()
+			}
+			return predicate.NewNot(inner), nil
+		}
+		st.approx()
+		return trueExpr(), nil
+
+	case *sqlparser.BetweenExpr:
+		// BETWEEN splits into two predicates (Section 4.1); NOT BETWEEN is
+		// its negation.
+		lo := &sqlparser.BinaryExpr{Op: ">=", L: x.X, R: x.Lo}
+		hi := &sqlparser.BinaryExpr{Op: "<=", L: x.X, R: x.Hi}
+		le, err := st.convertComparison(lo, sc)
+		if err != nil {
+			return nil, err
+		}
+		he, err := st.convertComparison(hi, sc)
+		if err != nil {
+			return nil, err
+		}
+		out := predicate.NewAnd(le, he)
+		if x.Not {
+			out = predicate.ToNNF(predicate.NewNot(out))
+		}
+		return out, nil
+
+	case *sqlparser.InListExpr:
+		// x IN (c1, ..., cn) is a disjunction of equalities.
+		var kids []predicate.Expr
+		for _, item := range x.List {
+			eq, err := st.convertComparison(&sqlparser.BinaryExpr{Op: "=", L: x.X, R: item}, sc)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, eq)
+		}
+		out := predicate.NewOr(kids...)
+		if x.Not {
+			out = predicate.ToNNF(predicate.NewNot(out))
+		}
+		return out, nil
+
+	case *sqlparser.ExistsExpr:
+		flat, _, err := st.flattenSubqueryPredicate(x.Sub, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			st.approx()
+			return predicate.ToNNF(predicate.NewNot(flat)), nil
+		}
+		return flat, nil
+
+	case *sqlparser.InSubqueryExpr:
+		flat, err := st.flattenMembership(x.X, predicate.Eq, x.Sub, sc, false)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			st.approx()
+			return predicate.ToNNF(predicate.NewNot(flat)), nil
+		}
+		return flat, nil
+
+	case *sqlparser.QuantifiedExpr:
+		op, ok := predicate.ParseOp(x.Op)
+		if !ok {
+			st.approx()
+			return trueExpr(), nil
+		}
+		// x θ ANY flattens exactly like IN with operator θ; θ ALL compares
+		// against every subquery row, which the flattening over-approximates.
+		return st.flattenMembership(x.X, op, x.Sub, sc, x.All)
+
+	case *sqlparser.LikeExpr:
+		return st.convertLike(x, sc)
+
+	case *sqlparser.IsNullExpr:
+		// NULL membership is outside the interval model of the data space;
+		// any tuple of the relation can influence, so approximate as TRUE.
+		return st.approxTrue(x, sc), nil
+
+	case *sqlparser.CaseExpr:
+		return st.approxTrue(x, sc), nil
+
+	case *sqlparser.ColumnRef, *sqlparser.NumberLit, *sqlparser.StringLit,
+		*sqlparser.NullLit, *sqlparser.ParamRef, *sqlparser.FuncCall,
+		*sqlparser.ScalarSubquery:
+		// Scalar used as a Boolean: not meaningful for access areas.
+		return st.approxTrue(e, sc), nil
+
+	default:
+		st.approx()
+		return trueExpr(), nil
+	}
+}
+
+func trueExpr() predicate.Expr { return predicate.NewLeaf(predicate.True()) }
+
+// approxTrue records the columns of an approximated construct in the A set
+// (they are still referenced, Section 2.1) and yields the TRUE constraint.
+func (st *state) approxTrue(e sqlparser.Expr, sc *scope) predicate.Expr {
+	st.approx()
+	st.touchExprColumns(e, sc)
+	return trueExpr()
+}
+
+// touchExprColumns resolves every column reference inside e, adding it to
+// the A set without contributing constraints.
+func (st *state) touchExprColumns(e sqlparser.Expr, sc *scope) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		st.resolveColumn(x, sc)
+	case *sqlparser.BinaryExpr:
+		st.touchExprColumns(x.L, sc)
+		st.touchExprColumns(x.R, sc)
+	case *sqlparser.UnaryExpr:
+		st.touchExprColumns(x.X, sc)
+	case *sqlparser.BetweenExpr:
+		st.touchExprColumns(x.X, sc)
+		st.touchExprColumns(x.Lo, sc)
+		st.touchExprColumns(x.Hi, sc)
+	case *sqlparser.InListExpr:
+		st.touchExprColumns(x.X, sc)
+		for _, item := range x.List {
+			st.touchExprColumns(item, sc)
+		}
+	case *sqlparser.LikeExpr:
+		st.touchExprColumns(x.X, sc)
+		st.touchExprColumns(x.Pattern, sc)
+	case *sqlparser.IsNullExpr:
+		st.touchExprColumns(x.X, sc)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			st.touchExprColumns(a, sc)
+		}
+	case *sqlparser.CaseExpr:
+		if x.Operand != nil {
+			st.touchExprColumns(x.Operand, sc)
+		}
+		for _, w := range x.Whens {
+			st.touchExprColumns(w.When, sc)
+			st.touchExprColumns(w.Then, sc)
+		}
+		if x.Else != nil {
+			st.touchExprColumns(x.Else, sc)
+		}
+	}
+}
+
+// flattenAnd collects the terms of a left-deep AND chain.
+func flattenAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// convertAnd converts the terms of a conjunction. EXISTS terms referring to
+// the same relation are grouped and their constraints OR-ed, implementing
+// the grouping step of the Section 4.4 procedure (and hence Lemma 5: two
+// AND-connected EXISTS on the same relation S constrain S disjunctively,
+// not conjunctively).
+func (st *state) convertAnd(terms []sqlparser.Expr, sc *scope) (predicate.Expr, error) {
+	type group struct {
+		key   string
+		exprs []predicate.Expr
+	}
+	var order []string
+	groups := make(map[string]*group)
+	var parts []predicate.Expr
+	for _, term := range terms {
+		ex, ok := term.(*sqlparser.ExistsExpr)
+		if !ok || ex.Not {
+			c, err := st.convert(term, sc)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, c)
+			continue
+		}
+		flat, key, err := st.flattenSubqueryPredicate(ex.Sub, sc)
+		if err != nil {
+			return nil, err
+		}
+		g, exists := groups[key]
+		if !exists {
+			g = &group{key: key}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.exprs = append(g.exprs, flat)
+	}
+	for _, key := range order {
+		g := groups[key]
+		parts = append(parts, predicate.NewOr(g.exprs...))
+	}
+	return predicate.NewAnd(parts...), nil
+}
+
+// containsSubquery reports whether e contains any nested SELECT.
+func containsSubquery(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparser.ExistsExpr, *sqlparser.InSubqueryExpr, *sqlparser.QuantifiedExpr, *sqlparser.ScalarSubquery:
+		return true
+	case *sqlparser.BinaryExpr:
+		return containsSubquery(x.L) || containsSubquery(x.R)
+	case *sqlparser.UnaryExpr:
+		return containsSubquery(x.X)
+	case *sqlparser.BetweenExpr:
+		return containsSubquery(x.X) || containsSubquery(x.Lo) || containsSubquery(x.Hi)
+	case *sqlparser.InListExpr:
+		if containsSubquery(x.X) {
+			return true
+		}
+		for _, item := range x.List {
+			if containsSubquery(item) {
+				return true
+			}
+		}
+	case *sqlparser.LikeExpr:
+		return containsSubquery(x.X) || containsSubquery(x.Pattern)
+	case *sqlparser.IsNullExpr:
+		return containsSubquery(x.X)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			if containsSubquery(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flattenSubqueryPredicate flattens an EXISTS-style subquery: its relations
+// join the universal relation and its WHERE (plus join/HAVING constraints)
+// becomes the returned expression (Lemma 4). The group key — the sorted
+// relation list of the subquery — supports the same-relation OR-grouping.
+func (st *state) flattenSubqueryPredicate(sub *sqlparser.SelectStatement, sc *scope) (predicate.Expr, string, error) {
+	res, err := st.processQueryBodyCollect(sub, sc)
+	if err != nil {
+		return nil, "", err
+	}
+	key := strings.Join(normalizeRelations(res.scope.rels), ",")
+	return res.constraint, key, nil
+}
+
+// flattenMembership flattens "x θ (SELECT out FROM ... WHERE w)" style
+// constructs (IN, ANY/SOME, ALL, scalar comparison): the subquery joins the
+// universal relation, w is conjoined, and x θ out is added when the output
+// column is identifiable. approxAll marks the unavoidable over-approximation
+// for ALL.
+func (st *state) flattenMembership(x sqlparser.Expr, op predicate.Op, sub *sqlparser.SelectStatement, sc *scope, approxAll bool) (predicate.Expr, error) {
+	res, err := st.processQueryBodyCollect(sub, sc)
+	if err != nil {
+		return nil, err
+	}
+	if approxAll {
+		st.approx()
+	}
+	parts := []predicate.Expr{res.constraint}
+	outCol, aggregated, ok := subqueryOutputColumn(sub, res.scope, st)
+	if !ok {
+		// Opaque output (constant, computed, or star): the membership
+		// constraint on x is lost.
+		st.approx()
+		return predicate.NewAnd(parts...), nil
+	}
+	if aggregated {
+		// x θ (SELECT AGG(col) ...): the comparison against the aggregate is
+		// approximated by comparing against the column itself.
+		st.approx()
+	}
+	cmp, err := st.comparisonToPred(x, op, sc, outCol)
+	if err != nil {
+		return nil, err
+	}
+	parts = append(parts, cmp)
+	return predicate.NewAnd(parts...), nil
+}
+
+// subqueryOutputColumn identifies the canonical column a single-column
+// subquery outputs. aggregated reports the column sits under an aggregate
+// function.
+func subqueryOutputColumn(sub *sqlparser.SelectStatement, sc *scope, st *state) (canonical string, aggregated, ok bool) {
+	if len(sub.Select) != 1 {
+		return "", false, false
+	}
+	item := sub.Select[0]
+	if item.Star {
+		return "", false, false
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparser.ColumnRef:
+		col, ok := st.resolveColumn(e, sc)
+		return col, false, ok
+	case *sqlparser.FuncCall:
+		if e.IsAggregate() && len(e.Args) == 1 {
+			if cr, ok := e.Args[0].(*sqlparser.ColumnRef); ok {
+				col, rok := st.resolveColumn(cr, sc)
+				return col, true, rok
+			}
+		}
+	}
+	return "", false, false
+}
+
+// comparisonToPred builds the atomic predicate "left θ rightColumn" where
+// rightCanonical is already resolved; left is resolved in the outer query's
+// scope.
+func (st *state) comparisonToPred(left sqlparser.Expr, op predicate.Op, outer *scope, rightCanonical string) (predicate.Expr, error) {
+	switch l := left.(type) {
+	case *sqlparser.ColumnRef:
+		lcol, ok := st.resolveColumn(l, outer)
+		if !ok {
+			st.approx()
+			return trueExpr(), nil
+		}
+		return predicate.NewLeaf(predicate.Cols(lcol, op, rightCanonical)), nil
+	case *sqlparser.NumberLit:
+		return predicate.NewLeaf(predicate.CC(rightCanonical, op.Flip(), predicate.NumberText(l.Value, l.Text))), nil
+	case *sqlparser.StringLit:
+		return predicate.NewLeaf(predicate.CC(rightCanonical, op.Flip(), predicate.Str(l.Value))), nil
+	default:
+		st.approx()
+		return trueExpr(), nil
+	}
+}
+
+// convertComparison maps a comparison to an atomic predicate: column vs
+// constant (folding constant arithmetic), column vs column, or a flattened
+// subquery comparison.
+func (st *state) convertComparison(b *sqlparser.BinaryExpr, sc *scope) (predicate.Expr, error) {
+	op, ok := predicate.ParseOp(b.Op)
+	if !ok {
+		st.approx()
+		return trueExpr(), nil
+	}
+	// Scalar subqueries on either side flatten like quantified comparisons.
+	if sub, isSub := b.R.(*sqlparser.ScalarSubquery); isSub {
+		return st.flattenMembership(b.L, op, sub.Sub, sc, false)
+	}
+	if sub, isSub := b.L.(*sqlparser.ScalarSubquery); isSub {
+		return st.flattenMembership(b.R, op.Flip(), sub.Sub, sc, false)
+	}
+
+	lCol, lIsCol := b.L.(*sqlparser.ColumnRef)
+	rCol, rIsCol := b.R.(*sqlparser.ColumnRef)
+	lVal, lIsVal := foldConstant(b.L)
+	rVal, rIsVal := foldConstant(b.R)
+
+	switch {
+	case lIsCol && rIsVal:
+		col, ok := st.resolveColumn(lCol, sc)
+		if !ok {
+			st.approx()
+			return trueExpr(), nil
+		}
+		return predicate.NewLeaf(predicate.CC(col, op, rVal)), nil
+	case lIsVal && rIsCol:
+		col, ok := st.resolveColumn(rCol, sc)
+		if !ok {
+			st.approx()
+			return trueExpr(), nil
+		}
+		return predicate.NewLeaf(predicate.CC(col, op.Flip(), lVal)), nil
+	case lIsCol && rIsCol:
+		lc, lok := st.resolveColumn(lCol, sc)
+		rc, rok := st.resolveColumn(rCol, sc)
+		if !lok || !rok {
+			st.approx()
+			return trueExpr(), nil
+		}
+		if lc == rc {
+			// A column compared with itself: a = a is TRUE, a <> a FALSE
+			// (ignoring NULLs, consistent with the data-space model).
+			switch op {
+			case predicate.Eq, predicate.Le, predicate.Ge:
+				return trueExpr(), nil
+			default:
+				return predicate.NewLeaf(predicate.False()), nil
+			}
+		}
+		return predicate.NewLeaf(predicate.Cols(lc, op, rc)), nil
+	case lIsVal && rIsVal:
+		// Constant comparison folds to TRUE or FALSE.
+		return predicate.NewLeaf(foldComparison(lVal, op, rVal)), nil
+	default:
+		// Arithmetic over columns, parameters, or function results: no
+		// exact column-constant mapping; over-approximate (but keep the
+		// referenced columns in the A set).
+		return st.approxTrue(b, sc), nil
+	}
+}
+
+// convertLike maps LIKE: patterns without wildcards are equalities;
+// anything else is approximated.
+func (st *state) convertLike(x *sqlparser.LikeExpr, sc *scope) (predicate.Expr, error) {
+	cr, isCol := x.X.(*sqlparser.ColumnRef)
+	pat, isStr := x.Pattern.(*sqlparser.StringLit)
+	if !isCol || !isStr || strings.ContainsAny(pat.Value, "%_") {
+		return st.approxTrue(x, sc), nil
+	}
+	col, ok := st.resolveColumn(cr, sc)
+	if !ok {
+		st.approx()
+		return trueExpr(), nil
+	}
+	op := predicate.Eq
+	if x.Not {
+		op = predicate.Ne
+	}
+	return predicate.NewLeaf(predicate.CC(col, op, predicate.Str(pat.Value))), nil
+}
+
+// foldConstant evaluates literal-only expressions to a value: numbers,
+// strings, and arithmetic over numeric literals.
+func foldConstant(e sqlparser.Expr) (predicate.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparser.NumberLit:
+		return predicate.NumberText(x.Value, x.Text), true
+	case *sqlparser.StringLit:
+		return predicate.Str(x.Value), true
+	case *sqlparser.UnaryExpr:
+		if x.Op == "-" {
+			if v, ok := foldConstant(x.X); ok && v.Kind == predicate.NumberVal {
+				return predicate.Number(-v.Num), true
+			}
+		}
+	case *sqlparser.BinaryExpr:
+		l, lok := foldConstant(x.L)
+		r, rok := foldConstant(x.R)
+		if !lok || !rok || l.Kind != predicate.NumberVal || r.Kind != predicate.NumberVal {
+			return predicate.Value{}, false
+		}
+		switch x.Op {
+		case "+":
+			return predicate.Number(l.Num + r.Num), true
+		case "-":
+			return predicate.Number(l.Num - r.Num), true
+		case "*":
+			return predicate.Number(l.Num * r.Num), true
+		case "/":
+			if r.Num == 0 {
+				return predicate.Value{}, false
+			}
+			return predicate.Number(l.Num / r.Num), true
+		}
+	}
+	return predicate.Value{}, false
+}
+
+// foldComparison evaluates a constant comparison.
+func foldComparison(l predicate.Value, op predicate.Op, r predicate.Value) predicate.Pred {
+	var res bool
+	if l.Kind == predicate.NumberVal && r.Kind == predicate.NumberVal {
+		switch op {
+		case predicate.Lt:
+			res = l.Num < r.Num
+		case predicate.Le:
+			res = l.Num <= r.Num
+		case predicate.Eq:
+			res = l.Num == r.Num
+		case predicate.Gt:
+			res = l.Num > r.Num
+		case predicate.Ge:
+			res = l.Num >= r.Num
+		case predicate.Ne:
+			res = l.Num != r.Num
+		}
+	} else {
+		ls, rs := l.Str, r.Str
+		switch op {
+		case predicate.Lt:
+			res = ls < rs
+		case predicate.Le:
+			res = ls <= rs
+		case predicate.Eq:
+			res = ls == rs
+		case predicate.Gt:
+			res = ls > rs
+		case predicate.Ge:
+			res = ls >= rs
+		case predicate.Ne:
+			res = ls != rs
+		}
+	}
+	if res {
+		return predicate.True()
+	}
+	return predicate.False()
+}

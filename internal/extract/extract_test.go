@@ -1,0 +1,592 @@
+package extract
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/schema"
+)
+
+// testSchema mirrors the toy relations (T, S, R) used throughout the
+// paper's examples plus a few SkyServer relations.
+func testSchema() *schema.Schema {
+	s := schema.New()
+	s.Add(schema.NewRelation("T",
+		schema.Column{Name: "u", Type: schema.Numeric},
+		schema.Column{Name: "v", Type: schema.Numeric},
+		schema.Column{Name: "s", Type: schema.Numeric},
+	))
+	s.Add(schema.NewRelation("S",
+		schema.Column{Name: "u", Type: schema.Numeric},
+		schema.Column{Name: "v", Type: schema.Numeric},
+	))
+	s.Add(schema.NewRelation("R",
+		schema.Column{Name: "v", Type: schema.Numeric},
+		schema.Column{Name: "x", Type: schema.Numeric},
+	))
+	s.Add(schema.NewRelation("PhotoObjAll",
+		schema.Column{Name: "objid", Type: schema.Numeric},
+		schema.Column{Name: "ra", Type: schema.Numeric, Domain: interval.Closed(0, 360)},
+		schema.Column{Name: "dec", Type: schema.Numeric, Domain: interval.Closed(-90, 90)},
+	))
+	s.Add(schema.NewRelation("SpecObjAll",
+		schema.Column{Name: "specobjid", Type: schema.Numeric},
+		schema.Column{Name: "ra", Type: schema.Numeric},
+		schema.Column{Name: "plate", Type: schema.Numeric},
+		schema.Column{Name: "mjd", Type: schema.Numeric},
+		schema.Column{Name: "class", Type: schema.Categorical},
+	))
+	// Relations with bounded domains for the aggregate lemmas.
+	s.Add(schema.NewRelation("NEG", // dom(v) = [-10, 0]
+		schema.Column{Name: "u", Type: schema.Numeric},
+		schema.Column{Name: "v", Type: schema.Numeric, Domain: interval.Closed(-10, 0)},
+	))
+	s.Add(schema.NewRelation("POS", // dom(v) = [0, 10]
+		schema.Column{Name: "u", Type: schema.Numeric},
+		schema.Column{Name: "v", Type: schema.Numeric, Domain: interval.Closed(0, 10)},
+	))
+	return s
+}
+
+func extractQ(t *testing.T, src string) *AccessArea {
+	t.Helper()
+	ex := New(testSchema())
+	area, err := ex.ExtractSQL(src)
+	if err != nil {
+		t.Fatalf("extract %q: %v", src, err)
+	}
+	return area
+}
+
+// hasClause reports whether the CNF contains a clause whose rendering
+// equals want (predicates joined by " OR " in canonical order).
+func hasClause(a *AccessArea, want string) bool {
+	for _, cl := range a.CNF {
+		parts := make([]string, len(cl))
+		for i, p := range cl {
+			parts[i] = p.String()
+		}
+		if strings.Join(parts, " OR ") == want {
+			return true
+		}
+	}
+	return false
+}
+
+func wantClauses(t *testing.T, a *AccessArea, clauses ...string) {
+	t.Helper()
+	if len(a.CNF) != len(clauses) {
+		t.Fatalf("clause count = %d, want %d; cnf = %s", len(a.CNF), len(clauses), a.CNF)
+	}
+	for _, c := range clauses {
+		if !hasClause(a, c) {
+			t.Errorf("missing clause %q; cnf = %s", c, a.CNF)
+		}
+	}
+}
+
+func wantRelations(t *testing.T, a *AccessArea, rels ...string) {
+	t.Helper()
+	if len(a.Relations) != len(rels) {
+		t.Fatalf("relations = %v, want %v", a.Relations, rels)
+	}
+	for i, r := range rels {
+		if a.Relations[i] != r {
+			t.Fatalf("relations = %v, want %v", a.Relations, rels)
+		}
+	}
+}
+
+// --- Section 2.3 / 4.1: simple queries ---
+
+func TestSimpleQuery(t *testing.T) {
+	// σ_{u>=1 ∧ u<=8 ∧ s>5}(T) — the Section 4.1 example.
+	a := extractQ(t, "SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5")
+	wantRelations(t, a, "T")
+	wantClauses(t, a, "T.s > 5", "T.u >= 1", "T.u <= 8")
+	if !a.Exact {
+		t.Error("simple query should be exact")
+	}
+}
+
+func TestBetweenSplits(t *testing.T) {
+	// Section 2.3's BETWEEN example: σ_{u>=1 ∧ u<=8}(T).
+	a := extractQ(t, "SELECT * FROM T WHERE u BETWEEN 1 AND 8")
+	wantClauses(t, a, "T.u >= 1", "T.u <= 8")
+}
+
+func TestNotPushdown(t *testing.T) {
+	// NOT (T.u > 5 AND T.v <= 10) => T.u <= 5 OR T.v > 10 (§4.1).
+	a := extractQ(t, "SELECT * FROM T WHERE NOT (T.u > 5 AND T.v <= 10)")
+	wantClauses(t, a, "T.u <= 5 OR T.v > 10")
+	if !a.Exact {
+		t.Error("NOT pushdown is exact")
+	}
+}
+
+func TestIntermediateFormatPreserved(t *testing.T) {
+	// Already in intermediate format (§2.4).
+	a := extractQ(t, "SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5")
+	wantClauses(t, a, "T.v <= 5", "T.u <= 5 OR T.u >= 10")
+}
+
+func TestNoWhere(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T")
+	wantRelations(t, a, "T")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+func TestNoFrom(t *testing.T) {
+	a := extractQ(t, "SELECT 1")
+	if len(a.Relations) != 0 || !a.CNF.IsTrue() {
+		t.Errorf("area = %s", a)
+	}
+}
+
+func TestContradictionDetected(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE u > 5 AND u < 2")
+	if !a.IsEmpty() {
+		t.Errorf("area should be empty: %s", a)
+	}
+}
+
+func TestInList(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE u IN (1, 2, 3)")
+	wantClauses(t, a, "T.u = 1 OR T.u = 2 OR T.u = 3")
+	// NOT IN becomes a conjunction of disequalities.
+	a = extractQ(t, "SELECT * FROM T WHERE u NOT IN (1, 2)")
+	wantClauses(t, a, "T.u <> 1", "T.u <> 2")
+}
+
+func TestAliasResolution(t *testing.T) {
+	a := extractQ(t, "SELECT p.ra FROM PhotoObjAll AS p WHERE p.ra <= 210 AND p.dec <= 10")
+	wantRelations(t, a, "PhotoObjAll")
+	wantClauses(t, a, "PhotoObjAll.dec <= 10", "PhotoObjAll.ra <= 210")
+}
+
+func TestUnqualifiedColumnResolution(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM SpecObjAll WHERE plate >= 296 AND plate <= 3200 AND class = 'star'")
+	wantClauses(t, a, "SpecObjAll.class = 'star'", "SpecObjAll.plate >= 296", "SpecObjAll.plate <= 3200")
+}
+
+func TestMySQLDialectStillExtracts(t *testing.T) {
+	// §6.6: "SELECT Galaxies.objid FROM Galaxies LIMIT 10" must extract even
+	// though SkyServer would reject it.
+	ex := New(testSchema())
+	a, err := ex.ExtractSQL("SELECT Galaxies.objid FROM Galaxies LIMIT 10")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	wantRelations(t, a, "Galaxies")
+}
+
+func TestConstantComparisonsFold(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE 1 = 1 AND u > 2 + 3")
+	wantClauses(t, a, "T.u > 5")
+	a = extractQ(t, "SELECT * FROM T WHERE 1 = 2")
+	if !a.IsEmpty() {
+		t.Error("1=2 should empty the area")
+	}
+}
+
+func TestReversedComparisonFlips(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE 5 < u")
+	wantClauses(t, a, "T.u > 5")
+}
+
+func TestColumnColumnPredicate(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T, S WHERE T.u = S.u AND T.v < 3")
+	wantRelations(t, a, "S", "T")
+	wantClauses(t, a, "T.v < 3", "S.u = T.u")
+}
+
+func TestSelfComparison(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE T.u = T.u")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+	a = extractQ(t, "SELECT * FROM T WHERE T.u <> T.u")
+	if !a.IsEmpty() {
+		t.Error("u <> u should be empty")
+	}
+}
+
+// --- Section 4.2: joins ---
+
+func TestInnerJoinPushesOn(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE T.v < 3")
+	wantRelations(t, a, "S", "T")
+	wantClauses(t, a, "T.v < 3", "S.u = T.u")
+}
+
+func TestFullOuterJoinDropsConstraint(t *testing.T) {
+	// Example 2: access area is σ(T × S).
+	a := extractQ(t, "SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u")
+	wantRelations(t, a, "S", "T")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s, want TRUE", a.CNF)
+	}
+	if !a.Exact {
+		t.Error("full outer join mapping is exact")
+	}
+}
+
+func TestRightOuterJoinKeepsEquality(t *testing.T) {
+	// Example 3: equivalent to T.u IN (SELECT S.u FROM S), which flattens to
+	// T.u = S.u.
+	a := extractQ(t, "SELECT * FROM T RIGHT OUTER JOIN S ON T.u = S.u")
+	wantClauses(t, a, "S.u = T.u")
+	if !a.Exact {
+		t.Error("equality outer join mapping is exact")
+	}
+}
+
+func TestLeftOuterJoinNonEqualityApprox(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T LEFT JOIN S ON T.u < S.u")
+	if a.Exact {
+		t.Error("non-equality outer join should be approximate")
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T CROSS JOIN S")
+	wantRelations(t, a, "S", "T")
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+func TestNaturalJoinEquatesCommonColumns(t *testing.T) {
+	// T and S share columns u and v.
+	a := extractQ(t, "SELECT * FROM T NATURAL JOIN S")
+	wantClauses(t, a, "S.u = T.u", "S.v = T.v")
+	if !a.Exact {
+		t.Error("natural join with known schema is exact")
+	}
+}
+
+func TestCommaJoin(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T, S, R WHERE T.u = S.u")
+	wantRelations(t, a, "R", "S", "T")
+}
+
+func TestSelfJoinRejected(t *testing.T) {
+	ex := New(testSchema())
+	_, err := ex.ExtractSQL("SELECT * FROM T AS a, T AS b WHERE a.u = b.u")
+	var xe *Error
+	if !errors.As(err, &xe) || xe.Kind != ErrSelfJoin {
+		t.Fatalf("err = %v", err)
+	}
+	// Self-join between parent and subquery is also excluded.
+	_, err = ex.ExtractSQL("SELECT * FROM T WHERE EXISTS (SELECT * FROM T WHERE u > 1)")
+	if !errors.As(err, &xe) || xe.Kind != ErrSelfJoin {
+		t.Fatalf("nested self-join err = %v", err)
+	}
+}
+
+// --- Section 4.4: nested queries ---
+
+func TestLemma4ExistsFlattening(t *testing.T) {
+	a := extractQ(t, `SELECT * FROM T WHERE T.u > 7 AND EXISTS
+		(SELECT * FROM S WHERE S.u = T.u AND S.v < 3)`)
+	wantRelations(t, a, "S", "T")
+	wantClauses(t, a, "T.u > 7", "S.u = T.u", "S.v < 3")
+	if !a.Exact {
+		t.Error("Lemma 4 flattening is exact")
+	}
+}
+
+func TestLemma5TwoAndExistsSameRelation(t *testing.T) {
+	// Two AND-connected EXISTS on S must OR their constraints:
+	// σ_{T.u>α ∧ S.u=T.u ∧ (S.v<β ∨ S.v>=γ)}(T × S).
+	a := extractQ(t, `SELECT * FROM T WHERE T.u > 7
+		AND EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u)
+		AND EXISTS (SELECT * FROM S WHERE S.v >= 5 AND S.u = T.u)`)
+	wantRelations(t, a, "S", "T")
+	// CNF of (w1 OR w2) with wi = (cond_i AND S.u=T.u):
+	// (S.u=T.u) AND (S.v<2 OR S.v>=5).
+	wantClauses(t, a, "T.u > 7", "S.u = T.u", "S.v < 2 OR S.v >= 5")
+}
+
+func TestLemma6OrExists(t *testing.T) {
+	// σ_{(T.u>α ∨ S.u=T.u) ∧ (T.u>α ∨ S.v<β ∨ S.v>=γ)}(T × S).
+	a := extractQ(t, `SELECT * FROM T WHERE T.u > 7
+		OR EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u)
+		OR EXISTS (SELECT * FROM S WHERE S.v >= 5 AND S.u = T.u)`)
+	wantClauses(t, a,
+		"S.u = T.u OR T.u > 7",
+		"S.v < 2 OR S.v >= 5 OR T.u > 7")
+}
+
+func TestExample4TwoLevelNesting(t *testing.T) {
+	a := extractQ(t, `SELECT * FROM T WHERE T.u > 1 AND EXISTS
+		(SELECT * FROM S WHERE S.u = T.u AND S.v < 2 AND EXISTS
+			(SELECT * FROM R WHERE R.v = S.v AND R.x < 3))`)
+	wantRelations(t, a, "R", "S", "T")
+	wantClauses(t, a, "T.u > 1", "S.u = T.u", "S.v < 2", "R.v = S.v", "R.x < 3")
+	if !a.Exact {
+		t.Error("multi-level EXISTS flattening is exact")
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE T.u IN (SELECT S.u FROM S WHERE S.v < 3)")
+	wantRelations(t, a, "S", "T")
+	wantClauses(t, a, "S.v < 3", "S.u = T.u")
+}
+
+func TestInSubqueryUnqualifiedOuterColumn(t *testing.T) {
+	// Unqualified left operand must resolve in the OUTER scope (T), not the
+	// subquery's (S also has column u).
+	a := extractQ(t, "SELECT * FROM T WHERE s IN (SELECT S.v FROM S)")
+	wantClauses(t, a, "S.v = T.s")
+}
+
+func TestNotExistsApproximate(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE NOT EXISTS (SELECT * FROM S WHERE S.u = T.u)")
+	wantRelations(t, a, "S", "T")
+	if a.Exact {
+		t.Error("NOT EXISTS is approximate")
+	}
+}
+
+func TestQuantifiedAny(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE T.u > ANY (SELECT S.u FROM S WHERE S.v = 1)")
+	wantClauses(t, a, "S.v = 1", "S.u < T.u")
+	if !a.Exact {
+		t.Error("ANY flattening is exact")
+	}
+}
+
+func TestQuantifiedAllApprox(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE T.u > ALL (SELECT S.u FROM S)")
+	wantClauses(t, a, "S.u < T.u")
+	if a.Exact {
+		t.Error("ALL is an over-approximation")
+	}
+}
+
+func TestScalarSubqueryComparison(t *testing.T) {
+	// The implicit nested predicate of Section 4.4's intro.
+	a := extractQ(t, "SELECT * FROM T WHERE T.u = (SELECT S.u FROM S WHERE S.v = 12)")
+	wantRelations(t, a, "S", "T")
+	wantClauses(t, a, "S.v = 12", "S.u = T.u")
+}
+
+func TestScalarAggregateSubqueryApprox(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE T.u > (SELECT MAX(S.u) FROM S)")
+	wantClauses(t, a, "S.u < T.u")
+	if a.Exact {
+		t.Error("aggregate scalar subquery is approximate")
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	a := extractQ(t, "SELECT x.b FROM (SELECT S.u AS b FROM S WHERE S.v > 1) AS x WHERE x.b < 9")
+	wantRelations(t, a, "S")
+	wantClauses(t, a, "S.u < 9", "S.v > 1")
+}
+
+func TestDerivedTableStar(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM (SELECT * FROM S WHERE S.v > 1) AS x WHERE x.u < 9")
+	wantClauses(t, a, "S.u < 9", "S.v > 1")
+}
+
+// --- approximations ---
+
+func TestArithmeticOverColumnsApprox(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE u + v > 5")
+	if a.Exact {
+		t.Error("column arithmetic should be approximate")
+	}
+	if !a.CNF.IsTrue() {
+		t.Errorf("cnf = %s", a.CNF)
+	}
+}
+
+func TestLikeWithoutWildcardsIsEquality(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM SpecObjAll WHERE class LIKE 'star'")
+	wantClauses(t, a, "SpecObjAll.class = 'star'")
+	if !a.Exact {
+		t.Error("wildcard-free LIKE is exact")
+	}
+	a = extractQ(t, "SELECT * FROM SpecObjAll WHERE class LIKE 'st%'")
+	if a.Exact {
+		t.Error("wildcard LIKE is approximate")
+	}
+}
+
+func TestIsNullApprox(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE u IS NULL")
+	if a.Exact || !a.CNF.IsTrue() {
+		t.Errorf("area = %s exact=%v", a, a.Exact)
+	}
+}
+
+func TestParamApprox(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE u > @threshold")
+	if a.Exact {
+		t.Error("parameter comparison should be approximate")
+	}
+}
+
+func TestPredCapTruncation(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("SELECT * FROM T WHERE u > 0")
+	for i := 1; i <= 50; i++ {
+		sb.WriteString(" OR (u > ")
+		sb.WriteString(strings.Repeat("1", 1))
+		sb.WriteString(" AND v < 2)")
+	}
+	ex := New(testSchema())
+	a, err := ex.ExtractSQL(sb.String())
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if !a.Truncated {
+		t.Error("expected truncation beyond 35 predicates")
+	}
+	if a.Exact {
+		t.Error("truncated extraction is not exact")
+	}
+}
+
+// --- output formats ---
+
+func TestAreaStringAndIntermediateSQL(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE u >= 1 AND u <= 8")
+	s := a.String()
+	if !strings.HasPrefix(s, "σ[") || !strings.Contains(s, "](T)") {
+		t.Errorf("string = %q", s)
+	}
+	sql := a.IntermediateSQL()
+	if !strings.HasPrefix(sql, "SELECT * FROM T WHERE ") {
+		t.Errorf("sql = %q", sql)
+	}
+}
+
+func TestStatsObserved(t *testing.T) {
+	st := schema.NewStats()
+	st.SeedNumericContent("PhotoObjAll.ra", interval.Closed(0, 100))
+	ex := New(testSchema())
+	ex.Stats = st
+	if _, err := ex.ExtractSQL("SELECT * FROM PhotoObjAll WHERE ra <= 210"); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := st.NumericAccess("PhotoObjAll.ra")
+	if !acc.Contains(210) {
+		t.Errorf("access = %v, should contain 210", acc)
+	}
+}
+
+func TestKeyDeduplication(t *testing.T) {
+	a1 := extractQ(t, "SELECT * FROM T WHERE u >= 1 AND u <= 8")
+	a2 := extractQ(t, "SELECT v FROM T WHERE u <= 8 AND u >= 1")
+	if a1.Key() != a2.Key() {
+		t.Errorf("keys differ:\n%s\n%s", a1.Key(), a2.Key())
+	}
+}
+
+func TestUnionAccessArea(t *testing.T) {
+	// The access area of a UNION is the union of the arms' areas: the
+	// "future extension" of Section 4 realised. Two arms over the same
+	// relation merge disjunctively.
+	a := extractQ(t, "SELECT u FROM T WHERE u < 2 UNION SELECT u FROM S WHERE S.v > 9")
+	wantRelations(t, a, "S", "T")
+	wantClauses(t, a, "S.v > 9 OR T.u < 2")
+	if !a.Exact {
+		t.Error("union mapping is exact")
+	}
+}
+
+func TestUnionSameRelationNotSelfJoin(t *testing.T) {
+	a := extractQ(t, "SELECT u FROM T WHERE u < 2 UNION SELECT u FROM T WHERE u > 9")
+	wantRelations(t, a, "T")
+	wantClauses(t, a, "T.u < 2 OR T.u > 9")
+}
+
+func TestUnionAll(t *testing.T) {
+	a := extractQ(t, "SELECT u FROM T WHERE u BETWEEN 1 AND 3 UNION ALL SELECT u FROM T WHERE u BETWEEN 2 AND 5")
+	wantRelations(t, a, "T")
+	// CNF of (1<=u<=3) OR (2<=u<=5): consolidation merges the per-column
+	// union into u >= 1 AND u <= 5.
+	wantClauses(t, a, "T.u >= 1", "T.u <= 5")
+}
+
+func TestNaturalJoinScopedToOperands(t *testing.T) {
+	// R shares column v with T and S, but sits in a separate comma factor:
+	// the NATURAL JOIN must only equate T and S columns.
+	a := extractQ(t, "SELECT * FROM R, T NATURAL JOIN S")
+	wantRelations(t, a, "R", "S", "T")
+	for _, cl := range a.CNF {
+		for _, p := range cl {
+			for _, col := range p.Columns() {
+				if strings.HasPrefix(col, "R.") {
+					t.Fatalf("R column leaked into natural join constraint: %s", a.CNF)
+				}
+			}
+		}
+	}
+	wantClauses(t, a, "S.u = T.u", "S.v = T.v")
+}
+
+func TestReferencedColumnsASet(t *testing.T) {
+	// The A set (§2.1) includes WHERE, GROUP BY, HAVING and nested-clause
+	// columns — even ones whose constraints were approximated away.
+	a := extractQ(t, `SELECT T.u, SUM(T.v) FROM T
+		WHERE T.s LIKE 'x%' AND T.u > 1
+		GROUP BY T.u
+		HAVING SUM(T.v) > 100`)
+	want := []string{"T.s", "T.u", "T.v"}
+	if len(a.Referenced) != len(want) {
+		t.Fatalf("referenced = %v, want %v", a.Referenced, want)
+	}
+	for i, col := range want {
+		if a.Referenced[i] != col {
+			t.Fatalf("referenced = %v, want %v", a.Referenced, want)
+		}
+	}
+	// T.s was approximated (LIKE wildcard): absent from the CNF yet present
+	// in the A set.
+	for _, col := range a.CNF.Columns() {
+		if col == "T.s" {
+			t.Error("T.s should not be constrained in the CNF")
+		}
+	}
+}
+
+func TestReferencedIncludesSubqueryColumns(t *testing.T) {
+	a := extractQ(t, "SELECT * FROM T WHERE EXISTS (SELECT * FROM S WHERE S.u = T.u AND S.v < 1)")
+	joined := strings.Join(a.Referenced, ",")
+	for _, col := range []string{"S.u", "S.v", "T.u"} {
+		if !strings.Contains(joined, col) {
+			t.Errorf("referenced = %v, missing %s", a.Referenced, col)
+		}
+	}
+}
+
+func TestMembershipWithStringAndLiteralLeft(t *testing.T) {
+	// Constant on the left of a membership flattening: "5 IN (SELECT u...)".
+	a := extractQ(t, "SELECT * FROM T WHERE 5 IN (SELECT S.u FROM S WHERE S.v > 1)")
+	wantClauses(t, a, "S.v > 1", "S.u = 5")
+	// String constant comparison against a subquery output.
+	a = extractQ(t, "SELECT * FROM T WHERE 'x' = (SELECT S.u FROM S)")
+	wantClauses(t, a, "S.u = 'x'")
+}
+
+func TestGroupByColumnEntersASet(t *testing.T) {
+	a := extractQ(t, "SELECT T.u, COUNT(*) FROM T GROUP BY T.u")
+	found := false
+	for _, c := range a.Referenced {
+		if c == "T.u" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("referenced = %v, want T.u from GROUP BY", a.Referenced)
+	}
+}

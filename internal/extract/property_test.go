@@ -1,0 +1,271 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/predicate"
+	"repro/internal/sqlparser"
+)
+
+// This file checks end-to-end soundness of the exact mapping on the query
+// fragment where the paper's transformation is exact (single relation, no
+// subqueries or aggregates): for random WHERE trees built from comparisons,
+// BETWEEN, IN lists, AND/OR/NOT, the extracted CNF must be logically
+// equivalent to the original predicate — i.e. the access area is exactly
+// σ_WHERE(T) (Definition 4 collapses to predicate satisfaction for simple
+// queries).
+
+// point assigns values to the three columns of the generated queries.
+type point struct{ u, v, s float64 }
+
+func (p point) get(col string) float64 {
+	switch col {
+	case "u", "T.u":
+		return p.u
+	case "v", "T.v":
+		return p.v
+	default:
+		return p.s
+	}
+}
+
+// genWhere builds a random WHERE tree and returns (SQL fragment, evaluator).
+func genWhere(r *rand.Rand, depth int) (string, func(point) bool) {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return genAtom(r)
+	}
+	switch r.Intn(4) {
+	case 0:
+		ls, lf := genWhere(r, depth-1)
+		rs, rf := genWhere(r, depth-1)
+		return "(" + ls + " AND " + rs + ")", func(p point) bool { return lf(p) && rf(p) }
+	case 1:
+		ls, lf := genWhere(r, depth-1)
+		rs, rf := genWhere(r, depth-1)
+		return "(" + ls + " OR " + rs + ")", func(p point) bool { return lf(p) || rf(p) }
+	case 2:
+		xs, xf := genWhere(r, depth-1)
+		return "NOT (" + xs + ")", func(p point) bool { return !xf(p) }
+	default:
+		return genAtom(r)
+	}
+}
+
+var genCols = []string{"u", "v", "s"}
+
+func genAtom(r *rand.Rand) (string, func(point) bool) {
+	col := genCols[r.Intn(len(genCols))]
+	switch r.Intn(4) {
+	case 0: // comparison
+		ops := []struct {
+			sql string
+			f   func(a, b float64) bool
+		}{
+			{"<", func(a, b float64) bool { return a < b }},
+			{"<=", func(a, b float64) bool { return a <= b }},
+			{"=", func(a, b float64) bool { return a == b }},
+			{">", func(a, b float64) bool { return a > b }},
+			{">=", func(a, b float64) bool { return a >= b }},
+			{"<>", func(a, b float64) bool { return a != b }},
+		}
+		op := ops[r.Intn(len(ops))]
+		c := float64(r.Intn(11) - 5)
+		return fmt.Sprintf("%s %s %d", col, op.sql, int(c)),
+			func(p point) bool { return op.f(p.get(col), c) }
+	case 1: // BETWEEN
+		lo := float64(r.Intn(8) - 4)
+		hi := lo + float64(r.Intn(5))
+		not := r.Intn(2) == 0
+		sql := fmt.Sprintf("%s BETWEEN %d AND %d", col, int(lo), int(hi))
+		f := func(p point) bool { v := p.get(col); return v >= lo && v <= hi }
+		if not {
+			return fmt.Sprintf("%s NOT BETWEEN %d AND %d", col, int(lo), int(hi)),
+				func(p point) bool { return !f(p) }
+		}
+		return sql, f
+	case 2: // IN list
+		n := 1 + r.Intn(3)
+		vals := make([]float64, n)
+		parts := make([]string, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(11) - 5)
+			parts[i] = fmt.Sprintf("%d", int(vals[i]))
+		}
+		not := ""
+		if r.Intn(2) == 0 {
+			not = "NOT "
+		}
+		sql := fmt.Sprintf("%s %sIN (%s)", col, not, strings.Join(parts, ", "))
+		return sql, func(p point) bool {
+			in := false
+			for _, v := range vals {
+				if p.get(col) == v {
+					in = true
+				}
+			}
+			if not != "" {
+				return !in
+			}
+			return in
+		}
+	default: // column-column comparison
+		col2 := genCols[r.Intn(len(genCols))]
+		return fmt.Sprintf("%s <= %s", col, col2),
+			func(p point) bool { return p.get(col) <= p.get(col2) }
+	}
+}
+
+// evalCNFPoint evaluates the extracted CNF on a point.
+func evalCNFPoint(c predicate.CNF, p point) bool {
+	for _, cl := range c {
+		sat := false
+		for _, pr := range cl {
+			if evalPredPoint(pr, p) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func evalPredPoint(pr predicate.Pred, p point) bool {
+	cmp := func(a float64, op predicate.Op, b float64) bool {
+		switch op {
+		case predicate.Lt:
+			return a < b
+		case predicate.Le:
+			return a <= b
+		case predicate.Eq:
+			return a == b
+		case predicate.Gt:
+			return a > b
+		case predicate.Ge:
+			return a >= b
+		case predicate.Ne:
+			return a != b
+		}
+		return false
+	}
+	switch pr.Kind {
+	case predicate.TruePred:
+		return true
+	case predicate.FalsePred:
+		return false
+	case predicate.ColumnColumn:
+		return cmp(p.get(pr.Column), pr.Op, p.get(pr.Column2))
+	default:
+		return cmp(p.get(pr.Column), pr.Op, pr.Val.Num)
+	}
+}
+
+func TestPropExtractionEquivalentToWhere(t *testing.T) {
+	ex := New(testSchema())
+	ex.PredCap = -1 // exactness check: no truncation
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		whereSQL, eval := genWhere(r, 4)
+		sql := "SELECT * FROM T WHERE " + whereSQL
+		area, err := ex.ExtractSQL(sql)
+		if err != nil {
+			t.Logf("extract %q: %v", sql, err)
+			return false
+		}
+		if !area.Exact {
+			t.Logf("unexpected approximation for %q", sql)
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			p := point{
+				u: float64(r.Intn(13) - 6),
+				v: float64(r.Intn(13) - 6),
+				s: float64(r.Intn(13) - 6),
+			}
+			if evalCNFPoint(area.CNF, p) != eval(p) {
+				t.Logf("mismatch for %q at %+v\ncnf: %s", sql, p, area.CNF)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The same equivalence must hold after a print→parse round trip of the
+// statement (parser/printer do not change the access area).
+func TestPropExtractionStableUnderRoundTrip(t *testing.T) {
+	ex := New(testSchema())
+	ex.PredCap = -1
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		whereSQL, _ := genWhere(r, 3)
+		sql := "SELECT * FROM T WHERE " + whereSQL
+		sel1, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			return false
+		}
+		a1, err := ex.Extract(sel1)
+		if err != nil {
+			return false
+		}
+		sel2, err := sqlparser.ParseSelect(sqlparser.FormatSelect(sel1))
+		if err != nil {
+			t.Logf("round-trip parse failed: %v", err)
+			return false
+		}
+		a2, err := ex.Extract(sel2)
+		if err != nil {
+			return false
+		}
+		if a1.Key() != a2.Key() {
+			t.Logf("keys differ for %q:\n%s\n%s", sql, a1.Key(), a2.Key())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// UNION equivalence: the union's access area evaluates as the disjunction
+// of the arms' predicates.
+func TestPropUnionEquivalence(t *testing.T) {
+	ex := New(testSchema())
+	ex.PredCap = -1
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w1, f1 := genWhere(r, 2)
+		w2, f2 := genWhere(r, 2)
+		sql := fmt.Sprintf("SELECT u FROM T WHERE %s UNION SELECT u FROM T WHERE %s", w1, w2)
+		area, err := ex.ExtractSQL(sql)
+		if err != nil {
+			t.Logf("extract %q: %v", sql, err)
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			p := point{
+				u: float64(r.Intn(13) - 6),
+				v: float64(r.Intn(13) - 6),
+				s: float64(r.Intn(13) - 6),
+			}
+			if evalCNFPoint(area.CNF, p) != (f1(p) || f2(p)) {
+				t.Logf("mismatch for %q at %+v\ncnf: %s", sql, p, area.CNF)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package interval provides the one-dimensional interval algebra and the
+// hyper-rectangle (box) geometry that underpin access areas: predicate
+// ranges, content/access bounding boxes, overlap computation for the
+// distance function (Section 5 of the paper), and volume ratios for the
+// area-coverage statistics of Table 1.
+//
+// Intervals carry open/closed endpoint flags so that predicates such as
+// "a < 3" and "a <= 3" remain distinguishable; all measure-based operations
+// (Width, OverlapLen, volume) are insensitive to endpoint openness, which is
+// the correct behaviour for the continuous domains the paper works with.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Interval is a possibly unbounded interval over float64.
+// Lo == -Inf means unbounded below; Hi == +Inf unbounded above.
+// LoOpen/HiOpen mark strict endpoints ("(", ")") as opposed to closed
+// ("[", "]"). An interval with Lo > Hi, or Lo == Hi with either endpoint
+// open, is empty.
+type Interval struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Full is the unbounded interval (-Inf, +Inf).
+func Full() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1), LoOpen: true, HiOpen: true}
+}
+
+// Empty returns a canonical empty interval.
+func Empty() Interval {
+	return Interval{Lo: 1, Hi: 0}
+}
+
+// Point returns the degenerate closed interval [v, v].
+func Point(v float64) Interval {
+	return Interval{Lo: v, Hi: v}
+}
+
+// Closed returns [lo, hi].
+func Closed(lo, hi float64) Interval {
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Open returns (lo, hi).
+func Open(lo, hi float64) Interval {
+	return Interval{Lo: lo, Hi: hi, LoOpen: true, HiOpen: true}
+}
+
+// Below returns the interval of all values strictly (or weakly) below v:
+// (-Inf, v) when open, (-Inf, v] otherwise.
+func Below(v float64, open bool) Interval {
+	return Interval{Lo: math.Inf(-1), LoOpen: true, Hi: v, HiOpen: open}
+}
+
+// Above returns the interval of all values strictly (or weakly) above v:
+// (v, +Inf) when open, [v, +Inf) otherwise.
+func Above(v float64, open bool) Interval {
+	return Interval{Lo: v, LoOpen: open, Hi: math.Inf(1), HiOpen: true}
+}
+
+// IsEmpty reports whether the interval contains no point.
+func (iv Interval) IsEmpty() bool {
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen) {
+		return true
+	}
+	return false
+}
+
+// IsFull reports whether the interval is unbounded on both sides.
+func (iv Interval) IsFull() bool {
+	return !iv.IsEmpty() && math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1)
+}
+
+// IsPoint reports whether the interval is a single point.
+func (iv Interval) IsPoint() bool {
+	return !iv.IsEmpty() && iv.Lo == iv.Hi
+}
+
+// Width returns the measure (length) of the interval. Empty intervals have
+// width 0; unbounded intervals have width +Inf.
+func (iv Interval) Width() float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether v lies inside the interval, honouring endpoint
+// openness.
+func (iv Interval) Contains(v float64) bool {
+	if iv.IsEmpty() {
+		return false
+	}
+	if v < iv.Lo || (v == iv.Lo && iv.LoOpen) {
+		return false
+	}
+	if v > iv.Hi || (v == iv.Hi && iv.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// ContainsInterval reports whether other is a subset of iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() {
+		return false
+	}
+	return iv.Intersect(other) == other.canonical()
+}
+
+func (iv Interval) canonical() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return iv
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	out := iv
+	if other.Lo > out.Lo || (other.Lo == out.Lo && other.LoOpen) {
+		out.Lo, out.LoOpen = other.Lo, other.LoOpen
+	}
+	if other.Hi < out.Hi || (other.Hi == out.Hi && other.HiOpen) {
+		out.Hi, out.HiOpen = other.Hi, other.HiOpen
+	}
+	return out.canonical()
+}
+
+// Hull returns the smallest interval containing both inputs. The hull of an
+// empty interval and x is x.
+func (iv Interval) Hull(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other.canonical()
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if other.Lo < out.Lo || (other.Lo == out.Lo && !other.LoOpen) {
+		out.Lo, out.LoOpen = other.Lo, other.LoOpen
+	}
+	if other.Hi > out.Hi || (other.Hi == out.Hi && !other.HiOpen) {
+		out.Hi, out.HiOpen = other.Hi, other.HiOpen
+	}
+	return out
+}
+
+// OverlapLen returns the measure of the intersection of two intervals.
+func (iv Interval) OverlapLen(other Interval) float64 {
+	return iv.Intersect(other).Width()
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return !iv.Intersect(other).IsEmpty()
+}
+
+// Adjacent reports whether the two intervals are disjoint but share a
+// boundary point such that their union is a single interval, e.g. (-Inf, 3)
+// and [3, +Inf).
+func (iv Interval) Adjacent(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() || iv.Overlaps(other) {
+		return false
+	}
+	lo, hi := iv, other
+	if lo.Lo > hi.Lo || (lo.Lo == hi.Lo && hi.LoOpen && !lo.LoOpen) {
+		lo, hi = hi, lo
+	}
+	// Union is contiguous when hi starts exactly where lo ends and at most
+	// one of the touching endpoints is open.
+	return lo.Hi == hi.Lo && (!lo.HiOpen || !hi.LoOpen)
+}
+
+// Union returns the union of the two intervals if it is itself a single
+// interval (they overlap or are adjacent); ok is false otherwise.
+func (iv Interval) Union(other Interval) (Interval, bool) {
+	if iv.IsEmpty() {
+		return other.canonical(), true
+	}
+	if other.IsEmpty() {
+		return iv, true
+	}
+	if !iv.Overlaps(other) && !iv.Adjacent(other) {
+		return Empty(), false
+	}
+	return iv.Hull(other), true
+}
+
+// Clip restricts the interval to the bounds of clip, preserving openness of
+// whichever endpoints survive. It is used to normalise unbounded predicate
+// ranges against access(a) before computing distances.
+func (iv Interval) Clip(clip Interval) Interval {
+	return iv.Intersect(clip)
+}
+
+// Midpoint returns the centre of a bounded, non-empty interval. For
+// unbounded or empty intervals it returns NaN.
+func (iv Interval) Midpoint() float64 {
+	if iv.IsEmpty() || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+		return math.NaN()
+	}
+	return iv.Lo + (iv.Hi-iv.Lo)/2
+}
+
+// Equal reports whether the intervals denote the same point set.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.IsEmpty() && other.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() != other.IsEmpty() {
+		return false
+	}
+	return iv.Lo == other.Lo && iv.Hi == other.Hi &&
+		iv.LoOpen == other.LoOpen && iv.HiOpen == other.HiOpen
+}
+
+// String renders the interval in mathematical notation, e.g. "[1, 3)".
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "∅"
+	}
+	lb, rb := "[", "]"
+	if iv.LoOpen {
+		lb = "("
+	}
+	if iv.HiOpen {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%s, %s%s", lb, fnum(iv.Lo), fnum(iv.Hi), rb)
+}
+
+func fnum(v float64) string {
+	switch {
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsInf(v, 1):
+		return "+inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,190 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptiness(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Closed(1, 3), false},
+		{Closed(3, 1), true},
+		{Point(5), false},
+		{Open(5, 5), true},
+		{Interval{Lo: 5, Hi: 5, LoOpen: true}, true},
+		{Interval{Lo: 5, Hi: 5, HiOpen: true}, true},
+		{Full(), false},
+		{Empty(), true},
+	}
+	for _, c := range cases {
+		if got := c.iv.IsEmpty(); got != c.want {
+			t.Errorf("IsEmpty(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if w := Closed(1, 4).Width(); w != 3 {
+		t.Errorf("width [1,4] = %v, want 3", w)
+	}
+	if w := Empty().Width(); w != 0 {
+		t.Errorf("width empty = %v, want 0", w)
+	}
+	if w := Full().Width(); !math.IsInf(w, 1) {
+		t.Errorf("width full = %v, want +Inf", w)
+	}
+	if w := Point(2).Width(); w != 0 {
+		t.Errorf("width point = %v, want 0", w)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3, LoOpen: true} // (1, 3]
+	for v, want := range map[float64]bool{0: false, 1: false, 2: true, 3: true, 4: false} {
+		if got := iv.Contains(v); got != want {
+			t.Errorf("(1,3].Contains(%v) = %v, want %v", v, got, want)
+		}
+	}
+	if !Full().Contains(1e308) {
+		t.Error("Full should contain any finite value")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := Closed(1, 5).Intersect(Closed(3, 8))
+	if !got.Equal(Closed(3, 5)) {
+		t.Errorf("[1,5] ∩ [3,8] = %v, want [3,5]", got)
+	}
+	got = Below(3, true).Intersect(Above(2, true)) // (-inf,3) ∩ (2,inf) = (2,3)
+	if !got.Equal(Open(2, 3)) {
+		t.Errorf("got %v, want (2,3)", got)
+	}
+	if !Closed(1, 2).Intersect(Closed(3, 4)).IsEmpty() {
+		t.Error("disjoint intersection should be empty")
+	}
+	// Openness at shared boundary: [1,3) ∩ [3,5] is empty.
+	if !(Interval{Lo: 1, Hi: 3, HiOpen: true}).Intersect(Closed(3, 5)).IsEmpty() {
+		t.Error("[1,3) ∩ [3,5] should be empty")
+	}
+	// [1,3] ∩ [3,5] = [3,3].
+	if got := Closed(1, 3).Intersect(Closed(3, 5)); !got.Equal(Point(3)) {
+		t.Errorf("[1,3] ∩ [3,5] = %v, want [3,3]", got)
+	}
+}
+
+func TestHullAndUnion(t *testing.T) {
+	if got := Closed(1, 2).Hull(Closed(4, 5)); !got.Equal(Closed(1, 5)) {
+		t.Errorf("hull = %v, want [1,5]", got)
+	}
+	if got := Empty().Hull(Closed(1, 2)); !got.Equal(Closed(1, 2)) {
+		t.Errorf("hull with empty = %v, want [1,2]", got)
+	}
+	if _, ok := Closed(1, 2).Union(Closed(4, 5)); ok {
+		t.Error("disjoint non-adjacent union should fail")
+	}
+	u, ok := Closed(1, 3).Union(Closed(2, 5))
+	if !ok || !u.Equal(Closed(1, 5)) {
+		t.Errorf("union = %v ok=%v, want [1,5]", u, ok)
+	}
+	// Adjacency: (-inf,3) ∪ [3,inf) = full.
+	u, ok = Below(3, true).Union(Above(3, false))
+	if !ok || !u.IsFull() {
+		t.Errorf("(-inf,3) ∪ [3,inf) = %v ok=%v, want full", u, ok)
+	}
+	// Two open endpoints at the same value do not join: (-inf,3) ∪ (3,inf).
+	if _, ok := Below(3, true).Union(Above(3, true)); ok {
+		t.Error("(-inf,3) ∪ (3,inf) should not be a single interval")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if l := Below(3, true).OverlapLen(Above(2, true)); l != 1 {
+		t.Errorf("overlap len = %v, want 1 (paper §5.2 example)", l)
+	}
+	if !Closed(1, 3).Overlaps(Closed(3, 5)) {
+		t.Error("[1,3] and [3,5] share point 3")
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	if m := Closed(2, 6).Midpoint(); m != 4 {
+		t.Errorf("midpoint = %v, want 4", m)
+	}
+	if m := Full().Midpoint(); !math.IsNaN(m) {
+		t.Errorf("midpoint of full = %v, want NaN", m)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Interval{
+		"[1, 3)":       {Lo: 1, Hi: 3, HiOpen: true},
+		"(-inf, +inf)": Full(),
+		"∅":            Empty(),
+		"[5, 5]":       Point(5),
+	}
+	for want, iv := range cases {
+		if got := iv.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", iv, got, want)
+		}
+	}
+}
+
+// randInterval generates a bounded interval (possibly empty) for property
+// tests.
+func randInterval(r *rand.Rand) Interval {
+	lo := float64(r.Intn(21) - 10)
+	hi := lo + float64(r.Intn(12)-1)
+	return Interval{Lo: lo, Hi: hi, LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0}
+}
+
+func TestPropIntersectCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		return a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		x := a.Intersect(b)
+		return a.ContainsInterval(x) && b.ContainsInterval(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHullSuperset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		h := a.Hull(b)
+		return h.ContainsInterval(a) && h.ContainsInterval(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropWidthMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		x := a.Intersect(b)
+		return x.Width() <= a.Width()+1e-12 && x.Width() <= b.Width()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package interval
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Set is a union of disjoint, non-adjacent intervals kept sorted by lower
+// bound. It represents the value set of a column constrained by an arbitrary
+// Boolean combination of column-constant predicates; for example the
+// predicate "a <> 5" is the set {(-Inf, 5), (5, +Inf)}.
+//
+// The zero value is the empty set. Sets are immutable: every operation
+// returns a new Set.
+type Set struct {
+	ivs []Interval // invariant: sorted, non-empty, pairwise disjoint and non-adjacent
+}
+
+// NewSet builds a canonical Set from arbitrary intervals, merging overlaps
+// and adjacency and dropping empties.
+func NewSet(ivs ...Interval) Set {
+	nonEmpty := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.IsEmpty() {
+			nonEmpty = append(nonEmpty, iv)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return Set{}
+	}
+	sort.Slice(nonEmpty, func(i, j int) bool {
+		a, b := nonEmpty[i], nonEmpty[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		// Closed lower endpoint sorts before open at the same value.
+		return !a.LoOpen && b.LoOpen
+	})
+	merged := []Interval{nonEmpty[0]}
+	for _, iv := range nonEmpty[1:] {
+		last := &merged[len(merged)-1]
+		if u, ok := last.Union(iv); ok {
+			*last = u
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	return Set{ivs: merged}
+}
+
+// FullSet is the set covering (-Inf, +Inf).
+func FullSet() Set { return NewSet(Full()) }
+
+// EmptySet is the empty set.
+func EmptySet() Set { return Set{} }
+
+// NotEqual returns the set representing "a <> v".
+func NotEqual(v float64) Set {
+	return NewSet(Below(v, true), Above(v, true))
+}
+
+// Intervals returns the canonical constituent intervals (do not mutate).
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// IsEmpty reports whether the set contains no point.
+func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// IsFull reports whether the set is all of (-Inf, +Inf).
+func (s Set) IsFull() bool {
+	return len(s.ivs) == 1 && s.ivs[0].IsFull()
+}
+
+// Contains reports whether v is a member of the set.
+func (s Set) Contains(v float64) bool {
+	// Binary search for the first interval whose Hi >= v.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= v })
+	if i == len(s.ivs) {
+		return false
+	}
+	return s.ivs[i].Contains(v)
+}
+
+// Union returns the set union.
+func (s Set) Union(other Set) Set {
+	all := make([]Interval, 0, len(s.ivs)+len(other.ivs))
+	all = append(all, s.ivs...)
+	all = append(all, other.ivs...)
+	return NewSet(all...)
+}
+
+// Intersect returns the set intersection.
+func (s Set) Intersect(other Set) Set {
+	var out []Interval
+	for _, a := range s.ivs {
+		for _, b := range other.ivs {
+			if x := a.Intersect(b); !x.IsEmpty() {
+				out = append(out, x)
+			}
+		}
+	}
+	return NewSet(out...)
+}
+
+// Complement returns (-Inf, +Inf) minus the set.
+func (s Set) Complement() Set {
+	if s.IsEmpty() {
+		return FullSet()
+	}
+	var out []Interval
+	cursorLo, cursorOpen := math.Inf(-1), true
+	for _, iv := range s.ivs {
+		gap := Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: iv.Lo, HiOpen: !iv.LoOpen}
+		if !gap.IsEmpty() {
+			out = append(out, gap)
+		}
+		cursorLo, cursorOpen = iv.Hi, !iv.HiOpen
+	}
+	tail := Interval{Lo: cursorLo, LoOpen: cursorOpen, Hi: math.Inf(1), HiOpen: true}
+	if !tail.IsEmpty() {
+		out = append(out, tail)
+	}
+	return NewSet(out...)
+}
+
+// Hull returns the smallest single interval containing the whole set.
+func (s Set) Hull() Interval {
+	if s.IsEmpty() {
+		return Empty()
+	}
+	first, last := s.ivs[0], s.ivs[len(s.ivs)-1]
+	return Interval{Lo: first.Lo, LoOpen: first.LoOpen, Hi: last.Hi, HiOpen: last.HiOpen}
+}
+
+// Width returns the total measure of the set.
+func (s Set) Width() float64 {
+	total := 0.0
+	for _, iv := range s.ivs {
+		total += iv.Width()
+	}
+	return total
+}
+
+// OverlapLen returns the measure of the intersection with other.
+func (s Set) OverlapLen(other Set) float64 {
+	return s.Intersect(other).Width()
+}
+
+// Clip intersects every constituent interval with clip.
+func (s Set) Clip(clip Interval) Set {
+	return s.Intersect(NewSet(clip))
+}
+
+// Equal reports whether the two sets denote the same point set.
+func (s Set) Equal(other Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if !s.ivs[i].Equal(other.ivs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a union of intervals, e.g. "(-inf, 5) ∪ (5, +inf)".
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}

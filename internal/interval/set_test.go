@@ -1,0 +1,263 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetMerges(t *testing.T) {
+	s := NewSet(Closed(1, 3), Closed(2, 5), Closed(7, 9))
+	ivs := s.Intervals()
+	if len(ivs) != 2 || !ivs[0].Equal(Closed(1, 5)) || !ivs[1].Equal(Closed(7, 9)) {
+		t.Errorf("got %v, want [1,5] ∪ [7,9]", s)
+	}
+}
+
+func TestNewSetMergesAdjacent(t *testing.T) {
+	s := NewSet(Interval{Lo: 1, Hi: 3, HiOpen: true}, Closed(3, 5))
+	if len(s.Intervals()) != 1 || !s.Hull().Equal(Closed(1, 5)) {
+		t.Errorf("adjacent merge failed: %v", s)
+	}
+	// Open-open at the same boundary stays split (a <> 3 shape).
+	ne := NotEqual(3)
+	if len(ne.Intervals()) != 2 {
+		t.Errorf("NotEqual(3) = %v, want two intervals", ne)
+	}
+	if ne.Contains(3) || !ne.Contains(2.999) {
+		t.Error("NotEqual membership wrong")
+	}
+}
+
+func TestSetComplement(t *testing.T) {
+	s := NewSet(Closed(1, 3))
+	c := s.Complement()
+	want := NewSet(Below(1, true), Above(3, true))
+	if !c.Equal(want) {
+		t.Errorf("complement = %v, want %v", c, want)
+	}
+	if !FullSet().Complement().IsEmpty() {
+		t.Error("complement of full should be empty")
+	}
+	if !EmptySet().Complement().IsFull() {
+		t.Error("complement of empty should be full")
+	}
+	// De-Morgan-ish sanity on NotEqual.
+	if !NotEqual(5).Complement().Equal(NewSet(Point(5))) {
+		t.Errorf("complement of <>5 = %v, want {5}", NotEqual(5).Complement())
+	}
+}
+
+func TestSetIntersectUnion(t *testing.T) {
+	a := NewSet(Closed(0, 4), Closed(6, 10))
+	b := NewSet(Closed(3, 7))
+	got := a.Intersect(b)
+	want := NewSet(Closed(3, 4), Closed(6, 7))
+	if !got.Equal(want) {
+		t.Errorf("intersect = %v, want %v", got, want)
+	}
+	u := a.Union(b)
+	if !u.Equal(NewSet(Closed(0, 10))) {
+		t.Errorf("union = %v, want [0,10]", u)
+	}
+}
+
+func TestSetWidthAndHull(t *testing.T) {
+	s := NewSet(Closed(0, 2), Closed(5, 6))
+	if s.Width() != 3 {
+		t.Errorf("width = %v, want 3", s.Width())
+	}
+	if !s.Hull().Equal(Closed(0, 6)) {
+		t.Errorf("hull = %v, want [0,6]", s.Hull())
+	}
+}
+
+func TestSetClip(t *testing.T) {
+	s := NotEqual(5).Clip(Closed(0, 10))
+	want := NewSet(Interval{Lo: 0, Hi: 5, HiOpen: true}, Interval{Lo: 5, Hi: 10, LoOpen: true})
+	if !s.Equal(want) {
+		t.Errorf("clip = %v, want %v", s, want)
+	}
+}
+
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(4)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		ivs[i] = randInterval(r)
+	}
+	return NewSet(ivs...)
+}
+
+func TestPropSetDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		lhs := a.Union(b).Complement()
+		rhs := a.Complement().Intersect(b.Complement())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetComplementInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSet(r)
+		return a.Complement().Complement().Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetIntersectIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSet(r)
+		return a.Intersect(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		v := float64(r.Intn(25) - 12)
+		inUnion := a.Union(b).Contains(v) == (a.Contains(v) || b.Contains(v))
+		inInter := a.Intersect(b).Contains(v) == (a.Contains(v) && b.Contains(v))
+		inCompl := a.Complement().Contains(v) == !a.Contains(v)
+		return inUnion && inInter && inCompl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox()
+	b.Set("T.u", Closed(1, 8))
+	b.Constrain("T.u", Below(5, false))
+	if !b.Get("T.u").Equal(Closed(1, 5)) {
+		t.Errorf("constrain = %v, want [1,5]", b.Get("T.u"))
+	}
+	b.Extend("T.u", Closed(7, 9))
+	if !b.Get("T.u").Equal(Closed(1, 9)) {
+		t.Errorf("extend = %v, want [1,9]", b.Get("T.u"))
+	}
+	if !b.Get("T.v").IsFull() {
+		t.Error("unconstrained dim should be full")
+	}
+	if b.IsEmpty() {
+		t.Error("box should not be empty")
+	}
+	b.Constrain("T.w", Empty())
+	if !b.IsEmpty() {
+		t.Error("box with empty dim should be empty")
+	}
+}
+
+func TestBoxVolumeRatio(t *testing.T) {
+	content := NewBox()
+	content.Set("T.u", Closed(0, 10))
+	content.Set("T.v", Closed(0, 100))
+
+	access := NewBox()
+	access.Set("T.u", Closed(0, 5)) // half of content along u, unconstrained along v
+	if r := access.VolumeRatio(content); r != 0.5 {
+		t.Errorf("ratio = %v, want 0.5", r)
+	}
+	access.Set("T.v", Closed(0, 10)) // tenth along v
+	if r := access.VolumeRatio(content); r != 0.05 {
+		t.Errorf("ratio = %v, want 0.05", r)
+	}
+	// Area entirely outside content => 0 (empty-area clusters of Table 1).
+	empty := NewBox()
+	empty.Set("T.u", Closed(20, 30))
+	if r := empty.VolumeRatio(content); r != 0 {
+		t.Errorf("ratio = %v, want 0", r)
+	}
+}
+
+func TestBoxContainsPoint(t *testing.T) {
+	b := NewBox()
+	b.Set("T.u", Closed(0, 10))
+	b.Set("T.v", Above(5, true))
+	if !b.ContainsPoint(map[string]float64{"T.u": 3, "T.v": 6}) {
+		t.Error("point should be inside")
+	}
+	if b.ContainsPoint(map[string]float64{"T.u": 3, "T.v": 5}) {
+		t.Error("open boundary should exclude")
+	}
+	if b.ContainsPoint(map[string]float64{"T.u": 3}) {
+		t.Error("missing dim should exclude")
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	b := NewBox()
+	if b.String() != "⊤" {
+		t.Errorf("empty box string = %q", b.String())
+	}
+	b.Set("T.u", Closed(1, 2))
+	if b.String() != "T.u ∈ [1, 2]" {
+		t.Errorf("box string = %q", b.String())
+	}
+}
+
+func TestPropBoxVolumeRatioBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ref := NewBox()
+		box := NewBox()
+		dims := []string{"a", "b", "c"}
+		for _, d := range dims {
+			lo := float64(r.Intn(10))
+			ref.Set(d, Closed(lo, lo+1+float64(r.Intn(10))))
+			if r.Intn(3) > 0 {
+				blo := float64(r.Intn(12) - 1)
+				box.Set(d, Closed(blo, blo+float64(r.Intn(8))))
+			}
+		}
+		ratio := box.VolumeRatio(ref)
+		return ratio >= 0 && ratio <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBoxConstrainShrinks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBox()
+		b.Set("a", Closed(0, 10))
+		before := b.Get("a").Width()
+		b.Constrain("a", randInterval(r))
+		return b.Get("a").Width() <= before+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBoxExtendGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBox()
+		orig := randInterval(r)
+		b.Set("a", orig)
+		add := randInterval(r)
+		b.Extend("a", add)
+		got := b.Get("a")
+		return got.ContainsInterval(orig) && got.ContainsInterval(add)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

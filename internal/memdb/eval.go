@@ -1,0 +1,664 @@
+package memdb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sqlparser"
+)
+
+// aggContext carries the envs of one group during aggregate evaluation.
+type aggContext struct {
+	group []*env
+}
+
+// isAggregateQuery reports whether the statement needs grouped execution.
+func isAggregateQuery(sel *sqlparser.SelectStatement) bool {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return true
+	}
+	for _, item := range sel.Select {
+		if item.Expr != nil && exprHasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparser.FuncCall:
+		if x.IsAggregate() {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *sqlparser.BinaryExpr:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *sqlparser.UnaryExpr:
+		return exprHasAggregate(x.X)
+	case *sqlparser.CaseExpr:
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.When) || exprHasAggregate(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return exprHasAggregate(x.Else)
+		}
+	}
+	return false
+}
+
+// executeAggregate groups envs and evaluates aggregate projections/HAVING.
+func (db *DB) executeAggregate(sel *sqlparser.SelectStatement, envs []*env) (*ResultSet, error) {
+	groups := make(map[string][]*env)
+	var order []string
+	for _, e := range envs {
+		var key strings.Builder
+		for _, g := range sel.GroupBy {
+			v, err := db.evalScalar(g, e, nil)
+			if err != nil {
+				return nil, err
+			}
+			key.WriteString(v.String())
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	// A global aggregate without GROUP BY over zero rows still yields one
+	// group (COUNT(*) = 0).
+	if len(sel.GroupBy) == 0 && len(order) == 0 {
+		order = append(order, "")
+		groups[""] = nil
+	}
+	cols := db.projectionColumns(sel, envs)
+	rs := &ResultSet{Columns: cols}
+	type sortable struct {
+		row  []Value
+		keys []Value
+	}
+	var items []sortable
+	for _, k := range order {
+		group := groups[k]
+		agg := &aggContext{group: group}
+		var repr *env
+		if len(group) > 0 {
+			repr = group[0]
+		} else {
+			repr = &env{}
+		}
+		if sel.Having != nil {
+			ok, err := db.evalBool(sel.Having, repr, agg)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		row, err := db.projectRow(sel, repr, agg)
+		if err != nil {
+			return nil, err
+		}
+		var keys []Value
+		for _, o := range sel.OrderBy {
+			v, err := db.evalScalar(o.Expr, repr, agg)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		items = append(items, sortable{row, keys})
+	}
+	sortRows(items, sel.OrderBy, func(s sortable) []Value { return s.keys })
+	for _, it := range items {
+		rs.Rows = append(rs.Rows, it.row)
+	}
+	return rs, nil
+}
+
+// evalScalar evaluates an expression to a value.
+func (db *DB) evalScalar(e sqlparser.Expr, env *env, agg *aggContext) (Value, error) {
+	switch x := e.(type) {
+	case *sqlparser.NumberLit:
+		return N(x.Value), nil
+	case *sqlparser.StringLit:
+		return S(x.Value), nil
+	case *sqlparser.NullLit:
+		return NullValue(), nil
+	case *sqlparser.ParamRef:
+		return NullValue(), nil
+	case *sqlparser.ColumnRef:
+		if v, ok := env.lookup(x.Table, x.Name); ok {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("memdb: unknown column %q", x.Qualified())
+	case *sqlparser.UnaryExpr:
+		if x.Op == "-" {
+			v, err := db.evalScalar(x.X, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Kind != Num {
+				return NullValue(), nil
+			}
+			return N(-v.Num), nil
+		}
+		// NOT in scalar position: evaluate as Boolean 0/1.
+		ok, err := db.evalBool(x, env, agg)
+		if err != nil {
+			return Value{}, err
+		}
+		return N(boolToNum(ok)), nil
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*", "/", "%":
+			l, err := db.evalScalar(x.L, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			r, err := db.evalScalar(x.R, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			return arith(x.Op, l, r)
+		case "||":
+			l, err := db.evalScalar(x.L, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			r, err := db.evalScalar(x.R, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			if l.Kind == Null || r.Kind == Null {
+				return NullValue(), nil
+			}
+			return S(valueText(l) + valueText(r)), nil
+		default:
+			ok, err := db.evalBool(x, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			return N(boolToNum(ok)), nil
+		}
+	case *sqlparser.FuncCall:
+		return db.evalFunc(x, env, agg)
+	case *sqlparser.ScalarSubquery:
+		rs, err := db.execute(x.Sub, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(rs.Rows) == 0 || len(rs.Rows[0]) == 0 {
+			return NullValue(), nil
+		}
+		return rs.Rows[0][0], nil
+	case *sqlparser.CaseExpr:
+		return db.evalCase(x, env, agg)
+	default:
+		ok, err := db.evalBool(e, env, agg)
+		if err != nil {
+			return Value{}, err
+		}
+		return N(boolToNum(ok)), nil
+	}
+}
+
+func valueText(v Value) string {
+	if v.Kind == Num {
+		return fmt.Sprintf("%g", v.Num)
+	}
+	return v.Str
+}
+
+func boolToNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if l.Kind != Num || r.Kind != Num {
+		return NullValue(), nil
+	}
+	switch op {
+	case "+":
+		return N(l.Num + r.Num), nil
+	case "-":
+		return N(l.Num - r.Num), nil
+	case "*":
+		return N(l.Num * r.Num), nil
+	case "/":
+		if r.Num == 0 {
+			return NullValue(), nil
+		}
+		return N(l.Num / r.Num), nil
+	case "%":
+		if r.Num == 0 {
+			return NullValue(), nil
+		}
+		return N(math.Mod(l.Num, r.Num)), nil
+	}
+	return Value{}, fmt.Errorf("memdb: unknown arithmetic operator %q", op)
+}
+
+func (db *DB) evalCase(x *sqlparser.CaseExpr, env *env, agg *aggContext) (Value, error) {
+	for _, w := range x.Whens {
+		if x.Operand != nil {
+			op, err := db.evalScalar(x.Operand, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			wv, err := db.evalScalar(w.When, env, agg)
+			if err != nil {
+				return Value{}, err
+			}
+			if op.Equal(wv) {
+				return db.evalScalar(w.Then, env, agg)
+			}
+			continue
+		}
+		ok, err := db.evalBool(w.When, env, agg)
+		if err != nil {
+			return Value{}, err
+		}
+		if ok {
+			return db.evalScalar(w.Then, env, agg)
+		}
+	}
+	if x.Else != nil {
+		return db.evalScalar(x.Else, env, agg)
+	}
+	return NullValue(), nil
+}
+
+// evalFunc evaluates aggregates (over the group context) and a small set of
+// scalar functions.
+func (db *DB) evalFunc(fc *sqlparser.FuncCall, env *env, agg *aggContext) (Value, error) {
+	name := strings.ToUpper(fc.Name)
+	if fc.IsAggregate() {
+		if agg == nil {
+			return Value{}, fmt.Errorf("memdb: aggregate %s outside GROUP BY context", name)
+		}
+		return db.evalAggregate(fc, agg)
+	}
+	args := make([]Value, len(fc.Args))
+	for i, a := range fc.Args {
+		v, err := db.evalScalar(a, env, agg)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch name {
+	case "ABS":
+		if len(args) == 1 && args[0].Kind == Num {
+			return N(math.Abs(args[0].Num)), nil
+		}
+	case "SQRT":
+		if len(args) == 1 && args[0].Kind == Num && args[0].Num >= 0 {
+			return N(math.Sqrt(args[0].Num)), nil
+		}
+	case "FLOOR":
+		if len(args) == 1 && args[0].Kind == Num {
+			return N(math.Floor(args[0].Num)), nil
+		}
+	case "CEILING", "CEIL":
+		if len(args) == 1 && args[0].Kind == Num {
+			return N(math.Ceil(args[0].Num)), nil
+		}
+	case "UPPER":
+		if len(args) == 1 && args[0].Kind == Str {
+			return S(strings.ToUpper(args[0].Str)), nil
+		}
+	case "LOWER":
+		if len(args) == 1 && args[0].Kind == Str {
+			return S(strings.ToLower(args[0].Str)), nil
+		}
+	case "LEN", "LENGTH":
+		if len(args) == 1 && args[0].Kind == Str {
+			return N(float64(len(args[0].Str))), nil
+		}
+	case "LEFT":
+		if len(args) == 2 && args[0].Kind == Str && args[1].Kind == Num {
+			n := int(args[1].Num)
+			if n > len(args[0].Str) {
+				n = len(args[0].Str)
+			}
+			if n < 0 {
+				n = 0
+			}
+			return S(args[0].Str[:n]), nil
+		}
+	case "RIGHT":
+		if len(args) == 2 && args[0].Kind == Str && args[1].Kind == Num {
+			n := int(args[1].Num)
+			if n > len(args[0].Str) {
+				n = len(args[0].Str)
+			}
+			if n < 0 {
+				n = 0
+			}
+			return S(args[0].Str[len(args[0].Str)-n:]), nil
+		}
+	}
+	// Unknown function (e.g. a SkyServer UDF in scalar position): NULL.
+	return NullValue(), nil
+}
+
+func (db *DB) evalAggregate(fc *sqlparser.FuncCall, agg *aggContext) (Value, error) {
+	name := strings.ToUpper(fc.Name)
+	if name == "COUNT" && fc.Star {
+		return N(float64(len(agg.group))), nil
+	}
+	if len(fc.Args) != 1 {
+		return Value{}, fmt.Errorf("memdb: %s expects one argument", name)
+	}
+	var vals []Value
+	seen := map[string]struct{}{}
+	for _, e := range agg.group {
+		v, err := db.evalScalar(fc.Args[0], e, nil)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind == Null {
+			continue
+		}
+		if fc.Distinct {
+			k := v.String()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		vals = append(vals, v)
+	}
+	switch name {
+	case "COUNT":
+		return N(float64(len(vals))), nil
+	case "SUM":
+		if len(vals) == 0 {
+			return NullValue(), nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v.Num
+		}
+		return N(sum), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return NullValue(), nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v.Num
+		}
+		return N(sum / float64(len(vals))), nil
+	case "MIN":
+		return extremum(vals, true), nil
+	case "MAX":
+		return extremum(vals, false), nil
+	}
+	return Value{}, fmt.Errorf("memdb: unknown aggregate %s", name)
+}
+
+func extremum(vals []Value, min bool) Value {
+	if len(vals) == 0 {
+		return NullValue()
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		c, ok := v.Compare(best)
+		if !ok {
+			continue
+		}
+		if (min && c < 0) || (!min && c > 0) {
+			best = v
+		}
+	}
+	return best
+}
+
+// evalBool evaluates a Boolean expression (two-valued logic; NULL
+// comparisons are false).
+func (db *DB) evalBool(e sqlparser.Expr, env *env, agg *aggContext) (bool, error) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, err := db.evalBool(x.L, env, agg)
+			if err != nil || !l {
+				return false, err
+			}
+			return db.evalBool(x.R, env, agg)
+		case "OR":
+			l, err := db.evalBool(x.L, env, agg)
+			if err != nil || l {
+				return l, err
+			}
+			return db.evalBool(x.R, env, agg)
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := db.evalScalar(x.L, env, agg)
+			if err != nil {
+				return false, err
+			}
+			r, err := db.evalScalar(x.R, env, agg)
+			if err != nil {
+				return false, err
+			}
+			return compareValues(x.Op, l, r), nil
+		default:
+			v, err := db.evalScalar(x, env, agg)
+			if err != nil {
+				return false, err
+			}
+			return v.Kind == Num && v.Num != 0, nil
+		}
+	case *sqlparser.UnaryExpr:
+		if x.Op == "NOT" {
+			inner, err := db.evalBool(x.X, env, agg)
+			return !inner, err
+		}
+		v, err := db.evalScalar(x, env, agg)
+		if err != nil {
+			return false, err
+		}
+		return v.Kind == Num && v.Num != 0, nil
+	case *sqlparser.BetweenExpr:
+		v, err := db.evalScalar(x.X, env, agg)
+		if err != nil {
+			return false, err
+		}
+		lo, err := db.evalScalar(x.Lo, env, agg)
+		if err != nil {
+			return false, err
+		}
+		hi, err := db.evalScalar(x.Hi, env, agg)
+		if err != nil {
+			return false, err
+		}
+		res := compareValues(">=", v, lo) && compareValues("<=", v, hi)
+		if x.Not {
+			res = !res
+		}
+		return res, nil
+	case *sqlparser.InListExpr:
+		v, err := db.evalScalar(x.X, env, agg)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for _, item := range x.List {
+			iv, err := db.evalScalar(item, env, agg)
+			if err != nil {
+				return false, err
+			}
+			if v.Equal(iv) {
+				found = true
+				break
+			}
+		}
+		if x.Not {
+			return !found, nil
+		}
+		return found, nil
+	case *sqlparser.InSubqueryExpr:
+		v, err := db.evalScalar(x.X, env, agg)
+		if err != nil {
+			return false, err
+		}
+		rs, err := db.execute(x.Sub, env)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for _, row := range rs.Rows {
+			if len(row) > 0 && v.Equal(row[0]) {
+				found = true
+				break
+			}
+		}
+		if x.Not {
+			return !found, nil
+		}
+		return found, nil
+	case *sqlparser.ExistsExpr:
+		rs, err := db.execute(x.Sub, env)
+		if err != nil {
+			return false, err
+		}
+		res := len(rs.Rows) > 0
+		if x.Not {
+			res = !res
+		}
+		return res, nil
+	case *sqlparser.QuantifiedExpr:
+		v, err := db.evalScalar(x.X, env, agg)
+		if err != nil {
+			return false, err
+		}
+		rs, err := db.execute(x.Sub, env)
+		if err != nil {
+			return false, err
+		}
+		if x.All {
+			for _, row := range rs.Rows {
+				if len(row) == 0 || !compareValues(x.Op, v, row[0]) {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		for _, row := range rs.Rows {
+			if len(row) > 0 && compareValues(x.Op, v, row[0]) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *sqlparser.LikeExpr:
+		v, err := db.evalScalar(x.X, env, agg)
+		if err != nil {
+			return false, err
+		}
+		p, err := db.evalScalar(x.Pattern, env, agg)
+		if err != nil {
+			return false, err
+		}
+		if v.Kind != Str || p.Kind != Str {
+			return false, nil
+		}
+		res := likeMatch(p.Str, v.Str)
+		if x.Not {
+			res = !res
+		}
+		return res, nil
+	case *sqlparser.IsNullExpr:
+		v, err := db.evalScalar(x.X, env, agg)
+		if err != nil {
+			return false, err
+		}
+		res := v.Kind == Null
+		if x.Not {
+			res = !res
+		}
+		return res, nil
+	default:
+		v, err := db.evalScalar(e, env, agg)
+		if err != nil {
+			return false, err
+		}
+		return v.Kind == Num && v.Num != 0, nil
+	}
+}
+
+func compareValues(op string, l, r Value) bool {
+	if op == "=" {
+		return l.Equal(r)
+	}
+	if op == "<>" {
+		if l.Kind == Null || r.Kind == Null {
+			return false
+		}
+		return !l.Equal(r)
+	}
+	c, ok := l.Compare(r)
+	if !ok {
+		return false
+	}
+	switch op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(pattern, s string) bool {
+	return likeRec(pattern, s)
+}
+
+func likeRec(p, s string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(p[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(p[1:], s[1:])
+	default:
+		return s != "" && equalFoldByte(s[0], p[0]) && likeRec(p[1:], s[1:])
+	}
+}
+
+func equalFoldByte(a, b byte) bool {
+	la, lb := a, b
+	if la >= 'A' && la <= 'Z' {
+		la += 'a' - 'A'
+	}
+	if lb >= 'A' && lb <= 'Z' {
+		lb += 'a' - 'A'
+	}
+	return la == lb
+}

@@ -1,0 +1,61 @@
+package memdb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RateLimitError simulates SkyServer's "Maximum 60 queries allowed per
+// minute" error (quoted in Section 2.3).
+type RateLimitError struct {
+	PerMinute int
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("Maximum %d queries allowed per minute", e.PerMinute)
+}
+
+// RateLimiter enforces a per-user sliding-window query quota, mimicking the
+// operational constraint that makes re-issuing the whole log against the
+// live database impractical (Sections 1 and 6.6). Timestamps are logical
+// seconds supplied by the caller so simulations stay deterministic.
+type RateLimiter struct {
+	PerMinute int
+
+	mu      sync.Mutex
+	history map[string][]int64
+}
+
+// NewRateLimiter returns a limiter allowing perMinute queries per user per
+// 60 logical seconds.
+func NewRateLimiter(perMinute int) *RateLimiter {
+	return &RateLimiter{PerMinute: perMinute, history: make(map[string][]int64)}
+}
+
+// Allow records a query by user at logical time ts (seconds) and reports
+// whether it is within quota. Denied queries are not recorded.
+func (rl *RateLimiter) Allow(user string, ts int64) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	window := rl.history[user]
+	// Evict entries older than 60 seconds.
+	cut := 0
+	for cut < len(window) && window[cut] <= ts-60 {
+		cut++
+	}
+	window = window[cut:]
+	if len(window) >= rl.PerMinute {
+		rl.history[user] = window
+		return false
+	}
+	rl.history[user] = append(window, ts)
+	return true
+}
+
+// Check is Allow returning the SkyServer-style error on denial.
+func (rl *RateLimiter) Check(user string, ts int64) error {
+	if !rl.Allow(user, ts) {
+		return &RateLimitError{PerMinute: rl.PerMinute}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package olapclus re-implements the decision-relevant behaviour of the
+// OLAPClus comparator [4] used in Sections 6.4 and 6.5:
+//
+//   - the structural distance with EXACT matching of atomic predicates
+//     (Section 6.4) — two predicates either match verbatim or not at all, so
+//     "Photoz.objid = c1" and "Photoz.objid = c2" never land in the same
+//     cluster and the equality-heavy population shatters into one cluster
+//     per distinct constant;
+//   - the hybrid of Section 6.5 that reuses the paper's d_conj but on RAW
+//     (untransformed) predicates: no NOT push-down, no outer-join or
+//     HAVING mapping, no EXISTS flattening, no consolidation. Queries whose
+//     surface predicates differ (e.g. a vacuous "HAVING COUNT(*) > 1"
+//     variant of a plain range query) then fail to cluster together.
+package olapclus
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dbscan"
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/predicate"
+	"repro/internal/schema"
+	"repro/internal/sqlparser"
+)
+
+// ExactDistance is the Section 6.4 structural distance: Jaccard distance
+// over the relation sets plus Jaccard distance over the exact predicate
+// keys. Identical queries have distance 0; queries differing in any
+// constant share fewer keys and drift apart.
+func ExactDistance(a, b *extract.AccessArea) float64 {
+	dt := jaccard(a.Relations, b.Relations)
+	ka, kb := predKeys(a.CNF), predKeys(b.CNF)
+	return dt + jaccard(ka, kb)
+}
+
+func predKeys(c predicate.CNF) []string {
+	set := make(map[string]struct{})
+	for _, cl := range c {
+		for _, p := range cl {
+			set[p.Key()] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	setB := make(map[string]struct{}, len(b))
+	for _, s := range b {
+		setB[s] = struct{}{}
+	}
+	inter := 0
+	for _, s := range a {
+		if _, ok := setB[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// ClusterExact runs DBSCAN under the exact-matching distance over
+// deduplicated access areas (weights = multiplicities) and returns the
+// number of clusters — the statistic Section 6.4 compares (~100,000
+// clusters for the paper's Cluster 1 vs 1 for our method).
+func ClusterExact(areas []*extract.AccessArea, weights []int, eps float64, minPts int) *dbscan.Result {
+	return dbscan.Cluster(len(areas), func(i, j int) float64 {
+		return ExactDistance(areas[i], areas[j])
+	}, dbscan.Config{Eps: eps, MinPts: minPts, Weights: weights})
+}
+
+// RawArea extracts the "predicates as-is" representation of a query used by
+// the Section 6.5 hybrid: relations from the FROM clause only, and a flat
+// conjunction of every atomic predicate found anywhere in the statement —
+// including join conditions of outer joins, HAVING aggregates (as opaque
+// pseudo-columns like "SUM(T.v)") and subquery predicates — with no
+// semantic transformation. Column names are canonicalised against sc (name
+// resolution is not a transformation; OLAPClus needs it too), aggregate
+// pseudo-columns stay as written.
+func RawArea(sc *schema.Schema, sel *sqlparser.SelectStatement) *extract.AccessArea {
+	rc := &rawCollector{schema: sc}
+	rc.collectSelect(sel)
+	sort.Strings(rc.relations)
+	cnf := make(predicate.CNF, 0, len(rc.preds))
+	for _, p := range rc.preds {
+		cnf = append(cnf, predicate.Clause{p})
+	}
+	return &extract.AccessArea{Relations: dedupe(rc.relations), CNF: cnf, Exact: false}
+}
+
+// RawAreaSQL parses and raw-extracts a statement.
+func RawAreaSQL(sc *schema.Schema, src string) (*extract.AccessArea, error) {
+	sel, err := sqlparser.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	return RawArea(sc, sel), nil
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]struct{}, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+type rawCollector struct {
+	schema    *schema.Schema
+	relations []string
+	preds     []predicate.Pred
+}
+
+func (rc *rawCollector) collectSelect(sel *sqlparser.SelectStatement) {
+	for _, te := range sel.From {
+		rc.collectTable(te)
+	}
+	if sel.Where != nil {
+		rc.collectExpr(sel.Where)
+	}
+	if sel.Having != nil {
+		rc.collectExpr(sel.Having)
+	}
+	for _, arm := range sel.Unions {
+		rc.collectSelect(arm.Select)
+	}
+}
+
+func (rc *rawCollector) collectTable(te sqlparser.TableExpr) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		name := t.Name
+		if i := strings.LastIndex(name, "."); i >= 0 {
+			name = name[i+1:]
+		}
+		rc.relations = append(rc.relations, name)
+	case *sqlparser.Join:
+		rc.collectTable(t.Left)
+		rc.collectTable(t.Right)
+		if t.On != nil {
+			// Raw handling keeps the ON condition regardless of join type —
+			// precisely what loses the FULL OUTER JOIN semantics.
+			rc.collectExpr(t.On)
+		}
+	case *sqlparser.SubqueryTable:
+		rc.collectSelect(t.Select)
+	}
+}
+
+func (rc *rawCollector) collectExpr(e sqlparser.Expr) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR":
+			rc.collectExpr(x.L)
+			rc.collectExpr(x.R)
+		case "=", "<>", "<", "<=", ">", ">=":
+			rc.collectComparison(x)
+		}
+	case *sqlparser.UnaryExpr:
+		// Raw: NOT is ignored, inner predicates kept as-is.
+		rc.collectExpr(x.X)
+	case *sqlparser.BetweenExpr:
+		rc.collectComparison(&sqlparser.BinaryExpr{Op: ">=", L: x.X, R: x.Lo})
+		rc.collectComparison(&sqlparser.BinaryExpr{Op: "<=", L: x.X, R: x.Hi})
+	case *sqlparser.InListExpr:
+		for _, item := range x.List {
+			rc.collectComparison(&sqlparser.BinaryExpr{Op: "=", L: x.X, R: item})
+		}
+	case *sqlparser.InSubqueryExpr:
+		rc.collectSelect(x.Sub)
+	case *sqlparser.ExistsExpr:
+		rc.collectSelect(x.Sub)
+	case *sqlparser.QuantifiedExpr:
+		rc.collectSelect(x.Sub)
+	case *sqlparser.ScalarSubquery:
+		rc.collectSelect(x.Sub)
+	case *sqlparser.LikeExpr:
+		if cr, ok := x.X.(*sqlparser.ColumnRef); ok {
+			if pat, ok := x.Pattern.(*sqlparser.StringLit); ok {
+				rc.preds = append(rc.preds, predicate.CC(rc.rawName(cr), predicate.Eq, predicate.Str(pat.Value)))
+			}
+		}
+	}
+}
+
+func (rc *rawCollector) collectComparison(b *sqlparser.BinaryExpr) {
+	op, ok := predicate.ParseOp(b.Op)
+	if !ok {
+		return
+	}
+	lcol, lIsCol := rc.rawOperandName(b.L)
+	rcol, rIsCol := rc.rawOperandName(b.R)
+	lval, lIsVal := rawConst(b.L)
+	rval, rIsVal := rawConst(b.R)
+	switch {
+	case lIsCol && rIsVal:
+		rc.preds = append(rc.preds, predicate.CC(lcol, op, rval))
+	case lIsVal && rIsCol:
+		rc.preds = append(rc.preds, predicate.CC(rcol, op.Flip(), lval))
+	case lIsCol && rIsCol:
+		rc.preds = append(rc.preds, predicate.Cols(lcol, op, rcol))
+	}
+	// Subqueries inside comparisons still contribute their own predicates.
+	if sub, ok := b.R.(*sqlparser.ScalarSubquery); ok {
+		rc.collectSelect(sub.Sub)
+	}
+	if sub, ok := b.L.(*sqlparser.ScalarSubquery); ok {
+		rc.collectSelect(sub.Sub)
+	}
+}
+
+// rawOperandName names a column operand, including aggregate pseudo-columns
+// ("COUNT(*)", "SUM(T.v)") — the raw representation does not interpret
+// them.
+func (rc *rawCollector) rawOperandName(e sqlparser.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		return rc.rawName(x), true
+	case *sqlparser.FuncCall:
+		return sqlparser.FormatExpr(x), true
+	}
+	return "", false
+}
+
+func (rc *rawCollector) rawName(c *sqlparser.ColumnRef) string {
+	if rc.schema == nil {
+		return c.Qualified()
+	}
+	if c.Table != "" {
+		if r := rc.schema.Relation(c.Table); r != nil {
+			return r.QualifiedColumn(c.Name)
+		}
+		return c.Qualified()
+	}
+	return rc.schema.ResolveColumn(c.Name, rc.relations)
+}
+
+func rawConst(e sqlparser.Expr) (predicate.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparser.NumberLit:
+		return predicate.NumberText(x.Value, x.Text), true
+	case *sqlparser.StringLit:
+		return predicate.Str(x.Value), true
+	}
+	return predicate.Value{}, false
+}
+
+// ClusterRawConj clusters raw areas with the paper's d_conj/d_tables metric
+// (the Section 6.5 hybrid).
+func ClusterRawConj(areas []*extract.AccessArea, weights []int, metric *distance.Metric, eps float64, minPts int) *dbscan.Result {
+	profiles := make([]*distance.Profile, len(areas))
+	for i, a := range areas {
+		profiles[i] = metric.Profile(a)
+	}
+	return dbscan.Cluster(len(areas), func(i, j int) float64 {
+		return metric.ProfileDistance(profiles[i], profiles[j])
+	}, dbscan.Config{Eps: eps, MinPts: minPts, Weights: weights})
+}

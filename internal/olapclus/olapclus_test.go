@@ -1,0 +1,186 @@
+package olapclus
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/schema"
+	"repro/internal/skyserver"
+)
+
+func TestExactDistanceIdenticalVsDifferentConstants(t *testing.T) {
+	ex := extract.New(skyserver.Schema())
+	a1, _ := ex.ExtractSQL("SELECT z FROM Photoz WHERE objid = 100")
+	a2, _ := ex.ExtractSQL("SELECT z FROM Photoz WHERE objid = 100")
+	a3, _ := ex.ExtractSQL("SELECT z FROM Photoz WHERE objid = 200")
+	if d := ExactDistance(a1, a2); d != 0 {
+		t.Errorf("identical areas d = %v", d)
+	}
+	if d := ExactDistance(a1, a3); d != 1 {
+		t.Errorf("different constants d = %v, want 1 (no shared predicate)", d)
+	}
+}
+
+// TestExactShattersEqualityCluster reproduces Section 6.4: what our method
+// groups into a single cluster, exact matching splits into one cluster per
+// distinct constant.
+func TestExactShattersEqualityCluster(t *testing.T) {
+	ex := extract.New(skyserver.Schema())
+	var areas []*extract.AccessArea
+	var weights []int
+	distinct := 50
+	for i := 0; i < distinct; i++ {
+		a, err := ex.ExtractSQL(fmt.Sprintf("SELECT z FROM Photoz WHERE objid = %d", 1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas = append(areas, a)
+		weights = append(weights, 10) // 10 identical queries each
+	}
+	res := ClusterExact(areas, weights, 0.1, 8)
+	if res.NumClusters != distinct {
+		t.Errorf("exact clusters = %d, want %d (one per constant)", res.NumClusters, distinct)
+	}
+
+	// Our distance groups them all (given seeded access stats).
+	stats := schema.NewStats()
+	db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: 200, Seed: 1})
+	skyserver.SeedStats(db, stats)
+	m := &distance.Metric{Stats: stats}
+	ours := ClusterRawConj(areas, weights, m, 0.06, 8)
+	if ours.NumClusters != 1 {
+		t.Errorf("our clusters = %d, want 1", ours.NumClusters)
+	}
+}
+
+func TestRawAreaKeepsPredicatesAsIs(t *testing.T) {
+	// FULL OUTER JOIN: the exact mapping drops the ON constraint
+	// (Example 2); the raw representation keeps it.
+	raw, err := RawAreaSQL(skyserver.Schema(), "SELECT * FROM galSpecExtra FULL OUTER JOIN galSpecIndx ON galSpecExtra.specobjid = galSpecIndx.specObjID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.CNF) != 1 {
+		t.Errorf("raw CNF = %s, want the join predicate kept", raw.CNF)
+	}
+	ex := extract.New(skyserver.Schema())
+	mapped, _ := ex.ExtractSQL("SELECT * FROM galSpecExtra FULL OUTER JOIN galSpecIndx ON galSpecExtra.specobjid = galSpecIndx.specObjID")
+	if !mapped.CNF.IsTrue() {
+		t.Errorf("mapped CNF = %s, want TRUE", mapped.CNF)
+	}
+}
+
+func TestRawAreaKeepsHavingAggregates(t *testing.T) {
+	raw, err := RawAreaSQL(skyserver.Schema(), "SELECT specobjid, COUNT(*) FROM galSpecLine WHERE specobjid >= 10 GROUP BY specobjid HAVING COUNT(*) > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cl := range raw.CNF {
+		for _, p := range cl {
+			if p.Column == "COUNT(*)" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("raw CNF = %s, want COUNT(*) pseudo-column kept", raw.CNF)
+	}
+}
+
+func TestRawAreaIgnoresNot(t *testing.T) {
+	// NOT (x < 5) raw-extracts as x < 5 — the semantic inversion is lost.
+	raw, err := RawAreaSQL(skyserver.Schema(), "SELECT * FROM Photoz WHERE NOT (z < 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.CNF) != 1 || raw.CNF[0][0].Op.String() != "<" {
+		t.Errorf("raw CNF = %s", raw.CNF)
+	}
+}
+
+// TestRawConjBreaksVariantClusters reproduces Section 6.5: clusters whose
+// members mix plain and transformed forms fragment when predicates are used
+// as-is.
+func TestRawConjBreaksVariantClusters(t *testing.T) {
+	stats := schema.NewStats()
+	db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: 200, Seed: 1})
+	skyserver.SeedStats(db, stats)
+	metric := &distance.Metric{Stats: stats}
+	ex := extract.New(skyserver.Schema())
+
+	// 30 plain range queries + 30 vacuous-HAVING variants over the same
+	// window.
+	var sqls []string
+	for i := 0; i < 30; i++ {
+		lo := 1400000000000000000 + int64(i)*1e15
+		hi := lo + 2e16
+		sqls = append(sqls, fmt.Sprintf("SELECT * FROM galSpecLine WHERE specobjid BETWEEN %d AND %d", lo, hi))
+		sqls = append(sqls, fmt.Sprintf("SELECT specobjid, COUNT(*) FROM galSpecLine WHERE specobjid BETWEEN %d AND %d GROUP BY specobjid HAVING COUNT(*) > 1", lo, hi))
+	}
+	var mapped, raw []*extract.AccessArea
+	var weights []int
+	for _, q := range sqls {
+		ma, err := ex.ExtractSQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RawAreaSQL(skyserver.Schema(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped = append(mapped, ma)
+		raw = append(raw, ra)
+		weights = append(weights, 1)
+	}
+	oursRes := ClusterRawConj(mapped, weights, metric, 0.06, 8)
+	rawRes := ClusterRawConj(raw, weights, metric, 0.06, 8)
+	if oursRes.NumClusters != 1 {
+		t.Errorf("mapped clusters = %d, want 1", oursRes.NumClusters)
+	}
+	// Raw representation separates plain from HAVING forms (or drops one
+	// population to noise): it must NOT produce a single unified cluster.
+	if rawRes.NumClusters == 1 && rawRes.NoiseCount() == 0 {
+		t.Errorf("raw clusters = %d with no noise — variants should fragment", rawRes.NumClusters)
+	}
+}
+
+func TestRawAreaCollectsAllPredicateShapes(t *testing.T) {
+	raw, err := RawAreaSQL(skyserver.Schema(), `SELECT * FROM SpecObjAll
+		WHERE plate BETWEEN 100 AND 200
+		AND class LIKE 'STAR'
+		AND mjd IN (51578, 51579)
+		AND z > ANY (SELECT z FROM Photoz WHERE z < 0.5)
+		AND ra = (SELECT ra FROM zooSpec WHERE dec > 60)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, cl := range raw.CNF {
+		for _, p := range cl {
+			keys[p.Column] = true
+			if p.Kind == 1 { // column-column
+				keys[p.Column2] = true
+			}
+		}
+	}
+	// Raw resolution has no scoping: subquery columns resolve against the
+	// first relation that has them (SpecObjAll here) — part of what makes
+	// the raw representation lossy.
+	for _, want := range []string{"SpecObjAll.plate", "SpecObjAll.class", "SpecObjAll.mjd", "SpecObjAll.z", "SpecObjAll.dec"} {
+		if !keys[want] {
+			t.Errorf("raw predicates missing %s: %s", want, raw.CNF)
+		}
+	}
+	// Relations include subquery relations (deduplicated, input order kept
+	// per collect order then deduped).
+	joined := strings.Join(raw.Relations, ",")
+	for _, want := range []string{"SpecObjAll", "Photoz", "zooSpec"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("relations = %v, missing %s", raw.Relations, want)
+		}
+	}
+}

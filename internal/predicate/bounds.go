@@ -1,0 +1,65 @@
+package predicate
+
+import (
+	"repro/internal/interval"
+)
+
+// Bounds computes, for every numeric column, the projection of the CNF onto
+// that column as an interval set: the set of values the column can take in a
+// tuple satisfying the constraint. Clauses whose predicates all concern the
+// same single column contribute the union of their predicate sets; clauses
+// spanning several columns (or containing column-column / string predicates)
+// do not constrain any single column and are skipped. The result is thus a
+// sound over-approximation of the true projection.
+//
+// Bounds feeds (a) the effective-domain computation of the aggregate-query
+// lemmas (Section 4.3: dom(T.v) intersected with WHERE-derived bounds) and
+// (b) the bounding boxes of aggregated access areas (Section 6.2).
+func Bounds(c CNF) map[string]interval.Set {
+	out := make(map[string]interval.Set)
+	for _, cl := range c {
+		col, set, ok := clauseColumnSet(cl)
+		if !ok {
+			continue
+		}
+		if cur, exists := out[col]; exists {
+			out[col] = cur.Intersect(set)
+		} else {
+			out[col] = set
+		}
+	}
+	return out
+}
+
+// clauseColumnSet returns the single column a clause constrains and the
+// union of its predicate value sets; ok is false when the clause references
+// several columns or contains non-interval predicates.
+func clauseColumnSet(cl Clause) (string, interval.Set, bool) {
+	if len(cl) == 0 {
+		return "", interval.Set{}, false
+	}
+	col := ""
+	set := interval.EmptySet()
+	for _, p := range cl {
+		s, ok := p.Interval()
+		if !ok {
+			return "", interval.Set{}, false
+		}
+		if col == "" {
+			col = p.Column
+		} else if col != p.Column {
+			return "", interval.Set{}, false
+		}
+		set = set.Union(s)
+	}
+	return col, set, true
+}
+
+// BoundsBox converts per-column bounds to a Box using each set's hull.
+func BoundsBox(bounds map[string]interval.Set) *interval.Box {
+	box := interval.NewBox()
+	for col, set := range bounds {
+		box.Set(col, set.Hull())
+	}
+	return box
+}

@@ -1,0 +1,73 @@
+package predicate
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func TestBoundsProjection(t *testing.T) {
+	// (a >= 1) AND (a <= 8) AND (b < 3 OR b > 7) AND (a < 5 OR c = 2)
+	c := CNF{
+		{CC("a", Ge, Number(1))},
+		{CC("a", Le, Number(8))},
+		{CC("b", Lt, Number(3)), CC("b", Gt, Number(7))},
+		{CC("a", Lt, Number(5)), CC("c", Eq, Number(2))}, // multi-column: skipped
+	}
+	b := Bounds(c)
+	if !b["a"].Hull().Equal(interval.Closed(1, 8)) {
+		t.Errorf("a = %v", b["a"])
+	}
+	// b's clause is a same-column disjunction: union of two rays.
+	if b["b"].Contains(5) || !b["b"].Contains(2) || !b["b"].Contains(8) {
+		t.Errorf("b = %v", b["b"])
+	}
+	if _, ok := b["c"]; ok {
+		t.Error("multi-column clause must not constrain c")
+	}
+}
+
+func TestBoundsSkipsNonInterval(t *testing.T) {
+	c := CNF{
+		{Cols("a", Eq, "b")},
+		{CC("s", Eq, Str("x"))},
+	}
+	if len(Bounds(c)) != 0 {
+		t.Errorf("bounds = %v", Bounds(c))
+	}
+}
+
+func TestBoundsBox(t *testing.T) {
+	c := CNF{
+		{CC("a", Ge, Number(1))},
+		{CC("a", Le, Number(8))},
+	}
+	box := BoundsBox(Bounds(c))
+	if !box.Get("a").Equal(interval.Closed(1, 8)) {
+		t.Errorf("box = %v", box)
+	}
+}
+
+func TestExprStringAndLeafColumns(t *testing.T) {
+	e := NewAnd(
+		NewOr(NewLeaf(CC("a", Lt, Number(1))), NewLeaf(CC("b", Gt, Number(2)))),
+		NewNot(NewLeaf(Cols("a", Eq, "c"))),
+	)
+	s := ExprString(e)
+	if s == "" || s == "?" {
+		t.Errorf("string = %q", s)
+	}
+	cols := LeafColumns(e)
+	if len(cols) != 3 || cols[0] != "a" || cols[1] != "b" || cols[2] != "c" {
+		t.Errorf("cols = %v", cols)
+	}
+}
+
+func TestCNFClone(t *testing.T) {
+	c := CNF{{CC("a", Lt, Number(1)), CC("b", Gt, Number(2))}}
+	d := c.Clone()
+	d[0][0] = CC("z", Eq, Number(9))
+	if c[0][0].Column != "a" {
+		t.Error("clone is not deep")
+	}
+}

@@ -1,0 +1,275 @@
+package predicate
+
+import (
+	"sort"
+	"strings"
+)
+
+// Clause is a disjunction of atomic predicates.
+type Clause []Pred
+
+// CNF is a conjunction of clauses: the normal form F(p1, ..., pK) of the
+// intermediate format (Section 2.4). An empty CNF is TRUE. A CNF containing
+// an empty clause is FALSE (unsatisfiable constraint, i.e. empty access
+// area).
+type CNF []Clause
+
+// DefaultPredCap is the paper's workaround bound on the number of atomic
+// predicates fed to the exponential CNF conversion (Section 6.6).
+const DefaultPredCap = 35
+
+// ToCNF converts an arbitrary Boolean expression to CNF. The expression is
+// first brought to NNF (inverting predicates under NOT); if it contains more
+// than cap atomic predicates it is truncated per the Section 6.6 workaround
+// and truncated=true is reported. cap <= 0 disables the cap.
+func ToCNF(e Expr, cap int) (cnf CNF, truncated bool) {
+	n := ToNNF(e)
+	n, truncated = Truncate(n, cap)
+	// Truncation can introduce TRUE leaves; re-normalise via NNF builders.
+	return distribute(n), truncated
+}
+
+// distribute converts an NNF expression to CNF by distributing OR over AND.
+func distribute(e Expr) CNF {
+	switch x := e.(type) {
+	case *Leaf:
+		switch x.P.Kind {
+		case TruePred:
+			return CNF{}
+		case FalsePred:
+			return CNF{{}}
+		default:
+			return CNF{{x.P}}
+		}
+	case *And:
+		var out CNF
+		for _, k := range x.Kids {
+			out = append(out, distribute(k)...)
+		}
+		return out.normalize()
+	case *Or:
+		// CNF(a OR b) = { ca ∪ cb : ca ∈ CNF(a), cb ∈ CNF(b) }.
+		out := CNF{{}}
+		for _, k := range x.Kids {
+			kc := distribute(k)
+			if len(kc) == 0 { // TRUE: whole disjunction is TRUE
+				return CNF{}
+			}
+			var next CNF
+			for _, ca := range out {
+				for _, cb := range kc {
+					merged := make(Clause, 0, len(ca)+len(cb))
+					merged = append(merged, ca...)
+					merged = append(merged, cb...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out.normalize()
+	case *Not:
+		// NNF guarantees no Not nodes; fall back defensively.
+		return distribute(ToNNF(x))
+	default:
+		return CNF{}
+	}
+}
+
+// keyedClause pairs a clause with its precomputed per-predicate keys and
+// joined clause key, so normalisation never re-derives key strings (the hot
+// path of the CNF conversion, see BenchmarkCNFBlowupUncapped).
+type keyedClause struct {
+	preds Clause
+	keys  []string
+	key   string
+}
+
+// normalize deduplicates predicates within clauses, drops tautological
+// clauses (containing TRUE or both p and NOT p), deduplicates clauses, and
+// applies absorption (a clause that is a superset of another is redundant).
+func (c CNF) normalize() CNF {
+	var clauses []keyedClause
+	seen := make(map[string]struct{})
+	for _, cl := range c {
+		norm, taut := normalizeClause(cl)
+		if taut {
+			continue
+		}
+		if _, dup := seen[norm.key]; dup {
+			continue
+		}
+		seen[norm.key] = struct{}{}
+		clauses = append(clauses, norm)
+	}
+	// Absorption: remove clauses that are supersets of another clause.
+	// Sorting by (length, key) also makes the final clause order
+	// deterministic.
+	sort.Slice(clauses, func(i, j int) bool {
+		if len(clauses[i].preds) != len(clauses[j].preds) {
+			return len(clauses[i].preds) < len(clauses[j].preds)
+		}
+		return clauses[i].key < clauses[j].key
+	})
+	var out CNF
+	for i := range clauses {
+		cl := &clauses[i]
+		absorbed := false
+		var keySet map[string]struct{}
+		for j := 0; j < i && !absorbed; j++ {
+			if len(clauses[j].preds) >= len(cl.preds) {
+				continue
+			}
+			if keySet == nil {
+				keySet = make(map[string]struct{}, len(cl.keys))
+				for _, k := range cl.keys {
+					keySet[k] = struct{}{}
+				}
+			}
+			subset := true
+			for _, k := range clauses[j].keys {
+				if _, ok := keySet[k]; !ok {
+					subset = false
+					break
+				}
+			}
+			absorbed = subset
+		}
+		if !absorbed {
+			out = append(out, cl.preds)
+		}
+	}
+	return out
+}
+
+// normalizeClause deduplicates predicates, removes FALSE, and reports a
+// tautology when TRUE is present or a predicate and its inversion co-occur.
+// The returned clause is sorted by key and carries its keys.
+func normalizeClause(cl Clause) (keyedClause, bool) {
+	type entry struct {
+		p   Pred
+		key string
+	}
+	entries := make([]entry, 0, len(cl))
+	keys := make(map[string]struct{}, len(cl))
+	for _, p := range cl {
+		switch p.Kind {
+		case TruePred:
+			return keyedClause{}, true
+		case FalsePred:
+			continue
+		}
+		k := p.Key()
+		if _, dup := keys[k]; dup {
+			continue
+		}
+		if _, hasInv := keys[p.Invert().Key()]; hasInv {
+			return keyedClause{}, true
+		}
+		keys[k] = struct{}{}
+		entries = append(entries, entry{p, k})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	out := keyedClause{
+		preds: make(Clause, len(entries)),
+		keys:  make([]string, len(entries)),
+	}
+	for i, e := range entries {
+		out.preds[i] = e.p
+		out.keys[i] = e.key
+	}
+	out.key = strings.Join(out.keys, "|")
+	return out, false
+}
+
+func clauseKey(cl Clause) string {
+	parts := make([]string, len(cl))
+	for i, p := range cl {
+		parts[i] = p.Key()
+	}
+	return strings.Join(parts, "|")
+}
+
+// IsTrue reports whether the CNF imposes no constraint.
+func (c CNF) IsTrue() bool { return len(c) == 0 }
+
+// IsFalse reports whether the CNF is unsatisfiable (contains an empty
+// clause).
+func (c CNF) IsFalse() bool {
+	for _, cl := range c {
+		if len(cl) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PredCount returns the total number of atomic predicates.
+func (c CNF) PredCount() int {
+	n := 0
+	for _, cl := range c {
+		n += len(cl)
+	}
+	return n
+}
+
+// Columns returns the sorted set of columns referenced by the CNF.
+func (c CNF) Columns() []string {
+	set := make(map[string]struct{})
+	for _, cl := range c {
+		for _, p := range cl {
+			for _, col := range p.Columns() {
+				set[col] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for col := range set {
+		out = append(out, col)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (c CNF) Clone() CNF {
+	out := make(CNF, len(c))
+	for i, cl := range c {
+		out[i] = append(Clause(nil), cl...)
+	}
+	return out
+}
+
+// Key returns a canonical identity string for the whole CNF with clauses in
+// sorted order, used for deduplication of identical access areas.
+func (c CNF) Key() string {
+	keys := make([]string, len(c))
+	for i, cl := range c {
+		keys[i] = clauseKey(cl)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// String renders the CNF as SQL-ish text: clauses joined by AND, predicates
+// inside a clause by OR.
+func (c CNF) String() string {
+	if c.IsTrue() {
+		return "TRUE"
+	}
+	if c.IsFalse() {
+		return "FALSE"
+	}
+	parts := make([]string, len(c))
+	for i, cl := range c {
+		ps := make([]string, len(cl))
+		for j, p := range cl {
+			ps[j] = p.String()
+		}
+		if len(cl) == 1 {
+			parts[i] = ps[0]
+		} else {
+			parts[i] = "(" + strings.Join(ps, " OR ") + ")"
+		}
+	}
+	return strings.Join(parts, " AND ")
+}

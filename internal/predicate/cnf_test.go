@@ -1,0 +1,342 @@
+package predicate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// leafP builds a numeric leaf on a small column/value alphabet.
+func leafP(col string, op Op, v float64) Expr {
+	return NewLeaf(CC(col, op, Number(v)))
+}
+
+func TestNNFDeMorgan(t *testing.T) {
+	// NOT (T.u > 5 AND T.v <= 10) => T.u <= 5 OR T.v > 10 (§4.1 example).
+	e := NewNot(NewAnd(leafP("T.u", Gt, 5), leafP("T.v", Le, 10)))
+	n := ToNNF(e)
+	or, ok := n.(*Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("nnf = %s", ExprString(n))
+	}
+	l := or.Kids[0].(*Leaf).P
+	r := or.Kids[1].(*Leaf).P
+	if l.Op != Le || l.Val.Num != 5 || r.Op != Gt || r.Val.Num != 10 {
+		t.Errorf("nnf = %s", ExprString(n))
+	}
+}
+
+func TestNNFDoubleNegation(t *testing.T) {
+	e := NewNot(NewNot(leafP("a", Lt, 1)))
+	n := ToNNF(e)
+	lf, ok := n.(*Leaf)
+	if !ok || lf.P.Op != Lt {
+		t.Fatalf("nnf = %s", ExprString(n))
+	}
+}
+
+func TestBuildersSimplify(t *testing.T) {
+	if e := NewAnd(NewLeaf(True()), leafP("a", Lt, 1)); CountLeaves(e) != 1 {
+		t.Errorf("AND TRUE not dropped: %s", ExprString(e))
+	}
+	if e := NewAnd(NewLeaf(False()), leafP("a", Lt, 1)); e.(*Leaf).P.Kind != FalsePred {
+		t.Error("AND FALSE should collapse")
+	}
+	if e := NewOr(NewLeaf(True()), leafP("a", Lt, 1)); e.(*Leaf).P.Kind != TruePred {
+		t.Error("OR TRUE should collapse")
+	}
+	if e := NewOr(); e.(*Leaf).P.Kind != FalsePred {
+		t.Error("empty OR should be FALSE")
+	}
+	if e := NewAnd(); e.(*Leaf).P.Kind != TruePred {
+		t.Error("empty AND should be TRUE")
+	}
+	// Flattening.
+	e := NewAnd(NewAnd(leafP("a", Lt, 1), leafP("b", Lt, 2)), leafP("c", Lt, 3))
+	if and, ok := e.(*And); !ok || len(and.Kids) != 3 {
+		t.Errorf("flatten = %s", ExprString(e))
+	}
+}
+
+func TestToCNFAlreadyIntermediate(t *testing.T) {
+	// (T.u <= 5 OR T.u >= 10) AND T.v <= 5 — the §2.4 example.
+	e := NewAnd(
+		NewOr(leafP("T.u", Le, 5), leafP("T.u", Ge, 10)),
+		leafP("T.v", Le, 5),
+	)
+	cnf, trunc := ToCNF(e, DefaultPredCap)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if len(cnf) != 2 {
+		t.Fatalf("cnf = %s", cnf)
+	}
+}
+
+func TestToCNFDistribution(t *testing.T) {
+	// (a AND b) OR c => (a OR c) AND (b OR c).
+	e := NewOr(NewAnd(leafP("a", Lt, 1), leafP("b", Lt, 2)), leafP("c", Lt, 3))
+	cnf, _ := ToCNF(e, 0)
+	if len(cnf) != 2 {
+		t.Fatalf("cnf = %s", cnf)
+	}
+	for _, cl := range cnf {
+		if len(cl) != 2 {
+			t.Fatalf("clause = %v", cl)
+		}
+	}
+}
+
+func TestToCNFTautologyElimination(t *testing.T) {
+	// a < 1 OR a >= 1 is a tautology => TRUE.
+	e := NewOr(leafP("a", Lt, 1), leafP("a", Ge, 1))
+	cnf, _ := ToCNF(e, 0)
+	if !cnf.IsTrue() {
+		t.Errorf("cnf = %s, want TRUE", cnf)
+	}
+}
+
+func TestToCNFAbsorption(t *testing.T) {
+	// (a<1) AND (a<1 OR b<2) => (a<1).
+	e := NewAnd(leafP("a", Lt, 1), NewOr(leafP("a", Lt, 1), leafP("b", Lt, 2)))
+	cnf, _ := ToCNF(e, 0)
+	if len(cnf) != 1 || len(cnf[0]) != 1 {
+		t.Errorf("cnf = %s", cnf)
+	}
+}
+
+func TestTruncateCap(t *testing.T) {
+	kids := make([]Expr, 50)
+	for i := range kids {
+		kids[i] = leafP("a", Lt, float64(i))
+	}
+	e := NewAnd(kids...)
+	out, dropped := Truncate(ToNNF(e), 35)
+	if !dropped {
+		t.Fatal("expected truncation")
+	}
+	if n := CountLeaves(out); n > 35 {
+		t.Errorf("leaves after truncation = %d", n)
+	}
+	// Below cap: untouched.
+	_, dropped = Truncate(ToNNF(leafP("a", Lt, 1)), 35)
+	if dropped {
+		t.Error("small expression should not truncate")
+	}
+}
+
+func TestCNFBlowupBoundedByCap(t *testing.T) {
+	// (a1 AND b1) OR (a2 AND b2) OR ... with n disjuncts has 2^n clauses in
+	// CNF; the cap keeps conversion tractable (§6.6).
+	var kids []Expr
+	for i := 0; i < 40; i++ {
+		kids = append(kids, NewAnd(leafP("a", Gt, float64(i)), leafP("b", Lt, float64(i))))
+	}
+	e := NewOr(kids...)
+	cnf, trunc := ToCNF(e, DefaultPredCap)
+	if !trunc {
+		t.Fatal("expected truncation at 35 predicates")
+	}
+	if cnf.PredCount() > 1<<20 {
+		t.Fatalf("CNF exploded: %d predicates", cnf.PredCount())
+	}
+}
+
+func TestCNFStringAndKey(t *testing.T) {
+	e := NewAnd(NewOr(leafP("T.u", Le, 5), leafP("T.u", Ge, 10)), leafP("T.v", Le, 5))
+	cnf, _ := ToCNF(e, 0)
+	s := cnf.String()
+	if !strings.Contains(s, "OR") || !strings.Contains(s, "AND") {
+		t.Errorf("string = %q", s)
+	}
+	// Key stability under clause reordering.
+	rev := CNF{cnf[1], cnf[0]}
+	if cnf.Key() != rev.Key() {
+		t.Error("key should be order-insensitive")
+	}
+}
+
+func TestCNFFalse(t *testing.T) {
+	cnf, _ := ToCNF(NewLeaf(False()), 0)
+	if !cnf.IsFalse() {
+		t.Errorf("cnf = %v", cnf)
+	}
+	cnf, _ = ToCNF(NewLeaf(True()), 0)
+	if !cnf.IsTrue() {
+		t.Errorf("cnf = %v", cnf)
+	}
+}
+
+func TestCNFColumns(t *testing.T) {
+	e := NewAnd(leafP("T.v", Le, 5), NewLeaf(Cols("T.u", Eq, "S.u")))
+	cnf, _ := ToCNF(e, 0)
+	cols := cnf.Columns()
+	if len(cols) != 3 || cols[0] != "S.u" || cols[1] != "T.u" || cols[2] != "T.v" {
+		t.Errorf("columns = %v", cols)
+	}
+}
+
+// --- property tests: CNF preserves Boolean semantics ---
+
+// evalExpr evaluates an expression over an assignment of column values.
+func evalExpr(e Expr, env map[string]float64) bool {
+	switch x := e.(type) {
+	case *Leaf:
+		return evalPred(x.P, env)
+	case *Not:
+		return !evalExpr(x.Kid, env)
+	case *And:
+		for _, k := range x.Kids {
+			if !evalExpr(k, env) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, k := range x.Kids {
+			if evalExpr(k, env) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func evalPred(p Pred, env map[string]float64) bool {
+	switch p.Kind {
+	case TruePred:
+		return true
+	case FalsePred:
+		return false
+	case ColumnColumn:
+		return cmpFloat(env[p.Column], p.Op, env[p.Column2])
+	default:
+		return cmpFloat(env[p.Column], p.Op, p.Val.Num)
+	}
+}
+
+func cmpFloat(a float64, op Op, b float64) bool {
+	switch op {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Eq:
+		return a == b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	case Ne:
+		return a != b
+	}
+	return false
+}
+
+func evalCNF(c CNF, env map[string]float64) bool {
+	for _, cl := range c {
+		sat := false
+		for _, p := range cl {
+			if evalPred(p, env) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+var propCols = []string{"a", "b", "c"}
+
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		col := propCols[r.Intn(len(propCols))]
+		op := Op(r.Intn(6))
+		return leafP(col, op, float64(r.Intn(7)))
+	}
+	switch r.Intn(3) {
+	case 0:
+		return NewAnd(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return NewOr(randExpr(r, depth-1), randExpr(r, depth-1))
+	default:
+		return NewNot(randExpr(r, depth-1))
+	}
+}
+
+func randEnv(r *rand.Rand) map[string]float64 {
+	env := make(map[string]float64, len(propCols))
+	for _, c := range propCols {
+		env[c] = float64(r.Intn(9)) - 1
+	}
+	return env
+}
+
+func TestPropCNFEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4)
+		cnf, trunc := ToCNF(e, 0)
+		if trunc {
+			return true // cap disabled, should never truncate
+		}
+		for i := 0; i < 20; i++ {
+			env := randEnv(r)
+			if evalExpr(e, env) != evalCNF(cnf, env) {
+				t.Logf("expr = %s", ExprString(e))
+				t.Logf("cnf  = %s", cnf)
+				t.Logf("env  = %v", env)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNNFEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 5)
+		n := ToNNF(e)
+		for i := 0; i < 20; i++ {
+			env := randEnv(r)
+			if evalExpr(e, env) != evalExpr(n, env) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropConsolidateEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4)
+		cnf, _ := ToCNF(e, 0)
+		cons := Consolidate(cnf)
+		for i := 0; i < 20; i++ {
+			env := randEnv(r)
+			if evalCNF(cnf, env) != evalCNF(cons, env) {
+				t.Logf("cnf  = %s", cnf)
+				t.Logf("cons = %s", cons)
+				t.Logf("env  = %v", env)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

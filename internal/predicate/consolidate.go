@@ -1,0 +1,228 @@
+package predicate
+
+import (
+	"sort"
+
+	"repro/internal/interval"
+)
+
+// Consolidate implements the clean-up step of Section 4.5: it removes
+// redundant constraints, merges overlapping constraints, and checks the set
+// of constraints for contradictions. The transformation is semantics-
+// preserving:
+//
+//   - within a clause (a disjunction), numeric predicates on the same column
+//     are unioned as interval sets and re-emitted in minimal form when the
+//     union is expressible with atomic predicates (e.g. "a < 3 OR a < 5"
+//     becomes "a < 5"; "a > 1 OR a <= 1" makes the clause vacuous);
+//   - across clauses, the per-column conjunction of all single-predicate
+//     numeric clauses is intersected; an empty intersection makes the whole
+//     constraint FALSE (e.g. "a > 5 AND a < 2"), and redundant bounds are
+//     dropped (e.g. "a >= 1 AND a >= 3" becomes "a >= 3");
+//   - duplicate string-equality predicates are deduplicated, and
+//     contradictory string equalities ("c = 'x' AND c = 'y'") are detected.
+//
+// When a rewrite is not expressible with simple atomic predicates the
+// original clauses are kept (conservative behaviour).
+func Consolidate(c CNF) CNF {
+	if c.IsFalse() {
+		return CNF{{}}
+	}
+	// Remember the original predicates: rebuilding predicates from merged
+	// interval sets loses the source spelling of constants (Value.Text),
+	// which matters for exact display of 18-digit SkyServer object IDs.
+	// After consolidation, any emitted predicate identical to an original
+	// is swapped back for it.
+	originals := make(map[string]Pred)
+	for _, cl := range c {
+		for _, p := range cl {
+			if p.Kind == ColumnConstant && p.Val.Text != "" {
+				originals[p.Key()] = p
+			}
+		}
+	}
+	restore := func(out CNF) CNF {
+		for i := range out {
+			for j := range out[i] {
+				if orig, ok := originals[out[i][j].Key()]; ok {
+					approx := out[i][j].Approx
+					out[i][j] = orig
+					out[i][j].Approx = approx
+				}
+			}
+		}
+		return out
+	}
+	// Pass 1: merge within clauses.
+	merged := make(CNF, 0, len(c))
+	for _, cl := range c {
+		m, taut := consolidateClause(cl)
+		if taut {
+			continue
+		}
+		merged = append(merged, m)
+	}
+	// Pass 2: per-column conjunction of single-predicate numeric clauses.
+	type colState struct {
+		set    interval.Set
+		approx bool
+		orig   CNF // original clauses, kept when the merge is inexpressible
+	}
+	colSets := make(map[string]*colState)
+	strEq := make(map[string]map[string]struct{}) // column -> equality values
+	var rest CNF
+	for _, cl := range merged {
+		if len(cl) == 1 {
+			p := cl[0]
+			if p.Kind == FalsePred {
+				return CNF{{}}
+			}
+			if set, ok := p.Interval(); ok {
+				cs, exists := colSets[p.Column]
+				if !exists {
+					cs = &colState{set: interval.FullSet()}
+					colSets[p.Column] = cs
+				}
+				cs.set = cs.set.Intersect(set)
+				cs.approx = cs.approx || p.Approx
+				cs.orig = append(cs.orig, cl)
+				continue
+			}
+			if p.Kind == ColumnConstant && p.Val.Kind == StringVal && p.Op == Eq {
+				vals, exists := strEq[p.Column]
+				if !exists {
+					vals = make(map[string]struct{})
+					strEq[p.Column] = vals
+				}
+				vals[p.Val.Str] = struct{}{}
+				rest = append(rest, cl) // keep one copy; dedupe below
+				continue
+			}
+		}
+		rest = append(rest, cl)
+	}
+	// Contradictory string equalities.
+	for _, vals := range strEq {
+		if len(vals) > 1 {
+			return CNF{{}}
+		}
+	}
+	// Re-emit numeric per-column constraints.
+	cols := make([]string, 0, len(colSets))
+	for col := range colSets {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	out := make(CNF, 0, len(rest)+len(cols))
+	for _, col := range cols {
+		cs := colSets[col]
+		if cs.set.IsEmpty() {
+			return CNF{{}}
+		}
+		if cs.set.IsFull() {
+			continue
+		}
+		emitted := emitColumnSet(col, cs.set, cs.approx)
+		if emitted == nil {
+			// The merged value set is not expressible with atomic
+			// predicates (e.g. a multi-piece bounded set from
+			// "a >= 1 AND a <= 8 AND a <> 5"); keep the original clauses.
+			emitted = cs.orig
+		}
+		out = append(out, emitted...)
+	}
+	out = append(out, rest...)
+	return restore(out.normalize())
+}
+
+// consolidateClause merges numeric predicates per column within one
+// disjunction. taut reports that the clause became vacuous (covers the full
+// line on some column).
+func consolidateClause(cl Clause) (Clause, bool) {
+	colSets := make(map[string]interval.Set)
+	colApprox := make(map[string]bool)
+	var rest Clause
+	order := make([]string, 0, 4)
+	for _, p := range cl {
+		if set, ok := p.Interval(); ok {
+			if _, seen := colSets[p.Column]; !seen {
+				order = append(order, p.Column)
+			}
+			colSets[p.Column] = colSets[p.Column].Union(set)
+			colApprox[p.Column] = colApprox[p.Column] || p.Approx
+			continue
+		}
+		rest = append(rest, p)
+	}
+	out := rest
+	for _, col := range order {
+		set := colSets[col]
+		if set.IsFull() {
+			return nil, true
+		}
+		preds, ok := PredsFromSet(col, set)
+		if !ok {
+			// Union not expressible in atomic predicates (e.g. disjoint
+			// bounded intervals): keep the hull-free original by re-adding
+			// per-interval bounds is impossible in a single disjunction, so
+			// keep the simplest sound over-approximation: the convex hull.
+			hp, hok := predFromInterval(col, set.Hull())
+			if hok {
+				hp.Approx = true
+				preds = []Pred{hp}
+			} else {
+				lo := ClausesFromInterval(col, set.Hull())
+				// Hull is bounded both sides; it cannot be kept inside one
+				// disjunction exactly, so leave the original predicates.
+				_ = lo
+				preds = nil
+			}
+		}
+		if preds == nil {
+			// Fall back to originals for this column.
+			for _, p := range cl {
+				if p.Column == col && p.IsNumeric() {
+					out = append(out, p)
+				}
+			}
+			continue
+		}
+		for i := range preds {
+			preds[i].Approx = preds[i].Approx || colApprox[col]
+		}
+		out = append(out, preds...)
+	}
+	norm, taut := normalizeClause(out)
+	return norm.preds, taut
+}
+
+// emitColumnSet renders the conjunction-level value set of one column as
+// CNF clauses. A single interval becomes up to two one-predicate clauses; a
+// multi-piece set becomes one disjunctive clause when each piece is
+// single-predicate expressible, otherwise nil (inexpressible).
+func emitColumnSet(col string, set interval.Set, approx bool) CNF {
+	mark := func(c CNF) CNF {
+		if !approx {
+			return c
+		}
+		for i := range c {
+			for j := range c[i] {
+				c[i][j].Approx = true
+			}
+		}
+		return c
+	}
+	ivs := set.Intervals()
+	if len(ivs) == 1 {
+		var out CNF
+		for _, p := range ClausesFromInterval(col, ivs[0]) {
+			out = append(out, Clause{p})
+		}
+		return mark(out)
+	}
+	preds, ok := PredsFromSet(col, set)
+	if !ok {
+		return nil
+	}
+	return mark(CNF{Clause(preds)})
+}

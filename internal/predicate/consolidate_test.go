@@ -1,0 +1,147 @@
+package predicate
+
+import (
+	"testing"
+)
+
+func cnfOf(t *testing.T, e Expr) CNF {
+	t.Helper()
+	c, _ := ToCNF(e, 0)
+	return c
+}
+
+func TestConsolidateMergeWithinClause(t *testing.T) {
+	// a < 3 OR a < 5 => a < 5.
+	c := cnfOf(t, NewOr(leafP("a", Lt, 3), leafP("a", Lt, 5)))
+	out := Consolidate(c)
+	if len(out) != 1 || len(out[0]) != 1 || out[0][0].Op != Lt || out[0][0].Val.Num != 5 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateClauseTautology(t *testing.T) {
+	// (a > 1 OR a <= 1) AND b < 2 => b < 2.
+	c := cnfOf(t, NewAnd(NewOr(leafP("a", Gt, 1), leafP("a", Le, 1)), leafP("b", Lt, 2)))
+	out := Consolidate(c)
+	if len(out) != 1 || out[0][0].Column != "b" {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateCrossClauseRedundancy(t *testing.T) {
+	// a >= 1 AND a >= 3 => a >= 3.
+	c := cnfOf(t, NewAnd(leafP("a", Ge, 1), leafP("a", Ge, 3)))
+	out := Consolidate(c)
+	if len(out) != 1 || out[0][0].Op != Ge || out[0][0].Val.Num != 3 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateContradiction(t *testing.T) {
+	// a > 5 AND a < 2 => FALSE.
+	c := cnfOf(t, NewAnd(leafP("a", Gt, 5), leafP("a", Lt, 2)))
+	out := Consolidate(c)
+	if !out.IsFalse() {
+		t.Errorf("out = %s, want FALSE", out)
+	}
+	// Equality vs disequality: a = 5 AND a <> 5 => FALSE.
+	c = cnfOf(t, NewAnd(leafP("a", Eq, 5), leafP("a", Ne, 5)))
+	if out := Consolidate(c); !out.IsFalse() {
+		t.Errorf("out = %s, want FALSE", out)
+	}
+}
+
+func TestConsolidateStringContradiction(t *testing.T) {
+	c := CNF{
+		{CC("s.class", Eq, Str("star"))},
+		{CC("s.class", Eq, Str("galaxy"))},
+	}
+	if out := Consolidate(c); !out.IsFalse() {
+		t.Errorf("out = %s, want FALSE", out)
+	}
+	// Same value twice is fine and deduplicates.
+	c = CNF{
+		{CC("s.class", Eq, Str("star"))},
+		{CC("s.class", Eq, Str("star"))},
+	}
+	out := Consolidate(c)
+	if len(out) != 1 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateBetweenStaysTight(t *testing.T) {
+	// a >= 1 AND a <= 8 stays two clauses (the BETWEEN shape of §4.1).
+	c := cnfOf(t, NewAnd(leafP("a", Ge, 1), leafP("a", Le, 8)))
+	out := Consolidate(c)
+	if len(out) != 2 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateInexpressibleKeepsOriginals(t *testing.T) {
+	// a >= 1 AND a <= 8 AND a <> 5: multi-piece bounded set, inexpressible
+	// as merged atomic predicates; the original clauses must survive.
+	c := cnfOf(t, NewAnd(leafP("a", Ge, 1), leafP("a", Le, 8), leafP("a", Ne, 5)))
+	out := Consolidate(c)
+	if out.IsTrue() || out.IsFalse() {
+		t.Fatalf("out = %s", out)
+	}
+	env := map[string]float64{"a": 5}
+	if evalCNF(out, env) {
+		t.Error("a=5 should not satisfy")
+	}
+	env["a"] = 4
+	if !evalCNF(out, env) {
+		t.Error("a=4 should satisfy")
+	}
+	env["a"] = 9
+	if evalCNF(out, env) {
+		t.Error("a=9 should not satisfy")
+	}
+}
+
+func TestConsolidatePointIntersection(t *testing.T) {
+	// a >= 5 AND a <= 5 => a = 5.
+	c := cnfOf(t, NewAnd(leafP("a", Ge, 5), leafP("a", Le, 5)))
+	out := Consolidate(c)
+	if len(out) != 1 || out[0][0].Op != Eq || out[0][0].Val.Num != 5 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateKeepsColumnColumn(t *testing.T) {
+	c := CNF{
+		{Cols("T.u", Eq, "S.u")},
+		{CC("T.v", Lt, Number(3))},
+	}
+	out := Consolidate(c)
+	if len(out) != 2 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateFalseShortCircuit(t *testing.T) {
+	c := CNF{{}}
+	if out := Consolidate(c); !out.IsFalse() {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateMultiPredClausesUntouchedAcrossColumns(t *testing.T) {
+	// (a < 1 OR b > 2) cannot merge across columns.
+	c := cnfOf(t, NewOr(leafP("a", Lt, 1), leafP("b", Gt, 2)))
+	out := Consolidate(c)
+	if len(out) != 1 || len(out[0]) != 2 {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestConsolidateNEAndRay(t *testing.T) {
+	// a <> 5 AND a > 7 => a > 7 (the NE is redundant).
+	c := cnfOf(t, NewAnd(leafP("a", Ne, 5), leafP("a", Gt, 7)))
+	out := Consolidate(c)
+	if len(out) != 1 || out[0][0].Op != Gt || out[0][0].Val.Num != 7 {
+		t.Errorf("out = %s", out)
+	}
+}

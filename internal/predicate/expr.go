@@ -1,0 +1,276 @@
+package predicate
+
+import (
+	"sort"
+	"strings"
+)
+
+// Expr is a Boolean combination of atomic predicates: the constraint P of
+// Section 2.1 in tree form, before CNF conversion.
+type Expr interface {
+	isExpr()
+}
+
+// Leaf wraps an atomic predicate.
+type Leaf struct {
+	P Pred
+}
+
+// And is a conjunction of sub-expressions.
+type And struct {
+	Kids []Expr
+}
+
+// Or is a disjunction of sub-expressions.
+type Or struct {
+	Kids []Expr
+}
+
+// Not negates its child; eliminated by NNF (predicate inversion pushes the
+// negation into the leaves, Section 4.1).
+type Not struct {
+	Kid Expr
+}
+
+func (*Leaf) isExpr() {}
+func (*And) isExpr()  {}
+func (*Or) isExpr()   {}
+func (*Not) isExpr()  {}
+
+// NewLeaf wraps p.
+func NewLeaf(p Pred) Expr { return &Leaf{P: p} }
+
+// NewAnd builds a conjunction, flattening nested Ands and dropping TRUE
+// leaves. An empty conjunction is TRUE; a conjunction containing FALSE is
+// FALSE.
+func NewAnd(kids ...Expr) Expr {
+	var flat []Expr
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		switch x := k.(type) {
+		case *And:
+			flat = append(flat, x.Kids...)
+		case *Leaf:
+			if x.P.Kind == TruePred {
+				continue
+			}
+			if x.P.Kind == FalsePred {
+				return NewLeaf(False())
+			}
+			flat = append(flat, x)
+		default:
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return NewLeaf(True())
+	case 1:
+		return flat[0]
+	default:
+		return &And{Kids: flat}
+	}
+}
+
+// NewOr builds a disjunction, flattening nested Ors and dropping FALSE
+// leaves. An empty disjunction is FALSE; a disjunction containing TRUE is
+// TRUE.
+func NewOr(kids ...Expr) Expr {
+	var flat []Expr
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		switch x := k.(type) {
+		case *Or:
+			flat = append(flat, x.Kids...)
+		case *Leaf:
+			if x.P.Kind == FalsePred {
+				continue
+			}
+			if x.P.Kind == TruePred {
+				return NewLeaf(True())
+			}
+			flat = append(flat, x)
+		default:
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return NewLeaf(False())
+	case 1:
+		return flat[0]
+	default:
+		return &Or{Kids: flat}
+	}
+}
+
+// NewNot negates e.
+func NewNot(e Expr) Expr { return &Not{Kid: e} }
+
+// ToNNF pushes negations down to the leaves using De Morgan's laws and
+// predicate inversion, e.g. NOT (T.u > 5 AND T.v <= 10) becomes
+// T.u <= 5 OR T.v > 10 (the example of Section 4.1).
+func ToNNF(e Expr) Expr {
+	return nnf(e, false)
+}
+
+func nnf(e Expr, negate bool) Expr {
+	switch x := e.(type) {
+	case *Leaf:
+		if negate {
+			return NewLeaf(x.P.Invert())
+		}
+		return NewLeaf(x.P)
+	case *Not:
+		return nnf(x.Kid, !negate)
+	case *And:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = nnf(k, negate)
+		}
+		if negate {
+			return NewOr(kids...)
+		}
+		return NewAnd(kids...)
+	case *Or:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = nnf(k, negate)
+		}
+		if negate {
+			return NewAnd(kids...)
+		}
+		return NewOr(kids...)
+	default:
+		return e
+	}
+}
+
+// CountLeaves returns the number of atomic predicates in the expression.
+func CountLeaves(e Expr) int {
+	switch x := e.(type) {
+	case *Leaf:
+		return 1
+	case *Not:
+		return CountLeaves(x.Kid)
+	case *And:
+		n := 0
+		for _, k := range x.Kids {
+			n += CountLeaves(k)
+		}
+		return n
+	case *Or:
+		n := 0
+		for _, k := range x.Kids {
+			n += CountLeaves(k)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Truncate keeps only the first cap atomic predicates (in left-to-right
+// order) of an NNF expression, replacing the remainder with TRUE. This is
+// the Section 6.6 workaround ("only considers the first 35 predicates of any
+// query") that bounds the exponential CNF conversion. The second result
+// reports whether anything was dropped.
+func Truncate(e Expr, cap int) (Expr, bool) {
+	if cap <= 0 || CountLeaves(e) <= cap {
+		return e, false
+	}
+	remaining := cap
+	out := truncate(e, &remaining)
+	return out, true
+}
+
+func truncate(e Expr, remaining *int) Expr {
+	switch x := e.(type) {
+	case *Leaf:
+		if *remaining <= 0 {
+			return NewLeaf(True())
+		}
+		*remaining--
+		return x
+	case *Not:
+		return NewNot(truncate(x.Kid, remaining))
+	case *And:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = truncate(k, remaining)
+		}
+		return NewAnd(kids...)
+	case *Or:
+		// Dropping predicates inside a disjunction by replacing them with
+		// TRUE would make the whole clause vacuous; that is acceptable for
+		// an over-approximation of the access area, matching the paper's
+		// "first 35 predicates" pragmatics.
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = truncate(k, remaining)
+		}
+		return NewOr(kids...)
+	default:
+		return e
+	}
+}
+
+// String renders the expression with explicit parentheses.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Leaf:
+		return x.P.String()
+	case *Not:
+		return "NOT (" + ExprString(x.Kid) + ")"
+	case *And:
+		parts := make([]string, len(x.Kids))
+		for i, k := range x.Kids {
+			parts[i] = ExprString(k)
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
+	case *Or:
+		parts := make([]string, len(x.Kids))
+		for i, k := range x.Kids {
+			parts[i] = ExprString(k)
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	default:
+		return "?"
+	}
+}
+
+// LeafColumns returns the sorted set of columns referenced anywhere in the
+// expression.
+func LeafColumns(e Expr) []string {
+	set := make(map[string]struct{})
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Leaf:
+			for _, c := range x.P.Columns() {
+				set[c] = struct{}{}
+			}
+		case *Not:
+			walk(x.Kid)
+		case *And:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *Or:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,368 @@
+// Package predicate implements the Boolean-expression machinery of the
+// paper's intermediate format (Section 2.4): atomic predicates of the
+// column-constant ("a θ c") and column-column ("a1 θ a2") forms, NOT
+// push-down via predicate inversion (Section 4.1), conversion to conjunctive
+// normal form with the 35-predicate cap workaround of Section 6.6, and the
+// consolidation step of Section 4.5 (remove redundant constraints, merge
+// overlapping constraints, check for contradictions).
+package predicate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// Op is a comparison operator θ of an atomic predicate.
+type Op int
+
+const (
+	Lt Op = iota // <
+	Le           // <=
+	Eq           // =
+	Gt           // >
+	Ge           // >=
+	Ne           // <>
+)
+
+func (o Op) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Ne:
+		return "<>"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Invert returns the operator of the negated predicate: NOT (a < c) ≡ a >= c.
+func (o Op) Invert() Op {
+	switch o {
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Eq:
+		return Ne
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	case Ne:
+		return Eq
+	default:
+		return o
+	}
+}
+
+// Flip returns the operator with operands swapped: (a < b) ≡ (b > a).
+func (o Op) Flip() Op {
+	switch o {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default: // =, <> are symmetric
+		return o
+	}
+}
+
+// ParseOp converts an operator token ("<", "<=", "=", ">", ">=", "<>") to an
+// Op.
+func ParseOp(s string) (Op, bool) {
+	switch s {
+	case "<":
+		return Lt, true
+	case "<=":
+		return Le, true
+	case "=":
+		return Eq, true
+	case ">":
+		return Gt, true
+	case ">=":
+		return Ge, true
+	case "<>", "!=":
+		return Ne, true
+	default:
+		return 0, false
+	}
+}
+
+// ValueKind distinguishes numeric from string constants.
+type ValueKind int
+
+const (
+	NumberVal ValueKind = iota
+	StringVal
+)
+
+// Value is the constant c of a column-constant predicate. Text preserves the
+// source spelling of numbers so 18-digit object IDs print exactly.
+type Value struct {
+	Kind ValueKind
+	Num  float64
+	Str  string
+	Text string
+}
+
+// Number constructs a numeric value.
+func Number(v float64) Value {
+	return Value{Kind: NumberVal, Num: v}
+}
+
+// NumberText constructs a numeric value preserving its source text.
+func NumberText(v float64, text string) Value {
+	return Value{Kind: NumberVal, Num: v, Text: text}
+}
+
+// Str constructs a string value.
+func Str(s string) Value {
+	return Value{Kind: StringVal, Str: s}
+}
+
+// String renders the value as SQL.
+func (v Value) String() string {
+	if v.Kind == StringVal {
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+	if v.Text != "" {
+		return v.Text
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// PredKind classifies atomic predicates.
+type PredKind int
+
+const (
+	// ColumnConstant is "a θ c" (Section 2.1).
+	ColumnConstant PredKind = iota
+	// ColumnColumn is "a1 θ a2", e.g. a join condition.
+	ColumnColumn
+	// TruePred is the always-true predicate (no constraint).
+	TruePred
+	// FalsePred is the always-false predicate (empty area).
+	FalsePred
+)
+
+// Pred is an atomic predicate over canonical, fully-qualified column names.
+type Pred struct {
+	Kind    PredKind
+	Column  string // left column, canonical "Relation.column"
+	Op      Op
+	Val     Value  // for ColumnConstant
+	Column2 string // right column, for ColumnColumn
+	// Approx marks predicates produced by the approximation scheme for
+	// constructs the exact mapping does not cover (Section 4.4).
+	Approx bool
+}
+
+// True and False are the constant predicates.
+func True() Pred  { return Pred{Kind: TruePred} }
+func False() Pred { return Pred{Kind: FalsePred} }
+
+// CC builds a column-constant predicate.
+func CC(column string, op Op, val Value) Pred {
+	return Pred{Kind: ColumnConstant, Column: column, Op: op, Val: val}
+}
+
+// Cols builds a column-column predicate with the two columns in a canonical
+// (sorted) order so that "T.u = S.u" and "S.u = T.u" compare equal.
+func Cols(a string, op Op, b string) Pred {
+	if a > b {
+		a, b = b, a
+		op = op.Flip()
+	}
+	return Pred{Kind: ColumnColumn, Column: a, Op: op, Column2: b}
+}
+
+// Invert returns the logical negation of the predicate, which for both
+// supported kinds is again an atomic predicate (Section 4.1).
+func (p Pred) Invert() Pred {
+	switch p.Kind {
+	case TruePred:
+		return False()
+	case FalsePred:
+		return True()
+	default:
+		q := p
+		q.Op = p.Op.Invert()
+		return q
+	}
+}
+
+// IsNumeric reports whether the predicate compares against a numeric
+// constant.
+func (p Pred) IsNumeric() bool {
+	return p.Kind == ColumnConstant && p.Val.Kind == NumberVal
+}
+
+// Interval returns the value set of a numeric column-constant predicate as
+// an interval set (NE yields two rays). The second result is false for
+// predicates with no interval semantics (column-column, string constants,
+// TRUE/FALSE).
+func (p Pred) Interval() (interval.Set, bool) {
+	if !p.IsNumeric() {
+		return interval.Set{}, false
+	}
+	c := p.Val.Num
+	switch p.Op {
+	case Lt:
+		return interval.NewSet(interval.Below(c, true)), true
+	case Le:
+		return interval.NewSet(interval.Below(c, false)), true
+	case Eq:
+		return interval.NewSet(interval.Point(c)), true
+	case Gt:
+		return interval.NewSet(interval.Above(c, true)), true
+	case Ge:
+		return interval.NewSet(interval.Above(c, false)), true
+	case Ne:
+		return interval.NotEqual(c), true
+	default:
+		return interval.Set{}, false
+	}
+}
+
+// PredsFromSet expresses an interval set over column as a disjunction of
+// atomic predicates, when possible. ok is false when some piece is a
+// bounded interval (which needs a conjunction of two predicates and hence
+// does not fit a single disjunction).
+func PredsFromSet(column string, s interval.Set) ([]Pred, bool) {
+	if s.IsEmpty() {
+		return []Pred{False()}, true
+	}
+	if s.IsFull() {
+		return []Pred{True()}, true
+	}
+	// Special case: complement of a point is NE.
+	if comp := s.Complement(); len(comp.Intervals()) == 1 && comp.Intervals()[0].IsPoint() {
+		return []Pred{CC(column, Ne, Number(comp.Intervals()[0].Lo))}, true
+	}
+	var out []Pred
+	for _, iv := range s.Intervals() {
+		p, ok := predFromInterval(column, iv)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, p)
+	}
+	return out, true
+}
+
+// predFromInterval expresses a single interval as one atomic predicate if
+// possible.
+func predFromInterval(column string, iv interval.Interval) (Pred, bool) {
+	loInf, hiInf := math.IsInf(iv.Lo, -1), math.IsInf(iv.Hi, 1)
+	switch {
+	case loInf && hiInf:
+		return True(), true
+	case iv.IsPoint():
+		return CC(column, Eq, Number(iv.Lo)), true
+	case loInf:
+		if iv.HiOpen {
+			return CC(column, Lt, Number(iv.Hi)), true
+		}
+		return CC(column, Le, Number(iv.Hi)), true
+	case hiInf:
+		if iv.LoOpen {
+			return CC(column, Gt, Number(iv.Lo)), true
+		}
+		return CC(column, Ge, Number(iv.Lo)), true
+	default:
+		return Pred{}, false // bounded interval needs two predicates
+	}
+}
+
+// ClausesFromInterval expresses a single interval over column as a
+// conjunction of at most two atomic predicates (lower and upper bound).
+func ClausesFromInterval(column string, iv interval.Interval) []Pred {
+	if iv.IsEmpty() {
+		return []Pred{False()}
+	}
+	var out []Pred
+	if !math.IsInf(iv.Lo, -1) {
+		op := Ge
+		if iv.LoOpen {
+			op = Gt
+		}
+		if iv.IsPoint() {
+			return []Pred{CC(column, Eq, Number(iv.Lo))}
+		}
+		out = append(out, CC(column, op, Number(iv.Lo)))
+	}
+	if !math.IsInf(iv.Hi, 1) {
+		op := Le
+		if iv.HiOpen {
+			op = Lt
+		}
+		out = append(out, CC(column, op, Number(iv.Hi)))
+	}
+	if len(out) == 0 {
+		return []Pred{True()}
+	}
+	return out
+}
+
+// Key returns a canonical string identity used for deduplication and the
+// exact-matching OLAPClus baseline (Section 6.4).
+func (p Pred) Key() string {
+	switch p.Kind {
+	case TruePred:
+		return "⊤"
+	case FalsePred:
+		return "⊥"
+	case ColumnColumn:
+		return p.Column + p.Op.String() + p.Column2
+	default:
+		if p.Val.Kind == StringVal {
+			return p.Column + p.Op.String() + "'" + p.Val.Str + "'"
+		}
+		// Identity only, never displayed: raw float bits in hex are an
+		// order of magnitude cheaper to format than decimal floats, and
+		// Key() sits on the hot path of CNF normalisation.
+		return p.Column + p.Op.String() + strconv.FormatUint(math.Float64bits(p.Val.Num), 16)
+	}
+}
+
+// Columns returns the column(s) the predicate refers to.
+func (p Pred) Columns() []string {
+	switch p.Kind {
+	case ColumnConstant:
+		return []string{p.Column}
+	case ColumnColumn:
+		return []string{p.Column, p.Column2}
+	default:
+		return nil
+	}
+}
+
+// String renders the predicate as SQL.
+func (p Pred) String() string {
+	switch p.Kind {
+	case TruePred:
+		return "TRUE"
+	case FalsePred:
+		return "FALSE"
+	case ColumnColumn:
+		return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Column2)
+	default:
+		return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Val)
+	}
+}

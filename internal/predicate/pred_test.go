@@ -1,0 +1,170 @@
+package predicate
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func TestOpInvert(t *testing.T) {
+	cases := map[Op]Op{Lt: Ge, Le: Gt, Eq: Ne, Gt: Le, Ge: Lt, Ne: Eq}
+	for op, want := range cases {
+		if got := op.Invert(); got != want {
+			t.Errorf("Invert(%v) = %v, want %v", op, got, want)
+		}
+		if got := op.Invert().Invert(); got != op {
+			t.Errorf("double inversion of %v = %v", op, got)
+		}
+	}
+}
+
+func TestOpFlip(t *testing.T) {
+	cases := map[Op]Op{Lt: Gt, Le: Ge, Eq: Eq, Gt: Lt, Ge: Le, Ne: Ne}
+	for op, want := range cases {
+		if got := op.Flip(); got != want {
+			t.Errorf("Flip(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for s, want := range map[string]Op{"<": Lt, "<=": Le, "=": Eq, ">": Gt, ">=": Ge, "<>": Ne, "!=": Ne} {
+		got, ok := ParseOp(s)
+		if !ok || got != want {
+			t.Errorf("ParseOp(%q) = %v %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseOp("LIKE"); ok {
+		t.Error("ParseOp should reject LIKE")
+	}
+}
+
+func TestPredInvert(t *testing.T) {
+	p := CC("T.u", Lt, Number(5))
+	q := p.Invert()
+	if q.Op != Ge || q.Column != "T.u" || q.Val.Num != 5 {
+		t.Errorf("invert = %v", q)
+	}
+	if True().Invert().Kind != FalsePred || False().Invert().Kind != TruePred {
+		t.Error("TRUE/FALSE inversion wrong")
+	}
+}
+
+func TestColsCanonicalOrder(t *testing.T) {
+	a := Cols("T.u", Eq, "S.u")
+	b := Cols("S.u", Eq, "T.u")
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	// Asymmetric op flips.
+	c := Cols("T.u", Lt, "S.u") // becomes S.u > T.u
+	if c.Column != "S.u" || c.Op != Gt || c.Column2 != "T.u" {
+		t.Errorf("canonicalised = %v", c)
+	}
+}
+
+func TestPredInterval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		want interval.Set
+	}{
+		{CC("a", Lt, Number(3)), interval.NewSet(interval.Below(3, true))},
+		{CC("a", Le, Number(3)), interval.NewSet(interval.Below(3, false))},
+		{CC("a", Eq, Number(3)), interval.NewSet(interval.Point(3))},
+		{CC("a", Gt, Number(3)), interval.NewSet(interval.Above(3, true))},
+		{CC("a", Ge, Number(3)), interval.NewSet(interval.Above(3, false))},
+		{CC("a", Ne, Number(3)), interval.NotEqual(3)},
+	}
+	for _, c := range cases {
+		got, ok := c.p.Interval()
+		if !ok || !got.Equal(c.want) {
+			t.Errorf("Interval(%v) = %v %v, want %v", c.p, got, ok, c.want)
+		}
+	}
+	if _, ok := CC("a", Eq, Str("x")).Interval(); ok {
+		t.Error("string predicate should have no interval")
+	}
+	if _, ok := Cols("a", Eq, "b").Interval(); ok {
+		t.Error("column-column predicate should have no interval")
+	}
+}
+
+func TestPredsFromSet(t *testing.T) {
+	// Simple ray.
+	ps, ok := PredsFromSet("a", interval.NewSet(interval.Below(5, true)))
+	if !ok || len(ps) != 1 || ps[0].Op != Lt || ps[0].Val.Num != 5 {
+		t.Errorf("ray = %v %v", ps, ok)
+	}
+	// NE shape.
+	ps, ok = PredsFromSet("a", interval.NotEqual(7))
+	if !ok || len(ps) != 1 || ps[0].Op != Ne {
+		t.Errorf("ne = %v %v", ps, ok)
+	}
+	// Two rays with a gap: a < 3 OR a >= 10.
+	ps, ok = PredsFromSet("a", interval.NewSet(interval.Below(3, true), interval.Above(10, false)))
+	if !ok || len(ps) != 2 {
+		t.Errorf("gap = %v %v", ps, ok)
+	}
+	// Bounded interval: inexpressible as single disjunction.
+	if _, ok = PredsFromSet("a", interval.NewSet(interval.Closed(1, 2))); ok {
+		t.Error("bounded interval should be inexpressible")
+	}
+	// Full and empty.
+	ps, ok = PredsFromSet("a", interval.FullSet())
+	if !ok || ps[0].Kind != TruePred {
+		t.Errorf("full = %v", ps)
+	}
+	ps, ok = PredsFromSet("a", interval.EmptySet())
+	if !ok || ps[0].Kind != FalsePred {
+		t.Errorf("empty = %v", ps)
+	}
+}
+
+func TestClausesFromInterval(t *testing.T) {
+	ps := ClausesFromInterval("a", interval.Closed(1, 8))
+	if len(ps) != 2 || ps[0].Op != Ge || ps[1].Op != Le {
+		t.Errorf("closed = %v", ps)
+	}
+	ps = ClausesFromInterval("a", interval.Point(5))
+	if len(ps) != 1 || ps[0].Op != Eq {
+		t.Errorf("point = %v", ps)
+	}
+	ps = ClausesFromInterval("a", interval.Empty())
+	if len(ps) != 1 || ps[0].Kind != FalsePred {
+		t.Errorf("empty = %v", ps)
+	}
+	ps = ClausesFromInterval("a", interval.Full())
+	if len(ps) != 1 || ps[0].Kind != TruePred {
+		t.Errorf("full = %v", ps)
+	}
+	ps = ClausesFromInterval("a", interval.Open(1, 8))
+	if len(ps) != 2 || ps[0].Op != Gt || ps[1].Op != Lt {
+		t.Errorf("open = %v", ps)
+	}
+}
+
+func TestPredString(t *testing.T) {
+	cases := map[string]Pred{
+		"T.u < 5":          CC("T.u", Lt, Number(5)),
+		"S.class = 'star'": CC("S.class", Eq, Str("star")),
+		"S.u = T.u":        Cols("T.u", Eq, "S.u"),
+		"TRUE":             True(),
+		"FALSE":            False(),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	// Text-preserving numbers.
+	p := CC("Photoz.objid", Eq, NumberText(1237657855534432934, "1237657855534432934"))
+	if got := p.String(); got != "Photoz.objid = 1237657855534432934" {
+		t.Errorf("big int string = %q", got)
+	}
+}
+
+func TestValueStringEscaping(t *testing.T) {
+	if got := Str("O'Neil").String(); got != "'O''Neil'" {
+		t.Errorf("escaped = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package qlog
+
+import (
+	"strings"
+
+	"repro/internal/extract"
+	"repro/internal/interval"
+	"repro/internal/predicate"
+)
+
+// SkyAreaKind reproduces the four "sky area" categories of the SDSS Log
+// Viewer (Zhang [26], discussed in Section 3.2): what part of the sky a
+// query addresses, judged from its access area's constraints on the
+// coordinate columns (ra/dec).
+type SkyAreaKind int
+
+const (
+	// RectangularSkyArea: both ra and dec constrained to bounded ranges.
+	RectangularSkyArea SkyAreaKind = iota
+	// BandSkyArea: exactly one coordinate constrained to a bounded range
+	// (a declination or right-ascension stripe).
+	BandSkyArea
+	// SinglePointSkyArea: coordinates pinned by equality, or an object
+	// looked up by id.
+	SinglePointSkyArea
+	// OtherSkyArea: no usable coordinate constraint.
+	OtherSkyArea
+)
+
+func (k SkyAreaKind) String() string {
+	switch k {
+	case RectangularSkyArea:
+		return "rectangular"
+	case BandSkyArea:
+		return "band"
+	case SinglePointSkyArea:
+		return "single-point"
+	default:
+		return "other"
+	}
+}
+
+// ClassifySkyArea categorises an access area by its coordinate footprint.
+func ClassifySkyArea(area *extract.AccessArea) SkyAreaKind {
+	bounds := area.Bounds()
+	var raIv, decIv interval.Interval
+	raSeen, decSeen := false, false
+	idPoint := false
+	for col, set := range bounds {
+		h := set.Hull()
+		lower := strings.ToLower(col)
+		switch {
+		case strings.HasSuffix(lower, ".ra"):
+			raIv, raSeen = h, true
+		case strings.HasSuffix(lower, ".dec"):
+			decIv, decSeen = h, true
+		case strings.HasSuffix(lower, "objid") || strings.HasSuffix(lower, "specobjid"):
+			if h.IsPoint() {
+				idPoint = true
+			}
+		}
+	}
+	bounded := func(iv interval.Interval) bool {
+		return !iv.IsEmpty() && iv.Width() > 0 && iv.Width() < 1e18 &&
+			!strings.Contains(iv.String(), "inf")
+	}
+	pinned := func(iv interval.Interval) bool { return iv.IsPoint() }
+	switch {
+	case raSeen && decSeen && pinned(raIv) && pinned(decIv):
+		return SinglePointSkyArea
+	case idPoint:
+		return SinglePointSkyArea
+	case raSeen && decSeen && bounded(raIv) && bounded(decIv):
+		return RectangularSkyArea
+	case (raSeen && bounded(raIv)) != (decSeen && bounded(decIv)):
+		return BandSkyArea
+	default:
+		return OtherSkyArea
+	}
+}
+
+// AccessKind reproduces [26]'s second axis: what the query does with the
+// area — scan broadly, search with constraints, or retrieve specific
+// objects.
+type AccessKind int
+
+const (
+	// ScanQuery reads a relation with little or no constraint.
+	ScanQuery AccessKind = iota
+	// SearchQuery filters by ranges.
+	SearchQuery
+	// RetrieveQuery fetches identified objects (equality on id columns or
+	// point constraints).
+	RetrieveQuery
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case ScanQuery:
+		return "scan"
+	case SearchQuery:
+		return "search"
+	default:
+		return "retrieve"
+	}
+}
+
+// ClassifyAccess categorises an access area as scan, search, or retrieve.
+func ClassifyAccess(area *extract.AccessArea) AccessKind {
+	if area.CNF.IsTrue() {
+		return ScanQuery
+	}
+	for _, cl := range area.CNF {
+		if len(cl) != 1 {
+			continue
+		}
+		p := cl[0]
+		if p.Kind == predicate.ColumnConstant && p.Op == predicate.Eq &&
+			p.Val.Kind == predicate.NumberVal &&
+			(strings.HasSuffix(strings.ToLower(p.Column), "objid") ||
+				strings.HasSuffix(strings.ToLower(p.Column), "specobjid")) {
+			return RetrieveQuery
+		}
+	}
+	return SearchQuery
+}
+
+// ClassificationCounts tallies both axes over a set of areas, the summary
+// [26] visualised.
+type ClassificationCounts struct {
+	Sky    map[SkyAreaKind]int
+	Access map[AccessKind]int
+}
+
+// Classify tallies the classifications of a batch of areas.
+func Classify(areas []*extract.AccessArea) *ClassificationCounts {
+	out := &ClassificationCounts{
+		Sky:    make(map[SkyAreaKind]int),
+		Access: make(map[AccessKind]int),
+	}
+	for _, a := range areas {
+		out.Sky[ClassifySkyArea(a)]++
+		out.Access[ClassifyAccess(a)]++
+	}
+	return out
+}

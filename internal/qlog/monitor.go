@@ -1,0 +1,137 @@
+package qlog
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/extract"
+	"repro/internal/predicate"
+)
+
+// Event is a stream-monitor notification.
+type Event struct {
+	Kind   EventKind
+	Detail string
+	Record Record
+}
+
+// EventKind classifies notifications.
+type EventKind int
+
+const (
+	// NewQueryShape fires when a (relation set, constrained column set)
+	// combination appears for the first time.
+	NewQueryShape EventKind = iota
+	// NewPredicateColumn fires when a column is constrained for the first
+	// time anywhere in the stream.
+	NewPredicateColumn
+	// NewCategoricalValue fires when a categorical column is compared to a
+	// previously unseen constant (e.g. the zooSpec.dec = -100 anomaly class
+	// of data-quality findings in Section 6.3 had its categorical analogue).
+	NewCategoricalValue
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case NewQueryShape:
+		return "new-query-shape"
+	case NewPredicateColumn:
+		return "new-predicate-column"
+	case NewCategoricalValue:
+		return "new-categorical-value"
+	default:
+		return "unknown"
+	}
+}
+
+// Monitor watches a stream of extracted access areas and notifies the
+// operator about the occurrence of new predicates and query types, the
+// stream extension described at the start of Section 4. It is safe for
+// concurrent use.
+type Monitor struct {
+	mu      sync.Mutex
+	shapes  map[string]struct{}
+	columns map[string]struct{}
+	catVals map[string]struct{}
+	// Notify receives events; nil drops them (query via Events* counters).
+	Notify func(Event)
+
+	eventCounts map[EventKind]int
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor(notify func(Event)) *Monitor {
+	return &Monitor{
+		shapes:      make(map[string]struct{}),
+		columns:     make(map[string]struct{}),
+		catVals:     make(map[string]struct{}),
+		Notify:      notify,
+		eventCounts: make(map[EventKind]int),
+	}
+}
+
+// Observe feeds one extracted access area to the monitor.
+func (m *Monitor) Observe(rec Record, area *extract.AccessArea) {
+	// The A set includes columns whose constraints were approximated away;
+	// fall back to the CNF's columns for areas extracted without it.
+	cols := area.Referenced
+	if len(cols) == 0 {
+		cols = area.CNF.Columns()
+	}
+	shape := strings.Join(area.Relations, ",") + "|" + strings.Join(cols, ",")
+
+	m.mu.Lock()
+	var events []Event
+	if _, ok := m.shapes[shape]; !ok {
+		m.shapes[shape] = struct{}{}
+		events = append(events, Event{Kind: NewQueryShape, Detail: shape, Record: rec})
+	}
+	for _, c := range cols {
+		if _, ok := m.columns[c]; !ok {
+			m.columns[c] = struct{}{}
+			events = append(events, Event{Kind: NewPredicateColumn, Detail: c, Record: rec})
+		}
+	}
+	for _, cl := range area.CNF {
+		for _, p := range cl {
+			if p.Kind != predicate.ColumnConstant || p.Val.Kind != predicate.StringVal {
+				continue
+			}
+			key := p.Column + "='" + p.Val.Str + "'"
+			if _, ok := m.catVals[key]; !ok {
+				m.catVals[key] = struct{}{}
+				events = append(events, Event{Kind: NewCategoricalValue, Detail: key, Record: rec})
+			}
+		}
+	}
+	for _, e := range events {
+		m.eventCounts[e.Kind]++
+	}
+	m.mu.Unlock()
+
+	if m.Notify != nil {
+		for _, e := range events {
+			m.Notify(e)
+		}
+	}
+}
+
+// EventCount returns how many events of a kind have fired.
+func (m *Monitor) EventCount(kind EventKind) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eventCounts[kind]
+}
+
+// KnownShapes returns the observed query shapes in sorted order.
+func (m *Monitor) KnownShapes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.shapes))
+	for s := range m.shapes {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

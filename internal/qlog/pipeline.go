@@ -1,0 +1,223 @@
+package qlog
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/sqlparser"
+)
+
+// AreaRecord pairs a log record with its extracted access area.
+type AreaRecord struct {
+	Record Record
+	Area   *extract.AccessArea
+}
+
+// StageTime aggregates min/max/total durations for one pipeline stage,
+// mirroring the per-stage ranges reported in Section 6.6.
+type StageTime struct {
+	Min, Max, Total time.Duration
+	Count           int
+}
+
+func (s *StageTime) observe(d time.Duration) {
+	if s.Count == 0 || d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Total += d
+	s.Count++
+}
+
+// Mean returns the average stage duration.
+func (s *StageTime) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// merge folds another StageTime into this one.
+func (s *StageTime) merge(o StageTime) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Total += o.Total
+	s.Count += o.Count
+}
+
+// Stats summarises a pipeline run: the extraction-coverage numbers of
+// Section 6.1 plus the stage timings of Section 6.6.
+type Stats struct {
+	Total     int
+	Parsed    int // statements the parser accepted as SELECT
+	Extracted int // access areas produced
+	// ParseFailures counts rejected statements by category ("syntax",
+	// "udf", "non-select", "unsupported", "lex").
+	ParseFailures map[string]int
+	// ExtractFailures counts parsed statements the extractor rejected
+	// (self-joins etc.).
+	ExtractFailures int
+	Truncated       int // hit the 35-predicate CNF cap
+	Approximate     int // inexact mappings
+	EmptyAreas      int // provably empty (contradictory) areas
+
+	Parse       StageTime
+	Extract     StageTime
+	CNF         StageTime
+	Consolidate StageTime
+
+	Elapsed time.Duration
+}
+
+// Coverage returns the extraction coverage fraction (the paper reports
+// 12,375,426 / 12,442,989 = 99.46%).
+func (s *Stats) Coverage() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Extracted) / float64(s.Total)
+}
+
+// Pipeline extracts access areas from log records.
+type Pipeline struct {
+	Extractor *extract.Extractor
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run processes all records, returning the successful extractions in input
+// order and the aggregate statistics.
+func (p *Pipeline) Run(recs []Record) ([]AreaRecord, *Stats) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(recs) {
+		workers = len(recs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	results := make([]*AreaRecord, len(recs))
+	partStats := make([]*Stats, workers)
+
+	var wg sync.WaitGroup
+	chunk := (len(recs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if lo >= hi {
+			partStats[w] = newStats()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			st := newStats()
+			for i := lo; i < hi; i++ {
+				if ar := p.processOne(recs[i], st); ar != nil {
+					results[i] = ar
+				}
+			}
+			partStats[w] = st
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := newStats()
+	for _, ps := range partStats {
+		if ps == nil {
+			continue
+		}
+		total.Total += ps.Total
+		total.Parsed += ps.Parsed
+		total.Extracted += ps.Extracted
+		total.ExtractFailures += ps.ExtractFailures
+		total.Truncated += ps.Truncated
+		total.Approximate += ps.Approximate
+		total.EmptyAreas += ps.EmptyAreas
+		for k, v := range ps.ParseFailures {
+			total.ParseFailures[k] += v
+		}
+		total.Parse.merge(ps.Parse)
+		total.Extract.merge(ps.Extract)
+		total.CNF.merge(ps.CNF)
+		total.Consolidate.merge(ps.Consolidate)
+	}
+	total.Elapsed = time.Since(start)
+
+	out := make([]AreaRecord, 0, len(recs))
+	for _, ar := range results {
+		if ar != nil {
+			out = append(out, *ar)
+		}
+	}
+	return out, total
+}
+
+func newStats() *Stats {
+	return &Stats{ParseFailures: make(map[string]int)}
+}
+
+func (p *Pipeline) processOne(rec Record, st *Stats) *AreaRecord {
+	st.Total++
+	t0 := time.Now()
+	stmt, err := sqlparser.Parse(rec.SQL)
+	st.Parse.observe(time.Since(t0))
+	if err != nil {
+		st.ParseFailures[classifyParseError(err)]++
+		return nil
+	}
+	sel, ok := stmt.(*sqlparser.SelectStatement)
+	if !ok {
+		st.ParseFailures["non-select"]++
+		return nil
+	}
+	st.Parsed++
+	area, tm, err := p.Extractor.ExtractWithTimings(sel)
+	st.Extract.observe(tm.Extract)
+	if err != nil {
+		st.ExtractFailures++
+		return nil
+	}
+	st.CNF.observe(tm.CNF)
+	st.Consolidate.observe(tm.Consolidate)
+	st.Extracted++
+	if area.Truncated {
+		st.Truncated++
+	}
+	if !area.Exact {
+		st.Approximate++
+	}
+	if area.IsEmpty() {
+		st.EmptyAreas++
+	}
+	return &AreaRecord{Record: rec, Area: area}
+}
+
+func classifyParseError(err error) string {
+	var pe *sqlparser.ParseError
+	if errors.As(err, &pe) {
+		return pe.Category.String()
+	}
+	var le *sqlparser.LexError
+	if errors.As(err, &le) {
+		return "lex"
+	}
+	return "other"
+}

@@ -1,0 +1,100 @@
+package qlog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ReadSkyServerCSV parses logs in the shape of SkyServer's published
+// SqlLog exports (Singh et al. [23] describe the cleaning pipeline): a
+// header row naming at least a statement column, plus optional
+// time/requestor/sequence columns. Column names are matched
+// case-insensitively against the aliases below, so both the raw SqlLog
+// dumps ("theTime, clientIP, requestor, ..., statement") and cleaned
+// variants load without configuration.
+//
+//	statement:  statement, sql, sqlstatement, query
+//	user:       requestor, clientip, user, ipname
+//	time:       thetime, time, timestamp
+//	sequence:   seq, logid, id
+//
+// Rows without a statement are skipped. Times parse as RFC 3339,
+// "2006-01-02 15:04:05", or raw integer seconds; unparseable times default
+// to the row index.
+func ReadSkyServerCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // real dumps have ragged rows
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("qlog: skyserver csv: %w", err)
+	}
+	idx := func(aliases ...string) int {
+		for i, name := range header {
+			n := strings.ToLower(strings.TrimSpace(name))
+			for _, a := range aliases {
+				if n == a {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	stmtCol := idx("statement", "sql", "sqlstatement", "query")
+	if stmtCol < 0 {
+		return nil, fmt.Errorf("qlog: skyserver csv: no statement column in header %v", header)
+	}
+	userCol := idx("requestor", "clientip", "user", "ipname")
+	timeCol := idx("thetime", "time", "timestamp")
+	seqCol := idx("seq", "logid", "id")
+
+	var out []Record
+	rowIdx := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("qlog: skyserver csv row %d: %w", rowIdx, err)
+		}
+		get := func(col int) string {
+			if col < 0 || col >= len(row) {
+				return ""
+			}
+			return strings.TrimSpace(row[col])
+		}
+		sql := get(stmtCol)
+		if sql == "" {
+			rowIdx++
+			continue
+		}
+		rec := Record{Seq: rowIdx, Time: int64(rowIdx), User: get(userCol), SQL: sql}
+		if s := get(seqCol); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				rec.Seq = v
+			}
+		}
+		if ts := get(timeCol); ts != "" {
+			rec.Time = parseLogTime(ts, int64(rowIdx))
+		}
+		out = append(out, rec)
+		rowIdx++
+	}
+	return out, nil
+}
+
+func parseLogTime(s string, fallback int64) int64 {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v
+	}
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02T15:04:05", "1/2/2006 15:04:05"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.Unix()
+		}
+	}
+	return fallback
+}

@@ -1,0 +1,202 @@
+// Package report serialises mining results — the Table-1-style aggregated
+// access areas — as human-readable text, CSV, or JSON, so downstream tools
+// (spreadsheets, notebooks, dashboards) can consume the output of the
+// pipeline without linking the library.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+)
+
+// Format selects an output encoding.
+type Format string
+
+const (
+	Text Format = "text"
+	CSV  Format = "csv"
+	JSON Format = "json"
+)
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case Text:
+		return Text, nil
+	case CSV:
+		return CSV, nil
+	case JSON:
+		return JSON, nil
+	default:
+		return "", fmt.Errorf("report: unknown format %q (text, csv, json)", s)
+	}
+}
+
+// Options controls rendering.
+type Options struct {
+	// Top caps the number of clusters emitted (0 = all).
+	Top int
+	// Coverage includes the area/object coverage columns (meaningful only
+	// after Result.AttachCoverage).
+	Coverage bool
+}
+
+// Write renders the result in the chosen format.
+func Write(w io.Writer, res *core.Result, format Format, opts Options) error {
+	clusters := res.Clusters
+	if opts.Top > 0 && len(clusters) > opts.Top {
+		clusters = clusters[:opts.Top]
+	}
+	switch format {
+	case CSV:
+		return writeCSV(w, res, clusters, opts)
+	case JSON:
+		return writeJSON(w, res, clusters, opts)
+	default:
+		return writeText(w, res, clusters, opts)
+	}
+}
+
+func writeText(w io.Writer, res *core.Result, clusters []*aggregate.Summary, opts Options) error {
+	if st := res.PipelineStats; st != nil {
+		fmt.Fprintf(w, "statements: %d, extracted: %d (%.2f%%), distinct areas: %d\n",
+			st.Total, st.Extracted, 100*st.Coverage(), res.DistinctAreas)
+	}
+	fmt.Fprintf(w, "clusters: %d, noise queries: %d\n\n", len(res.Clusters), res.NoiseQueries)
+	header := fmt.Sprintf("%-4s %-9s %-7s", "id", "queries", "users")
+	if opts.Coverage {
+		header += fmt.Sprintf(" %-9s %-9s", "area-cov", "obj-cov")
+	}
+	fmt.Fprintln(w, header+" access area")
+	for _, c := range clusters {
+		line := fmt.Sprintf("%-4d %-9d %-7d", c.ID, c.Cardinality, c.UserCount)
+		if opts.Coverage {
+			line += fmt.Sprintf(" %-9.3f %-9.3f", c.AreaCoverage, c.ObjectCoverage)
+		}
+		fmt.Fprintln(w, line+" "+c.Expr())
+	}
+	return nil
+}
+
+func writeCSV(w io.Writer, _ *core.Result, clusters []*aggregate.Summary, opts Options) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "queries", "users", "relations", "access_area"}
+	if opts.Coverage {
+		header = append(header, "area_coverage", "object_coverage")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range clusters {
+		row := []string{
+			strconv.Itoa(c.ID),
+			strconv.Itoa(c.Cardinality),
+			strconv.Itoa(c.UserCount),
+			strings.Join(c.Relations, "|"),
+			c.Expr(),
+		}
+		if opts.Coverage {
+			row = append(row, fcov(c.AreaCoverage), fcov(c.ObjectCoverage))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fcov(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+// jsonCluster is the stable JSON shape of one cluster.
+type jsonCluster struct {
+	ID              int                 `json:"id"`
+	Queries         int                 `json:"queries"`
+	Users           int                 `json:"users"`
+	Relations       []string            `json:"relations"`
+	AccessArea      string              `json:"access_area"`
+	Box             map[string][2]*f64  `json:"box,omitempty"`
+	Categorical     map[string][]string `json:"categorical,omitempty"`
+	JoinPredicates  []string            `json:"join_predicates,omitempty"`
+	Representatives []string            `json:"representative_queries,omitempty"`
+	AreaCoverage    *f64                `json:"area_coverage,omitempty"`
+	ObjectCoverage  *f64                `json:"object_coverage,omitempty"`
+}
+
+// f64 marshals non-finite floats as null.
+type f64 float64
+
+func (v f64) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+func pf(v float64) *f64 {
+	x := f64(v)
+	return &x
+}
+
+type jsonReport struct {
+	Statements     int           `json:"statements"`
+	Extracted      int           `json:"extracted"`
+	Coverage       float64       `json:"extraction_coverage"`
+	DistinctAreas  int           `json:"distinct_areas"`
+	NoiseQueries   int           `json:"noise_queries"`
+	TotalClusters  int           `json:"total_clusters"`
+	Clusters       []jsonCluster `json:"clusters"`
+	ChosenEps      float64       `json:"eps"`
+	Contradictions int           `json:"contradictory_areas"`
+}
+
+func writeJSON(w io.Writer, res *core.Result, clusters []*aggregate.Summary, opts Options) error {
+	out := jsonReport{
+		DistinctAreas:  res.DistinctAreas,
+		NoiseQueries:   res.NoiseQueries,
+		TotalClusters:  len(res.Clusters),
+		ChosenEps:      res.ChosenEps,
+		Contradictions: res.ContradictoryAreas,
+	}
+	if st := res.PipelineStats; st != nil {
+		out.Statements = st.Total
+		out.Extracted = st.Extracted
+		out.Coverage = st.Coverage()
+	}
+	for _, c := range clusters {
+		jc := jsonCluster{
+			ID: c.ID, Queries: c.Cardinality, Users: c.UserCount,
+			Relations: c.Relations, AccessArea: c.Expr(),
+			Categorical: c.Categorical, JoinPredicates: c.JoinPreds,
+			Representatives: c.Representatives,
+			Box:             make(map[string][2]*f64),
+		}
+		for _, col := range c.Box.Dims() {
+			iv := c.Box.Get(col)
+			lo, hi := pf(iv.Lo), pf(iv.Hi)
+			jc.Box[col] = [2]*f64{lo, hi}
+		}
+		if opts.Coverage {
+			jc.AreaCoverage = pf(c.AreaCoverage)
+			jc.ObjectCoverage = pf(c.ObjectCoverage)
+		}
+		out.Clusters = append(out.Clusters, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

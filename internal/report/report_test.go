@@ -1,0 +1,117 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skyserver"
+)
+
+func minedResult(t *testing.T) *core.Result {
+	t.Helper()
+	m := core.NewMiner(core.Config{Schema: skyserver.Schema()})
+	var stmts []string
+	for i := 0; i < 25; i++ {
+		stmts = append(stmts, "SELECT ra FROM PhotoObjAll WHERE ra <= 210 AND dec <= 10")
+	}
+	for i := 0; i < 12; i++ {
+		stmts = append(stmts, "SELECT z FROM Photoz WHERE z >= 0 AND z <= 0.1")
+	}
+	stmts = append(stmts, "SELECT * FROM zooSpec WHERE p_el > 0.99")
+	return m.MineSQL(stmts)
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, good := range []string{"text", "CSV", "Json"} {
+		if _, err := ParseFormat(good); err != nil {
+			t.Errorf("%q: %v", good, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml should be rejected")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	res := minedResult(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, res, Text, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "clusters: 2") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "PhotoObjAll.ra <= 210") {
+		t.Errorf("output missing access area: %q", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := minedResult(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, res, CSV, Options{Coverage: true}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 clusters
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][5] != "area_coverage" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "25" {
+		t.Errorf("top cluster queries = %v", rows[1])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	res := minedResult(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, res, JSON, Options{Top: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["total_clusters"].(float64) != 2 {
+		t.Errorf("total_clusters = %v", decoded["total_clusters"])
+	}
+	clusters := decoded["clusters"].([]any)
+	if len(clusters) != 1 { // Top: 1
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	c0 := clusters[0].(map[string]any)
+	if c0["queries"].(float64) != 25 {
+		t.Errorf("queries = %v", c0["queries"])
+	}
+	// One-sided box bounds serialise as null, not +Inf (invalid JSON).
+	box := c0["box"].(map[string]any)
+	ra := box["PhotoObjAll.ra"].([]any)
+	if ra[0] != nil {
+		t.Errorf("unbounded lo should be null, got %v", ra[0])
+	}
+	if ra[1].(float64) != 210 {
+		t.Errorf("hi = %v", ra[1])
+	}
+}
+
+func TestWriteJSONNoStats(t *testing.T) {
+	// MineAreas results have no pipeline stats; JSON must still encode.
+	res := &core.Result{}
+	var buf bytes.Buffer
+	if err := Write(&buf, res, JSON, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"total_clusters\": 0") {
+		t.Errorf("output = %s", buf.String())
+	}
+}

@@ -1,0 +1,167 @@
+// Package requery implements the re-issuing baseline the paper compares
+// against in Sections 2.2 (Option (a)) and 6.6: every logged query is
+// executed against the database and its "access area" is the minimum
+// bounding box of its RESULT SET. The experiment shows the three failure
+// modes the paper reports:
+//
+//   - it is orders of magnitude slower than log-side extraction,
+//   - queries over empty parts of the data space return no rows and hence
+//     no area (clusters 18-24 of Table 1 cannot be discovered),
+//   - erroneous queries (rate limit, row cap, MySQL dialect, bad syntax)
+//     yield nothing at all, while extraction still handles them.
+package requery
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"repro/internal/interval"
+	"repro/internal/memdb"
+	"repro/internal/qlog"
+	"repro/internal/sqlparser"
+)
+
+// Baseline executes logged queries against a database.
+type Baseline struct {
+	DB *memdb.DB
+	// RowLimit simulates SkyServer's output cap ("limit is top 500000");
+	// 0 disables it.
+	RowLimit int
+	// RateLimiter, when non-nil, enforces the per-user quota using each
+	// record's logical timestamp.
+	RateLimiter *memdb.RateLimiter
+	// StrictTSQL rejects MySQL-dialect queries like SkyServer does.
+	StrictTSQL bool
+}
+
+// BoxArea is the result-set bounding box of one query (the naive Option (a)
+// access-area definition).
+type BoxArea struct {
+	Record    qlog.Record
+	Relations []string
+	Box       *interval.Box
+	Rows      int
+}
+
+// Result summarises a baseline run.
+type Result struct {
+	Areas []BoxArea
+	// EmptyResults counts queries that executed fine but returned no rows —
+	// exactly the queries whose (intended) access areas the re-querying
+	// approach loses.
+	EmptyResults int
+	// Errors counts failed executions by category ("parse", "rate-limit",
+	// "row-limit", "dialect", "exec").
+	Errors  map[string]int
+	Elapsed time.Duration
+}
+
+// Processed returns the number of queries that yielded an area.
+func (r *Result) Processed() int { return len(r.Areas) }
+
+// Run executes all records.
+func (b *Baseline) Run(recs []qlog.Record) *Result {
+	res := &Result{Errors: make(map[string]int)}
+	start := time.Now()
+	for _, rec := range recs {
+		b.runOne(rec, res)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func (b *Baseline) runOne(rec qlog.Record, res *Result) {
+	if b.RateLimiter != nil {
+		if err := b.RateLimiter.Check(rec.User, rec.Time); err != nil {
+			res.Errors["rate-limit"]++
+			return
+		}
+	}
+	sel, err := sqlparser.ParseSelect(rec.SQL)
+	if err != nil {
+		res.Errors["parse"]++
+		return
+	}
+	rs, err := b.DB.Execute(sel, memdb.ExecOptions{RowLimit: b.RowLimit, StrictTSQL: b.StrictTSQL})
+	if err != nil {
+		var rle *memdb.RowLimitError
+		var de *memdb.DialectError
+		switch {
+		case errors.As(err, &rle):
+			res.Errors["row-limit"]++
+		case errors.As(err, &de):
+			res.Errors["dialect"]++
+		default:
+			res.Errors["exec"]++
+		}
+		return
+	}
+	if len(rs.Rows) == 0 {
+		res.EmptyResults++
+		return
+	}
+	res.Areas = append(res.Areas, BoxArea{
+		Record:    rec,
+		Relations: relationsOf(sel),
+		Box:       resultBox(rs),
+		Rows:      len(rs.Rows),
+	})
+}
+
+// resultBox computes the minimum bounding box of the numeric columns of a
+// result set.
+func resultBox(rs *memdb.ResultSet) *interval.Box {
+	box := interval.NewBox()
+	for ci, col := range rs.Columns {
+		first := true
+		var lo, hi float64
+		for _, row := range rs.Rows {
+			v := row[ci]
+			if v.Kind != memdb.Num {
+				continue
+			}
+			if first {
+				lo, hi = v.Num, v.Num
+				first = false
+				continue
+			}
+			if v.Num < lo {
+				lo = v.Num
+			}
+			if v.Num > hi {
+				hi = v.Num
+			}
+		}
+		if !first {
+			box.Set(col, interval.Closed(lo, hi))
+		}
+	}
+	return box
+}
+
+func relationsOf(sel *sqlparser.SelectStatement) []string {
+	var out []string
+	var walk func(te sqlparser.TableExpr)
+	walk = func(te sqlparser.TableExpr) {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			name := t.Name
+			if i := strings.LastIndex(name, "."); i >= 0 {
+				name = name[i+1:]
+			}
+			out = append(out, name)
+		case *sqlparser.Join:
+			walk(t.Left)
+			walk(t.Right)
+		case *sqlparser.SubqueryTable:
+			for _, inner := range t.Select.From {
+				walk(inner)
+			}
+		}
+	}
+	for _, te := range sel.From {
+		walk(te)
+	}
+	return out
+}

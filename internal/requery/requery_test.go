@@ -1,0 +1,190 @@
+package requery
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/memdb"
+	"repro/internal/qlog"
+	"repro/internal/skyserver"
+)
+
+func baselineDB(t *testing.T) *memdb.DB {
+	t.Helper()
+	return skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: 300, Seed: 1})
+}
+
+func TestResultBoxFromQueries(t *testing.T) {
+	db := baselineDB(t)
+	b := &Baseline{DB: db}
+	recs := []qlog.Record{
+		{Seq: 0, User: "u1", SQL: "SELECT ra, dec FROM PhotoObjAll WHERE ra <= 100"},
+	}
+	res := b.Run(recs)
+	if len(res.Areas) != 1 {
+		t.Fatalf("areas = %d, errors = %v, empty = %d", len(res.Areas), res.Errors, res.EmptyResults)
+	}
+	box := res.Areas[0].Box
+	ra := box.Get("PhotoObjAll.ra")
+	if ra.Hi > 100 || ra.Lo < 0 {
+		t.Errorf("ra box = %v", ra)
+	}
+}
+
+func TestEmptyAreaQueriesYieldNothing(t *testing.T) {
+	// The §6.6 quality argument: queries into empty space (cluster 18's
+	// dec < -50, cluster 23/24's out-of-content redshifts) return no rows,
+	// so re-querying cannot discover those access areas.
+	db := baselineDB(t)
+	b := &Baseline{DB: db}
+	recs := []qlog.Record{
+		{Seq: 0, User: "u", SQL: "SELECT ra, dec FROM PhotoObjAll WHERE dec BETWEEN -90 AND -50"},
+		{Seq: 1, User: "u", SQL: "SELECT z FROM Photoz WHERE z >= 3.0 AND z <= 6.5"},
+		{Seq: 2, User: "u", SQL: "SELECT z FROM Photoz WHERE z >= -0.98 AND z <= -0.3"},
+	}
+	res := b.Run(recs)
+	if len(res.Areas) != 0 {
+		t.Errorf("areas = %d, want 0", len(res.Areas))
+	}
+	if res.EmptyResults != 3 {
+		t.Errorf("empty = %d, want 3", res.EmptyResults)
+	}
+}
+
+func TestErrorCategories(t *testing.T) {
+	db := baselineDB(t)
+	b := &Baseline{DB: db, StrictTSQL: true, RowLimit: 10}
+	recs := []qlog.Record{
+		{Seq: 0, User: "u", SQL: "SELECT Galaxies.objid FROM Galaxies LIMIT 10"}, // dialect... but parse ok; unknown table? Galaxies unknown -> dialect first
+		{Seq: 1, User: "u", SQL: "SELEC * FROM PhotoObjAll"},
+		{Seq: 2, User: "u", SQL: "SELECT ra FROM PhotoObjAll"}, // 300 rows > RowLimit
+	}
+	res := b.Run(recs)
+	if res.Errors["dialect"] != 1 {
+		t.Errorf("dialect errors = %d (%v)", res.Errors["dialect"], res.Errors)
+	}
+	if res.Errors["parse"] != 1 {
+		t.Errorf("parse errors = %d", res.Errors["parse"])
+	}
+	if res.Errors["row-limit"] != 1 {
+		t.Errorf("row-limit errors = %d", res.Errors["row-limit"])
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	db := baselineDB(t)
+	b := &Baseline{DB: db, RateLimiter: memdb.NewRateLimiter(2)}
+	var recs []qlog.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, qlog.Record{Seq: i, Time: int64(i), User: "bot",
+			SQL: "SELECT TOP 1 ra FROM PhotoObjAll"})
+	}
+	res := b.Run(recs)
+	if res.Errors["rate-limit"] != 3 {
+		t.Errorf("rate-limit errors = %d, want 3", res.Errors["rate-limit"])
+	}
+	if len(res.Areas) != 2 {
+		t.Errorf("areas = %d, want 2", len(res.Areas))
+	}
+}
+
+func TestExtractionHandlesWhatRequeryCannot(t *testing.T) {
+	// End-to-end comparison on a small synthetic log slice: extraction
+	// processes strictly more queries than re-querying under SkyServer
+	// constraints.
+	entries := skyserver.GenerateLog(skyserver.WorkloadConfig{Queries: 400, Seed: 21})
+	var recs []qlog.Record
+	for _, e := range entries {
+		recs = append(recs, qlog.Record{Seq: e.Seq, Time: e.Time, User: e.User, SQL: e.SQL})
+	}
+	db := baselineDB(t)
+	b := &Baseline{DB: db, StrictTSQL: true, RateLimiter: memdb.NewRateLimiter(60)}
+	res := b.Run(recs)
+
+	processedByRequery := res.Processed()
+	if processedByRequery >= len(recs) {
+		t.Fatalf("requery processed everything (%d)", processedByRequery)
+	}
+	if res.EmptyResults == 0 {
+		t.Error("expected empty-result queries (empty-area templates)")
+	}
+	if res.Errors["dialect"] == 0 {
+		t.Error("expected dialect errors from MySQL queries")
+	}
+}
+
+func TestRelationsOfJoin(t *testing.T) {
+	db := baselineDB(t)
+	b := &Baseline{DB: db}
+	recs := []qlog.Record{{Seq: 0, User: "u",
+		SQL: "SELECT * FROM galSpecExtra JOIN galSpecIndx ON galSpecExtra.specobjid = galSpecIndx.specObjID"}}
+	res := b.Run(recs)
+	if len(res.Areas) != 1 {
+		t.Fatalf("areas = %d (%v)", len(res.Areas), res.Errors)
+	}
+	if len(res.Areas[0].Relations) != 2 {
+		t.Errorf("relations = %v", res.Areas[0].Relations)
+	}
+}
+
+// TestPropResultsWithinAccessArea cross-checks extraction against real
+// execution: for randomly generated simple queries, every row the engine
+// returns must fall inside the extracted access area's per-column bounds —
+// the containment direction of Definition 4 (result-influencing tuples are
+// a subset of the access area in the current state).
+func TestPropResultsWithinAccessArea(t *testing.T) {
+	db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: 400, Seed: 5})
+	ex := extract.New(skyserver.Schema())
+	r := rand.New(rand.NewSource(11))
+
+	type probe struct {
+		table, col string
+		lo, hi     float64
+	}
+	probes := []probe{
+		{"PhotoObjAll", "ra", 0, 360},
+		{"PhotoObjAll", "dec", -90, 90},
+		{"SpecObjAll", "plate", 0, 6000},
+		{"Photoz", "z", -1, 7},
+		{"zooSpec", "p_el", 0, 1},
+	}
+	ops := []string{"<", "<=", ">", ">=", "="}
+	for trial := 0; trial < 200; trial++ {
+		p := probes[r.Intn(len(probes))]
+		nPreds := 1 + r.Intn(2)
+		where := ""
+		for k := 0; k < nPreds; k++ {
+			if k > 0 {
+				where += " AND "
+			}
+			v := p.lo + r.Float64()*(p.hi-p.lo)
+			where += fmt.Sprintf("%s %s %.3f", p.col, ops[r.Intn(len(ops))], v)
+		}
+		sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s", p.col, p.table, where)
+		area, err := ex.ExtractSQL(sql)
+		if err != nil {
+			t.Fatalf("extract %q: %v", sql, err)
+		}
+		rs, err := db.ExecuteSQL(sql, memdb.ExecOptions{})
+		if err != nil {
+			t.Fatalf("exec %q: %v", sql, err)
+		}
+		bounds := area.Bounds()
+		col := p.table + "." + p.col
+		set, constrained := bounds[col]
+		for _, row := range rs.Rows {
+			if row[0].Kind != memdb.Num {
+				continue
+			}
+			if constrained && !set.Contains(row[0].Num) {
+				t.Fatalf("%q: result value %v outside access area %s", sql, row[0].Num, set)
+			}
+		}
+		// Contradictory areas must return no rows.
+		if area.IsEmpty() && len(rs.Rows) > 0 {
+			t.Fatalf("%q: empty area but %d rows", sql, len(rs.Rows))
+		}
+	}
+}

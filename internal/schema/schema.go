@@ -1,0 +1,196 @@
+// Package schema models the database schema underlying the data space of
+// Section 2.1: relations, typed columns and their domains. The data space of
+// a relation is the Cartesian product of its column domains; content(R) is
+// the minimum bounding box of the actual data; empty(R) = space(R) \
+// content(R). The package also hosts the access(a) statistics registry of
+// Section 5.3, which the distance function needs for normalisation.
+package schema
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// ColumnType classifies a column as numeric or categorical; the two kinds
+// get different content/access representations (interval vs value set) per
+// Section 2.1.
+type ColumnType int
+
+const (
+	Numeric ColumnType = iota
+	Categorical
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColumnType
+
+	// Domain is the type-level domain dom(a) for numeric columns. A zero
+	// Domain means the full real line (the paper's "large enough to be
+	// considered (-inf, +inf)" assumption before Lemma 2).
+	Domain interval.Interval
+
+	// Values is the categorical domain for Categorical columns, if known.
+	Values []string
+}
+
+// EffectiveDomain returns dom(a) for a numeric column, defaulting to the
+// full line when unspecified.
+func (c *Column) EffectiveDomain() interval.Interval {
+	if c.Type != Numeric {
+		return interval.Full()
+	}
+	var zero interval.Interval
+	if c.Domain == zero {
+		return interval.Full()
+	}
+	return c.Domain
+}
+
+// Relation is a named relation with ordered columns.
+type Relation struct {
+	Name    string
+	Columns []Column
+
+	byName map[string]*Column
+}
+
+// NewRelation builds a relation and indexes its columns. Column lookups are
+// case-insensitive, matching the behaviour of SQL Server (SkyServer's
+// engine).
+func NewRelation(name string, cols ...Column) *Relation {
+	r := &Relation{Name: name, Columns: cols, byName: make(map[string]*Column, len(cols))}
+	for i := range r.Columns {
+		r.byName[strings.ToLower(r.Columns[i].Name)] = &r.Columns[i]
+	}
+	return r
+}
+
+// Column returns the column with the given (case-insensitive) name, or nil.
+func (r *Relation) Column(name string) *Column {
+	return r.byName[strings.ToLower(name)]
+}
+
+// QualifiedColumn returns the canonical fully-qualified name "Relation.column"
+// used throughout the pipeline as a dimension key.
+func (r *Relation) QualifiedColumn(name string) string {
+	if c := r.Column(name); c != nil {
+		return r.Name + "." + c.Name
+	}
+	return r.Name + "." + name
+}
+
+// Schema is a set of relations with case-insensitive lookup.
+type Schema struct {
+	relations map[string]*Relation
+	order     []string // insertion order of canonical names
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{relations: make(map[string]*Relation)}
+}
+
+// Add registers a relation. Re-adding a relation with the same
+// (case-insensitive) name replaces it.
+func (s *Schema) Add(r *Relation) {
+	key := strings.ToLower(r.Name)
+	if _, exists := s.relations[key]; !exists {
+		s.order = append(s.order, key)
+	}
+	s.relations[key] = r
+}
+
+// Relation returns the relation with the given (case-insensitive) name, or
+// nil if unknown.
+func (s *Schema) Relation(name string) *Relation {
+	return s.relations[strings.ToLower(name)]
+}
+
+// Relations returns all relations in insertion order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, 0, len(s.order))
+	for _, key := range s.order {
+		out = append(out, s.relations[key])
+	}
+	return out
+}
+
+// CanonicalTable resolves name to the canonical relation name, or returns
+// name unchanged (preserving what the query wrote) when the relation is
+// unknown to the schema.
+func (s *Schema) CanonicalTable(name string) string {
+	if r := s.Relation(name); r != nil {
+		return r.Name
+	}
+	return name
+}
+
+// ResolveColumn resolves a possibly-unqualified column reference against the
+// given candidate relations, returning the canonical "Relation.column" name.
+// When the column name is ambiguous or unknown the first candidate relation
+// is used as a best-effort owner, mirroring the paper's pragmatic handling
+// of a log that contains queries against stale schema versions.
+func (s *Schema) ResolveColumn(column string, candidates []string) string {
+	for _, rel := range candidates {
+		if r := s.Relation(rel); r != nil && r.Column(column) != nil {
+			return r.QualifiedColumn(column)
+		}
+	}
+	if len(candidates) > 0 {
+		return s.CanonicalTable(candidates[0]) + "." + column
+	}
+	return column
+}
+
+// SplitQualified splits a canonical "Relation.column" name. ok is false when
+// the name has no dot.
+func SplitQualified(name string) (rel, col string, ok bool) {
+	i := strings.LastIndex(name, ".")
+	if i < 0 {
+		return "", name, false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// ContentBox returns the content(R) bounding boxes of every relation merged
+// into one box keyed by qualified column names, using the provided per-column
+// content statistics.
+func ContentBox(stats *Stats) *interval.Box {
+	box := interval.NewBox()
+	for name, cs := range stats.numeric {
+		box.Set(name, cs.content)
+	}
+	return box
+}
+
+// sortedKeys is a small helper for deterministic iteration in tests/String.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// isFinite reports whether v is a usable finite float.
+func isFinite(v float64) bool {
+	return !math.IsInf(v, 0) && !math.IsNaN(v)
+}

@@ -1,0 +1,152 @@
+// Package skyserver is the SkyServer substrate of this reproduction: the
+// SDSS DR9 relations the paper's Table 1 touches, a deterministic synthetic
+// data generator whose content bounding boxes match the bounds the paper
+// reports (e.g. SpecObjAll.plate ∈ [266, 5141], SpecObjAll.mjd ∈
+// [51578, 55752]), and a query-log generator whose workload mix mirrors the
+// 24 clusters of Table 1 plus background noise, erroneous queries,
+// bot-issued admin statements and MySQL-dialect queries (see DESIGN.md §1
+// for the substitution argument).
+package skyserver
+
+import (
+	"repro/internal/interval"
+	"repro/internal/schema"
+)
+
+// Content bounds used by both the schema and the data generator. The
+// in-content bounds reproduce the numbers visible in the paper's figures and
+// Table 1; the "empty" ranges beyond them are what clusters 18-24 access.
+var (
+	// Photoz: photometric redshifts of photometric objects.
+	PhotozObjidContent = interval.Closed(1.237650e18, 1.2376848e18)
+	PhotozZContent     = interval.Closed(-0.1, 3.0)
+
+	// SpecObjAll: the spectroscopic master table; Figure 1(a) plots
+	// plate × mjd.
+	SpecObjidContent = interval.Closed(3.0e17, 5.9e18)
+	PlateContent     = interval.Closed(266, 5141)
+	MjdContent       = interval.Closed(51578, 55752)
+
+	// Photometry sky coverage; Figure 1(b) plots ra × dec, whose content
+	// leaves dec < -25 empty (cluster 18 accesses dec ∈ [-90, -50]).
+	RaContent       = interval.Closed(0, 360)
+	PhotoDecContent = interval.Closed(-25, 85)
+
+	// Value-added spectroscopic tables stop at an earlier specobjid than
+	// SpecObjAll: clusters 19-21 access [3.52e18, 5.79e18], which is empty
+	// there.
+	GalSpecObjidContent = interval.Closed(1.0e18, 3.52e18)
+
+	// zooSpec (Galaxy Zoo morphology); Figure 1(c): its dec content stops at
+	// -11, and cluster 22 accesses [-100, -15] — including the impossible
+	// dec = -100 the paper's astronomer flagged.
+	ZooDecContent = interval.Closed(-11, 70)
+
+	// AtlasOutline shares the photometric objid range.
+	AtlasObjidContent = PhotozObjidContent
+)
+
+// Classes are the spectroscopic classes of SpecObjAll.
+var Classes = []string{"STAR", "GALAXY", "QSO"}
+
+// DBObjects value domains.
+var (
+	DBObjectsAccess = []string{"U", "S", "A"}
+	DBObjectsTypes  = []string{"U", "V", "P", "F", "I"}
+)
+
+// Schema returns the SkyServer schema used by the case study.
+func Schema() *schema.Schema {
+	s := schema.New()
+	num := func(name string, dom interval.Interval) schema.Column {
+		return schema.Column{Name: name, Type: schema.Numeric, Domain: dom}
+	}
+	numU := func(name string) schema.Column {
+		return schema.Column{Name: name, Type: schema.Numeric}
+	}
+	cat := func(name string, vals []string) schema.Column {
+		return schema.Column{Name: name, Type: schema.Categorical, Values: vals}
+	}
+
+	s.Add(schema.NewRelation("PhotoObjAll",
+		numU("objid"),
+		num("ra", interval.Closed(0, 360)),
+		num("dec", interval.Closed(-90, 90)),
+		numU("u"), numU("g"), numU("r"), numU("i"), numU("z"),
+		numU("mode"),
+	))
+	s.Add(schema.NewRelation("Photoz",
+		numU("objid"),
+		num("z", interval.Closed(-1, 10)),
+		numU("zerr"),
+	))
+	s.Add(schema.NewRelation("SpecObjAll",
+		numU("specobjid"),
+		num("plate", interval.Closed(0, 20000)),
+		num("mjd", interval.Closed(40000, 70000)),
+		num("ra", interval.Closed(0, 360)),
+		num("dec", interval.Closed(-90, 90)),
+		num("z", interval.Closed(-1, 10)),
+		cat("class", Classes),
+	))
+	s.Add(schema.NewRelation("SpecPhotoAll",
+		numU("specobjid"), numU("objid"),
+		num("ra", interval.Closed(0, 360)),
+		num("dec", interval.Closed(-90, 90)),
+	))
+	s.Add(schema.NewRelation("galSpecLine",
+		numU("specobjid"),
+		numU("h_alpha_flux"),
+		numU("h_beta_flux"),
+	))
+	s.Add(schema.NewRelation("galSpecInfo",
+		numU("specobjid"),
+		num("snmedian", interval.Closed(0, 1000)),
+		cat("targettype", []string{"GALAXY", "QSO", "ANY"}),
+	))
+	s.Add(schema.NewRelation("galSpecExtra",
+		numU("specobjid"),
+		num("bptclass", interval.Closed(-1, 4)),
+	))
+	s.Add(schema.NewRelation("galSpecIndx",
+		numU("specObjID"),
+		numU("lick_hd_a"),
+	))
+	s.Add(schema.NewRelation("sppLines",
+		numU("specobjid"),
+		num("gwholemask", interval.Closed(0, 1023)),
+		num("gwholeside", interval.Closed(0, 100)),
+	))
+	s.Add(schema.NewRelation("sppParams",
+		numU("specobjid"),
+		num("fehadop", interval.Closed(-5, 1)),
+		num("loggadop", interval.Closed(0, 5)),
+	))
+	s.Add(schema.NewRelation("zooSpec",
+		numU("specobjid"),
+		num("ra", interval.Closed(0, 360)),
+		num("dec", interval.Closed(-90, 90)),
+		numU("p_el"),
+		numU("p_cs"),
+	))
+	s.Add(schema.NewRelation("emissionLinesPort",
+		numU("specobjid"),
+		num("ra", interval.Closed(0, 360)),
+		num("dec", interval.Closed(-90, 90)),
+	))
+	s.Add(schema.NewRelation("stellarMassPCAWisc",
+		numU("specobjid"),
+		num("ra", interval.Closed(0, 360)),
+		numU("mstellar_median"),
+	))
+	s.Add(schema.NewRelation("AtlasOutline",
+		numU("objid"),
+		numU("span"),
+	))
+	s.Add(schema.NewRelation("DBObjects",
+		cat("name", nil),
+		cat("access", DBObjectsAccess),
+		cat("type", DBObjectsTypes),
+	))
+	return s
+}

@@ -1,0 +1,267 @@
+package skyserver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/schema"
+)
+
+func TestSchemaRelations(t *testing.T) {
+	s := Schema()
+	for _, name := range []string{
+		"PhotoObjAll", "Photoz", "SpecObjAll", "SpecPhotoAll", "galSpecLine",
+		"galSpecInfo", "galSpecExtra", "galSpecIndx", "sppLines", "sppParams",
+		"zooSpec", "emissionLinesPort", "stellarMassPCAWisc", "AtlasOutline", "DBObjects",
+	} {
+		if s.Relation(name) == nil {
+			t.Errorf("missing relation %s", name)
+		}
+	}
+	if c := s.Relation("zooSpec").Column("dec"); c == nil || c.Domain.Lo != -90 {
+		t.Error("zooSpec.dec domain should start at -90 (the -100 queries are out of domain)")
+	}
+}
+
+func TestBuildDatabaseContentBounds(t *testing.T) {
+	db := BuildDatabase(DataConfig{RowsPerTable: 500, Seed: 1})
+	cases := []struct {
+		col    string
+		lo, hi float64 // bounds the content must respect
+	}{
+		{"SpecObjAll.plate", PlateContent.Lo, PlateContent.Hi},
+		{"SpecObjAll.mjd", MjdContent.Lo, MjdContent.Hi},
+		{"Photoz.z", PhotozZContent.Lo, PhotozZContent.Hi},
+		{"PhotoObjAll.dec", PhotoDecContent.Lo, PhotoDecContent.Hi},
+		{"zooSpec.dec", ZooDecContent.Lo, ZooDecContent.Hi},
+		{"galSpecLine.specobjid", GalSpecObjidContent.Lo, GalSpecObjidContent.Hi},
+	}
+	for _, c := range cases {
+		iv, ok := db.ContentInterval(c.col)
+		if !ok {
+			t.Errorf("%s: no content", c.col)
+			continue
+		}
+		if iv.Lo < c.lo || iv.Hi > c.hi {
+			t.Errorf("%s: content %v outside declared bounds [%v, %v]", c.col, iv, c.lo, c.hi)
+		}
+	}
+	vals, ok := db.ContentValues("SpecObjAll.class")
+	if !ok || len(vals) != 3 {
+		t.Errorf("class values = %v", vals)
+	}
+}
+
+func TestDataDeterministic(t *testing.T) {
+	a := BuildDatabase(DataConfig{RowsPerTable: 100, Seed: 5})
+	b := BuildDatabase(DataConfig{RowsPerTable: 100, Seed: 5})
+	ia, _ := a.ContentInterval("Photoz.z")
+	ib, _ := b.ContentInterval("Photoz.z")
+	if !ia.Equal(ib) {
+		t.Error("same seed should give identical data")
+	}
+}
+
+func TestSeedStats(t *testing.T) {
+	db := BuildDatabase(DataConfig{RowsPerTable: 300, Seed: 2})
+	st := schema.NewStats()
+	SeedStats(db, st)
+	acc, ok := st.NumericAccess("SpecObjAll.plate")
+	if !ok {
+		t.Fatal("plate not seeded")
+	}
+	// Range-doubling: access extends beyond the sample range.
+	content, _ := db.ContentInterval("SpecObjAll.plate")
+	if acc.Width() < content.Width() {
+		t.Errorf("access %v narrower than content %v", acc, content)
+	}
+	if _, ok := st.CategoricalAccess("SpecObjAll.class"); !ok {
+		t.Error("class not seeded")
+	}
+}
+
+func TestGenerateLogComposition(t *testing.T) {
+	entries := GenerateLog(WorkloadConfig{Queries: 5000, Seed: 9})
+	if len(entries) < 4900 || len(entries) > 5100 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	counts := make(map[string]int)
+	for _, e := range entries {
+		counts[e.Template]++
+	}
+	// All 24 clusters present with at least the floor.
+	for i := 1; i <= 24; i++ {
+		name := clusterName(i)
+		if counts[name] < 8 {
+			t.Errorf("%s count = %d, want >= 8", name, counts[name])
+		}
+	}
+	// Cardinality ranking follows Table 1 for the heavyweights.
+	if !(counts["cluster01"] > counts["cluster02"] && counts["cluster02"] > counts["cluster09"]) {
+		t.Errorf("ranking broken: c1=%d c2=%d c9=%d", counts["cluster01"], counts["cluster02"], counts["cluster09"])
+	}
+	if counts["noise"] == 0 || counts["error"] == 0 || counts["mysql"] == 0 || counts["bigpred"] == 0 {
+		t.Errorf("special populations missing: %v", counts)
+	}
+	// Timestamps increase, seqs are consecutive.
+	for i, e := range entries {
+		if e.Seq != i {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestGenerateLogDeterministic(t *testing.T) {
+	a := GenerateLog(WorkloadConfig{Queries: 500, Seed: 3})
+	b := GenerateLog(WorkloadConfig{Queries: 500, Seed: 3})
+	for i := range a {
+		if a[i].SQL != b[i].SQL || a[i].User != b[i].User {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c := GenerateLog(WorkloadConfig{Queries: 500, Seed: 4})
+	same := 0
+	for i := range a {
+		if a[i].SQL == c[i].SQL {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func clusterName(i int) string {
+	if i < 10 {
+		return "cluster0" + string(rune('0'+i))
+	}
+	return "cluster" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestTemplateQueriesExtractToExpectedRelations(t *testing.T) {
+	ex := extract.New(Schema())
+	entries := GenerateLog(WorkloadConfig{Queries: 2000, Seed: 11})
+	wantRel := map[string]string{
+		"cluster01": "Photoz",
+		"cluster02": "SpecObjAll",
+		"cluster05": "PhotoObjAll",
+		"cluster09": "SpecObjAll",
+		"cluster10": "DBObjects",
+		"cluster13": "AtlasOutline",
+		"cluster14": "zooSpec",
+		"cluster18": "PhotoObjAll",
+		"cluster22": "zooSpec",
+		"cluster23": "Photoz",
+	}
+	checked := make(map[string]bool)
+	for _, e := range entries {
+		rel, ok := wantRel[e.Template]
+		if !ok || checked[e.Template] {
+			continue
+		}
+		area, err := ex.ExtractSQL(e.SQL)
+		if err != nil {
+			t.Errorf("%s: extract %q: %v", e.Template, e.SQL, err)
+			continue
+		}
+		found := false
+		for _, r := range area.Relations {
+			if r == rel {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: relations = %v, want %s (sql %q)", e.Template, area.Relations, rel, e.SQL)
+		}
+		checked[e.Template] = true
+	}
+	if len(checked) != len(wantRel) {
+		t.Errorf("only checked %v", checked)
+	}
+}
+
+func TestVariantFormsShareAccessAreaWithPlainForms(t *testing.T) {
+	// The aggregate/NOT variants must land in the same access-area
+	// neighbourhood as the plain forms — that is what makes them cluster
+	// together in E1 and break OLAPClus-raw in E7.
+	ex := extract.New(Schema())
+	plain, err := ex.ExtractSQL("SELECT * FROM galSpecLine WHERE specobjid BETWEEN 1400000000000000000 AND 1500000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant, err := ex.ExtractSQL("SELECT specobjid, COUNT(*) FROM galSpecLine WHERE specobjid BETWEEN 1400000000000000000 AND 1500000000000000000 GROUP BY specobjid HAVING COUNT(*) > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Key() != variant.Key() {
+		t.Errorf("keys differ:\n%s\n%s", plain.Key(), variant.Key())
+	}
+	notForm, err := ex.ExtractSQL("SELECT * FROM galSpecLine WHERE NOT (specobjid < 1400000000000000000 OR specobjid > 1500000000000000000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Key() != notForm.Key() {
+		t.Errorf("NOT form key differs:\n%s\n%s", plain.Key(), notForm.Key())
+	}
+}
+
+func TestBigPredQueryTruncates(t *testing.T) {
+	ex := extract.New(Schema())
+	entries := GenerateLog(WorkloadConfig{Queries: 2000, Seed: 13})
+	for _, e := range entries {
+		if e.Template != "bigpred" {
+			continue
+		}
+		area, err := ex.ExtractSQL(e.SQL)
+		if err != nil {
+			t.Fatalf("bigpred extract: %v", err)
+		}
+		if !area.Truncated {
+			t.Error("bigpred query should hit the 35-predicate cap")
+		}
+		return
+	}
+	t.Fatal("no bigpred query found")
+}
+
+func TestMySQLQueriesParse(t *testing.T) {
+	entries := GenerateLog(WorkloadConfig{Queries: 2000, Seed: 17})
+	ex := extract.New(Schema())
+	for _, e := range entries {
+		if e.Template != "mysql" {
+			continue
+		}
+		if !strings.Contains(e.SQL, "LIMIT") {
+			t.Errorf("mysql query lacks LIMIT: %q", e.SQL)
+		}
+		if _, err := ex.ExtractSQL(e.SQL); err != nil {
+			t.Errorf("mysql dialect should still extract: %v", err)
+		}
+		return
+	}
+	t.Fatal("no mysql query found")
+}
+
+func TestCountryOf(t *testing.T) {
+	if CountryOf("alice") != CountryOf("alice") {
+		t.Fatal("country assignment must be deterministic")
+	}
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[CountryOf(clusterName(i%24)+string(rune('a'+i%26)))]++
+	}
+	if len(counts) < 10 {
+		t.Errorf("countries = %d, want a broad tail", len(counts))
+	}
+	// Skew: the top country dominates the median one.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 1000 {
+		t.Errorf("top country share = %d of 5000, want skewed", max)
+	}
+}

@@ -1,0 +1,306 @@
+package sqlparser
+
+import "strings"
+
+// Statement is any parsed SQL statement. Only SELECT statements carry
+// structure; everything else is classified for the coverage statistics of
+// Section 6.1 and rejected by the extractor.
+type Statement interface {
+	statement()
+}
+
+// SelectStatement is a full SELECT query.
+type SelectStatement struct {
+	Distinct bool
+	// Top is the T-SQL "TOP n" row cap; nil when absent. TopPercent marks
+	// the "TOP n PERCENT" form.
+	Top        *float64
+	TopPercent bool
+	// Select is the projection list.
+	Select []SelectItem
+	// From holds the table expressions (comma-separated factors, each
+	// possibly a join tree). Empty for constant-only queries such as
+	// "SELECT 1".
+	From []TableExpr
+	// Where, GroupBy, Having, OrderBy mirror the corresponding clauses;
+	// nil/empty when absent.
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	// Limit is the MySQL-dialect "LIMIT n" clause. SkyServer (SQL Server)
+	// rejects it at execution time, but per Section 6.6 the pipeline still
+	// extracts access areas from such queries.
+	Limit *float64
+	// Unions holds UNION [ALL] arms chained onto this SELECT. The paper's
+	// log contains no UNION queries; supporting them is one of the "future
+	// extension" items of Section 4, realised here: the access area of a
+	// union is the union of the arms' access areas.
+	Unions []UnionArm
+}
+
+// UnionArm is one UNION [ALL] continuation.
+type UnionArm struct {
+	All    bool
+	Select *SelectStatement
+}
+
+func (*SelectStatement) statement() {}
+
+// SelectItem is one projection entry.
+type SelectItem struct {
+	// Star marks "*" or "T.*"; StarTable carries the qualifier for the
+	// latter.
+	Star      bool
+	StarTable string
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is a FROM-clause factor.
+type TableExpr interface {
+	tableExpr()
+}
+
+// TableName references a base relation, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableExpr() {}
+
+// JoinType enumerates the join flavours of Section 4.2.
+type JoinType int
+
+const (
+	CrossJoin JoinType = iota
+	InnerJoin
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case CrossJoin:
+		return "CROSS JOIN"
+	case InnerJoin:
+		return "INNER JOIN"
+	case LeftOuterJoin:
+		return "LEFT OUTER JOIN"
+	case RightOuterJoin:
+		return "RIGHT OUTER JOIN"
+	case FullOuterJoin:
+		return "FULL OUTER JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// Join is a binary join between two table expressions.
+type Join struct {
+	Type    JoinType
+	Natural bool
+	Left    TableExpr
+	Right   TableExpr
+	On      Expr // nil for CROSS and NATURAL joins
+}
+
+func (*Join) tableExpr() {}
+
+// SubqueryTable is a derived table: (SELECT ...) alias.
+type SubqueryTable struct {
+	Select *SelectStatement
+	Alias  string
+}
+
+func (*SubqueryTable) tableExpr() {}
+
+// Expr is any scalar or Boolean expression.
+type Expr interface {
+	expr()
+}
+
+// ColumnRef references a column, optionally qualified by a table or alias.
+type ColumnRef struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+func (*ColumnRef) expr() {}
+
+// Qualified renders the reference as written.
+func (c *ColumnRef) Qualified() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// NumberLit is a numeric literal; Text preserves the exact source spelling
+// (important for 18-digit SkyServer object IDs, see DESIGN.md §5).
+type NumberLit struct {
+	Value float64
+	Text  string
+}
+
+func (*NumberLit) expr() {}
+
+// StringLit is a string literal (quotes stripped).
+type StringLit struct {
+	Value string
+}
+
+func (*StringLit) expr() {}
+
+// NullLit is the NULL keyword.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// ParamRef is a T-SQL @variable reference.
+type ParamRef struct {
+	Name string // includes the leading '@'
+}
+
+func (*ParamRef) expr() {}
+
+// BinaryExpr is a binary operation. Op is one of the comparison operators
+// ("=", "<>", "<", "<=", ">", ">="), the arithmetic operators ("+", "-",
+// "*", "/", "%"), string concatenation ("||"), or the Boolean connectives
+// ("AND", "OR").
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// UnaryExpr is NOT x or -x; Op is "NOT" or "-".
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// BetweenExpr is "x [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	Not    bool
+	X      Expr
+	Lo, Hi Expr
+}
+
+func (*BetweenExpr) expr() {}
+
+// InListExpr is "x [NOT] IN (e1, ..., en)".
+type InListExpr struct {
+	Not  bool
+	X    Expr
+	List []Expr
+}
+
+func (*InListExpr) expr() {}
+
+// InSubqueryExpr is "x [NOT] IN (SELECT ...)".
+type InSubqueryExpr struct {
+	Not bool
+	X   Expr
+	Sub *SelectStatement
+}
+
+func (*InSubqueryExpr) expr() {}
+
+// ExistsExpr is "[NOT] EXISTS (SELECT ...)".
+type ExistsExpr struct {
+	Not bool
+	Sub *SelectStatement
+}
+
+func (*ExistsExpr) expr() {}
+
+// QuantifiedExpr is "x op ANY|SOME|ALL (SELECT ...)".
+type QuantifiedExpr struct {
+	X   Expr
+	Op  string // comparison operator
+	All bool   // true for ALL, false for ANY/SOME
+	Sub *SelectStatement
+}
+
+func (*QuantifiedExpr) expr() {}
+
+// ScalarSubquery is "(SELECT ...)" used as a scalar value.
+type ScalarSubquery struct {
+	Sub *SelectStatement
+}
+
+func (*ScalarSubquery) expr() {}
+
+// FuncCall is a function invocation, including aggregates. Star marks
+// COUNT(*). Distinct marks COUNT(DISTINCT x) and friends.
+type FuncCall struct {
+	Name     string // as written; compare case-insensitively
+	Star     bool
+	Distinct bool
+	Args     []Expr
+}
+
+func (*FuncCall) expr() {}
+
+// IsAggregate reports whether the call is one of the aggregate functions of
+// Section 4.3.
+func (f *FuncCall) IsAggregate() bool {
+	switch strings.ToUpper(f.Name) {
+	case "SUM", "COUNT", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+// LikeExpr is "x [NOT] LIKE pattern".
+type LikeExpr struct {
+	Not     bool
+	X       Expr
+	Pattern Expr
+}
+
+func (*LikeExpr) expr() {}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	Not bool
+	X   Expr
+}
+
+func (*IsNullExpr) expr() {}
+
+// CaseExpr is a searched or simple CASE expression.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	When Expr
+	Then Expr
+}
+
+func (*CaseExpr) expr() {}
+
+// OtherStatement is a recognised non-SELECT statement (DDL, DML, DECLARE,
+// EXEC). Kind is the leading keyword; these statements are counted as
+// non-extractable in the Section 6.1 coverage experiment.
+type OtherStatement struct {
+	Kind string
+}
+
+func (*OtherStatement) statement() {}

@@ -1,0 +1,295 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// LexError is a lexical error with position information.
+type LexError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer turns SQL text into tokens. It handles line comments (--), block
+// comments (/* */), single-quoted strings with ” escaping, double-quoted
+// and [bracketed] and `backticked` identifiers, numbers (including
+// scientific notation and leading-dot floats), and multi-character
+// operators.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokens lexes the whole input. The returned slice always ends with an EOF
+// token on success.
+func (lx *Lexer) Tokens() ([]Token, error) {
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(format string, args ...any) error {
+	return &LexError{Msg: fmt.Sprintf(format, args...), Line: lx.line, Col: lx.col}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '-' && lx.peekByteAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case b == '/' && lx.peekByteAt(1) == '*':
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &LexError{Msg: "unterminated block comment", Line: startLine, Col: startCol}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '#' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '#' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *Lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line, col := lx.pos, lx.line, lx.col
+	mk := func(kind TokenKind, text string) Token {
+		return Token{Kind: kind, Text: text, Pos: start, Line: line, Col: col}
+	}
+	if lx.pos >= len(lx.src) {
+		return mk(EOF, ""), nil
+	}
+	b := lx.peekByte()
+	switch {
+	case b == '\'':
+		text, err := lx.lexString()
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(String, text), nil
+	case b == '"' || b == '[' || b == '`':
+		text, err := lx.lexQuotedIdent(b)
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(Ident, text), nil
+	case b >= '0' && b <= '9', b == '.' && lx.peekByteAt(1) >= '0' && lx.peekByteAt(1) <= '9':
+		return mk(Number, lx.lexNumber()), nil
+	case b == '@':
+		lx.advance()
+		var sb strings.Builder
+		sb.WriteByte('@')
+		for lx.pos < len(lx.src) {
+			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			sb.WriteString(lx.src[lx.pos : lx.pos+size])
+			for i := 0; i < size; i++ {
+				lx.advance()
+			}
+		}
+		if sb.Len() == 1 {
+			return Token{}, lx.errf("bare '@'")
+		}
+		return mk(Param, sb.String()), nil
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if isIdentStart(r) {
+		text := lx.lexIdent()
+		upper := strings.ToUpper(text)
+		if reserved[upper] {
+			return mk(Keyword, upper), nil
+		}
+		return mk(Ident, text), nil
+	}
+	op, err := lx.lexOperator()
+	if err != nil {
+		return Token{}, err
+	}
+	return mk(Op, op), nil
+}
+
+func (lx *Lexer) lexString() (string, error) {
+	startLine, startCol := lx.line, lx.col
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		b := lx.advance()
+		if b == '\'' {
+			if lx.peekByte() == '\'' { // escaped quote
+				sb.WriteByte('\'')
+				lx.advance()
+				continue
+			}
+			return sb.String(), nil
+		}
+		sb.WriteByte(b)
+	}
+	return "", &LexError{Msg: "unterminated string literal", Line: startLine, Col: startCol}
+}
+
+func (lx *Lexer) lexQuotedIdent(open byte) (string, error) {
+	startLine, startCol := lx.line, lx.col
+	var close byte
+	switch open {
+	case '"':
+		close = '"'
+	case '[':
+		close = ']'
+	case '`':
+		close = '`'
+	}
+	lx.advance()
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		b := lx.advance()
+		if b == close {
+			return sb.String(), nil
+		}
+		sb.WriteByte(b)
+	}
+	return "", &LexError{Msg: "unterminated quoted identifier", Line: startLine, Col: startCol}
+}
+
+func (lx *Lexer) lexNumber() string {
+	var sb strings.Builder
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b >= '0' && b <= '9':
+			sb.WriteByte(lx.advance())
+		case b == '.' && !seenDot && !seenExp:
+			seenDot = true
+			sb.WriteByte(lx.advance())
+		case (b == 'e' || b == 'E') && !seenExp && sb.Len() > 0:
+			// Lookahead: exponent must be followed by digit or sign+digit.
+			n1, n2 := lx.peekByteAt(1), lx.peekByteAt(2)
+			if n1 >= '0' && n1 <= '9' || ((n1 == '+' || n1 == '-') && n2 >= '0' && n2 <= '9') {
+				seenExp = true
+				sb.WriteByte(lx.advance())
+				if lx.peekByte() == '+' || lx.peekByte() == '-' {
+					sb.WriteByte(lx.advance())
+				}
+			} else {
+				return sb.String()
+			}
+		default:
+			return sb.String()
+		}
+	}
+	return sb.String()
+}
+
+func (lx *Lexer) lexIdent() string {
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		sb.WriteString(lx.src[lx.pos : lx.pos+size])
+		for i := 0; i < size; i++ {
+			lx.advance()
+		}
+	}
+	return sb.String()
+}
+
+func (lx *Lexer) lexOperator() (string, error) {
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		lx.advance()
+		lx.advance()
+		if two == "!=" {
+			return "<>", nil
+		}
+		return two, nil
+	}
+	b := lx.advance()
+	switch b {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';', '.':
+		return string(b), nil
+	}
+	return "", lx.errf("unexpected character %q", string(b))
+}

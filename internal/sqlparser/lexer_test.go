@@ -1,0 +1,148 @@
+package sqlparser
+
+import (
+	"errors"
+	"testing"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewLexer(src).Tokens()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func kindsOf(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasic(t *testing.T) {
+	toks := lex(t, "SELECT u FROM T WHERE u >= 1.5")
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{Keyword, "SELECT"}, {Ident, "u"}, {Keyword, "FROM"}, {Ident, "T"},
+		{Keyword, "WHERE"}, {Ident, "u"}, {Op, ">="}, {Number, "1.5"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("tok[%d] = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks := lex(t, "select u from T")
+	if toks[0].Kind != Keyword || toks[0].Text != "SELECT" {
+		t.Errorf("tok[0] = %v", toks[0])
+	}
+}
+
+func TestLexNotEqualsVariants(t *testing.T) {
+	toks := lex(t, "a <> b != c")
+	if toks[1].Text != "<>" || toks[3].Text != "<>" {
+		t.Errorf("ops = %q %q, both want <>", toks[1].Text, toks[3].Text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":                   "42",
+		"3.14":                 "3.14",
+		".5":                   ".5",
+		"1e10":                 "1e10",
+		"1.5E-3":               "1.5E-3",
+		"2e+7":                 "2e+7",
+		"12345678901234567890": "12345678901234567890",
+	}
+	for src, want := range cases {
+		toks := lex(t, src)
+		if toks[0].Kind != Number || toks[0].Text != want {
+			t.Errorf("lex(%q) = %v, want Number %q", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexNumberThenIdent(t *testing.T) {
+	// "1e" without exponent digits: "1" then ident "e".
+	toks := lex(t, "1e x")
+	if toks[0].Kind != Number || toks[0].Text != "1" {
+		t.Errorf("tok[0] = %v", toks[0])
+	}
+	if toks[1].Kind != Ident || toks[1].Text != "e" {
+		t.Errorf("tok[1] = %v", toks[1])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lex(t, "'it''s'")
+	if toks[0].Kind != String || toks[0].Text != "it's" {
+		t.Errorf("tok = %v", toks[0])
+	}
+}
+
+func TestLexQuotedIdents(t *testing.T) {
+	for src, want := range map[string]string{
+		"[My Table]":  "My Table",
+		"\"colName\"": "colName",
+		"`tick`":      "tick",
+	} {
+		toks := lex(t, src)
+		if toks[0].Kind != Ident || toks[0].Text != want {
+			t.Errorf("lex(%q) = %v, want Ident %q", src, toks[0], want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "a -- comment\n b /* multi\nline */ c")
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexParam(t *testing.T) {
+	toks := lex(t, "@ra_min")
+	if toks[0].Kind != Param || toks[0].Text != "@ra_min" {
+		t.Errorf("tok = %v", toks[0])
+	}
+}
+
+func TestLexLineColTracking(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("pos of b = %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrorsDetail(t *testing.T) {
+	for _, src := range []string{"'open", "[open", "/* open", "a ? b", "@"} {
+		_, err := NewLexer(src).Tokens()
+		if err == nil {
+			t.Errorf("lex(%q): expected error", src)
+			continue
+		}
+		var le *LexError
+		if !errors.As(err, &le) {
+			t.Errorf("lex(%q): error type %T", src, err)
+		}
+	}
+}
+
+func TestLexUnicodeIdent(t *testing.T) {
+	toks := lex(t, "sternwarte_münchen")
+	if toks[0].Kind != Ident || toks[0].Text != "sternwarte_münchen" {
+		t.Errorf("tok = %v", toks[0])
+	}
+	_ = kindsOf(toks)
+}

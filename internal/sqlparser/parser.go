@@ -1,0 +1,908 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrorCategory classifies parse failures for the coverage statistics of
+// Section 6.1 (errors vs SkyServer-specific functions vs non-SELECT
+// statements).
+type ErrorCategory int
+
+const (
+	CatSyntax      ErrorCategory = iota // malformed SQL
+	CatUDF                              // table-valued user-defined function in FROM
+	CatNonSelect                        // DDL / DECLARE / DML issued by administrators
+	CatUnsupported                      // recognised but out-of-scope construct
+)
+
+func (c ErrorCategory) String() string {
+	switch c {
+	case CatSyntax:
+		return "syntax"
+	case CatUDF:
+		return "udf"
+	case CatNonSelect:
+		return "non-select"
+	case CatUnsupported:
+		return "unsupported"
+	default:
+		return fmt.Sprintf("ErrorCategory(%d)", int(c))
+	}
+}
+
+// ParseError is a parse failure with position and category.
+type ParseError struct {
+	Msg      string
+	Line     int
+	Col      int
+	Category ErrorCategory
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse lexes and parses a single SQL statement. Trailing semicolons are
+// permitted. Non-SELECT statements return (*OtherStatement, nil) so callers
+// can classify them; genuinely malformed input returns a *ParseError (or
+// *LexError from the lexer).
+func Parse(src string) (Statement, error) {
+	toks, err := NewLexer(src).Tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseStatement()
+}
+
+// ParseSelect parses src and requires the result to be a SELECT statement.
+func ParseSelect(src string) (*SelectStatement, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStatement)
+	if !ok {
+		return nil, &ParseError{Msg: "not a SELECT statement", Category: CatNonSelect, Line: 1, Col: 1}
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(cat ErrorCategory, format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Line: t.Line, Col: t.Col, Category: cat}
+}
+
+// isKeyword reports whether the current token is the given keyword.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == Keyword && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf(CatSyntax, "expected %s, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) isOp(op string) bool {
+	t := p.cur()
+	return t.Kind == Op && t.Text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.isOp(op) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf(CatSyntax, "expected %q, found %s", op, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	// Skip leading semicolons.
+	for p.acceptOp(";") {
+	}
+	t := p.cur()
+	if t.Kind == EOF {
+		return nil, p.errf(CatSyntax, "empty statement")
+	}
+	if t.Kind == Keyword {
+		switch t.Text {
+		case "SELECT":
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			for p.acceptOp(";") {
+			}
+			if p.cur().Kind != EOF {
+				return nil, p.errf(CatSyntax, "unexpected trailing input: %s", p.cur())
+			}
+			return sel, nil
+		case "CREATE", "DECLARE", "INSERT", "UPDATE", "DELETE", "DROP", "SET", "EXEC", "WITH":
+			return &OtherStatement{Kind: t.Text}, nil
+		}
+	}
+	return nil, p.errf(CatSyntax, "statement must begin with SELECT, found %s", t)
+}
+
+// parseSelect parses a SELECT statement body; the SELECT keyword is current.
+func (p *parser) parseSelect() (*SelectStatement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStatement{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	if p.acceptKeyword("TOP") {
+		// T-SQL allows TOP n, TOP (n), and TOP n PERCENT.
+		paren := p.acceptOp("(")
+		n, err := p.parseNumberValue()
+		if err != nil {
+			return nil, err
+		}
+		if paren {
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().Kind == Ident && strings.EqualFold(p.cur().Text, "PERCENT") {
+			p.advance()
+			sel.TopPercent = true
+		}
+		sel.Top = &n
+	}
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	sel.Select = items
+
+	if p.isKeyword("INTO") {
+		return nil, p.errf(CatUnsupported, "SELECT INTO is not supported")
+	}
+
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableList()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseNumberValue()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = &n
+		// MySQL "LIMIT offset, count".
+		if p.acceptOp(",") {
+			n2, err := p.parseNumberValue()
+			if err != nil {
+				return nil, err
+			}
+			sel.Limit = &n2
+		}
+	}
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		arm, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		// Right-nested unions flatten into a single arm list.
+		arms := append([]UnionArm{{All: all, Select: arm}}, arm.Unions...)
+		arm.Unions = nil
+		sel.Unions = append(sel.Unions, arms...)
+	}
+	return sel, nil
+}
+
+func (p *parser) parseNumberValue() (float64, error) {
+	t := p.cur()
+	if t.Kind != Number {
+		return 0, p.errf(CatSyntax, "expected number, found %s", t)
+	}
+	p.advance()
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, p.errf(CatSyntax, "bad number %q: %v", t.Text, err)
+	}
+	return v, nil
+}
+
+func (p *parser) parseSelectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.acceptOp(",") {
+			return items, nil
+		}
+	}
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Qualified star: ident '.' '*'
+	if p.cur().Kind == Ident && p.peek().Kind == Op && p.peek().Text == "." {
+		// Lookahead two tokens for '*'.
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == Op && p.toks[p.pos+2].Text == "*" {
+			tbl := p.advance().Text
+			p.advance() // '.'
+			p.advance() // '*'
+			return SelectItem{Star: true, StarTable: tbl}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.cur()
+		if t.Kind != Ident && t.Kind != String {
+			return SelectItem{}, p.errf(CatSyntax, "expected alias after AS, found %s", t)
+		}
+		p.advance()
+		item.Alias = t.Text
+	} else if p.cur().Kind == Ident {
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableList() ([]TableExpr, error) {
+	var out []TableExpr
+	for {
+		te, err := p.parseJoinTree()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, te)
+		if !p.acceptOp(",") {
+			return out, nil
+		}
+	}
+}
+
+// parseJoinTree parses a table primary followed by any number of join
+// clauses, producing a left-deep tree.
+func (p *parser) parseJoinTree() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		jt, natural, isJoin, err := p.parseJoinHead()
+		if err != nil {
+			return nil, err
+		}
+		if !isJoin {
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &Join{Type: jt, Natural: natural, Left: left, Right: right}
+		if p.acceptKeyword("ON") {
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		} else if jt != CrossJoin && !natural {
+			return nil, p.errf(CatSyntax, "expected ON after %s", jt)
+		}
+		left = j
+	}
+}
+
+// parseJoinHead consumes an optional join specifier. It returns isJoin=false
+// when the current token does not start a join clause.
+func (p *parser) parseJoinHead() (JoinType, bool, bool, error) {
+	natural := p.acceptKeyword("NATURAL")
+	switch {
+	case p.acceptKeyword("JOIN"):
+		if natural {
+			return InnerJoin, true, true, nil
+		}
+		return InnerJoin, false, true, nil
+	case p.acceptKeyword("INNER"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, false, err
+		}
+		return InnerJoin, natural, true, nil
+	case p.acceptKeyword("CROSS"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, false, err
+		}
+		return CrossJoin, natural, true, nil
+	case p.acceptKeyword("LEFT"):
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, false, err
+		}
+		return LeftOuterJoin, natural, true, nil
+	case p.acceptKeyword("RIGHT"):
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, false, err
+		}
+		return RightOuterJoin, natural, true, nil
+	case p.acceptKeyword("FULL"):
+		p.acceptKeyword("OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, false, err
+		}
+		return FullOuterJoin, natural, true, nil
+	}
+	if natural {
+		return 0, false, false, p.errf(CatSyntax, "expected JOIN after NATURAL")
+	}
+	return 0, false, false, nil
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.acceptOp("(") {
+		if p.isKeyword("SELECT") {
+			sub, err := p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			alias := ""
+			p.acceptKeyword("AS")
+			if p.cur().Kind == Ident {
+				alias = p.advance().Text
+			}
+			return &SubqueryTable{Select: sub, Alias: alias}, nil
+		}
+		te, err := p.parseJoinTree()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	if p.cur().Kind != Ident {
+		return nil, p.errf(CatSyntax, "expected table name, found %s", p.cur())
+	}
+	name, err := p.parseDottedName()
+	if err != nil {
+		return nil, err
+	}
+	if p.isOp("(") {
+		// Table-valued function such as dbo.fGetNearbyObjEq: these are
+		// SkyServer-specific UDFs that JSqlParser also rejected (§6.1).
+		return nil, p.errf(CatUDF, "table-valued function %q is not supported", name)
+	}
+	tn := &TableName{Name: name}
+	if p.acceptKeyword("AS") {
+		if p.cur().Kind != Ident {
+			return nil, p.errf(CatSyntax, "expected alias after AS, found %s", p.cur())
+		}
+		tn.Alias = p.advance().Text
+	} else if p.cur().Kind == Ident {
+		tn.Alias = p.advance().Text
+	}
+	return tn, nil
+}
+
+// parseSelectBody parses a SELECT whose keyword is current, without the
+// trailing-input check (used for subqueries).
+func (p *parser) parseSelectBody() (*SelectStatement, error) {
+	return p.parseSelect()
+}
+
+// parseDottedName parses ident ('.' ident)*, joining the parts with dots.
+func (p *parser) parseDottedName() (string, error) {
+	parts := []string{p.advance().Text}
+	for p.isOp(".") && p.peek().Kind == Ident {
+		p.advance() // '.'
+		parts = append(parts, p.advance().Text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+var comparisonOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// NOT BETWEEN / NOT IN / NOT LIKE.
+	if p.isKeyword("NOT") {
+		next := p.peek()
+		if next.Kind == Keyword && (next.Text == "BETWEEN" || next.Text == "IN" || next.Text == "LIKE") {
+			p.advance() // NOT
+			return p.parsePredicateTail(left, true)
+		}
+		return left, nil
+	}
+	if p.isKeyword("BETWEEN") || p.isKeyword("IN") || p.isKeyword("LIKE") {
+		return p.parsePredicateTail(left, false)
+	}
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Not: not, X: left}, nil
+	}
+	t := p.cur()
+	if t.Kind == Op && comparisonOps[t.Text] {
+		op := p.advance().Text
+		// Quantified comparison: op ANY|SOME|ALL (subquery).
+		if p.isKeyword("ANY") || p.isKeyword("SOME") || p.isKeyword("ALL") {
+			all := p.cur().Text == "ALL"
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			if !p.isKeyword("SELECT") {
+				return nil, p.errf(CatSyntax, "expected subquery after quantifier")
+			}
+			sub, err := p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &QuantifiedExpr{X: left, Op: op, All: all, Sub: sub}, nil
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredicateTail(left Expr, not bool) (Expr, error) {
+	switch {
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Not: not, X: left, Lo: lo, Hi: hi}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("SELECT") {
+			sub, err := p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InSubqueryExpr{Not: not, X: left, Sub: sub}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InListExpr{Not: not, X: left, List: list}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("ESCAPE") {
+			if _, err := p.parseAdditive(); err != nil {
+				return nil, err
+			}
+		}
+		return &LikeExpr{Not: not, X: left, Pattern: pat}, nil
+	}
+	return nil, p.errf(CatSyntax, "expected BETWEEN, IN or LIKE, found %s", p.cur())
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == Op && (t.Text == "+" || t.Text == "-" || t.Text == "||") {
+			op := p.advance().Text
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == Op && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			op := p.advance().Text
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative numeric literals so "-5" compares as a constant.
+		if n, ok := x.(*NumberLit); ok {
+			return &NumberLit{Value: -n.Value, Text: "-" + n.Text}, nil
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Number:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(CatSyntax, "bad number %q: %v", t.Text, err)
+		}
+		return &NumberLit{Value: v, Text: t.Text}, nil
+	case String:
+		p.advance()
+		return &StringLit{Value: t.Text}, nil
+	case Param:
+		p.advance()
+		return &ParamRef{Name: t.Text}, nil
+	case Keyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return &NullLit{}, nil
+		case "EXISTS":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			if !p.isKeyword("SELECT") {
+				return nil, p.errf(CatSyntax, "expected subquery after EXISTS")
+			}
+			sub, err := p.parseSelectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub}, nil
+		case "CASE":
+			return p.parseCase()
+		case "LEFT", "RIGHT":
+			// LEFT(s, n) / RIGHT(s, n) string functions collide with join
+			// keywords; accept them as function calls when followed by '('.
+			if p.peek().Kind == Op && p.peek().Text == "(" {
+				name := p.advance().Text
+				return p.parseFuncArgs(name)
+			}
+		}
+		return nil, p.errf(CatSyntax, "unexpected keyword %s in expression", t.Text)
+	case Ident:
+		name, err := p.parseDottedName()
+		if err != nil {
+			return nil, err
+		}
+		if p.isOp("(") {
+			return p.parseFuncArgs(name)
+		}
+		return columnRefFromDotted(name), nil
+	case Op:
+		if t.Text == "(" {
+			p.advance()
+			if p.isKeyword("SELECT") {
+				sub, err := p.parseSelectBody()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			// Bare star as an expression only occurs in COUNT(*) which is
+			// handled by parseFuncArgs; elsewhere it is an error.
+			return nil, p.errf(CatSyntax, "unexpected '*'")
+		}
+	}
+	return nil, p.errf(CatSyntax, "unexpected token %s in expression", t)
+}
+
+func (p *parser) parseFuncArgs(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.acceptOp("*") {
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptOp(")") {
+		return fc, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	if !p.isKeyword("WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = operand
+	}
+	for p.acceptKeyword("WHEN") {
+		when, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{When: when, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf(CatSyntax, "CASE without WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = els
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+// columnRefFromDotted splits a dotted name into table qualifier and column.
+// Multi-part prefixes (db.schema.table.column) keep only the last qualifier,
+// which is how the extraction layer resolves SkyServer's dbo.-prefixed
+// names.
+func columnRefFromDotted(name string) *ColumnRef {
+	i := strings.LastIndex(name, ".")
+	if i < 0 {
+		return &ColumnRef{Name: name}
+	}
+	qualifier := name[:i]
+	if j := strings.LastIndex(qualifier, "."); j >= 0 {
+		qualifier = qualifier[j+1:]
+	}
+	return &ColumnRef{Table: qualifier, Name: name[i+1:]}
+}

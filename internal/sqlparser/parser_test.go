@@ -1,0 +1,546 @@
+package sqlparser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStatement {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5")
+	if len(sel.Select) != 1 || sel.Select[0].Star {
+		t.Fatalf("select list = %+v", sel.Select)
+	}
+	if len(sel.From) != 1 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	tn, ok := sel.From[0].(*TableName)
+	if !ok || tn.Name != "T" {
+		t.Fatalf("from[0] = %#v", sel.From[0])
+	}
+	and, ok := sel.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T")
+	if !sel.Select[0].Star {
+		t.Error("expected star")
+	}
+	sel = mustSelect(t, "SELECT T.* FROM T")
+	if !sel.Select[0].Star || sel.Select[0].StarTable != "T" {
+		t.Errorf("qualified star = %+v", sel.Select[0])
+	}
+}
+
+func TestBetween(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE u BETWEEN 1 AND 8")
+	b, ok := sel.Where.(*BetweenExpr)
+	if !ok || b.Not {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if lo := b.Lo.(*NumberLit); lo.Value != 1 {
+		t.Errorf("lo = %v", lo.Value)
+	}
+	if hi := b.Hi.(*NumberLit); hi.Value != 8 {
+		t.Errorf("hi = %v", hi.Value)
+	}
+	sel = mustSelect(t, "SELECT * FROM T WHERE u NOT BETWEEN 1 AND 8")
+	if !sel.Where.(*BetweenExpr).Not {
+		t.Error("expected NOT BETWEEN")
+	}
+}
+
+func TestInListAndSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE u IN (1, 2, 3)")
+	in := sel.Where.(*InListExpr)
+	if len(in.List) != 3 || in.Not {
+		t.Fatalf("in = %+v", in)
+	}
+	sel = mustSelect(t, "SELECT * FROM T WHERE u NOT IN (SELECT v FROM S WHERE v > 2)")
+	ins := sel.Where.(*InSubqueryExpr)
+	if !ins.Not || ins.Sub == nil {
+		t.Fatalf("in-subquery = %+v", ins)
+	}
+}
+
+func TestExistsNested(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM T WHERE T.u > 5 AND EXISTS (SELECT * FROM S WHERE S.u = T.u AND S.v < 3)`)
+	and := sel.Where.(*BinaryExpr)
+	ex, ok := and.R.(*ExistsExpr)
+	if !ok {
+		t.Fatalf("rhs = %#v", and.R)
+	}
+	sub := ex.Sub
+	if tn := sub.From[0].(*TableName); tn.Name != "S" {
+		t.Errorf("subquery from = %+v", sub.From[0])
+	}
+}
+
+func TestNotExists(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE NOT EXISTS (SELECT * FROM S)")
+	un, ok := sel.Where.(*UnaryExpr)
+	if !ok || un.Op != "NOT" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if _, ok := un.X.(*ExistsExpr); !ok {
+		t.Fatalf("inner = %#v", un.X)
+	}
+}
+
+func TestQuantified(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE u > ANY (SELECT v FROM S)")
+	q := sel.Where.(*QuantifiedExpr)
+	if q.All || q.Op != ">" {
+		t.Fatalf("quantified = %+v", q)
+	}
+	sel = mustSelect(t, "SELECT * FROM T WHERE u <= ALL (SELECT v FROM S)")
+	q = sel.Where.(*QuantifiedExpr)
+	if !q.All || q.Op != "<=" {
+		t.Fatalf("quantified = %+v", q)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE T.u = (SELECT S.u FROM S WHERE S.v = 12)")
+	cmp := sel.Where.(*BinaryExpr)
+	if _, ok := cmp.R.(*ScalarSubquery); !ok {
+		t.Fatalf("rhs = %#v", cmp.R)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want JoinType
+	}{
+		{"SELECT * FROM T JOIN S ON T.u = S.u", InnerJoin},
+		{"SELECT * FROM T INNER JOIN S ON T.u = S.u", InnerJoin},
+		{"SELECT * FROM T LEFT JOIN S ON T.u = S.u", LeftOuterJoin},
+		{"SELECT * FROM T LEFT OUTER JOIN S ON T.u = S.u", LeftOuterJoin},
+		{"SELECT * FROM T RIGHT OUTER JOIN S ON T.u = S.u", RightOuterJoin},
+		{"SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u", FullOuterJoin},
+		{"SELECT * FROM T CROSS JOIN S", CrossJoin},
+	}
+	for _, c := range cases {
+		sel := mustSelect(t, c.src)
+		j, ok := sel.From[0].(*Join)
+		if !ok {
+			t.Fatalf("%q: from = %#v", c.src, sel.From[0])
+		}
+		if j.Type != c.want {
+			t.Errorf("%q: type = %v, want %v", c.src, j.Type, c.want)
+		}
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T NATURAL JOIN S")
+	j := sel.From[0].(*Join)
+	if !j.Natural || j.On != nil {
+		t.Fatalf("join = %+v", j)
+	}
+}
+
+func TestChainedJoins(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM A JOIN B ON A.x = B.x LEFT JOIN C ON B.y = C.y")
+	outer := sel.From[0].(*Join)
+	if outer.Type != LeftOuterJoin {
+		t.Fatalf("outer join type = %v", outer.Type)
+	}
+	inner := outer.Left.(*Join)
+	if inner.Type != InnerJoin {
+		t.Fatalf("inner join type = %v", inner.Type)
+	}
+}
+
+func TestJoinRequiresOn(t *testing.T) {
+	_, err := ParseSelect("SELECT * FROM T INNER JOIN S")
+	if err == nil {
+		t.Fatal("expected error for INNER JOIN without ON")
+	}
+}
+
+func TestAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT p.ra AS r FROM PhotoObjAll AS p WHERE p.dec < 10")
+	tn := sel.From[0].(*TableName)
+	if tn.Name != "PhotoObjAll" || tn.Alias != "p" {
+		t.Fatalf("table = %+v", tn)
+	}
+	if sel.Select[0].Alias != "r" {
+		t.Errorf("select alias = %q", sel.Select[0].Alias)
+	}
+	// Implicit alias without AS.
+	sel = mustSelect(t, "SELECT p.ra FROM PhotoObjAll p")
+	if sel.From[0].(*TableName).Alias != "p" {
+		t.Error("implicit alias not parsed")
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	sel := mustSelect(t, "SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > 10")
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("group by = %+v", sel.GroupBy)
+	}
+	h := sel.Having.(*BinaryExpr)
+	fc := h.L.(*FuncCall)
+	if !fc.IsAggregate() || strings.ToUpper(fc.Name) != "SUM" {
+		t.Fatalf("having lhs = %#v", h.L)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT COUNT(*) FROM T")
+	fc := sel.Select[0].Expr.(*FuncCall)
+	if !fc.Star || !fc.IsAggregate() {
+		t.Fatalf("count = %+v", fc)
+	}
+	sel = mustSelect(t, "SELECT COUNT(DISTINCT u) FROM T")
+	fc = sel.Select[0].Expr.(*FuncCall)
+	if !fc.Distinct || len(fc.Args) != 1 {
+		t.Fatalf("count distinct = %+v", fc)
+	}
+}
+
+func TestTopAndLimit(t *testing.T) {
+	sel := mustSelect(t, "SELECT TOP 10 objid FROM PhotoObjAll")
+	if sel.Top == nil || *sel.Top != 10 {
+		t.Fatalf("top = %v", sel.Top)
+	}
+	// The MySQL-dialect query quoted verbatim in §6.6.
+	sel = mustSelect(t, "SELECT Galaxies.objid FROM Galaxies LIMIT 10")
+	if sel.Limit == nil || *sel.Limit != 10 {
+		t.Fatalf("limit = %v", sel.Limit)
+	}
+	sel = mustSelect(t, "SELECT u FROM T LIMIT 5, 20")
+	if sel.Limit == nil || *sel.Limit != 20 {
+		t.Fatalf("limit offset,count = %v", sel.Limit)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	sel := mustSelect(t, "SELECT u FROM T ORDER BY u DESC, v ASC")
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE a = 1 OR b = 2 AND c = 3")
+	or := sel.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s", or.Op)
+	}
+	and := or.R.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("AND should bind tighter: rhs = %#v", or.R)
+	}
+	// Arithmetic binds tighter than comparison.
+	sel = mustSelect(t, "SELECT * FROM T WHERE a + 1 * 2 > 3")
+	cmp := sel.Where.(*BinaryExpr)
+	if cmp.Op != ">" {
+		t.Fatalf("top = %s", cmp.Op)
+	}
+	add := cmp.L.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("lhs = %#v", cmp.L)
+	}
+	if mul := add.R.(*BinaryExpr); mul.Op != "*" {
+		t.Fatalf("mul = %#v", add.R)
+	}
+}
+
+func TestNegativeNumberFolding(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM zooSpec WHERE dec >= -100")
+	cmp := sel.Where.(*BinaryExpr)
+	n, ok := cmp.R.(*NumberLit)
+	if !ok || n.Value != -100 {
+		t.Fatalf("rhs = %#v", cmp.R)
+	}
+}
+
+func TestBigIntegerTextPreserved(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM Photoz WHERE objid = 1237657855534432934")
+	n := sel.Where.(*BinaryExpr).R.(*NumberLit)
+	if n.Text != "1237657855534432934" {
+		t.Errorf("text = %q", n.Text)
+	}
+}
+
+func TestScientificAndFloat(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE z < 1.5e-3 AND w > .5")
+	and := sel.Where.(*BinaryExpr)
+	l := and.L.(*BinaryExpr).R.(*NumberLit)
+	if l.Value != 1.5e-3 {
+		t.Errorf("sci = %v", l.Value)
+	}
+	r := and.R.(*BinaryExpr).R.(*NumberLit)
+	if r.Value != 0.5 {
+		t.Errorf("dotfloat = %v", r.Value)
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM S WHERE class = 'O''Neil'")
+	s := sel.Where.(*BinaryExpr).R.(*StringLit)
+	if s.Value != "O'Neil" {
+		t.Errorf("string = %q", s.Value)
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	sel := mustSelect(t, `SELECT [ra] FROM [PhotoObjAll] WHERE "dec" < 10`)
+	if sel.From[0].(*TableName).Name != "PhotoObjAll" {
+		t.Error("bracketed table name")
+	}
+	sel = mustSelect(t, "SELECT `objid` FROM `Galaxies`")
+	if sel.From[0].(*TableName).Name != "Galaxies" {
+		t.Error("backticked table name")
+	}
+}
+
+func TestComments(t *testing.T) {
+	sel := mustSelect(t, `SELECT u -- trailing comment
+	FROM T /* block
+	comment */ WHERE u > 1`)
+	if sel.Where == nil {
+		t.Error("where lost after comments")
+	}
+}
+
+func TestDottedTableNames(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM dbo.PhotoObjAll WHERE ra < 10")
+	if sel.From[0].(*TableName).Name != "dbo.PhotoObjAll" {
+		t.Errorf("name = %q", sel.From[0].(*TableName).Name)
+	}
+}
+
+func TestColumnRefFromDotted(t *testing.T) {
+	c := columnRefFromDotted("BESTDR9.dbo.PhotoObjAll.ra")
+	if c.Table != "PhotoObjAll" || c.Name != "ra" {
+		t.Errorf("ref = %+v", c)
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	sel := mustSelect(t, "SELECT CASE WHEN u > 1 THEN 'a' ELSE 'b' END FROM T")
+	ce := sel.Select[0].Expr.(*CaseExpr)
+	if len(ce.Whens) != 1 || ce.Else == nil {
+		t.Fatalf("case = %+v", ce)
+	}
+	sel = mustSelect(t, "SELECT CASE u WHEN 1 THEN 'a' END FROM T")
+	ce = sel.Select[0].Expr.(*CaseExpr)
+	if ce.Operand == nil {
+		t.Fatal("simple case operand missing")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE u IS NOT NULL")
+	in := sel.Where.(*IsNullExpr)
+	if !in.Not {
+		t.Fatal("expected IS NOT NULL")
+	}
+}
+
+func TestLike(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM DBObjects WHERE name LIKE 'Photo%'")
+	lk := sel.Where.(*LikeExpr)
+	if lk.Pattern.(*StringLit).Value != "Photo%" {
+		t.Fatalf("like = %+v", lk)
+	}
+}
+
+func TestLeftRightStringFunctions(t *testing.T) {
+	sel := mustSelect(t, "SELECT LEFT(name, 3) FROM DBObjects WHERE RIGHT(name, 2) = 'll'")
+	fc := sel.Select[0].Expr.(*FuncCall)
+	if fc.Name != "LEFT" || len(fc.Args) != 2 {
+		t.Fatalf("left fn = %+v", fc)
+	}
+}
+
+func TestParams(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE u > @threshold")
+	pr := sel.Where.(*BinaryExpr).R.(*ParamRef)
+	if pr.Name != "@threshold" {
+		t.Fatalf("param = %+v", pr)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	sel := mustSelect(t, "SELECT x.u FROM (SELECT u FROM T WHERE u > 1) AS x WHERE x.u < 5")
+	st := sel.From[0].(*SubqueryTable)
+	if st.Alias != "x" || st.Select.Where == nil {
+		t.Fatalf("derived = %+v", st)
+	}
+}
+
+func TestNonSelectClassified(t *testing.T) {
+	for _, src := range []string{
+		"CREATE TABLE t (a int)",
+		"DECLARE @x int",
+		"INSERT INTO t VALUES (1)",
+		"DROP TABLE t",
+	} {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, ok := st.(*OtherStatement); !ok {
+			t.Errorf("%q: got %T", src, st)
+		}
+	}
+}
+
+func TestErrorCategories(t *testing.T) {
+	cases := []struct {
+		src string
+		cat ErrorCategory
+	}{
+		{"SELECT * FROM dbo.fGetNearbyObjEq(185.0, -0.5, 1.0)", CatUDF},
+		{"SELECT * FROM T WHERE", CatSyntax},
+		{"SELECT * FROM", CatSyntax},
+		{"SELECT u INTO mytable FROM T", CatUnsupported},
+		{"FROM T SELECT *", CatSyntax},
+		{"", CatSyntax},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%q: error type %T", c.src, err)
+			continue
+		}
+		if pe.Category != c.cat {
+			t.Errorf("%q: category = %v, want %v", c.src, pe.Category, c.cat)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	sel := mustSelect(t, "SELECT u FROM T WHERE u > 1 UNION SELECT v FROM S UNION ALL SELECT w FROM R")
+	if len(sel.Unions) != 2 {
+		t.Fatalf("unions = %d, want 2 (flattened)", len(sel.Unions))
+	}
+	if sel.Unions[0].All || !sel.Unions[1].All {
+		t.Errorf("ALL flags = %v %v", sel.Unions[0].All, sel.Unions[1].All)
+	}
+	if sel.Unions[0].Select.From[0].(*TableName).Name != "S" {
+		t.Errorf("first arm = %+v", sel.Unions[0].Select.From[0])
+	}
+	// Round trip.
+	printed := FormatSelect(sel)
+	sel2, err := ParseSelect(printed)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", printed, err)
+	}
+	if FormatSelect(sel2) != printed {
+		t.Errorf("round trip unstable: %q vs %q", FormatSelect(sel2), printed)
+	}
+}
+
+func TestUnionInSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM T WHERE u IN (SELECT v FROM S UNION SELECT x FROM R)")
+	in := sel.Where.(*InSubqueryExpr)
+	if len(in.Sub.Unions) != 1 {
+		t.Fatalf("subquery unions = %d", len(in.Sub.Unions))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT 'unterminated FROM T",
+		"SELECT [unterminated FROM T",
+		"SELECT /* unterminated FROM T",
+		"SELECT u FROM T WHERE u > 1 ? 2",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestTrailingSemicolons(t *testing.T) {
+	if _, err := ParseSelect("SELECT u FROM T;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+	if _, err := ParseSelect(";;SELECT u FROM T;;"); err != nil {
+		t.Errorf("leading semicolons: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5",
+		"SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5",
+		"SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u",
+		"SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > 10",
+		"SELECT * FROM T WHERE T.u > 5 AND EXISTS (SELECT * FROM S WHERE S.u = T.u AND S.v < 3)",
+		"SELECT TOP 10 p.ra, p.dec FROM PhotoObjAll AS p WHERE p.ra <= 210 AND p.dec <= 10 ORDER BY p.ra DESC",
+		"SELECT * FROM T WHERE u NOT IN (1, 2, 3)",
+		"SELECT * FROM T WHERE NOT (T.u > 5 AND T.v <= 10)",
+		"SELECT Galaxies.objid FROM Galaxies LIMIT 10",
+		"SELECT * FROM T WHERE u BETWEEN 1 AND 8",
+		"SELECT COUNT(*) FROM SpecObjAll WHERE class = 'star'",
+		"SELECT * FROM T WHERE T.u = (SELECT S.u FROM S WHERE S.v = 12)",
+	}
+	for _, q := range queries {
+		sel1, err := ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		printed := FormatSelect(sel1)
+		sel2, err := ParseSelect(printed)
+		if err != nil {
+			t.Fatalf("re-parse %q (printed from %q): %v", printed, q, err)
+		}
+		printed2 := FormatSelect(sel2)
+		if printed != printed2 {
+			t.Errorf("round-trip not stable:\n1: %s\n2: %s", printed, printed2)
+		}
+	}
+}
+
+func TestPositionsReported(t *testing.T) {
+	_, err := Parse("SELECT u\nFROM T WHERE >")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+}
+
+func TestTopVariants(t *testing.T) {
+	sel := mustSelect(t, "SELECT TOP (25) u FROM T")
+	if sel.Top == nil || *sel.Top != 25 || sel.TopPercent {
+		t.Fatalf("top = %v percent=%v", sel.Top, sel.TopPercent)
+	}
+	sel = mustSelect(t, "SELECT TOP 10 PERCENT u FROM T")
+	if sel.Top == nil || *sel.Top != 10 || !sel.TopPercent {
+		t.Fatalf("top percent = %v %v", sel.Top, sel.TopPercent)
+	}
+	printed := FormatSelect(sel)
+	if !strings.Contains(printed, "TOP 10 PERCENT") {
+		t.Errorf("printed = %q", printed)
+	}
+	if _, err := ParseSelect(printed); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+}

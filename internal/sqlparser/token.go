@@ -1,0 +1,86 @@
+// Package sqlparser is a from-scratch lexer and recursive-descent parser for
+// the SQL SELECT dialect found in SkyServer query logs: T-SQL style (TOP n,
+// bracketed identifiers) plus the MySQL constructs users mistakenly submit
+// (LIMIT n, backtick identifiers), which the paper's pipeline must still be
+// able to analyse (Section 6.6). It replaces JSqlParser from the original
+// implementation (Section 4.5).
+//
+// The parser intentionally accepts only the statement population the paper's
+// extraction handles; everything else (DDL, DECLARE, table-valued UDF calls
+// in FROM) is rejected with a classified error so that the extraction
+// coverage experiment of Section 6.1 can count failure categories.
+package sqlparser
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+const (
+	EOF     TokenKind = iota
+	Ident             // identifier or non-reserved keyword
+	Keyword           // reserved keyword (uppercased in Text)
+	Number            // numeric literal
+	String            // string literal, quotes stripped in Text
+	Op                // operator or punctuation, canonical form in Text
+	Param             // @variable (T-SQL)
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "identifier"
+	case Keyword:
+		return "keyword"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Op:
+		return "operator"
+	case Param:
+		return "parameter"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (byte offset, 1-based
+// line and column).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == EOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+// reserved lists keywords that can never be identifiers. SQL has many more,
+// but only these affect parsing decisions for the supported dialect.
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "AS": true, "DISTINCT": true, "TOP": true, "LIMIT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "NATURAL": true, "ON": true, "UNION": true,
+	"ALL": true, "ANY": true, "SOME": true, "ASC": true, "DESC": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"INTO": true, "CREATE": true, "DECLARE": true, "INSERT": true,
+	"UPDATE": true, "DELETE": true, "DROP": true, "SET": true, "EXEC": true,
+	"TABLE": true, "OFFSET": true, "ESCAPE": true, "WITH": true,
+}
+
+// nonReservedAllowedAsAlias contains keywords that may still appear where an
+// identifier alias is expected in sloppy log queries; kept empty for now but
+// provides a single place to relax the grammar if a new log dialect needs it.
+var nonReservedAllowedAsAlias = map[string]bool{}

@@ -1,0 +1,93 @@
+package skyaccess_test
+
+import (
+	"strings"
+	"testing"
+
+	skyaccess "repro"
+)
+
+// These tests exercise the public facade exactly the way README's examples
+// do — they are the contract a downstream user relies on.
+
+func TestPublicExtractor(t *testing.T) {
+	ex := skyaccess.NewExtractor(skyaccess.SkyServerSchema())
+	area, err := ex.ExtractSQL("SELECT * FROM SpecObjAll WHERE plate BETWEEN 296 AND 3200 AND class = 'star'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(area.Relations) != 1 || area.Relations[0] != "SpecObjAll" {
+		t.Errorf("relations = %v", area.Relations)
+	}
+	if !strings.Contains(area.String(), "SpecObjAll.class = 'star'") {
+		t.Errorf("area = %s", area)
+	}
+	if !area.Exact {
+		t.Error("should be exact")
+	}
+}
+
+func TestPublicMinerEndToEnd(t *testing.T) {
+	schema := skyaccess.SkyServerSchema()
+	db := skyaccess.SkyServerDatabase(300, 1)
+	stats := skyaccess.NewAccessStats()
+	skyaccess.SeedStatsFromDatabase(db, stats)
+
+	log := skyaccess.GenerateSkyServerLog(1500, 42)
+	if len(log) < 1400 {
+		t.Fatalf("log = %d records", len(log))
+	}
+	miner := skyaccess.NewMiner(skyaccess.Config{Schema: schema, Stats: stats})
+	res := miner.MineRecords(log)
+	if res.PipelineStats.Coverage() < 0.98 {
+		t.Errorf("coverage = %v", res.PipelineStats.Coverage())
+	}
+	if len(res.Clusters) < 10 {
+		t.Errorf("clusters = %d", len(res.Clusters))
+	}
+	res.AttachCoverage(db)
+	top := res.Clusters[0]
+	if top.Cardinality < 50 || top.Expr() == "" {
+		t.Errorf("top cluster = %+v", top)
+	}
+}
+
+func TestPublicMineSQL(t *testing.T) {
+	miner := skyaccess.NewMiner(skyaccess.Config{Schema: skyaccess.SkyServerSchema()})
+	var batch []string
+	for i := 0; i < 20; i++ {
+		batch = append(batch, "SELECT ra FROM PhotoObjAll WHERE ra <= 210 AND dec <= 10")
+	}
+	res := miner.MineSQL(batch)
+	if len(res.Clusters) != 1 || res.Clusters[0].Cardinality != 20 {
+		t.Fatalf("clusters = %+v", res.Clusters)
+	}
+}
+
+func TestPublicStreamMonitor(t *testing.T) {
+	n := 0
+	mon := skyaccess.NewStreamMonitor(func(e skyaccess.StreamEvent) { n++ })
+	ex := skyaccess.NewExtractor(skyaccess.SkyServerSchema())
+	area, err := ex.ExtractSQL("SELECT * FROM Photoz WHERE z < 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Observe(skyaccess.Record{Seq: 1}, area)
+	if n == 0 {
+		t.Error("no events delivered")
+	}
+}
+
+func TestPublicModes(t *testing.T) {
+	if skyaccess.ModeEndpoint == skyaccess.ModePaperLiteral {
+		t.Fatal("modes must differ")
+	}
+	m := skyaccess.NewMiner(skyaccess.Config{
+		Schema: skyaccess.SkyServerSchema(),
+		Mode:   skyaccess.ModePaperLiteral,
+	})
+	res := m.MineSQL([]string{"SELECT * FROM Photoz WHERE z < 0.1"})
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
