@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet racecheck bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel region-query, pivot-index, and pair-cache code paths must stay
+# race-clean; qlog covers the staged pipeline's worker fan-out.
+racecheck:
+	$(GO) test -race ./internal/dbscan/... ./internal/distance/... ./internal/qlog/...
+
+# bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining
+# at the 20k default mix). vet + racecheck gate it so perf numbers are never
+# recorded off racy code.
+bench: vet racecheck
+	$(GO) run ./cmd/benchreport -exp clusterperf
+
+clean:
+	$(GO) clean ./...

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	benchreport [-scale 20000] [-seed 42] [-exp all|table1|fig1a|fig1b|fig1c|coverage|olapclus|olapclusraw|efficiency|requery|ablation]
+//	benchreport [-scale 20000] [-seed 42] [-exp all|table1|fig1a|fig1b|fig1c|coverage|olapclus|olapclusraw|efficiency|requery|ablation|clusterperf]
+//
+// The clusterperf experiment additionally writes its before/after numbers
+// (brute-force vs pivot-index clustering) to -benchjson (default
+// BENCH_clustering.json) so successive changes have a perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +24,8 @@ import (
 func main() {
 	scale := flag.Int("scale", 20000, "number of log queries to generate")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling, clusterperf)")
+	benchJSON := flag.String("benchjson", "BENCH_clustering.json", "output path for the clusterperf JSON record")
 	flag.Parse()
 
 	env := experiments.NewEnv(*scale, *seed)
@@ -48,6 +54,17 @@ func main() {
 	run("ablationsigma", func() string { return env.RunAblationSigma().Report })
 	run("density", func() string { return env.RunDensity().Report })
 	run("scaling", func() string { return env.RunScaling().Report })
+	run("clusterperf", func() string {
+		res := env.RunClusterPerf()
+		if data, err := json.MarshalIndent(res, "", "  "); err == nil {
+			if werr := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+			}
+		}
+		return res.Report
+	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

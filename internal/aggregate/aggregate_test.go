@@ -242,6 +242,26 @@ func TestCoverageCategoricalFactor(t *testing.T) {
 	}
 }
 
+func TestCoverageCategoricalCaseFoldDenominator(t *testing.T) {
+	// SkyServer's collation is case-insensitive: 'star' and 'STAR' are one
+	// content value, so a cluster touching it covers 1/2 of the distinct
+	// values, not 1/4 of the raw list.
+	src := &fakeSource{
+		values: map[string][]string{"S.class": {"star", "STAR", "Galaxy", "GALAXY"}},
+		frac:   0.1,
+	}
+	cnf := predicate.CNF{
+		{predicate.CC("S.class", predicate.Eq, predicate.Str("STAR"))},
+	}
+	it := &Item{Area: &extract.AccessArea{Relations: []string{"S"}, CNF: cnf}, Weight: 1,
+		Users: map[string]struct{}{"u": {}}}
+	s := Summarize(0, []*Item{it}, Options{})
+	s.ComputeCoverage(src)
+	if math.Abs(s.AreaCoverage-0.5) > 1e-12 {
+		t.Errorf("area coverage = %v, want 0.5 (case-folded distinct divisor)", s.AreaCoverage)
+	}
+}
+
 func TestExprPointConstraint(t *testing.T) {
 	s := Summarize(0, []*Item{itemEq("T", "T.u", 5, 1)}, Options{})
 	if !strings.Contains(s.Expr(), "(T.u = 5)") {

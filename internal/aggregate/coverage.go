@@ -54,17 +54,21 @@ func (s *Summary) ComputeCoverage(src DataSource) {
 			for _, v := range contentVals {
 				contentSet[strings.ToUpper(v)] = struct{}{}
 			}
-			inCount := 0
+			// Both sides of the ratio count case-folded DISTINCT values: the
+			// old raw len(contentVals) divisor understated coverage when
+			// content values differed only by case.
+			matched := make(map[string]struct{})
 			for _, v := range vals {
-				if _, ok := contentSet[strings.ToUpper(v)]; ok {
-					inCount++
+				u := strings.ToUpper(v)
+				if _, ok := contentSet[u]; ok {
+					matched[u] = struct{}{}
 				}
 			}
-			if inCount == 0 {
+			if len(matched) == 0 {
 				area = 0
 				break
 			}
-			area *= float64(inCount) / float64(len(contentVals))
+			area *= float64(len(matched)) / float64(len(contentSet))
 		}
 	}
 	if !constrained {

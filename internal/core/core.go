@@ -51,6 +51,18 @@ type Config struct {
 	Seed int64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Pivots is the LAESA pivot count for the pivot-index region-query
+	// backend (0 = default 8). The index is used automatically for
+	// ModeEndpoint DBSCAN runs on partitions of at least 64 areas, with
+	// the dbscan.PivotSlackFactor margin absorbing the distance's
+	// near-metric triangle defect; ModePaperLiteral and OPTICS keep
+	// brute-force scans.
+	Pivots int
+	// DisablePivotIndex reverts the clustering stage to the pre-index hot
+	// path — brute-force region queries with no pair memoization — so the
+	// perf harness and the equivalence guard can measure before/after
+	// behaviour through the same instrumentation.
+	DisablePivotIndex bool
 	// SigmaRule and MinColumnSupport configure aggregation (Section 6.2);
 	// zero values mean 3 and 0.5.
 	SigmaRule        float64
@@ -96,6 +108,12 @@ type Result struct {
 	ContradictoryAreas int
 	// ChosenEps records the eps actually used (relevant with AutoEps).
 	ChosenEps float64
+	// DistanceEvals counts the ProfileDistance evaluations the run needed
+	// (auto-eps, pivot rows, and region queries combined); DistanceCacheHits
+	// counts the lookups the shared memoizing cache answered without
+	// recomputing. Together they make the pivot-index speed-up measurable.
+	DistanceEvals     int64
+	DistanceCacheHits int64
 }
 
 // Miner runs the pipeline.
@@ -177,9 +195,32 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 	metric := &distance.Metric{Mode: m.cfg.Mode, Stats: m.stats}
 	opts := aggregate.Options{SigmaRule: m.cfg.SigmaRule, MinColumnSupport: m.cfg.MinColumnSupport}
 
+	// Precompile every profile once and route ALL distance evaluations —
+	// auto-eps, pivot rows, region queries — through one shared cache, so
+	// evaluation counts are comparable across configurations. The global
+	// cache memoizes when the item count allows it; partition-local caches
+	// below keep memoization effective at any scale. With the pivot index
+	// disabled (the perf harness's "before" baseline) the cache only
+	// counts, reproducing the pre-index evaluation pattern.
+	profiles := make([]*distance.Profile, len(items))
+	for i, it := range items {
+		profiles[i] = metric.Profile(it.Area)
+	}
+	rawDist := func(i, j int) float64 {
+		return metric.ProfileDistance(profiles[i], profiles[j])
+	}
+	var cache *distance.PairCache
+	if m.cfg.DisablePivotIndex {
+		cache = distance.NewCountingPairCache(len(items), rawDist)
+	} else {
+		cache = distance.NewPairCache(len(items), rawDist)
+	}
+
 	eps := m.cfg.Eps
 	if m.cfg.AutoEps && len(items) > 1 {
-		eps = m.autoEps(items, metric)
+		var sampleHits int64
+		eps, sampleHits = m.autoEps(len(items), cache.Dist)
+		res.DistanceCacheHits += sampleHits
 		res.ChosenEps = eps
 	} else {
 		res.ChosenEps = eps
@@ -196,55 +237,77 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 	}
 	partitioned := eps < 1.0/float64(maxTables+1)
 
-	groups := map[string][]*aggregate.Item{}
+	// groups holds item indices so partition-local distances route through
+	// the shared cache in global index space.
+	groups := map[string][]int{}
 	var order []string
 	if partitioned {
-		for _, it := range items {
+		for i, it := range items {
 			key := strings.Join(it.Area.Relations, ",")
 			if _, ok := groups[key]; !ok {
 				order = append(order, key)
 			}
-			groups[key] = append(groups[key], it)
+			groups[key] = append(groups[key], i)
 		}
 		sort.Strings(order)
 	} else {
-		groups[""] = items
+		all := make([]int, len(items))
+		for i := range items {
+			all[i] = i
+		}
+		groups[""] = all
 		order = []string{""}
 	}
 
 	for _, key := range order {
 		part := groups[key]
-		profiles := make([]*distance.Profile, len(part))
 		weights := make([]int, len(part))
-		for i, it := range part {
-			profiles[i] = metric.Profile(it.Area)
-			weights[i] = it.Weight
+		for i, idx := range part {
+			weights[i] = items[idx].Weight
 		}
 		distFn := func(i, j int) float64 {
-			return metric.ProfileDistance(profiles[i], profiles[j])
+			return cache.Dist(part[i], part[j])
 		}
+		// Partition-local memoization: DBSCAN's region queries visit every
+		// ordered pair once, so each unordered pair would otherwise be
+		// evaluated twice; OPTICS likewise. Partitions are small enough for
+		// dense storage even when the global cache has degraded to counting,
+		// and the cache is dropped as soon as the partition is clustered.
+		var partCache *distance.PairCache
+		if !m.cfg.DisablePivotIndex {
+			partCache = distance.NewPairCache(len(part), distFn)
+			distFn = partCache.Dist
+		}
+		dcfg := dbscan.Config{Eps: eps, MinPts: m.cfg.MinPts, Workers: m.cfg.Workers, Weights: weights}
 		var dres *dbscan.Result
-		if m.cfg.Algorithm == AlgOPTICS {
+		switch {
+		case m.cfg.Algorithm == AlgOPTICS:
 			o := dbscan.RunOPTICS(len(part), distFn, eps*2, m.cfg.MinPts, weights)
 			dres = o.ExtractDBSCAN(eps)
-		} else {
-			dres = dbscan.Cluster(len(part), distFn,
-				dbscan.Config{Eps: eps, MinPts: m.cfg.MinPts, Workers: m.cfg.Workers, Weights: weights})
+		case m.usePivots(len(part)):
+			dres = dbscan.ClusterWithPivots(len(part), distFn, dcfg, m.pivotCount())
+		default:
+			dres = dbscan.Cluster(len(part), distFn, dcfg)
 		}
 
 		for _, memberIdx := range dres.ClusterIndices() {
 			members := make([]*aggregate.Item, len(memberIdx))
 			for i, idx := range memberIdx {
-				members[i] = part[idx]
+				members[i] = items[part[idx]]
 			}
 			res.Clusters = append(res.Clusters, aggregate.Summarize(0, members, opts))
 		}
 		for i, l := range dres.Labels {
 			if l == dbscan.Noise {
-				res.NoiseQueries += part[i].Weight
+				res.NoiseQueries += items[part[i]].Weight
 			}
 		}
+		if partCache != nil {
+			res.DistanceCacheHits += partCache.Hits()
+		}
 	}
+	res.DistanceEvals = cache.Evals()
+	res.DistanceCacheHits += cache.Hits()
 
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		if res.Clusters[i].Cardinality != res.Clusters[j].Cardinality {
@@ -258,30 +321,51 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 	return res
 }
 
-// autoEps picks eps from the k-distance knee over a bounded sample.
-func (m *Miner) autoEps(items []*aggregate.Item, metric *distance.Metric) float64 {
+// pivotMinPartition is the partition size under which building a pivot
+// index costs more than the brute-force scans it would save.
+const pivotMinPartition = 64
+
+// usePivots reports whether a partition of size n should cluster through
+// the LAESA pivot index: ModeEndpoint is near-metric (its triangle defect
+// is covered by ClusterWithPivots's slack margin), while the paper-literal
+// mode's similarity-like d_pred gives the pruning nothing to hold on to.
+func (m *Miner) usePivots(n int) bool {
+	return !m.cfg.DisablePivotIndex &&
+		m.cfg.Mode == distance.ModeEndpoint &&
+		n >= pivotMinPartition
+}
+
+func (m *Miner) pivotCount() int {
+	if m.cfg.Pivots > 0 {
+		return m.cfg.Pivots
+	}
+	return 8
+}
+
+// autoEps picks eps from the k-distance knee over a bounded sample of item
+// indices; dist is the shared-cache distance in item index space. KDistances
+// scans every ordered sample pair, so the sample gets its own dense cache —
+// each unordered pair is evaluated once regardless of the global cache's
+// storage mode — and the second return value reports the hits it served.
+func (m *Miner) autoEps(n int, dist func(i, j int) float64) (float64, int64) {
 	const maxSample = 1000
-	sample := items
-	if len(sample) > maxSample {
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	if n > maxSample {
 		r := rand.New(rand.NewSource(m.cfg.Seed + 1))
-		idx := r.Perm(len(items))[:maxSample]
-		sample = make([]*aggregate.Item, maxSample)
-		for i, j := range idx {
-			sample[i] = items[j]
-		}
+		sample = r.Perm(n)[:maxSample]
 	}
-	profiles := make([]*distance.Profile, len(sample))
-	for i, it := range sample {
-		profiles[i] = metric.Profile(it.Area)
-	}
-	kd := dbscan.KDistances(len(sample), func(i, j int) float64 {
-		return metric.ProfileDistance(profiles[i], profiles[j])
-	}, m.cfg.MinPts)
+	sampleCache := distance.NewPairCache(len(sample), func(i, j int) float64 {
+		return dist(sample[i], sample[j])
+	})
+	kd := dbscan.KDistances(len(sample), sampleCache.Dist, m.cfg.MinPts)
 	eps := dbscan.SuggestEps(kd)
 	if eps <= 0 {
-		return m.cfg.Eps
+		return m.cfg.Eps, sampleCache.Hits()
 	}
-	return eps
+	return eps, sampleCache.Hits()
 }
 
 // AttachCoverage fills area/object coverage for every cluster from a data

@@ -272,6 +272,78 @@ func TestSuggestEps(t *testing.T) {
 	}
 }
 
+func TestSuggestEpsUniformWorkload(t *testing.T) {
+	// Uniformly random points give a near-linear k-distance curve with no
+	// knee. The old heuristic returned the drop-winner nearest the head —
+	// effectively the LARGEST k-distance, merging everything into one
+	// cluster. The fallback must pick from the small end of the curve.
+	r := rand.New(rand.NewSource(21))
+	pts := make([]float64, 400)
+	for i := range pts {
+		pts[i] = r.Float64() * 100
+	}
+	kd := KDistances(len(pts), euclid1D(pts), 4)
+	eps := SuggestEps(kd)
+	if eps <= 0 {
+		t.Fatalf("eps = %v", eps)
+	}
+	median := kd[len(kd)/2]
+	if eps > median {
+		t.Errorf("eps = %v above curve median %v (degenerate near-max pick, curve head %v)", eps, median, kd[0])
+	}
+}
+
+func TestSuggestEpsFlatCurve(t *testing.T) {
+	flat := []float64{2, 2, 2, 2, 2, 2}
+	if eps := SuggestEps(flat); eps != 2 {
+		t.Errorf("flat curve eps = %v, want 2", eps)
+	}
+	linear := make([]float64, 100)
+	for i := range linear {
+		linear[i] = 100 - float64(i)
+	}
+	eps := SuggestEps(linear)
+	if eps >= linear[len(linear)/2] {
+		t.Errorf("linear curve eps = %v, want small quantile (≤ median %v)", eps, linear[len(linear)/2])
+	}
+}
+
+// TestClusterWithPivotsNearMetricSlack pins the slack margin down with a
+// hand-built quasi-metric: d(1,2) ≤ eps while |d(0,1) − d(0,2)| = 2·eps,
+// a triangle-inequality violation of the kind the min-matching d_conj
+// produces. Slackless LAESA pruning drops the true neighbour and shatters
+// the cluster; ClusterWithPivots's PivotSlackFactor margin must keep it.
+func TestClusterWithPivotsNearMetricSlack(t *testing.T) {
+	mat := [][]float64{
+		{0, 5.0, 7.0, 5.5},
+		{5.0, 0, 0.5, 0.5},
+		{7.0, 0.5, 0, 0.5},
+		{5.5, 0.5, 0.5, 0},
+	}
+	dist := func(i, j int) float64 { return mat[i][j] }
+	cfg := Config{Eps: 1.0, MinPts: 3}
+
+	// The slackless index really does misprune: point 2 is within eps of 1
+	// but the pivot-0 gap |5.0 − 7.0| exceeds eps.
+	ix := NewPivotIndex(len(mat), dist, 2)
+	for _, j := range ix.Region(1, cfg.Eps, len(mat)) {
+		if j == 2 {
+			t.Fatal("fixture no longer triggers a false prune; rebuild it")
+		}
+	}
+
+	brute := Cluster(len(mat), dist, cfg)
+	pivoted := ClusterWithPivots(len(mat), dist, cfg, 2)
+	if brute.NumClusters != 1 {
+		t.Fatalf("fixture should form one cluster brute-force, got %d", brute.NumClusters)
+	}
+	for i := range brute.Labels {
+		if brute.Labels[i] != pivoted.Labels[i] {
+			t.Fatalf("label %d: brute %d vs pivoted %d (slack margin lost a near-metric neighbour)", i, brute.Labels[i], pivoted.Labels[i])
+		}
+	}
+}
+
 func TestPivotsMatchExact(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	pts := make([]float64, 3000)
@@ -308,6 +380,49 @@ func TestPivotRegionEqualsScan(t *testing.T) {
 		}
 		if len(got) != len(want) {
 			t.Fatalf("q=%d: region %d vs %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestPivotWorkersMatchSerial(t *testing.T) {
+	// cfg.Workers must drive both index construction and the pruned region
+	// scans; labels must be identical to the single-worker run (both scan
+	// candidates in ascending order).
+	r := rand.New(rand.NewSource(13))
+	pts := make([]float64, 4000)
+	for i := range pts {
+		pts[i] = r.Float64() * 60
+	}
+	serial := ClusterWithPivots(len(pts), euclid1D(pts), Config{Eps: 0.2, MinPts: 4, Workers: 1}, 6)
+	parallel := ClusterWithPivots(len(pts), euclid1D(pts), Config{Eps: 0.2, MinPts: 4, Workers: 8}, 6)
+	if serial.NumClusters != parallel.NumClusters {
+		t.Fatalf("cluster counts: %d vs %d", serial.NumClusters, parallel.NumClusters)
+	}
+	for i := range serial.Labels {
+		if serial.Labels[i] != parallel.Labels[i] {
+			t.Fatalf("label %d: %d vs %d", i, serial.Labels[i], parallel.Labels[i])
+		}
+	}
+}
+
+func TestPivotRegionParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	pts := make([]float64, 3000)
+	for i := range pts {
+		pts[i] = r.Float64() * 30
+	}
+	serialIx := NewPivotIndex(len(pts), euclid1D(pts), 5)
+	parallelIx := NewPivotIndexParallel(len(pts), euclid1D(pts), 5, 8)
+	for q := 0; q < 40; q++ {
+		want := serialIx.Region(q, 0.25, len(pts))
+		got := parallelIx.RegionParallel(q, 0.25, len(pts), 8)
+		if len(got) != len(want) {
+			t.Fatalf("q=%d: region sizes %d vs %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d: region[%d] = %d vs %d (order must be ascending)", q, i, got[i], want[i])
+			}
 		}
 	}
 }

@@ -56,12 +56,12 @@ func RunOPTICS(n int, dist func(i, j int) float64, maxEps float64, minPts int, w
 	neighbours := func(p int) []nd {
 		var out []nd
 		for j := 0; j < n; j++ {
-			if d := dist(p, j); j == p || d <= maxEps {
-				dd := 0.0
-				if j != p {
-					dd = dist(p, j)
-				}
-				out = append(out, nd{j, dd})
+			if j == p {
+				out = append(out, nd{j, 0})
+				continue
+			}
+			if d := dist(p, j); d <= maxEps {
+				out = append(out, nd{j, d})
 			}
 		}
 		return out

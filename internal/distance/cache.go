@@ -1,0 +1,147 @@
+package distance
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// PairCache memoizes a symmetric pairwise distance over n fixed points so
+// the eps-selection pass (KDistances), pivot-index construction, and the
+// clustering region queries stop recomputing the same ProfileDistance
+// pairs. It is safe for concurrent use; fn must be too (ProfileDistance
+// is: it only reads precompiled profiles).
+//
+// Storage adapts to n:
+//
+//   - n ≤ triangularCutoff: a flat triangular array of atomically-accessed
+//     float64 bit patterns (16 MB at the cutoff). A sentinel NaN pattern
+//     marks empty cells; racing writers may both compute a pair, but the
+//     function is deterministic so the duplicate store is benign and the
+//     fast path is a single atomic load.
+//   - n ≤ passthroughCutoff: maps sharded by pair key under mutexes, so
+//     only the pairs actually evaluated take memory.
+//   - above passthroughCutoff: no memoization (a dense pair set would not
+//     fit in memory); the cache degrades to an evaluation counter.
+type PairCache struct {
+	n      int
+	fn     func(i, j int) float64
+	tri    []uint64
+	shards []cacheShard
+	hits   atomic.Int64
+	evals  atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64]float64
+}
+
+const (
+	// triangularCutoff bounds the flat-array storage to n(n-1)/2 ≈ 8.4M
+	// cells (67 MB at the cutoff) — sized so the default workload's largest
+	// relation-set partitions stay on the lock-free path, which costs a
+	// single atomic load per hit where the sharded maps pay a mutex.
+	triangularCutoff = 4096
+	// passthroughCutoff disables memoization beyond ~16k points, where even
+	// a half-dense pair set would need gigabytes.
+	passthroughCutoff = 16384
+	numShards         = 64
+)
+
+// emptyCell is a NaN bit pattern no real distance encodes to.
+const emptyCell = ^uint64(0)
+
+// NewCountingPairCache builds a cache that never memoizes, whatever n:
+// Dist forwards every lookup to fn and only keeps the evaluation count.
+// The mining pipeline uses it as the instrumented "before" baseline when
+// the pivot index is disabled, so before/after runs count evaluations
+// through identical plumbing.
+func NewCountingPairCache(n int, fn func(i, j int) float64) *PairCache {
+	return &PairCache{n: n, fn: fn}
+}
+
+// NewPairCache builds a cache over n points for the symmetric distance fn,
+// choosing the storage backend by n (see the type comment).
+func NewPairCache(n int, fn func(i, j int) float64) *PairCache {
+	switch {
+	case n <= triangularCutoff:
+		return newTriangularPairCache(n, fn)
+	case n <= passthroughCutoff:
+		return newShardedPairCache(n, fn)
+	default:
+		return NewCountingPairCache(n, fn)
+	}
+}
+
+func newTriangularPairCache(n int, fn func(i, j int) float64) *PairCache {
+	c := &PairCache{n: n, fn: fn, tri: make([]uint64, n*(n-1)/2)}
+	for i := range c.tri {
+		c.tri[i] = emptyCell
+	}
+	return c
+}
+
+func newShardedPairCache(n int, fn func(i, j int) float64) *PairCache {
+	c := &PairCache{n: n, fn: fn, shards: make([]cacheShard, numShards)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]float64)
+	}
+	return c
+}
+
+// Dist returns the memoized distance between points i and j.
+func (c *PairCache) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	switch {
+	case c.tri != nil:
+		// Row-major upper triangle: pairs (i, j) with i < j.
+		cell := i*c.n - i*(i+1)/2 + (j - i - 1)
+		if bits := atomic.LoadUint64(&c.tri[cell]); bits != emptyCell {
+			c.hits.Add(1)
+			return math.Float64frombits(bits)
+		}
+		d := c.eval(i, j)
+		atomic.StoreUint64(&c.tri[cell], math.Float64bits(d))
+		return d
+	case c.shards != nil:
+		key := uint64(i)*uint64(c.n) + uint64(j)
+		s := &c.shards[key%numShards]
+		s.mu.Lock()
+		if d, ok := s.m[key]; ok {
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return d
+		}
+		s.mu.Unlock()
+		d := c.eval(i, j)
+		s.mu.Lock()
+		s.m[key] = d
+		s.mu.Unlock()
+		return d
+	default:
+		return c.eval(i, j)
+	}
+}
+
+func (c *PairCache) eval(i, j int) float64 {
+	c.evals.Add(1)
+	return c.fn(i, j)
+}
+
+// Evals returns the number of underlying distance evaluations (cache
+// misses). Racing goroutines may both evaluate a pair, so this can exceed
+// the number of distinct pairs by a sliver.
+func (c *PairCache) Evals() int64 { return c.evals.Load() }
+
+// Hits returns the number of lookups served from memory.
+func (c *PairCache) Hits() int64 { return c.hits.Load() }
+
+// Memoizing reports whether pairs are actually stored (false above
+// passthroughCutoff, where Dist only counts evaluations).
+func (c *PairCache) Memoizing() bool { return c.tri != nil || c.shards != nil }

@@ -1,0 +1,118 @@
+package distance
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingDist returns |i-j| scaled and counts raw invocations.
+func countingDist(calls *atomic.Int64) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		calls.Add(1)
+		return math.Abs(float64(i)-float64(j)) * 0.5
+	}
+}
+
+func TestPairCacheHitCounting(t *testing.T) {
+	var calls atomic.Int64
+	c := NewPairCache(10, countingDist(&calls))
+	if !c.Memoizing() {
+		t.Fatal("small cache must memoize")
+	}
+	if d := c.Dist(2, 7); d != 2.5 {
+		t.Fatalf("dist = %v", d)
+	}
+	if d := c.Dist(7, 2); d != 2.5 {
+		t.Fatalf("symmetric dist = %v", d)
+	}
+	if d := c.Dist(4, 4); d != 0 {
+		t.Fatalf("self dist = %v", d)
+	}
+	if got := c.Evals(); got != 1 {
+		t.Errorf("evals = %d, want 1", got)
+	}
+	if got := c.Hits(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("raw calls = %d, want 1", got)
+	}
+}
+
+func TestPairCacheAllPairsOnce(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		build func(int, func(int, int) float64) *PairCache
+	}{
+		{"triangular", 17, newTriangularPairCache},
+		{"sharded", 61, newShardedPairCache},
+	} {
+		n := tc.n
+		var calls atomic.Int64
+		c := tc.build(n, countingDist(&calls))
+		for round := 0; round < 2; round++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want := math.Abs(float64(i)-float64(j)) * 0.5
+					if d := c.Dist(i, j); d != want {
+						t.Fatalf("n=%d: dist(%d,%d) = %v, want %v", n, i, j, d, want)
+					}
+				}
+			}
+		}
+		pairs := int64(n * (n - 1) / 2)
+		if got := calls.Load(); got != pairs {
+			t.Errorf("%s n=%d: raw calls = %d, want %d", tc.name, n, got, pairs)
+		}
+		if got := c.Evals(); got != pairs {
+			t.Errorf("%s n=%d: evals = %d, want %d", tc.name, n, got, pairs)
+		}
+	}
+}
+
+func TestPairCacheConcurrent(t *testing.T) {
+	// Exercised under -race by the make racecheck target: many goroutines
+	// hammer overlapping pairs on both storage backends.
+	for _, build := range []func(int, func(int, int) float64) *PairCache{
+		newTriangularPairCache, newShardedPairCache,
+	} {
+		n := 100
+		var calls atomic.Int64
+		c := build(n, countingDist(&calls))
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					j := (i*7 + g) % n
+					want := math.Abs(float64(i)-float64(j)) * 0.5
+					if d := c.Dist(i, j); d != want {
+						t.Errorf("dist(%d,%d) = %v, want %v", i, j, d, want)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if c.Evals()+c.Hits() < int64(8*n)-8 {
+			t.Errorf("n=%d: evals %d + hits %d below lookup count", n, c.Evals(), c.Hits())
+		}
+	}
+}
+
+func TestPairCachePassthrough(t *testing.T) {
+	var calls atomic.Int64
+	c := NewPairCache(passthroughCutoff+1, countingDist(&calls))
+	if c.Memoizing() {
+		t.Fatal("cache above cutoff must not allocate pair storage")
+	}
+	c.Dist(1, 2)
+	c.Dist(1, 2)
+	if got := c.Evals(); got != 2 {
+		t.Errorf("passthrough evals = %d, want 2", got)
+	}
+}

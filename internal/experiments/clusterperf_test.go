@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/qlog"
+)
+
+// table1Items extracts and deduplicates the env's Table-1 workload into
+// profiles + weights in ModeEndpoint, the shape the miner clusters.
+func table1Items(t *testing.T, e *Env) ([]*distance.Profile, []int, *distance.Metric) {
+	t.Helper()
+	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
+	pipeline := &qlog.Pipeline{Extractor: ex}
+	areas, _ := pipeline.Run(e.Records)
+	type item struct {
+		area   *extract.AccessArea
+		weight int
+	}
+	byKey := map[string]*item{}
+	var order []*item
+	for i := range areas {
+		ar := &areas[i]
+		if ar.Area.IsEmpty() {
+			continue
+		}
+		k := ar.Area.Key()
+		it, ok := byKey[k]
+		if !ok {
+			it = &item{area: ar.Area}
+			byKey[k] = it
+			order = append(order, it)
+		}
+		it.weight++
+	}
+	metric := &distance.Metric{Mode: distance.ModeEndpoint, Stats: e.Stats}
+	profiles := make([]*distance.Profile, len(order))
+	weights := make([]int, len(order))
+	for i, it := range order {
+		profiles[i] = metric.Profile(it.area)
+		weights[i] = it.weight
+	}
+	return profiles, weights, metric
+}
+
+// TestPivotLabelsIdenticalOnTable1Workload is the pivot-index equivalence
+// guard: on the Table-1 workload in ModeEndpoint, pivot-pruned DBSCAN must
+// produce labels IDENTICAL to the brute-force scan — not merely the same
+// partition — because both visit candidates in ascending order and the
+// pruning must be lossless for a metric distance.
+func TestPivotLabelsIdenticalOnTable1Workload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustering test")
+	}
+	env := NewEnv(3000, 42)
+	profiles, weights, metric := table1Items(t, env)
+	n := len(profiles)
+	if n < 200 {
+		t.Fatalf("only %d distinct areas extracted", n)
+	}
+	dist := func(i, j int) float64 { return metric.ProfileDistance(profiles[i], profiles[j]) }
+	cfg := dbscan.Config{Eps: 0.06, MinPts: 8, Weights: weights}
+	brute := dbscan.Cluster(n, dist, cfg)
+	pivoted := dbscan.ClusterWithPivots(n, dist, cfg, 8)
+	if brute.NumClusters != pivoted.NumClusters {
+		t.Fatalf("cluster counts: brute %d vs pivoted %d", brute.NumClusters, pivoted.NumClusters)
+	}
+	for i := range brute.Labels {
+		if brute.Labels[i] != pivoted.Labels[i] {
+			t.Fatalf("label %d: brute %d vs pivoted %d", i, brute.Labels[i], pivoted.Labels[i])
+		}
+	}
+}
+
+// TestOPTICSWeightedAgreesWithDBSCAN checks the weighted OPTICS backend
+// against weighted DBSCAN on the default mix: same noise set and the same
+// cluster partition up to renumbering (OPTICS orders clusters by
+// reachability traversal, DBSCAN by seed index).
+func TestOPTICSWeightedAgreesWithDBSCAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustering test")
+	}
+	env := NewEnv(3000, 42)
+	profiles, weights, metric := table1Items(t, env)
+	n := len(profiles)
+	dist := func(i, j int) float64 { return metric.ProfileDistance(profiles[i], profiles[j]) }
+	eps, minPts := 0.06, 8
+	direct := dbscan.Cluster(n, dist, dbscan.Config{Eps: eps, MinPts: minPts, Weights: weights})
+	o := dbscan.RunOPTICS(n, dist, 2*eps, minPts, weights)
+	viaOptics := o.ExtractDBSCAN(eps)
+
+	if direct.NumClusters != viaOptics.NumClusters {
+		t.Fatalf("cluster counts: dbscan %d vs optics %d", direct.NumClusters, viaOptics.NumClusters)
+	}
+	// Same labels up to renumbering: the label mapping must be a bijection
+	// and noise must map to noise.
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range direct.Labels {
+		a, b := direct.Labels[i], viaOptics.Labels[i]
+		if (a == dbscan.Noise) != (b == dbscan.Noise) {
+			t.Fatalf("point %d: noise status dbscan %d vs optics %d", i, a, b)
+		}
+		if a == dbscan.Noise {
+			continue
+		}
+		if prev, ok := fwd[a]; ok && prev != b {
+			t.Fatalf("dbscan cluster %d split by optics: %d and %d", a, prev, b)
+		}
+		if prev, ok := rev[b]; ok && prev != a {
+			t.Fatalf("optics cluster %d merges dbscan clusters %d and %d", b, prev, a)
+		}
+		fwd[a] = b
+		rev[b] = a
+	}
+}
+
+func TestRunClusterPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := NewEnv(2500, 42).RunClusterPerf()
+	if !res.IdenticalClusters {
+		t.Fatal("pivot-index mining changed the aggregated clusters")
+	}
+	if res.Brute.DistanceEvals <= res.Pivot.DistanceEvals {
+		t.Errorf("pivot evals %d not below brute %d", res.Pivot.DistanceEvals, res.Brute.DistanceEvals)
+	}
+	// The acceptance bar is ≥2× at the 20k benchmark scale; the ratio is
+	// scale-stable (≈3× here and at 20k), so enforce it in-test too.
+	if res.EvalRatio < 2.0 {
+		t.Errorf("eval ratio = %.2f, want ≥2x fewer evaluations with the pivot index + cache", res.EvalRatio)
+	}
+	if res.Brute.CacheHits != 0 {
+		t.Errorf("brute baseline memoized (%d hits); it must reproduce the pre-index evaluation pattern", res.Brute.CacheHits)
+	}
+	if res.Pivot.CacheHits == 0 {
+		t.Error("pivot mode reported no cache hits; partition memoization is not wired")
+	}
+	if res.Pivot.Clusters == 0 || res.DistinctAreas == 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}

@@ -97,6 +97,40 @@ func TestPipelineCoverage(t *testing.T) {
 	}
 }
 
+func TestStageCountsConsistent(t *testing.T) {
+	// Mix of clean statements, a parse failure, and an extraction failure
+	// (self-join): the three extraction stages must report one observation
+	// per successfully extracted statement — no more, no fewer — or the
+	// §6.6 stage table's Counts disagree with each other.
+	recs := []Record{
+		{Seq: 0, User: "a", SQL: "SELECT * FROM PhotoObjAll WHERE ra < 10"},
+		{Seq: 1, User: "a", SQL: "THIS IS NOT SQL"},
+		{Seq: 2, User: "b", SQL: "SELECT * FROM PhotoObjAll p, PhotoObjAll q WHERE p.ra < q.ra"},
+		{Seq: 3, User: "b", SQL: "SELECT * FROM SpecObjAll WHERE mjd > 52000"},
+		{Seq: 4, User: "c", SQL: "SELECT * FROM zooSpec WHERE dec BETWEEN 30 AND 70"},
+	}
+	for _, workers := range []int{1, 4} {
+		p := &Pipeline{Extractor: extract.New(skyserver.Schema()), Workers: workers}
+		areas, st := p.Run(recs)
+		if st.ExtractFailures == 0 {
+			t.Fatalf("workers=%d: expected an extraction failure in the fixture", workers)
+		}
+		if st.Extract.Count != st.Extracted {
+			t.Errorf("workers=%d: Extract.Count = %d, Extracted = %d", workers, st.Extract.Count, st.Extracted)
+		}
+		if st.Extract.Count != st.CNF.Count || st.CNF.Count != st.Consolidate.Count {
+			t.Errorf("workers=%d: stage counts disagree: extract %d, cnf %d, consolidate %d",
+				workers, st.Extract.Count, st.CNF.Count, st.Consolidate.Count)
+		}
+		if st.Parse.Count != st.Total {
+			t.Errorf("workers=%d: Parse.Count = %d, Total = %d", workers, st.Parse.Count, st.Total)
+		}
+		if len(areas) != st.Extracted {
+			t.Errorf("workers=%d: areas %d != extracted %d", workers, len(areas), st.Extracted)
+		}
+	}
+}
+
 func TestPipelinePreservesOrder(t *testing.T) {
 	areas, _ := pipelineOverLog(t, 500)
 	last := -1
