@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet racecheck bench clean
+.PHONY: build test vet racecheck fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,28 @@ vet:
 	$(GO) vet ./...
 
 # The parallel region-query, pivot-index, and pair-cache code paths must stay
-# race-clean; qlog covers the staged pipeline's worker fan-out.
+# race-clean; qlog covers the streaming worker pool and the template cache,
+# extract the concurrent template rebinds, sqlparser the fingerprint pass.
 racecheck:
-	$(GO) test -race ./internal/dbscan/... ./internal/distance/... ./internal/qlog/...
+	$(GO) test -race ./internal/dbscan/... ./internal/distance/... \
+		./internal/qlog/... ./internal/extract/... ./internal/sqlparser/...
 
-# bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining
-# at the 20k default mix). vet + racecheck gate it so perf numbers are never
-# recorded off racy code.
+# fuzz replays the checked-in seed corpora in regression mode (plain go test
+# runs every f.Add seed) and then explores each target briefly. Raise
+# FUZZTIME for a longer soak.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/sqlparser/ -run=Fuzz
+	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME)
+
+# bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining)
+# and BENCH_pipeline.json (uncached vs template-cached extraction) at the 20k
+# default mix. vet + racecheck gate it so perf numbers are never recorded off
+# racy code.
 bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp clusterperf
+	$(GO) run ./cmd/benchreport -exp pipelineperf
 
 clean:
 	$(GO) clean ./...

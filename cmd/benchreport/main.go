@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	benchreport [-scale 20000] [-seed 42] [-exp all|table1|fig1a|fig1b|fig1c|coverage|olapclus|olapclusraw|efficiency|requery|ablation|clusterperf]
+//	benchreport [-scale 20000] [-seed 42] [-exp all|table1|fig1a|fig1b|fig1c|coverage|olapclus|olapclusraw|efficiency|requery|ablation|clusterperf|pipelineperf]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The clusterperf experiment additionally writes its before/after numbers
 // (brute-force vs pivot-index clustering) to -benchjson (default
-// BENCH_clustering.json) so successive changes have a perf trajectory.
+// BENCH_clustering.json), and pipelineperf writes its uncached-vs-cached
+// extraction numbers to -pipejson (default BENCH_pipeline.json), so
+// successive changes have a perf trajectory. -cpuprofile/-memprofile capture
+// stdlib pprof profiles of the selected experiments.
 package main
 
 import (
@@ -16,17 +20,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a plain exit code so deferred profile writers run
+// before the process exits.
+func run() int {
 	scale := flag.Int("scale", 20000, "number of log queries to generate")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling, clusterperf)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling, clusterperf, pipelineperf)")
 	benchJSON := flag.String("benchjson", "BENCH_clustering.json", "output path for the clusterperf JSON record")
+	pipeJSON := flag.String("pipejson", "BENCH_pipeline.json", "output path for the pipelineperf JSON record")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	env := experiments.NewEnv(*scale, *seed)
 	want := strings.ToLower(*exp)
@@ -39,6 +68,15 @@ func main() {
 		fmt.Println(strings.Repeat("=", 100))
 		fmt.Print(f())
 		fmt.Println()
+	}
+	writeJSON := func(path string, v any) {
+		if data, err := json.MarshalIndent(v, "", "  "); err == nil {
+			if werr := os.WriteFile(path, append(data, '\n'), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
 	}
 
 	run("table1", func() string { return env.RunTable1().Report })
@@ -56,18 +94,32 @@ func main() {
 	run("scaling", func() string { return env.RunScaling().Report })
 	run("clusterperf", func() string {
 		res := env.RunClusterPerf()
-		if data, err := json.MarshalIndent(res, "", "  "); err == nil {
-			if werr := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); werr != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %v\n", werr)
-			} else {
-				fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
-			}
-		}
+		writeJSON(*benchJSON, res)
+		return res.Report
+	})
+	run("pipelineperf", func() string {
+		res := env.RunPipelinePerf()
+		writeJSON(*pipeJSON, res)
 		return res.Report
 	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 2
+		}
+	}
+	return 0
 }

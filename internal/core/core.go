@@ -63,6 +63,13 @@ type Config struct {
 	// perf harness and the equivalence guard can measure before/after
 	// behaviour through the same instrumentation.
 	DisablePivotIndex bool
+	// DisableTemplateCache reverts the extraction stage to the pre-cache hot
+	// path — a full parse and extraction for every record instead of a
+	// per-fingerprint template rebind — so the perf harness and the
+	// equivalence guard can measure before/after behaviour through the same
+	// instrumentation, and so experiments needing honest per-statement stage
+	// timings (the §6.6 efficiency report) can opt out.
+	DisableTemplateCache bool
 	// SigmaRule and MinColumnSupport configure aggregation (Section 6.2);
 	// zero values mean 3 and 0.5.
 	SigmaRule        float64
@@ -146,10 +153,31 @@ func (m *Miner) MineSQL(stmts []string) *Result {
 
 // MineRecords runs the full pipeline over a query log.
 func (m *Miner) MineRecords(recs []qlog.Record) *Result {
-	extractor := &extract.Extractor{Schema: m.cfg.Schema, PredCap: m.cfg.PredCap, Stats: m.stats}
-	pipeline := &qlog.Pipeline{Extractor: extractor, Workers: m.cfg.Workers}
-	areaRecs, stats := pipeline.Run(recs)
+	areaRecs, stats := m.pipeline().Run(recs)
 	return m.mine(areaRecs, stats)
+}
+
+// MineStream runs the full pipeline over a record stream. Extraction is
+// bounded-memory (see qlog.Pipeline.RunStream); the extracted areas are then
+// deduplicated and clustered as in MineRecords, so the whole run's footprint
+// is dominated by the distinct-area count rather than the log length.
+func (m *Miner) MineStream(src qlog.RecordSource) *Result {
+	var areaRecs []qlog.AreaRecord
+	stats := m.pipeline().RunStream(src, func(ar qlog.AreaRecord) {
+		areaRecs = append(areaRecs, ar)
+	})
+	return m.mine(areaRecs, stats)
+}
+
+// pipeline builds the extraction pipeline with the template cache on by
+// default.
+func (m *Miner) pipeline() *qlog.Pipeline {
+	extractor := &extract.Extractor{Schema: m.cfg.Schema, PredCap: m.cfg.PredCap, Stats: m.stats}
+	return &qlog.Pipeline{
+		Extractor: extractor,
+		Workers:   m.cfg.Workers,
+		NoCache:   m.cfg.DisableTemplateCache,
+	}
 }
 
 // MineAreas clusters already-extracted access areas (used by baselines and

@@ -173,7 +173,10 @@ type EfficiencyResult struct {
 // per-stage min/max timings.
 func (e *Env) RunEfficiency() *EfficiencyResult {
 	ex := &extract.Extractor{Schema: e.Schema, Stats: e.Stats}
-	p := &qlog.Pipeline{Extractor: ex, Workers: 1} // single-threaded like the paper's i5-750 run
+	// Single-threaded like the paper's i5-750 run, and with the template
+	// cache off: the §6.6 report is about per-statement parse/CNF/consolidate
+	// cost, which a cache hit would replace with near-zero rebind times.
+	p := &qlog.Pipeline{Extractor: ex, Workers: 1, NoCache: true}
 	start := time.Now()
 	_, st := p.Run(e.Records)
 	elapsed := time.Since(start)

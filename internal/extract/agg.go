@@ -56,6 +56,10 @@ func (st *state) convertHavingExpr(e sqlparser.Expr, sc *scope, bounds map[strin
 			return predicate.NewOr(l, r), nil
 		}
 		if agg, col, op, c, ok := st.matchAggComparison(x, sc); ok {
+			// The lemma case analysis branches on the constant c (and on
+			// WHERE-derived bounds, themselves literal-valued), so the mapped
+			// constraint's shape depends on literal values: non-cacheable.
+			st.noCache("having-aggregate")
 			return st.mapAggregate(agg, col, op, c, bounds), nil
 		}
 		// Plain predicate in HAVING (on a grouped column): same handling as
@@ -96,13 +100,13 @@ func (st *state) matchAggComparison(b *sqlparser.BinaryExpr, sc *scope) (agg, co
 		return "", "", 0, 0, false
 	}
 	if fc, isFc := b.L.(*sqlparser.FuncCall); isFc && fc.IsAggregate() {
-		if v, isNum := foldConstant(b.R); isNum && v.Kind == predicate.NumberVal {
+		if v, isNum := st.foldConst(b.R); isNum && v.Kind == predicate.NumberVal {
 			col, ok = st.aggColumn(fc, sc)
 			return strings.ToUpper(fc.Name), col, pop, v.Num, ok
 		}
 	}
 	if fc, isFc := b.R.(*sqlparser.FuncCall); isFc && fc.IsAggregate() {
-		if v, isNum := foldConstant(b.L); isNum && v.Kind == predicate.NumberVal {
+		if v, isNum := st.foldConst(b.L); isNum && v.Kind == predicate.NumberVal {
 			col, ok = st.aggColumn(fc, sc)
 			return strings.ToUpper(fc.Name), col, pop.Flip(), v.Num, ok
 		}

@@ -364,9 +364,9 @@ func (st *state) comparisonToPred(left sqlparser.Expr, op predicate.Op, outer *s
 		}
 		return predicate.NewLeaf(predicate.Cols(lcol, op, rightCanonical)), nil
 	case *sqlparser.NumberLit:
-		return predicate.NewLeaf(predicate.CC(rightCanonical, op.Flip(), predicate.NumberText(l.Value, l.Text))), nil
+		return predicate.NewLeaf(predicate.CC(rightCanonical, op.Flip(), numValue(l))), nil
 	case *sqlparser.StringLit:
-		return predicate.NewLeaf(predicate.CC(rightCanonical, op.Flip(), predicate.Str(l.Value))), nil
+		return predicate.NewLeaf(predicate.CC(rightCanonical, op.Flip(), strValue(l))), nil
 	default:
 		st.approx()
 		return trueExpr(), nil
@@ -392,8 +392,8 @@ func (st *state) convertComparison(b *sqlparser.BinaryExpr, sc *scope) (predicat
 
 	lCol, lIsCol := b.L.(*sqlparser.ColumnRef)
 	rCol, rIsCol := b.R.(*sqlparser.ColumnRef)
-	lVal, lIsVal := foldConstant(b.L)
-	rVal, rIsVal := foldConstant(b.R)
+	lVal, lIsVal := st.foldConst(b.L)
+	rVal, rIsVal := st.foldConst(b.R)
 
 	switch {
 	case lIsCol && rIsVal:
@@ -429,7 +429,9 @@ func (st *state) convertComparison(b *sqlparser.BinaryExpr, sc *scope) (predicat
 		}
 		return predicate.NewLeaf(predicate.Cols(lc, op, rc)), nil
 	case lIsVal && rIsVal:
-		// Constant comparison folds to TRUE or FALSE.
+		// Constant comparison folds to TRUE or FALSE — a structural outcome
+		// decided by the literals' values, so the shape is non-cacheable.
+		st.noCache("constant-comparison")
 		return predicate.NewLeaf(foldComparison(lVal, op, rVal)), nil
 	default:
 		// Arithmetic over columns, parameters, or function results: no
@@ -440,10 +442,22 @@ func (st *state) convertComparison(b *sqlparser.BinaryExpr, sc *scope) (predicat
 }
 
 // convertLike maps LIKE: patterns without wildcards are equalities;
-// anything else is approximated.
+// anything else is approximated. Whether the pattern has a wildcard decides
+// between the two mappings, so the choice is recorded as a per-slot guard
+// the template cache re-checks on every rebind.
 func (st *state) convertLike(x *sqlparser.LikeExpr, sc *scope) (predicate.Expr, error) {
 	cr, isCol := x.X.(*sqlparser.ColumnRef)
 	pat, isStr := x.Pattern.(*sqlparser.StringLit)
+	if isCol && isStr {
+		if pat.Slot > 0 {
+			st.likeGuards = append(st.likeGuards, likeGuard{
+				Slot:     pat.Slot,
+				Wildcard: strings.ContainsAny(pat.Value, "%_"),
+			})
+		} else {
+			st.noCache("like-pattern-unslotted")
+		}
+	}
 	if !isCol || !isStr || strings.ContainsAny(pat.Value, "%_") {
 		return st.approxTrue(x, sc), nil
 	}
@@ -456,37 +470,63 @@ func (st *state) convertLike(x *sqlparser.LikeExpr, sc *scope) (predicate.Expr, 
 	if x.Not {
 		op = predicate.Ne
 	}
-	return predicate.NewLeaf(predicate.CC(col, op, predicate.Str(pat.Value))), nil
+	return predicate.NewLeaf(predicate.CC(col, op, strValue(pat))), nil
 }
 
-// foldConstant evaluates literal-only expressions to a value: numbers,
-// strings, and arithmetic over numeric literals.
-func foldConstant(e sqlparser.Expr) (predicate.Value, bool) {
+// numValue copies a numeric literal into a predicate value, carrying the
+// literal's slot so the template cache can rebind it.
+func numValue(l *sqlparser.NumberLit) predicate.Value {
+	v := predicate.NumberText(l.Value, l.Text)
+	v.Slot, v.NegDepth = l.Slot, l.NegDepth
+	return v
+}
+
+// strValue copies a string literal into a predicate value with its slot.
+func strValue(l *sqlparser.StringLit) predicate.Value {
+	v := predicate.Str(l.Value)
+	v.Slot = l.Slot
+	return v
+}
+
+// foldConst evaluates literal-only expressions to a value: numbers, strings,
+// and arithmetic over numeric literals. A verbatim literal keeps its slot.
+// Any fold whose outcome depends on the literals' VALUES — arithmetic
+// results, and the division-by-zero failure — marks the extraction
+// non-cacheable, because a statement of the same shape with other constants
+// would fold to a different constraint.
+func (st *state) foldConst(e sqlparser.Expr) (predicate.Value, bool) {
 	switch x := e.(type) {
 	case *sqlparser.NumberLit:
-		return predicate.NumberText(x.Value, x.Text), true
+		return numValue(x), true
 	case *sqlparser.StringLit:
-		return predicate.Str(x.Value), true
+		return strValue(x), true
 	case *sqlparser.UnaryExpr:
 		if x.Op == "-" {
-			if v, ok := foldConstant(x.X); ok && v.Kind == predicate.NumberVal {
+			if v, ok := st.foldConst(x.X); ok && v.Kind == predicate.NumberVal {
+				st.noCache("folded-negation")
 				return predicate.Number(-v.Num), true
 			}
 		}
 	case *sqlparser.BinaryExpr:
-		l, lok := foldConstant(x.L)
-		r, rok := foldConstant(x.R)
+		l, lok := st.foldConst(x.L)
+		r, rok := st.foldConst(x.R)
 		if !lok || !rok || l.Kind != predicate.NumberVal || r.Kind != predicate.NumberVal {
 			return predicate.Value{}, false
 		}
 		switch x.Op {
 		case "+":
+			st.noCache("folded-arithmetic")
 			return predicate.Number(l.Num + r.Num), true
 		case "-":
+			st.noCache("folded-arithmetic")
 			return predicate.Number(l.Num - r.Num), true
 		case "*":
+			st.noCache("folded-arithmetic")
 			return predicate.Number(l.Num * r.Num), true
 		case "/":
+			// Poison before the zero check: whether the fold succeeds at all
+			// is decided by the divisor's value.
+			st.noCache("folded-arithmetic")
 			if r.Num == 0 {
 				return predicate.Value{}, false
 			}

@@ -71,13 +71,21 @@ type Timings struct {
 // ExtractWithTimings is Extract with per-stage timings for the efficiency
 // experiment.
 func (ex *Extractor) ExtractWithTimings(sel *sqlparser.SelectStatement) (*AccessArea, Timings, error) {
+	area, tm, _, _, err := ex.extractFull(sel)
+	return area, tm, err
+}
+
+// extractFull runs the three extraction stages and additionally returns the
+// pre-CNF constraint and the extraction state, which ExtractTemplate turns
+// into a reusable area template.
+func (ex *Extractor) extractFull(sel *sqlparser.SelectStatement) (*AccessArea, Timings, predicate.Expr, *state, error) {
 	var tm Timings
-	st := &state{ex: ex, exact: true}
+	st := &state{ex: ex, exact: true, cacheable: true}
 	t0 := time.Now()
 	expr, err := st.processQueryBody(sel, nil)
 	tm.Extract = time.Since(t0)
 	if err != nil {
-		return nil, tm, err
+		return nil, tm, nil, st, err
 	}
 	t1 := time.Now()
 	cnf, truncated := predicate.ToCNF(expr, ex.predCap())
@@ -95,7 +103,7 @@ func (ex *Extractor) ExtractWithTimings(sel *sqlparser.SelectStatement) (*Access
 	if ex.Stats != nil {
 		observeStats(ex.Stats, area)
 	}
-	return area, tm, nil
+	return area, tm, expr, st, nil
 }
 
 // referenced returns the sorted A set.
@@ -131,9 +139,30 @@ type state struct {
 	rels    []string // canonical relation names of the universal relation
 	exact   bool
 	touched map[string]struct{} // A = A_W ∪ A_G ∪ A_H ∪ A_S (Section 2.1)
+
+	// cacheable is cleared whenever a literal's VALUE (not just its
+	// presence) influences the constraint's structure — constant folding,
+	// constant-vs-constant comparisons, HAVING aggregate lemmas. Such a
+	// statement's area cannot be rebound with other constants, so its
+	// fingerprint class must always take the slow path (DESIGN.md §7).
+	cacheable   bool
+	cacheReason string
+	// likeGuards records, per LIKE pattern literal, whether the pattern
+	// contained a wildcard. Wildcard-ness picks between an equality
+	// predicate and the TRUE approximation, so a rebind is valid only for
+	// records whose pattern at the same slot has the same wildcard-ness.
+	likeGuards []likeGuard
 }
 
 func (st *state) approx() { st.exact = false }
+
+// noCache marks the extraction non-cacheable; the first reason sticks.
+func (st *state) noCache(reason string) {
+	if st.cacheable {
+		st.cacheable = false
+		st.cacheReason = reason
+	}
+}
 
 // touch records a referenced column in the A set.
 func (st *state) touch(col string) {

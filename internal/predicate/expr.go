@@ -111,6 +111,34 @@ func NewOr(kids ...Expr) Expr {
 // NewNot negates e.
 func NewNot(e Expr) Expr { return &Not{Kid: e} }
 
+// MapLeaves returns a structural copy of e with every leaf predicate
+// replaced by f(p). The shape (And/Or/Not nesting and child order) is
+// preserved exactly — no TRUE/FALSE folding is applied — so a cached
+// template's constraint instantiates to precisely the tree the direct
+// conversion built for a statement of the same shape.
+func MapLeaves(e Expr, f func(Pred) Pred) Expr {
+	switch x := e.(type) {
+	case *Leaf:
+		return &Leaf{P: f(x.P)}
+	case *Not:
+		return &Not{Kid: MapLeaves(x.Kid, f)}
+	case *And:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = MapLeaves(k, f)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = MapLeaves(k, f)
+		}
+		return &Or{Kids: kids}
+	default:
+		return e
+	}
+}
+
 // ToNNF pushes negations down to the leaves using De Morgan's laws and
 // predicate inversion, e.g. NOT (T.u > 5 AND T.v <= 10) becomes
 // T.u <= 5 OR T.v > 10 (the example of Section 4.1).

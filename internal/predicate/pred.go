@@ -119,6 +119,14 @@ type Value struct {
 	Num  float64
 	Str  string
 	Text string
+	// Slot, when nonzero, is the 1-based ordinal of the source literal
+	// this constant was copied from verbatim (lexer order), and NegDepth
+	// the number of unary minus signs the parser folded into Num/Text.
+	// They thread through extraction so the template cache knows which of
+	// a record's literals to substitute where. Identity metadata only:
+	// Key() and String() ignore them.
+	Slot     int
+	NegDepth int
 }
 
 // Number constructs a numeric value.

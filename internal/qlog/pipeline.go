@@ -73,6 +73,20 @@ type Stats struct {
 	Approximate     int // inexact mappings
 	EmptyAreas      int // provably empty (contradictory) areas
 
+	// FullParses counts records that took the slow path (full parse and
+	// extraction); CacheHits counts records served from the template cache.
+	// Both are scheduling telemetry: when several workers miss the same
+	// fingerprint concurrently each performs a full parse, so the split
+	// between the two varies run to run. Every semantic counter above is
+	// deterministic regardless.
+	FullParses int
+	CacheHits  int
+	// PeakInFlight is the largest number of records resident in the
+	// streaming pool at any sampled instant. It is bounded by construction:
+	// the feeder admits a record only while fewer than Workers + Buffer
+	// records are unretired.
+	PeakInFlight int
+
 	Parse       StageTime
 	Extract     StageTime
 	CNF         StageTime
@@ -90,54 +104,156 @@ func (s *Stats) Coverage() float64 {
 	return float64(s.Extracted) / float64(s.Total)
 }
 
+// RecordSource yields successive log records; ok reports whether rec is
+// valid, and false ends the stream. Sources are pulled from a single
+// goroutine, so they need not be concurrency-safe.
+type RecordSource func() (rec Record, ok bool)
+
+// SliceSource adapts an in-memory record slice to a RecordSource.
+func SliceSource(recs []Record) RecordSource {
+	i := 0
+	return func() (Record, bool) {
+		if i >= len(recs) {
+			return Record{}, false
+		}
+		r := recs[i]
+		i++
+		return r, true
+	}
+}
+
 // Pipeline extracts access areas from log records.
 type Pipeline struct {
 	Extractor *extract.Extractor
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Buffer is the capacity of the pool's job and result channels; 0 means
+	// 2×Workers. The feeder admits at most Workers+Buffer unretired records,
+	// which bounds RunStream's record residency.
+	Buffer int
+	// NoCache disables the template cache: every record takes the full
+	// parse → extract → CNF → consolidate path. Required when per-statement
+	// stage timings must reflect real work (the §6.6 efficiency experiment).
+	NoCache bool
+	// Cache, when non-nil, is used (and populated) instead of a fresh
+	// per-run cache, letting templates persist across runs of the same log
+	// family. Ignored under NoCache.
+	Cache *extract.TemplateCache
 }
 
 // Run processes all records, returning the successful extractions in input
 // order and the aggregate statistics.
 func (p *Pipeline) Run(recs []Record) ([]AreaRecord, *Stats) {
+	out := make([]AreaRecord, 0, len(recs))
+	st := p.stream(SliceSource(recs), func(ar AreaRecord) { out = append(out, ar) })
+	return out, st
+}
+
+// RunStream processes a record stream with bounded memory: at most
+// Workers+Buffer records are resident at once, independent of stream length
+// (plus one cached template per distinct statement shape). emit is called
+// for every successful extraction, in input order, from the calling
+// goroutine; it may be nil when only the statistics matter.
+func (p *Pipeline) RunStream(src RecordSource, emit func(AreaRecord)) *Stats {
+	return p.stream(src, emit)
+}
+
+type poolJob struct {
+	ord int
+	rec Record
+}
+
+type poolResult struct {
+	ord int
+	ar  *AreaRecord
+}
+
+// stream runs the work-stealing worker pool: a feeder admits records under a
+// residency window, workers pull from a shared job channel (fast records
+// drain past slow ones instead of waiting behind a static chunk boundary),
+// and the collector reorders completions back to input order.
+func (p *Pipeline) stream(src RecordSource, emit func(AreaRecord)) *Stats {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(recs) {
-		workers = len(recs)
-	}
 	if workers < 1 {
 		workers = 1
 	}
+	buffer := p.Buffer
+	if buffer <= 0 {
+		buffer = 2 * workers
+	}
+	var cache *extract.TemplateCache
+	if !p.NoCache {
+		cache = p.Cache
+		if cache == nil {
+			cache = &extract.TemplateCache{}
+		}
+	}
+
 	start := time.Now()
-	results := make([]*AreaRecord, len(recs))
+	jobs := make(chan poolJob, buffer)
+	results := make(chan poolResult, buffer)
+	// window admission: one token per unretired record. len(window) is the
+	// current residency, so PeakInFlight ≤ workers+buffer by construction.
+	window := make(chan struct{}, workers+buffer)
 	partStats := make([]*Stats, workers)
 
+	go func() {
+		ord := 0
+		for {
+			rec, ok := src()
+			if !ok {
+				break
+			}
+			window <- struct{}{}
+			jobs <- poolJob{ord: ord, rec: rec}
+			ord++
+		}
+		close(jobs)
+	}()
+
 	var wg sync.WaitGroup
-	chunk := (len(recs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(recs) {
-			hi = len(recs)
-		}
-		if lo >= hi {
-			partStats[w] = newStats()
-			continue
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
 			st := newStats()
-			for i := lo; i < hi; i++ {
-				if ar := p.processOne(recs[i], st); ar != nil {
-					results[i] = ar
-				}
-			}
 			partStats[w] = st
-		}(w, lo, hi)
+			for j := range jobs {
+				results <- poolResult{ord: j.ord, ar: p.processOne(j.rec, st, cache)}
+			}
+		}(w)
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: retire completions in input order. pending holds at most
+	// window-many out-of-order completions.
+	pending := make(map[int]*AreaRecord)
+	next := 0
+	peak := 0
+	for res := range results {
+		if n := len(window); n > peak {
+			peak = n
+		}
+		pending[res.ord] = res.ar
+		for {
+			ar, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if ar != nil && emit != nil {
+				emit(*ar)
+			}
+			<-window
+		}
+	}
 
 	total := newStats()
 	for _, ps := range partStats {
@@ -151,6 +267,8 @@ func (p *Pipeline) Run(recs []Record) ([]AreaRecord, *Stats) {
 		total.Truncated += ps.Truncated
 		total.Approximate += ps.Approximate
 		total.EmptyAreas += ps.EmptyAreas
+		total.FullParses += ps.FullParses
+		total.CacheHits += ps.CacheHits
 		for k, v := range ps.ParseFailures {
 			total.ParseFailures[k] += v
 		}
@@ -159,36 +277,115 @@ func (p *Pipeline) Run(recs []Record) ([]AreaRecord, *Stats) {
 		total.CNF.merge(ps.CNF)
 		total.Consolidate.merge(ps.Consolidate)
 	}
+	total.PeakInFlight = peak
 	total.Elapsed = time.Since(start)
-
-	out := make([]AreaRecord, 0, len(recs))
-	for _, ar := range results {
-		if ar != nil {
-			out = append(out, *ar)
-		}
-	}
-	return out, total
+	return total
 }
 
 func newStats() *Stats {
 	return &Stats{ParseFailures: make(map[string]int)}
 }
 
-func (p *Pipeline) processOne(rec Record, st *Stats) *AreaRecord {
+// processOne classifies and extracts one record. With a cache, the record's
+// fingerprint is tried first; any literal the lexer accepted but
+// strconv.ParseFloat rejects (e.g. "1e999") makes parse success itself
+// value-dependent, so such records bypass the cache entirely — no lookup, no
+// store.
+func (p *Pipeline) processOne(rec Record, st *Stats, cache *extract.TemplateCache) *AreaRecord {
 	st.Total++
+	if cache != nil {
+		t0 := time.Now()
+		fp, lits, ferr := sqlparser.Fingerprint(rec.SQL)
+		if ferr == nil && !anyBadNum(lits) {
+			if t, ok := cache.Get(fp); ok {
+				if ar, done := p.applyTemplate(rec, t, lits, st, time.Since(t0)); done {
+					st.CacheHits++
+					return ar
+				}
+				// Uncacheable shape or failed per-record guard: slow path,
+				// without re-storing.
+				return p.slowPath(rec, st, nil, 0)
+			}
+			return p.slowPath(rec, st, cache, fp)
+		}
+	}
+	return p.slowPath(rec, st, nil, 0)
+}
+
+func anyBadNum(lits []sqlparser.Literal) bool {
+	for _, l := range lits {
+		if l.BadNum {
+			return true
+		}
+	}
+	return false
+}
+
+// applyTemplate replays a cached outcome for rec. done is false when the
+// record must take the slow path instead; in that case nothing has been
+// observed in st yet. The fingerprint+lookup duration stands in for the
+// Parse stage so Parse.Count stays equal to Total.
+func (p *Pipeline) applyTemplate(rec Record, t *extract.AreaTemplate, lits []sqlparser.Literal, st *Stats, fpDur time.Duration) (*AreaRecord, bool) {
+	switch {
+	case t.Uncacheable:
+		return nil, false
+	case t.ParseFailCat != "":
+		st.Parse.observe(fpDur)
+		st.ParseFailures[t.ParseFailCat]++
+		return nil, true
+	case t.NonSelect:
+		st.Parse.observe(fpDur)
+		st.ParseFailures["non-select"]++
+		return nil, true
+	case t.ExtractErr != nil:
+		st.Parse.observe(fpDur)
+		st.Parsed++
+		st.ExtractFailures++
+		return nil, true
+	}
+	area, tm, ok := t.Rebind(p.Extractor, lits)
+	if !ok {
+		return nil, false
+	}
+	st.Parse.observe(fpDur)
+	st.Parsed++
+	return p.finish(rec, area, tm, st), true
+}
+
+// slowPath is the full parse → extract path. When cache is non-nil the
+// outcome — including failures, which are as value-independent as successes
+// — is stored under fp for the rest of the fingerprint class.
+func (p *Pipeline) slowPath(rec Record, st *Stats, cache *extract.TemplateCache, fp uint64) *AreaRecord {
+	st.FullParses++
 	t0 := time.Now()
 	stmt, err := sqlparser.Parse(rec.SQL)
 	st.Parse.observe(time.Since(t0))
 	if err != nil {
-		st.ParseFailures[classifyParseError(err)]++
+		cat := classifyParseError(err)
+		st.ParseFailures[cat]++
+		if cache != nil {
+			cache.Put(fp, &extract.AreaTemplate{ParseFailCat: cat})
+		}
 		return nil
 	}
 	sel, ok := stmt.(*sqlparser.SelectStatement)
 	if !ok {
 		st.ParseFailures["non-select"]++
+		if cache != nil {
+			cache.Put(fp, &extract.AreaTemplate{NonSelect: true})
+		}
 		return nil
 	}
 	st.Parsed++
+	if cache != nil {
+		area, tm, tmpl, err := p.Extractor.ExtractTemplate(sel)
+		cache.Put(fp, tmpl)
+		if err != nil {
+			st.ExtractFailures++
+			return nil
+		}
+		return p.finish(rec, area, tm, st)
+	}
 	area, tm, err := p.Extractor.ExtractWithTimings(sel)
 	if err != nil {
 		// A failed extraction never reaches the CNF/consolidation stages, so
@@ -198,6 +395,12 @@ func (p *Pipeline) processOne(rec Record, st *Stats) *AreaRecord {
 		st.ExtractFailures++
 		return nil
 	}
+	return p.finish(rec, area, tm, st)
+}
+
+// finish records the post-extraction bookkeeping shared by the slow and
+// cached paths.
+func (p *Pipeline) finish(rec Record, area *extract.AccessArea, tm extract.Timings, st *Stats) *AreaRecord {
 	st.Extract.observe(tm.Extract)
 	st.CNF.observe(tm.CNF)
 	st.Consolidate.observe(tm.Consolidate)

@@ -41,31 +41,45 @@ func WriteCSV(w io.Writer, recs []Record) error {
 
 // ReadCSV parses records written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Record, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 4
-	rows, err := cr.ReadAll()
-	if err != nil {
+	var out []Record
+	if err := ReadCSVStream(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	var out []Record
-	for i, row := range rows {
+	return out, nil
+}
+
+// ReadCSVStream parses records written by WriteCSV one row at a time,
+// invoking fn for each without materialising the whole log. A non-nil error
+// from fn aborts the read and is returned unchanged.
+func ReadCSVStream(r io.Reader, fn func(Record) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
 		if i == 0 && row[0] == "seq" {
 			continue // header
 		}
 		seq, err := strconv.Atoi(row[0])
 		if err != nil {
-			return nil, fmt.Errorf("qlog: row %d: bad seq %q", i, row[0])
+			return fmt.Errorf("qlog: row %d: bad seq %q", i, row[0])
 		}
 		ts, err := strconv.ParseInt(row[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("qlog: row %d: bad time %q", i, row[1])
+			return fmt.Errorf("qlog: row %d: bad time %q", i, row[1])
 		}
-		out = append(out, Record{Seq: seq, Time: ts, User: row[2], SQL: row[3]})
+		if err := fn(Record{Seq: seq, Time: ts, User: row[2], SQL: row[3]}); err != nil {
+			return err
+		}
 	}
-	return out, nil
 }
 
 // WriteJSONL serialises records one JSON object per line.
@@ -83,6 +97,19 @@ func WriteJSONL(w io.Writer, recs []Record) error {
 // ReadJSONL parses JSONL records.
 func ReadJSONL(r io.Reader) ([]Record, error) {
 	var out []Record
+	if err := ReadJSONLStream(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadJSONLStream parses JSONL records one line at a time, invoking fn for
+// each without materialising the whole log. A non-nil error from fn aborts
+// the read and is returned unchanged.
+func ReadJSONLStream(r io.Reader, fn func(Record) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -93,9 +120,11 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("qlog: line %d: %w", line, err)
+			return fmt.Errorf("qlog: line %d: %w", line, err)
 		}
-		out = append(out, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
-	return out, sc.Err()
+	return sc.Err()
 }

@@ -57,31 +57,17 @@ func Sessionize(recs []Record, gapSeconds int64) []*Session {
 // Skeleton reduces a statement to its template: constants are replaced by
 // placeholders, whitespace and keyword case are normalised. Two queries
 // issued by a bot from the same form string share a skeleton — the
-// "Templates" of [23].
+// "Templates" of [23]. It delegates to sqlparser.Skeleton, which shares one
+// token-normalisation pass with sqlparser.Fingerprint, so the session
+// templates and the extraction cache's fingerprint classes cannot drift:
+// equal fingerprints imply equal skeletons.
 func Skeleton(sql string) string {
-	toks, err := sqlparser.NewLexer(sql).Tokens()
+	sk, err := sqlparser.Skeleton(sql)
 	if err != nil {
 		// Unlexable statements are their own skeleton.
 		return strings.Join(strings.Fields(sql), " ")
 	}
-	parts := make([]string, 0, len(toks))
-	for _, tok := range toks {
-		switch tok.Kind {
-		case sqlparser.Number:
-			parts = append(parts, "?")
-		case sqlparser.String:
-			parts = append(parts, "'?'")
-		case sqlparser.Keyword:
-			parts = append(parts, tok.Text)
-		case sqlparser.Ident:
-			parts = append(parts, strings.ToLower(tok.Text))
-		case sqlparser.Param:
-			parts = append(parts, "@?")
-		case sqlparser.Op:
-			parts = append(parts, tok.Text)
-		}
-	}
-	return strings.Join(parts, " ")
+	return sk
 }
 
 // UserProfile aggregates one user's activity for the bot/mortal

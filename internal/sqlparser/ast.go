@@ -149,13 +149,23 @@ func (c *ColumnRef) Qualified() string {
 type NumberLit struct {
 	Value float64
 	Text  string
+	// Slot is the source literal's 1-based ordinal (see Token.Slot); 0 for
+	// synthesised literals. NegDepth counts the unary minus signs the
+	// parser folded into Value/Text, so "- -5" has the source literal "5"
+	// at NegDepth 2. Together they let the template cache recompute
+	// Value = (-1)^NegDepth · lit and Text = "-"^NegDepth + lit.Text for a
+	// different record's literal at the same slot.
+	Slot     int
+	NegDepth int
 }
 
 func (*NumberLit) expr() {}
 
-// StringLit is a string literal (quotes stripped).
+// StringLit is a string literal (quotes stripped). Slot is the source
+// literal's ordinal, as for NumberLit.
 type StringLit struct {
 	Value string
+	Slot  int
 }
 
 func (*StringLit) expr() {}

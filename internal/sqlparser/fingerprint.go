@@ -1,0 +1,145 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file implements the lexer-level statement fingerprint behind the
+// template cache (DESIGN.md §7): a 64-bit FNV-1a hash of the normalised
+// token stream with every literal replaced by a typed placeholder. Two
+// statements share a fingerprint exactly when they are the same query
+// template instantiated with different constants — the "Templates" of Singh
+// et al.'s SkyServer traffic study, which dominate the log. The hash is
+// computed in a single lexer pass without materialising a token slice or
+// the joined skeleton string.
+//
+// Normalisation per token kind:
+//
+//	Keyword  upper-cased text (the lexer already canonicalises)
+//	Ident    verbatim text — case-SENSITIVE, because extraction's
+//	         unknown-relation fallback preserves identifier case in
+//	         canonical column names, so two statements differing only in
+//	         identifier case may extract differently
+//	Op       canonical operator text ("!=" is already "<>")
+//	Number   typed placeholder; value collected as a Literal
+//	String   typed placeholder; value collected as a Literal
+//	Param    typed placeholder plus the parameter name
+//
+// Param names are hashed: folding @a and @b together would be sound (a
+// parameter never becomes a predicate value) but gains nothing, so they
+// stay distinct. Skeleton (the human-readable form) renders all three
+// literal kinds as placeholders and lower-cases identifiers, so the
+// fingerprint is strictly finer than the skeleton: equal fingerprints imply
+// equal skeletons.
+
+// Literal is one literal occurrence of a statement, in lexer order. The
+// slice returned by Fingerprint is parallel to the Slot numbering of the
+// statement's tokens: Slot k corresponds to index k-1.
+type Literal struct {
+	Kind TokenKind // Number, String, or Param
+	Num  float64   // parsed value, Number literals only
+	Str  string    // value with quotes stripped, String literals only
+	Text string    // source spelling (Number text, Param name)
+	// BadNum marks a Number literal strconv.ParseFloat rejects (e.g.
+	// "1e999"). Parse success then depends on the literal's value, so the
+	// record must bypass the template cache entirely.
+	BadNum bool
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashString folds s into an FNV-1a running hash.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// Fingerprint computes the template hash of src and collects its literals.
+// The error is exactly the lexer's error: unlexable statements have no
+// fingerprint (and necessarily fail parsing too).
+func Fingerprint(src string) (uint64, []Literal, error) {
+	h := uint64(fnvOffset64)
+	var lits []Literal
+	lx := NewLexer(src)
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return 0, nil, err
+		}
+		if tok.Kind == EOF {
+			return h, lits, nil
+		}
+		h = hashByte(h, byte(tok.Kind))
+		switch tok.Kind {
+		case Number:
+			l := Literal{Kind: Number, Text: tok.Text}
+			v, perr := strconv.ParseFloat(tok.Text, 64)
+			if perr != nil {
+				l.BadNum = true
+			}
+			l.Num = v
+			lits = append(lits, l)
+		case String:
+			lits = append(lits, Literal{Kind: String, Str: tok.Text})
+		case Param:
+			h = hashString(h, tok.Text)
+			lits = append(lits, Literal{Kind: Param, Text: tok.Text})
+		case Keyword, Op:
+			h = hashString(h, tok.Text)
+		case Ident:
+			h = hashString(h, tok.Text)
+		}
+		h = hashByte(h, 0) // token separator
+	}
+}
+
+// Skeleton renders the normalised template string underlying Fingerprint:
+// literals become typed placeholders ("?", "'?'", "@?"), keywords are
+// upper-cased, identifiers lower-cased, tokens joined by single spaces.
+// Because it is produced by the same lexer pass and normalisation table as
+// Fingerprint, the two cannot drift: equal fingerprints imply equal
+// skeletons (the fingerprint additionally distinguishes identifier case and
+// parameter names).
+func Skeleton(src string) (string, error) {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	lx := NewLexer(src)
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return "", err
+		}
+		if tok.Kind == EOF {
+			return sb.String(), nil
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch tok.Kind {
+		case Number:
+			sb.WriteByte('?')
+		case String:
+			sb.WriteString("'?'")
+		case Param:
+			sb.WriteString("@?")
+		case Keyword:
+			// The lexer canonicalises keyword text to upper case already;
+			// ToUpper is a no-op pass-through then (no allocation).
+			sb.WriteString(strings.ToUpper(tok.Text))
+		case Ident:
+			sb.WriteString(strings.ToLower(tok.Text))
+		case Op:
+			sb.WriteString(tok.Text)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package sqlparser_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/skyserver"
+	"repro/internal/sqlparser"
+)
+
+func fp(t *testing.T, src string) (uint64, []sqlparser.Literal) {
+	t.Helper()
+	h, lits, err := sqlparser.Fingerprint(src)
+	if err != nil {
+		t.Fatalf("Fingerprint(%q): %v", src, err)
+	}
+	return h, lits
+}
+
+func sk(t *testing.T, src string) string {
+	t.Helper()
+	s, err := sqlparser.Skeleton(src)
+	if err != nil {
+		t.Fatalf("Skeleton(%q): %v", src, err)
+	}
+	return s
+}
+
+// Statements that are the same template with different constants must share a
+// fingerprint, and their literal lists must line up slot by slot.
+func TestFingerprintLiteralInvariance(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT * FROM T WHERE u > 1", "SELECT * FROM T WHERE u > 99"},
+		{"SELECT * FROM T WHERE u > 1.5e-3", "SELECT * FROM T WHERE u > 42"},
+		{"SELECT * FROM T WHERE name = 'abc'", "SELECT * FROM T WHERE name = 'x''y'"},
+		{"SELECT * FROM T WHERE u BETWEEN 1 AND 8 AND name LIKE 'a%'",
+			"SELECT * FROM T WHERE u BETWEEN 0 AND 1e4 AND name LIKE 'zz%'"},
+		{"SELECT * FROM T WHERE u IN (1, 2, 3)", "SELECT * FROM T WHERE u IN (7, 8, 9)"},
+	}
+	for _, p := range pairs {
+		h1, l1 := fp(t, p[0])
+		h2, l2 := fp(t, p[1])
+		if h1 != h2 {
+			t.Errorf("fingerprints differ for same template:\n  %q\n  %q", p[0], p[1])
+		}
+		if len(l1) != len(l2) {
+			t.Errorf("literal counts differ: %d vs %d for %q / %q", len(l1), len(l2), p[0], p[1])
+		}
+		for i := range l1 {
+			if l1[i].Kind != l2[i].Kind {
+				t.Errorf("slot %d kind differs: %v vs %v", i+1, l1[i].Kind, l2[i].Kind)
+			}
+		}
+		if s1, s2 := sk(t, p[0]), sk(t, p[1]); s1 != s2 {
+			t.Errorf("skeletons differ for equal fingerprints:\n  %q\n  %q", s1, s2)
+		}
+	}
+}
+
+// Keyword case must not split templates: the lexer canonicalises reserved
+// words, so only identifier case distinguishes fingerprints.
+func TestFingerprintKeywordCaseFolded(t *testing.T) {
+	a := "select u from T where u > 1 and u < 8"
+	b := "SELECT u FROM T WHERE u > 1 AND u < 8"
+	ha, _ := fp(t, a)
+	hb, _ := fp(t, b)
+	if ha != hb {
+		t.Errorf("keyword case split the fingerprint: %q vs %q", a, b)
+	}
+	if sk(t, a) != sk(t, b) {
+		t.Errorf("keyword case split the skeleton")
+	}
+}
+
+// Identifier case: the skeleton lower-cases identifiers (two bot runs over
+// "photoobjall" and "PhotoObjAll" share a template string) but the
+// fingerprint stays case-sensitive, because extraction's unknown-relation
+// fallback preserves identifier case in canonical column names. The
+// fingerprint must therefore be strictly finer than the skeleton.
+func TestFingerprintIdentCaseSensitive(t *testing.T) {
+	a := "SELECT * FROM T WHERE u > 1"
+	b := "SELECT * FROM t WHERE U > 1"
+	ha, _ := fp(t, a)
+	hb, _ := fp(t, b)
+	if ha == hb {
+		t.Errorf("fingerprint folded identifier case: %q vs %q", a, b)
+	}
+	if sk(t, a) != sk(t, b) {
+		t.Errorf("skeleton did not fold identifier case: %q vs %q", sk(t, a), sk(t, b))
+	}
+}
+
+func TestFingerprintDistinguishesTemplates(t *testing.T) {
+	distinct := []string{
+		"SELECT * FROM T WHERE u > 1",
+		"SELECT * FROM T WHERE u < 1",
+		"SELECT * FROM T WHERE u > 'a'",
+		"SELECT * FROM T WHERE u > @p",
+		"SELECT * FROM T WHERE u > @q",
+		"SELECT * FROM S WHERE u > 1",
+	}
+	seen := map[uint64]string{}
+	for _, s := range distinct {
+		h, _ := fp(t, s)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("collision: %q and %q share fingerprint", prev, s)
+		}
+		seen[h] = s
+	}
+}
+
+func TestFingerprintLiteralContents(t *testing.T) {
+	_, lits := fp(t, "SELECT * FROM T WHERE u > 1.5 AND name = 'abc' AND v < @cap")
+	if len(lits) != 3 {
+		t.Fatalf("got %d literals, want 3", len(lits))
+	}
+	if lits[0].Kind != sqlparser.Number || lits[0].Num != 1.5 || lits[0].Text != "1.5" {
+		t.Errorf("slot 1 = %+v", lits[0])
+	}
+	if lits[1].Kind != sqlparser.String || lits[1].Str != "abc" {
+		t.Errorf("slot 2 = %+v", lits[1])
+	}
+	if lits[2].Kind != sqlparser.Param {
+		t.Errorf("slot 3 = %+v", lits[2])
+	}
+}
+
+// Out-of-range numeric spellings lex as Number but fail strconv; they must be
+// flagged so the pipeline bypasses the template cache for the record.
+func TestFingerprintBadNum(t *testing.T) {
+	_, lits := fp(t, "SELECT * FROM T WHERE u > 1e999")
+	if len(lits) != 1 || !lits[0].BadNum {
+		t.Fatalf("lits = %+v, want one BadNum literal", lits)
+	}
+	_, lits = fp(t, "SELECT * FROM T WHERE u > 1e3")
+	if len(lits) != 1 || lits[0].BadNum {
+		t.Fatalf("lits = %+v, want no BadNum", lits)
+	}
+}
+
+func TestFingerprintUnlexable(t *testing.T) {
+	if _, _, err := sqlparser.Fingerprint("SELECT 'unterminated"); err == nil {
+		t.Error("expected lexer error")
+	}
+	if _, err := sqlparser.Skeleton("SELECT 'unterminated"); err == nil {
+		t.Error("expected lexer error")
+	}
+}
+
+func TestSkeletonFormat(t *testing.T) {
+	got := sk(t, "select TOP 10 P.ra from PhotoObjAll as P where P.ra < 1.5 and Name like 'x%' or z = @lim")
+	want := "SELECT TOP ? p . ra FROM photoobjall AS p WHERE p . ra < ? AND name LIKE '?' OR z = @?"
+	if got != want {
+		t.Errorf("skeleton:\n got %q\nwant %q", got, want)
+	}
+}
+
+// workloadSeeds returns one exemplar statement per ground-truth template
+// label of the synthetic SkyServer log — the 24 cluster templates plus the
+// noise, erroneous, admin-DDL, MySQL-dialect and >35-predicate populations —
+// as shared fuzz seeds for FuzzParse and FuzzFingerprint.
+func workloadSeeds() []string {
+	var seeds []string
+	byLabel := map[string]bool{}
+	for _, e := range skyserver.GenerateLog(skyserver.WorkloadConfig{Queries: 4000, Seed: 1}) {
+		if !byLabel[e.Template] {
+			byLabel[e.Template] = true
+			seeds = append(seeds, e.SQL)
+		}
+	}
+	return seeds
+}
+
+// identish reports whether b could glue a bare digit onto a neighbouring
+// token (identifier/number/param continuation bytes).
+func identish(b byte) bool {
+	return b == '.' || b == '_' || b == '@' || b == '#' || b == '$' ||
+		(b >= '0' && b <= '9') || (b|0x20) >= 'a' && (b|0x20) <= 'z'
+}
+
+// FuzzFingerprint checks, over arbitrary input: Fingerprint and Skeleton
+// never panic and fail together (both are the same lexer pass); and
+// replacing every Number literal with a fresh spelling leaves the
+// fingerprint — and therefore the skeleton — unchanged (substitution
+// invariance, the property that makes the template cache sound). Inputs
+// where a substituted number would merge with adjacent bytes into a
+// different token are skipped.
+func FuzzFingerprint(f *testing.F) {
+	seeds := []string{
+		"SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5",
+		"SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5",
+		"SELECT TOP 10 p.ra FROM PhotoObjAll AS p ORDER BY p.ra DESC",
+		"SELECT * FROM T WHERE name LIKE 'Photo%' ESCAPE '!'",
+		"SELECT * FROM dbo.SpecObjAll WHERE ra < 1.5e-3",
+		"SELECT * FROM T WHERE u > @threshold",
+		"SELECT * FROM T WHERE u > 1e999",
+		"select * from t where u > -1.5",
+		"SELEC oops",
+		"",
+	}
+	// Real workload shapes: one exemplar per ground-truth template label,
+	// covering the 24 clusters plus noise/error/admin/mysql/bigpred.
+	seeds = append(seeds, workloadSeeds()...)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		h1, lits, err := sqlparser.Fingerprint(src)
+		s1, serr := sqlparser.Skeleton(src)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("Fingerprint err=%v but Skeleton err=%v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		toks, terr := sqlparser.NewLexer(src).Tokens()
+		if terr != nil {
+			t.Fatalf("Tokens errs where Fingerprint did not: %v", terr)
+		}
+		nlit := 0
+		for _, tok := range toks {
+			if tok.Kind == sqlparser.Number || tok.Kind == sqlparser.String || tok.Kind == sqlparser.Param {
+				nlit++
+			}
+		}
+		if nlit != len(lits) {
+			t.Fatalf("Fingerprint collected %d literals, token stream has %d", len(lits), nlit)
+		}
+		// Substitute every Number literal with "7" and re-fingerprint.
+		var sb strings.Builder
+		last := 0
+		ok := true
+		for _, tok := range toks {
+			if tok.Kind != sqlparser.Number {
+				continue
+			}
+			end := tok.Pos + len(tok.Text) // Number text is the verbatim spelling
+			// Skip inputs where the substituted digit could merge with a
+			// neighbouring token (e.g. "1x" lexing as one ident, or a ".5"
+			// literal directly after an identifier byte).
+			if (tok.Pos > 0 && identish(src[tok.Pos-1])) || (end < len(src) && identish(src[end])) {
+				ok = false
+				break
+			}
+			sb.WriteString(src[last:tok.Pos])
+			sb.WriteString("7")
+			last = end
+		}
+		if !ok {
+			return
+		}
+		sb.WriteString(src[last:])
+		sub := sb.String()
+		h2, _, err2 := sqlparser.Fingerprint(sub)
+		if err2 != nil {
+			t.Fatalf("substituted form does not lex:\norig: %q\nsub:  %q\nerr: %v", src, sub, err2)
+		}
+		if h2 != h1 {
+			t.Fatalf("fingerprint not invariant under literal substitution:\norig: %q\nsub:  %q", src, sub)
+		}
+		s2, err := sqlparser.Skeleton(sub)
+		if err != nil || s2 != s1 {
+			t.Fatalf("skeleton changed under substitution (fingerprint did not):\norig: %q -> %q\nsub:  %q -> %q (err %v)", src, s1, sub, s2, err)
+		}
+	})
+}

@@ -1,7 +1,9 @@
-package sqlparser
+package sqlparser_test
 
 import (
 	"testing"
+
+	"repro/internal/sqlparser"
 )
 
 // FuzzParse checks three robustness invariants over arbitrary input:
@@ -36,33 +38,37 @@ func FuzzParse(f *testing.F) {
 		"SELECT COUNT(DISTINCT u) FROM T",
 		"SELECT * FROM A NATURAL JOIN B CROSS JOIN C",
 	}
+	// Real workload shapes, one per ground-truth label: the 24 cluster
+	// templates plus noise, erroneous, admin-DDL, MySQL-dialect, and the
+	// pathological >35-predicate statements (shared via fingerprint_test.go).
+	seeds = append(seeds, workloadSeeds()...)
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		st, err := Parse(src) // must not panic
+		st, err := sqlparser.Parse(src) // must not panic
 		if err != nil {
 			return
 		}
-		sel, ok := st.(*SelectStatement)
+		sel, ok := st.(*sqlparser.SelectStatement)
 		if !ok {
 			return
 		}
-		printed := FormatSelect(sel)
-		st2, err := Parse(printed)
+		printed := sqlparser.FormatSelect(sel)
+		st2, err := sqlparser.Parse(printed)
 		if err != nil {
 			t.Fatalf("printed form does not re-parse:\ninput:   %q\nprinted: %q\nerr: %v", src, printed, err)
 		}
-		sel2, ok := st2.(*SelectStatement)
+		sel2, ok := st2.(*sqlparser.SelectStatement)
 		if !ok {
 			t.Fatalf("printed form parsed as %T", st2)
 		}
-		printed2 := FormatSelect(sel2)
+		printed2 := sqlparser.FormatSelect(sel2)
 		if printed != printed2 {
 			t.Fatalf("printer not idempotent:\n1: %q\n2: %q", printed, printed2)
 		}
 		// Lexer line/col sanity: every token position must be within input.
-		toks, err := NewLexer(src).Tokens()
+		toks, err := sqlparser.NewLexer(src).Tokens()
 		if err == nil {
 			for _, tok := range toks {
 				if tok.Pos < 0 || tok.Pos > len(src) {

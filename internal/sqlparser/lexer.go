@@ -28,6 +28,7 @@ type Lexer struct {
 	pos  int
 	line int
 	col  int
+	lits int // literal tokens emitted so far (assigns Token.Slot)
 }
 
 // NewLexer returns a lexer over src.
@@ -129,7 +130,12 @@ func (lx *Lexer) next() (Token, error) {
 	}
 	start, line, col := lx.pos, lx.line, lx.col
 	mk := func(kind TokenKind, text string) Token {
-		return Token{Kind: kind, Text: text, Pos: start, Line: line, Col: col}
+		t := Token{Kind: kind, Text: text, Pos: start, Line: line, Col: col}
+		if kind == Number || kind == String || kind == Param {
+			lx.lits++
+			t.Slot = lx.lits
+		}
+		return t
 	}
 	if lx.pos >= len(lx.src) {
 		return mk(EOF, ""), nil

@@ -717,7 +717,7 @@ func (p *parser) parseUnary() (Expr, error) {
 		}
 		// Fold negative numeric literals so "-5" compares as a constant.
 		if n, ok := x.(*NumberLit); ok {
-			return &NumberLit{Value: -n.Value, Text: "-" + n.Text}, nil
+			return &NumberLit{Value: -n.Value, Text: "-" + n.Text, Slot: n.Slot, NegDepth: n.NegDepth + 1}, nil
 		}
 		return &UnaryExpr{Op: "-", X: x}, nil
 	}
@@ -736,10 +736,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, p.errf(CatSyntax, "bad number %q: %v", t.Text, err)
 		}
-		return &NumberLit{Value: v, Text: t.Text}, nil
+		return &NumberLit{Value: v, Text: t.Text, Slot: t.Slot}, nil
 	case String:
 		p.advance()
-		return &StringLit{Value: t.Text}, nil
+		return &StringLit{Value: t.Text, Slot: t.Slot}, nil
 	case Param:
 		p.advance()
 		return &ParamRef{Name: t.Text}, nil

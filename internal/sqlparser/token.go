@@ -55,6 +55,12 @@ type Token struct {
 	Pos  int
 	Line int
 	Col  int
+	// Slot is the 1-based ordinal of this token among the statement's
+	// literal tokens (Number, String, Param) in lexer order; 0 for all
+	// other kinds. Statements with equal Fingerprints have their literals
+	// at identical slots, which is what lets the template cache rebind a
+	// cached access area with a new record's constants.
+	Slot int
 }
 
 func (t Token) String() string {
