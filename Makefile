@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet racecheck fuzz bench clean
+.PHONY: build test vet racecheck fuzz bench serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,13 @@ vet:
 
 # The parallel region-query, pivot-index, and pair-cache code paths must stay
 # race-clean; qlog covers the streaming worker pool and the template cache,
-# extract the concurrent template rebinds, sqlparser the fingerprint pass.
+# extract the concurrent template rebinds, sqlparser the fingerprint pass,
+# serve the ingest queue / epoch worker / shutdown interleavings, and core
+# the concurrent Add vs Recluster paths of the incremental miner.
 racecheck:
 	$(GO) test -race ./internal/dbscan/... ./internal/distance/... \
-		./internal/qlog/... ./internal/extract/... ./internal/sqlparser/...
+		./internal/qlog/... ./internal/extract/... ./internal/sqlparser/... \
+		./internal/serve/... ./internal/core/...
 
 # fuzz replays the checked-in seed corpora in regression mode (plain go test
 # runs every f.Add seed) and then explores each target briefly. Raise
@@ -27,13 +30,21 @@ fuzz:
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME)
 
-# bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining)
-# and BENCH_pipeline.json (uncached vs template-cached extraction) at the 20k
-# default mix. vet + racecheck gate it so perf numbers are never recorded off
-# racy code.
+# bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining),
+# BENCH_pipeline.json (uncached vs template-cached extraction) and
+# BENCH_serve.json (online service under replayed load) at the 20k default
+# mix. vet + racecheck gate it so perf numbers are never recorded off racy
+# code.
 bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp clusterperf
 	$(GO) run ./cmd/benchreport -exp pipelineperf
+	$(GO) run ./cmd/benchreport -exp serveperf
+
+# serve-smoke starts the serving stack, replays 1k records into it, flushes,
+# and asserts /report matches the batch miner byte-for-byte in every format
+# (TestServeSmoke drives the real HTTP handler surface end to end).
+serve-smoke:
+	$(GO) test -race -count=1 -run TestServeSmoke -v ./internal/serve/
 
 clean:
 	$(GO) clean ./...

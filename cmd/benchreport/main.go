@@ -9,8 +9,10 @@
 //
 // The clusterperf experiment additionally writes its before/after numbers
 // (brute-force vs pivot-index clustering) to -benchjson (default
-// BENCH_clustering.json), and pipelineperf writes its uncached-vs-cached
-// extraction numbers to -pipejson (default BENCH_pipeline.json), so
+// BENCH_clustering.json), pipelineperf writes its uncached-vs-cached
+// extraction numbers to -pipejson (default BENCH_pipeline.json), and
+// serveperf writes the online-service load numbers (throughput, backpressure
+// latency, cross-epoch reuse) to -servejson (default BENCH_serve.json), so
 // successive changes have a perf trajectory. -cpuprofile/-memprofile capture
 // stdlib pprof profiles of the selected experiments.
 package main
@@ -36,9 +38,10 @@ func main() {
 func run() int {
 	scale := flag.Int("scale", 20000, "number of log queries to generate")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling, clusterperf, pipelineperf)")
+	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling, clusterperf, pipelineperf, serveperf)")
 	benchJSON := flag.String("benchjson", "BENCH_clustering.json", "output path for the clusterperf JSON record")
 	pipeJSON := flag.String("pipejson", "BENCH_pipeline.json", "output path for the pipelineperf JSON record")
+	serveJSON := flag.String("servejson", "BENCH_serve.json", "output path for the serveperf JSON record")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
@@ -100,6 +103,11 @@ func run() int {
 	run("pipelineperf", func() string {
 		res := env.RunPipelinePerf()
 		writeJSON(*pipeJSON, res)
+		return res.Report
+	})
+	run("serveperf", func() string {
+		res := env.RunServePerf()
+		writeJSON(*serveJSON, res)
 		return res.Report
 	})
 

@@ -6,13 +6,23 @@
 // Usage:
 //
 //	loggen [-n 20000] [-seed 42] [-format csv|jsonl] [-o file]
+//
+// Replay mode paces the log out as NDJSON for driving skyserved — to a
+// file/stdout, or POSTed burst-by-burst straight at an /ingest endpoint
+// (re-sending whatever a 429 backpressure response did not accept):
+//
+//	loggen -n 20000 -replay -rate 2000 -burst 100 -url http://localhost:8080/ingest
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/qlog"
 	"repro/internal/skyserver"
@@ -25,6 +35,10 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	noise := flag.Float64("noise", 0.12, "background-noise fraction")
 	errs := flag.Float64("errors", 0.0054, "unparseable-statement fraction")
+	replay := flag.Bool("replay", false, "replay mode: emit NDJSON paced by -rate/-burst")
+	rate := flag.Float64("rate", 1000, "replay records per second (0 = as fast as possible)")
+	burst := flag.Int("burst", 100, "replay records per burst")
+	url := flag.String("url", "", "replay target: POST each burst to this /ingest endpoint instead of writing it")
 	flag.Parse()
 
 	entries := skyserver.GenerateLog(skyserver.WorkloadConfig{
@@ -44,6 +58,14 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	if *replay {
+		if err := replayLog(w, recs, *rate, *burst, *url); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var err error
 	switch *format {
 	case "csv":
@@ -56,6 +78,82 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// replayLog emits the log in NDJSON bursts, pacing burst starts so the
+// average rate matches -rate. With -url each burst is POSTed to an ingest
+// endpoint; a 429 response reports how many records the bounded queue
+// accepted, and the rest are re-sent after a short backoff so backpressure
+// slows the replay instead of dropping records.
+func replayLog(w io.Writer, recs []qlog.Record, rate float64, burst int, url string) error {
+	if burst <= 0 {
+		burst = 100
+	}
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(burst) / rate * float64(time.Second))
+	}
+	next := time.Now()
+	for lo := 0; lo < len(recs); lo += burst {
+		hi := lo + burst
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if rate > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		chunk := recs[lo:hi]
+		if url == "" {
+			if err := qlog.WriteJSONL(w, chunk); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := postBurst(url, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// postBurst POSTs one NDJSON burst, retrying the unaccepted tail on 429.
+func postBurst(url string, chunk []qlog.Record) error {
+	backoff := 25 * time.Millisecond
+	for len(chunk) > 0 {
+		var buf bytes.Buffer
+		if err := qlog.WriteJSONL(&buf, chunk); err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/x-ndjson", &buf)
+		if err != nil {
+			return err
+		}
+		var reply struct {
+			Accepted int    `json:"accepted"`
+			Error    string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests:
+			if decErr != nil {
+				return fmt.Errorf("replay: 429 with unreadable body: %v", decErr)
+			}
+			chunk = chunk[reply.Accepted:]
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		default:
+			return fmt.Errorf("replay: %s: %s %s", url, resp.Status, reply.Error)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,115 @@
+// Command skyserved runs the online access-area mining service: it ingests
+// query-log records over HTTP, extracts access areas through the streaming
+// pipeline with a warm template cache, re-clusters them in epochs, and
+// serves live Table-1-style reports.
+//
+// Usage:
+//
+//	skyserved [-addr :8080] [-eps 0.06] [-minpts 8] [-snapshot state.json]
+//
+// Endpoints:
+//
+//	POST /ingest    JSON array, object, or NDJSON stream of records
+//	POST /flush     drain the queue and re-cluster now
+//	POST /snapshot  persist state now
+//	GET  /report    latest clustering (?format=text|csv|json, ?top=N)
+//	GET  /stats     cumulative pipeline statistics
+//	GET  /metrics   ingest/cache/epoch counters
+//	GET  /healthz   readiness
+//
+// Drive it with loggen:
+//
+//	skyserved -addr :8080 &
+//	loggen -n 20000 -replay -rate 2000 -url http://localhost:8080/ingest
+//	curl -s -X POST http://localhost:8080/flush
+//	curl -s http://localhost:8080/report
+//
+// On SIGINT/SIGTERM the server drains in-flight extraction, runs a final
+// epoch and (with -snapshot) persists state for a replay-free restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/skyserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	eps := flag.Float64("eps", 0.06, "DBSCAN eps")
+	autoEps := flag.Bool("autoeps", false, "derive eps from the k-distance knee each epoch")
+	minPts := flag.Int("minpts", 8, "DBSCAN minPts (weighted by query multiplicity)")
+	mode := flag.String("mode", "endpoint", "d_pred mode: endpoint or literal")
+	workers := flag.Int("workers", 0, "extraction/clustering parallelism (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 42, "sampling seed")
+	rows := flag.Int("rows", 2000, "synthetic database rows per table (access(a) seeding + coverage)")
+	queue := flag.Int("queue", 4096, "ingest queue capacity (full queue answers 429)")
+	batch := flag.Int("batch", 256, "max records per pipeline batch")
+	epochAreas := flag.Int("epoch-areas", 512, "new distinct areas that trigger a re-clustering epoch")
+	epochInterval := flag.Duration("epoch-interval", 15*time.Second, "re-cluster on this timer when new areas are pending (0 = off)")
+	snapshot := flag.String("snapshot", "", "snapshot path (restored on start, written on shutdown; empty = none)")
+	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
+	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	dmode := distance.ModeEndpoint
+	if *mode == "literal" {
+		dmode = distance.ModePaperLiteral
+	}
+	db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: *rows, Seed: 1})
+	stats := schema.NewStats()
+	skyserver.SeedStats(db, stats)
+
+	s, err := serve.NewServer(serve.Config{
+		Miner: core.Config{
+			Schema: skyserver.Schema(), Stats: stats,
+			Eps: *eps, MinPts: *minPts, AutoEps: *autoEps,
+			Mode: dmode, Seed: *seed, Workers: *workers,
+		},
+		Coverage:      db,
+		QueueSize:     *queue,
+		BatchSize:     *batch,
+		EpochAreas:    *epochAreas,
+		EpochInterval: *epochInterval,
+		SnapshotPath:  *snapshot,
+		ReportTop:     *top,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("skyserved: listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("skyserved: %v — draining (budget %s)", sig, *drain)
+	case err := <-errCh:
+		log.Printf("skyserved: listener: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := s.Shutdown(ctx); err != nil && err != context.DeadlineExceeded {
+		log.Printf("skyserved: shutdown: %v", err)
+	}
+	log.Printf("skyserved: stopped")
+}

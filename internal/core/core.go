@@ -5,9 +5,11 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/aggregate"
 	"repro/internal/dbscan"
@@ -161,9 +163,11 @@ func (m *Miner) MineRecords(recs []qlog.Record) *Result {
 // bounded-memory (see qlog.Pipeline.RunStream); the extracted areas are then
 // deduplicated and clustered as in MineRecords, so the whole run's footprint
 // is dominated by the distinct-area count rather than the log length.
-func (m *Miner) MineStream(src qlog.RecordSource) *Result {
+// Cancelling ctx stops extraction mid-stream; the records admitted before
+// cancellation are still deduplicated and clustered.
+func (m *Miner) MineStream(ctx context.Context, src qlog.RecordSource) *Result {
 	var areaRecs []qlog.AreaRecord
-	stats := m.pipeline().RunStream(src, func(ar qlog.AreaRecord) {
+	stats := m.pipeline().RunStream(ctx, src, func(ar qlog.AreaRecord) {
 		areaRecs = append(areaRecs, ar)
 	})
 	return m.mine(areaRecs, stats)
@@ -186,32 +190,66 @@ func (m *Miner) MineAreas(areaRecs []qlog.AreaRecord) *Result {
 	return m.mine(areaRecs, nil)
 }
 
+// itemAccum deduplicates access areas into weighted items — the state the
+// one-shot mine() builds per run and the epoch-based Incremental keeps
+// alive across Add calls. Items are appended in first-occurrence order,
+// which both paths rely on for deterministic clustering.
+type itemAccum struct {
+	// mu is only taken by the Incremental path, where Adds may race; the
+	// one-shot mine() owns its accumulator exclusively.
+	mu            sync.Mutex
+	byKey         map[string]int
+	items         []*aggregate.Item
+	contradictory int
+}
+
+func newItemAccum() *itemAccum {
+	return &itemAccum{byKey: make(map[string]int)}
+}
+
+// add folds one extraction into the accumulator. For non-empty areas it
+// returns the item's index and whether this record created it; empty
+// (contradictory) areas are counted and reported with idx -1.
+func (a *itemAccum) add(ar *qlog.AreaRecord) (idx int, isNew bool) {
+	if ar.Area.IsEmpty() {
+		a.contradictory++
+		return -1, false
+	}
+	key := ar.Area.Key()
+	idx, ok := a.byKey[key]
+	if !ok {
+		idx = len(a.items)
+		a.byKey[key] = idx
+		a.items = append(a.items, &aggregate.Item{Area: ar.Area, Users: make(map[string]struct{})})
+		isNew = true
+	}
+	it := a.items[idx]
+	it.Weight++
+	if ar.Record.User != "" {
+		it.Users[ar.Record.User] = struct{}{}
+	}
+	return idx, isNew
+}
+
 func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 	res := &Result{PipelineStats: stats}
-
-	// Deduplicate identical access areas, accumulating weight and users.
-	byKey := make(map[string]*aggregate.Item)
-	var items []*aggregate.Item
+	acc := newItemAccum()
 	for i := range areaRecs {
-		ar := &areaRecs[i]
-		if ar.Area.IsEmpty() {
-			res.ContradictoryAreas++
-			continue
-		}
-		key := ar.Area.Key()
-		it, ok := byKey[key]
-		if !ok {
-			it = &aggregate.Item{Area: ar.Area, Users: make(map[string]struct{})}
-			byKey[key] = it
-			items = append(items, it)
-		}
-		it.Weight++
-		if ar.Record.User != "" {
-			it.Users[ar.Record.User] = struct{}{}
-		}
+		acc.add(&areaRecs[i])
 	}
-	res.DistinctAreas = len(items)
+	res.ContradictoryAreas = acc.contradictory
+	res.DistinctAreas = len(acc.items)
+	m.clusterBody(acc.items, res)
+	return res
+}
 
+// clusterBody is the one-shot clustering engine: sampling, eps selection,
+// relation-set partitioning, DBSCAN/OPTICS per partition, and aggregation,
+// all through per-run caches. It may reorder items (sampling shuffles in
+// place). The epoch-based Incremental replaces the cache plumbing with
+// persistent cross-epoch structures but shares partitionItems /
+// collectPartition / finalizeClusters so the two paths cannot drift.
+func (m *Miner) clusterBody(items []*aggregate.Item, res *Result) {
 	// Sampling (the paper clustered a sample for the same reason).
 	if m.cfg.SampleSize > 0 && len(items) > m.cfg.SampleSize {
 		r := rand.New(rand.NewSource(m.cfg.Seed))
@@ -254,38 +292,7 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 		res.ChosenEps = eps
 	}
 
-	// Partition by exact relation set when eps makes cross-partition
-	// neighbourhoods impossible: two areas with different table sets have
-	// d >= d_tables >= 1/(maxTables+1).
-	maxTables := 1
-	for _, it := range items {
-		if len(it.Area.Relations) > maxTables {
-			maxTables = len(it.Area.Relations)
-		}
-	}
-	partitioned := eps < 1.0/float64(maxTables+1)
-
-	// groups holds item indices so partition-local distances route through
-	// the shared cache in global index space.
-	groups := map[string][]int{}
-	var order []string
-	if partitioned {
-		for i, it := range items {
-			key := strings.Join(it.Area.Relations, ",")
-			if _, ok := groups[key]; !ok {
-				order = append(order, key)
-			}
-			groups[key] = append(groups[key], i)
-		}
-		sort.Strings(order)
-	} else {
-		all := make([]int, len(items))
-		for i := range items {
-			all[i] = i
-		}
-		groups[""] = all
-		order = []string{""}
-	}
+	groups, order := partitionItems(items, eps)
 
 	for _, key := range order {
 		part := groups[key]
@@ -318,18 +325,7 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 			dres = dbscan.Cluster(len(part), distFn, dcfg)
 		}
 
-		for _, memberIdx := range dres.ClusterIndices() {
-			members := make([]*aggregate.Item, len(memberIdx))
-			for i, idx := range memberIdx {
-				members[i] = items[part[idx]]
-			}
-			res.Clusters = append(res.Clusters, aggregate.Summarize(0, members, opts))
-		}
-		for i, l := range dres.Labels {
-			if l == dbscan.Noise {
-				res.NoiseQueries += items[part[i]].Weight
-			}
-		}
+		collectPartition(res, items, part, dres, opts)
 		if partCache != nil {
 			res.DistanceCacheHits += partCache.Hits()
 		}
@@ -337,6 +333,62 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 	res.DistanceEvals = cache.Evals()
 	res.DistanceCacheHits += cache.Hits()
 
+	finalizeClusters(res)
+}
+
+// partitionItems groups item indices by exact relation set when eps makes
+// cross-partition neighbourhoods impossible: two areas with different table
+// sets have d >= d_tables >= 1/(maxTables+1). Otherwise everything lands in
+// one "" partition. Keys are returned in sorted order; member lists are in
+// ascending item order.
+func partitionItems(items []*aggregate.Item, eps float64) (map[string][]int, []string) {
+	maxTables := 1
+	for _, it := range items {
+		if len(it.Area.Relations) > maxTables {
+			maxTables = len(it.Area.Relations)
+		}
+	}
+	groups := map[string][]int{}
+	if eps < 1.0/float64(maxTables+1) {
+		var order []string
+		for i, it := range items {
+			key := strings.Join(it.Area.Relations, ",")
+			if _, ok := groups[key]; !ok {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], i)
+		}
+		sort.Strings(order)
+		return groups, order
+	}
+	all := make([]int, len(items))
+	for i := range items {
+		all[i] = i
+	}
+	groups[""] = all
+	return groups, []string{""}
+}
+
+// collectPartition folds one partition's clustering outcome into res:
+// cluster members become aggregated summaries, noise weights accumulate.
+func collectPartition(res *Result, items []*aggregate.Item, part []int, dres *dbscan.Result, opts aggregate.Options) {
+	for _, memberIdx := range dres.ClusterIndices() {
+		members := make([]*aggregate.Item, len(memberIdx))
+		for i, idx := range memberIdx {
+			members[i] = items[part[idx]]
+		}
+		res.Clusters = append(res.Clusters, aggregate.Summarize(0, members, opts))
+	}
+	for i, l := range dres.Labels {
+		if l == dbscan.Noise {
+			res.NoiseQueries += items[part[i]].Weight
+		}
+	}
+}
+
+// finalizeClusters orders clusters by cardinality (Table-1 style) and
+// assigns stable ids.
+func finalizeClusters(res *Result) {
 	sort.Slice(res.Clusters, func(i, j int) bool {
 		if res.Clusters[i].Cardinality != res.Clusters[j].Cardinality {
 			return res.Clusters[i].Cardinality > res.Clusters[j].Cardinality
@@ -346,7 +398,6 @@ func (m *Miner) mine(areaRecs []qlog.AreaRecord, stats *qlog.Stats) *Result {
 	for i, c := range res.Clusters {
 		c.ID = i + 1
 	}
-	return res
 }
 
 // pivotMinPartition is the partition size under which building a pivot

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aggregate"
+	"repro/internal/dbscan"
+	"repro/internal/distance"
+	"repro/internal/qlog"
+)
+
+// Incremental is the epoch-based mining state behind the skyserved service.
+// Extractions accumulate between epochs through Add; Recluster re-runs the
+// clustering stage over everything seen so far, reusing work from previous
+// epochs wherever the inputs are provably unchanged:
+//
+//   - distance values live in an n-independent DynamicPairCache keyed by
+//     global item index, so a pair evaluated in epoch k is a lookup in every
+//     later epoch;
+//   - per-partition LAESA pivot indexes are extended over the appended
+//     suffix (items join partitions in first-occurrence order, and an item's
+//     relation set never changes) instead of being rebuilt, until the
+//     partition has doubled since the last full build;
+//   - distance profiles are compiled once per item and kept.
+//
+// All of that reuse is sound only while the access(a) registry is unchanged:
+// profiles read schema.Stats, and extraction grows it. Recluster checks
+// Stats.Generation and drops every cached structure when it moved.
+//
+// Because items accumulate in the same first-occurrence order the batch
+// mine() dedups in, a final-epoch Recluster over a fully drained log is
+// equivalent to MineRecords over the same records (same eps selection, same
+// partition traversal, same DBSCAN input) — the property the serve smoke
+// test asserts byte-for-byte on the report.
+//
+// Add is safe to call concurrently with other Adds. Recluster must not run
+// concurrently with itself but may overlap Adds: it clusters a consistent
+// snapshot of the items admitted before it started.
+type Incremental struct {
+	m   *Miner
+	acc *itemAccum
+
+	// reps holds the first record that produced each item — the
+	// representative re-extracted on restore.
+	reps []qlog.Record
+
+	gen      uint64
+	profiles []*distance.Profile
+	metric   *distance.Metric
+	cache    *distance.DynamicPairCache
+	parts    map[string]*incPartition
+}
+
+// incPartition is the persistent clustering state of one relation-set
+// partition.
+type incPartition struct {
+	// members are the item indices clustered last epoch (ascending).
+	members []int
+	ix      *dbscan.PivotIndex
+	// builtN is the partition size when ix was last built from scratch;
+	// once the partition doubles, a rebuild re-spreads the pivots.
+	builtN int
+}
+
+// Incremental returns a fresh epoch-based miner sharing this Miner's
+// configuration and access(a) registry.
+func (m *Miner) Incremental() *Incremental {
+	return &Incremental{
+		m:     m,
+		acc:   newItemAccum(),
+		parts: make(map[string]*incPartition),
+	}
+}
+
+// Add folds one extracted record into the accumulator. It reports whether
+// the record introduced a new distinct area (the serve epoch trigger counts
+// those).
+func (inc *Incremental) Add(ar *qlog.AreaRecord) (isNew bool) {
+	inc.acc.mu.Lock()
+	defer inc.acc.mu.Unlock()
+	idx, isNew := inc.acc.add(ar)
+	if isNew && idx == len(inc.reps) {
+		inc.reps = append(inc.reps, ar.Record)
+	}
+	return isNew
+}
+
+// Distinct returns the current distinct-area count.
+func (inc *Incremental) Distinct() int {
+	inc.acc.mu.Lock()
+	defer inc.acc.mu.Unlock()
+	return len(inc.acc.items)
+}
+
+// DistanceEvals and DistanceCacheHits expose the lifetime counters of the
+// cross-epoch cache; per-epoch deltas give the reuse ratio serveperf reports.
+func (inc *Incremental) DistanceEvals() int64 {
+	if inc.cache == nil {
+		return 0
+	}
+	return inc.cache.Evals()
+}
+
+func (inc *Incremental) DistanceCacheHits() int64 {
+	if inc.cache == nil {
+		return 0
+	}
+	return inc.cache.Hits()
+}
+
+// snapshotItems copies the accumulator state admitted so far: shallow item
+// copies (areas are immutable; weights and user sets keep mutating under
+// concurrent Adds) plus the contradictory count.
+func (inc *Incremental) snapshotItems() ([]*aggregate.Item, int) {
+	inc.acc.mu.Lock()
+	defer inc.acc.mu.Unlock()
+	items := make([]*aggregate.Item, len(inc.acc.items))
+	for i, it := range inc.acc.items {
+		users := make(map[string]struct{}, len(it.Users))
+		for u := range it.Users {
+			users[u] = struct{}{}
+		}
+		items[i] = &aggregate.Item{Area: it.Area, Weight: it.Weight, Users: users}
+	}
+	return items, inc.acc.contradictory
+}
+
+// Recluster runs one epoch: it clusters every area admitted before the call
+// and returns the same Result shape as a batch mine. DistanceEvals and
+// DistanceCacheHits report the cross-epoch cache's lifetime counters.
+func (inc *Incremental) Recluster() *Result {
+	items, contradictory := inc.snapshotItems()
+	res := &Result{
+		ContradictoryAreas: contradictory,
+		DistinctAreas:      len(items),
+	}
+
+	// Sampling shuffles items in place and breaks index stability; when it
+	// triggers, fall back to the batch engine on the snapshot (correct, no
+	// cross-epoch reuse). The serving default is SampleSize = 0.
+	if inc.m.cfg.SampleSize > 0 && len(items) > inc.m.cfg.SampleSize {
+		inc.m.clusterBody(items, res)
+		return res
+	}
+	res.ClusteredAreas = len(items)
+
+	// Cached distances, profiles and pivot tables are only valid while the
+	// access(a) registry they were compiled from is unchanged.
+	if gen := inc.m.stats.Generation(); gen != inc.gen || inc.metric == nil {
+		inc.gen = gen
+		inc.metric = &distance.Metric{Mode: inc.m.cfg.Mode, Stats: inc.m.stats}
+		inc.profiles = inc.profiles[:0]
+		inc.cache = nil
+		inc.parts = make(map[string]*incPartition)
+	}
+	for i := len(inc.profiles); i < len(items); i++ {
+		inc.profiles = append(inc.profiles, inc.metric.Profile(items[i].Area))
+	}
+	if inc.cache == nil {
+		metric, profiles := inc.metric, inc.profiles
+		inc.cache = distance.NewDynamicPairCache(func(i, j int) float64 {
+			return metric.ProfileDistance(profiles[i], profiles[j])
+		})
+	} else {
+		// The closure reads inc.profiles through this epoch's slice header.
+		metric, profiles := inc.metric, inc.profiles
+		inc.cache.SetFn(func(i, j int) float64 {
+			return metric.ProfileDistance(profiles[i], profiles[j])
+		})
+	}
+
+	eps := inc.m.cfg.Eps
+	if inc.m.cfg.AutoEps && len(items) > 1 {
+		var sampleHits int64
+		eps, sampleHits = inc.m.autoEps(len(items), inc.cache.Dist)
+		res.DistanceCacheHits += sampleHits
+	}
+	res.ChosenEps = eps
+
+	groups, order := partitionItems(items, eps)
+	opts := aggregate.Options{SigmaRule: inc.m.cfg.SigmaRule, MinColumnSupport: inc.m.cfg.MinColumnSupport}
+
+	live := make(map[string]bool, len(order))
+	for _, key := range order {
+		part := groups[key]
+		live[key] = true
+		weights := make([]int, len(part))
+		for i, idx := range part {
+			weights[i] = items[idx].Weight
+		}
+		distFn := func(i, j int) float64 {
+			return inc.cache.Dist(part[i], part[j])
+		}
+		dcfg := dbscan.Config{Eps: eps, MinPts: inc.m.cfg.MinPts, Workers: inc.m.cfg.Workers, Weights: weights}
+		var dres *dbscan.Result
+		switch {
+		case inc.m.cfg.Algorithm == AlgOPTICS:
+			o := dbscan.RunOPTICS(len(part), distFn, eps*2, inc.m.cfg.MinPts, weights)
+			dres = o.ExtractDBSCAN(eps)
+		case inc.m.usePivots(len(part)):
+			dres = dbscan.ClusterWithIndex(len(part), distFn, dcfg, inc.partitionIndex(key, part, distFn))
+		default:
+			dres = dbscan.Cluster(len(part), distFn, dcfg)
+		}
+		collectPartition(res, items, part, dres, opts)
+	}
+	// Eps changes (AutoEps) can dissolve partitions; drop indexes whose key
+	// vanished so they don't pin stale tables.
+	for key := range inc.parts {
+		if !live[key] {
+			delete(inc.parts, key)
+		}
+	}
+
+	res.DistanceEvals = inc.cache.Evals()
+	res.DistanceCacheHits += inc.cache.Hits()
+
+	finalizeClusters(res)
+	return res
+}
+
+// partitionIndex returns a pivot index covering part, extending last
+// epoch's table when the partition only grew, rebuilding when membership
+// changed (an eps flip re-keyed the grouping) or the partition doubled.
+func (inc *Incremental) partitionIndex(key string, part []int, distFn func(i, j int) float64) *dbscan.PivotIndex {
+	p := inc.parts[key]
+	if p != nil && p.ix != nil && prefixEqual(p.members, part) && len(part) < 2*p.builtN {
+		p.ix.Extend(len(part), distFn)
+		p.members = append([]int(nil), part...)
+		return p.ix
+	}
+	ix := dbscan.NewPivotIndex(len(part), distFn, inc.m.pivotCount())
+	inc.parts[key] = &incPartition{
+		members: append([]int(nil), part...),
+		ix:      ix,
+		builtN:  len(part),
+	}
+	return ix
+}
+
+// prefixEqual reports whether old is a prefix of cur.
+func prefixEqual(old, cur []int) bool {
+	if len(old) > len(cur) {
+		return false
+	}
+	for i, v := range old {
+		if cur[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ItemState is the serialisable form of one distinct access area: the
+// representative statement that first produced it plus the accumulated
+// weight and user set. Restore re-extracts the representative instead of
+// serialising the CNF — cheap, and guaranteed consistent with the restored
+// access(a) registry.
+type ItemState struct {
+	SQL    string   `json:"sql"`
+	Seq    int      `json:"seq"`
+	Time   int64    `json:"time,omitempty"`
+	User   string   `json:"user,omitempty"`
+	Weight int      `json:"weight"`
+	Users  []string `json:"users,omitempty"`
+}
+
+// State is the serialisable mining state. It deliberately excludes the
+// access(a) registry: the owner (internal/serve) snapshots schema.Stats
+// alongside and must restore it BEFORE RestoreState so re-extraction
+// reproduces the exact areas that were exported.
+type State struct {
+	Items         []ItemState `json:"items"`
+	Contradictory int         `json:"contradictory,omitempty"`
+}
+
+// ExportState captures the accumulator for a snapshot.
+func (inc *Incremental) ExportState() *State {
+	inc.acc.mu.Lock()
+	defer inc.acc.mu.Unlock()
+	st := &State{
+		Items:         make([]ItemState, len(inc.acc.items)),
+		Contradictory: inc.acc.contradictory,
+	}
+	for i, it := range inc.acc.items {
+		users := make([]string, 0, len(it.Users))
+		for u := range it.Users {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		rep := inc.reps[i]
+		st.Items[i] = ItemState{
+			SQL:    rep.SQL,
+			Seq:    rep.Seq,
+			Time:   rep.Time,
+			User:   rep.User,
+			Weight: it.Weight,
+			Users:  users,
+		}
+	}
+	return st
+}
+
+// RestoreState rebuilds the accumulator from an exported state by
+// re-extracting each representative statement in order. It must be called
+// on a fresh Incremental whose Stats registry has already been restored.
+func (inc *Incremental) RestoreState(st *State) error {
+	if st == nil {
+		return nil
+	}
+	if inc.Distinct() > 0 {
+		return fmt.Errorf("core: RestoreState on a non-empty Incremental")
+	}
+	recs := make([]qlog.Record, len(st.Items))
+	for i, it := range st.Items {
+		recs[i] = qlog.Record{Seq: it.Seq, Time: it.Time, User: it.User, SQL: it.SQL}
+	}
+	areaRecs, _ := inc.m.pipeline().Run(recs)
+	if len(areaRecs) != len(st.Items) {
+		return fmt.Errorf("core: restore re-extracted %d of %d representatives", len(areaRecs), len(st.Items))
+	}
+	inc.acc.mu.Lock()
+	defer inc.acc.mu.Unlock()
+	for i := range areaRecs {
+		idx, isNew := inc.acc.add(&areaRecs[i])
+		if idx < 0 {
+			return fmt.Errorf("core: representative %d became contradictory on restore", st.Items[i].Seq)
+		}
+		if !isNew {
+			return fmt.Errorf("core: representatives %d and %d collapsed to one area on restore", inc.reps[idx].Seq, st.Items[i].Seq)
+		}
+		inc.reps = append(inc.reps, areaRecs[i].Record)
+		it := inc.acc.items[idx]
+		it.Weight = st.Items[i].Weight
+		it.Users = make(map[string]struct{}, len(st.Items[i].Users))
+		for _, u := range st.Items[i].Users {
+			it.Users[u] = struct{}{}
+		}
+	}
+	inc.acc.contradictory = st.Contradictory
+	return nil
+}

@@ -369,6 +369,45 @@ func NewPivotIndexParallel(n int, dist func(i, j int) float64, k, workers int) *
 // rows stay single-threaded (goroutine overhead dominates under it).
 const parallelCutoff = 2048
 
+// N returns the number of points the index currently covers.
+func (ix *PivotIndex) N() int {
+	if len(ix.table) == 0 {
+		return 0
+	}
+	return len(ix.table[0])
+}
+
+// Pivots returns the number of pivot rows.
+func (ix *PivotIndex) Pivots() int { return len(ix.pivots) }
+
+// Extend grows the index to cover points [N(), n): each pivot row gains the
+// distances to the new points only, so an epoch that appends k points to an
+// already-indexed set costs k·pivots evaluations instead of a full rebuild.
+// The pivot SET stays fixed — pruning correctness never depends on pivot
+// choice, only its effectiveness does, so callers should rebuild once the
+// set has grown far past the size the pivots were chosen for (the
+// incremental miner rebuilds at 2×; through its cross-epoch distance cache
+// a rebuild re-evaluates nothing already known).
+//
+// dist replaces the stored distance function for subsequent region queries;
+// it must agree with the original on the already-covered prefix (the
+// incremental miner's partition-local closures do: partition membership is
+// append-only, so local indices are stable).
+func (ix *PivotIndex) Extend(n int, dist func(i, j int) float64) {
+	ix.dist = dist
+	old := ix.N()
+	if n <= old {
+		return
+	}
+	for k, p := range ix.pivots {
+		row := ix.table[k]
+		for i := old; i < n; i++ {
+			row = append(row, dist(p, i))
+		}
+		ix.table[k] = row
+	}
+}
+
 // Region returns all points within eps of q (including q), using pivot
 // pruning to avoid most distance evaluations.
 func (ix *PivotIndex) Region(q int, eps float64, n int) []int {
@@ -450,8 +489,21 @@ func ClusterWithPivots(n int, dist func(i, j int) float64, cfg Config, pivots in
 	if n == 0 {
 		return &Result{Labels: []int{}}
 	}
+	ix := NewPivotIndexParallel(n, dist, pivots, resolveWorkers(cfg.Workers, n))
+	return ClusterWithIndex(n, dist, cfg, ix)
+}
+
+// ClusterWithIndex is ClusterWithPivots over a caller-supplied pivot index,
+// letting the epoch-based incremental miner reuse (and Extend) one index
+// across re-clustering epochs instead of rebuilding it. The index must
+// cover at least n points; its Slack is set to PivotSlackFactor·Eps for
+// this run, and its stored distance function is replaced by dist.
+func ClusterWithIndex(n int, dist func(i, j int) float64, cfg Config, ix *PivotIndex) *Result {
+	if n == 0 {
+		return &Result{Labels: []int{}}
+	}
 	workers := resolveWorkers(cfg.Workers, n)
-	ix := NewPivotIndexParallel(n, dist, pivots, workers)
+	ix.dist = dist
 	ix.Slack = PivotSlackFactor * cfg.Eps
 	labels := make([]int, n)
 	for i := range labels {

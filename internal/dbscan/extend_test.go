@@ -1,0 +1,106 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Extending an index over an appended point set must answer region queries
+// identically to an index built from scratch over the full set.
+func TestPivotIndexExtendMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := make([]float64, 300)
+	for i := range pts {
+		pts[i] = r.Float64() * 10
+	}
+	dist := euclid1D(pts)
+
+	ix := NewPivotIndex(200, dist, 4)
+	ix.Extend(300, dist)
+	if ix.N() != 300 {
+		t.Fatalf("extended N = %d, want 300", ix.N())
+	}
+
+	fresh := NewPivotIndex(300, dist, 4)
+	const eps = 0.15
+	for q := 0; q < 300; q += 7 {
+		a := ix.Region(q, eps, 300)
+		b := fresh.Region(q, eps, 300)
+		// Pivot sets differ (farthest-point from different prefixes), but
+		// both prunings are exact for a metric, so the results must agree.
+		if len(a) != len(b) {
+			t.Fatalf("q=%d: extended %v vs fresh %v", q, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("q=%d: extended %v vs fresh %v", q, a, b)
+			}
+		}
+	}
+}
+
+// Extend must only evaluate distances involving the new points.
+func TestPivotIndexExtendEvaluatesNewPointsOnly(t *testing.T) {
+	pts := make([]float64, 120)
+	for i := range pts {
+		pts[i] = float64(i)
+	}
+	base := euclid1D(pts)
+	calls := 0
+	counted := func(i, j int) float64 {
+		calls++
+		return base(i, j)
+	}
+	ix := NewPivotIndex(100, counted, 3)
+	buildCalls := calls
+
+	calls = 0
+	ix.Extend(120, counted)
+	if want := 3 * 20; calls != want {
+		t.Errorf("Extend evaluated %d distances, want %d (pivots × new points)", calls, want)
+	}
+	if buildCalls == 0 {
+		t.Error("index build evaluated nothing")
+	}
+	// Extending to a size already covered is a no-op.
+	calls = 0
+	ix.Extend(120, counted)
+	if calls != 0 {
+		t.Errorf("no-op Extend evaluated %d distances", calls)
+	}
+}
+
+// ClusterWithIndex over an extended index must label identically to
+// brute-force DBSCAN and to ClusterWithPivots built from scratch.
+func TestClusterWithExtendedIndexMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var pts []float64
+	for c := 0; c < 3; c++ {
+		center := float64(c * 5)
+		for i := 0; i < 60; i++ {
+			pts = append(pts, center+r.NormFloat64()*0.2)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		pts = append(pts, r.Float64()*15)
+	}
+	dist := euclid1D(pts)
+	n := len(pts)
+	cfg := Config{Eps: 0.3, MinPts: 5}
+
+	brute := Cluster(n, dist, cfg)
+
+	// Build over the first two-thirds, extend over the rest — the epoch shape.
+	ix := NewPivotIndex(2*n/3, dist, 4)
+	ix.Extend(n, dist)
+	inc := ClusterWithIndex(n, dist, cfg, ix)
+
+	if brute.NumClusters != inc.NumClusters {
+		t.Fatalf("clusters: brute %d vs extended-index %d", brute.NumClusters, inc.NumClusters)
+	}
+	for i := range brute.Labels {
+		if brute.Labels[i] != inc.Labels[i] {
+			t.Fatalf("label %d: brute %d vs extended-index %d", i, brute.Labels[i], inc.Labels[i])
+		}
+	}
+}

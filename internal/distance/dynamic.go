@@ -1,0 +1,100 @@
+package distance
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DynamicPairCache memoizes a symmetric pairwise distance over a GROWING
+// point set. Unlike PairCache, whose triangular layout is fixed at
+// construction for exactly n points, the dynamic cache keys pairs by their
+// packed indices and therefore survives appends: the epoch-based
+// incremental miner keeps one instance alive across re-clustering epochs,
+// so every pair evaluated in an earlier epoch is a cache hit in all later
+// ones and only pairs involving newly-arrived points cost a real
+// ProfileDistance evaluation.
+//
+// It is safe for concurrent use; fn must be too (ProfileDistance is — it
+// only reads precompiled profiles). Racing goroutines may both evaluate a
+// missing pair; the duplicate store is benign because fn is deterministic.
+//
+// Memory grows with the number of DISTINCT pairs actually evaluated, not
+// with n²: DBSCAN under partitioning only ever evaluates intra-partition
+// pairs, and pivot pruning keeps even those sparse.
+type DynamicPairCache struct {
+	fn     func(i, j int) float64
+	shards [dynShards]dynShard
+	hits   atomic.Int64
+	evals  atomic.Int64
+}
+
+type dynShard struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+}
+
+const dynShards = 64
+
+// NewDynamicPairCache builds an empty growable cache for the symmetric
+// distance fn. Indices must stay below 2³² (pairs are packed into one
+// uint64 key), which the mining pipeline's distinct-area counts are far
+// under.
+func NewDynamicPairCache(fn func(i, j int) float64) *DynamicPairCache {
+	c := &DynamicPairCache{fn: fn}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]float64)
+	}
+	return c
+}
+
+// SetFn swaps the underlying distance function without discarding stored
+// pairs. The incremental miner calls it each epoch because its profile
+// slice header changes as new items append; the values the new fn computes
+// for already-cached pairs must be identical (same registry generation) or
+// the cache should be discarded instead.
+func (c *DynamicPairCache) SetFn(fn func(i, j int) float64) { c.fn = fn }
+
+// Dist returns the memoized distance between points i and j.
+func (c *DynamicPairCache) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	key := uint64(i)<<32 | uint64(j)
+	s := &c.shards[key%dynShards]
+	s.mu.RLock()
+	d, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.evals.Add(1)
+	d = c.fn(i, j)
+	s.mu.Lock()
+	s.m[key] = d
+	s.mu.Unlock()
+	return d
+}
+
+// Evals returns the number of underlying distance evaluations (cache
+// misses). Racing goroutines may both evaluate a pair, so this can exceed
+// the number of distinct pairs by a sliver.
+func (c *DynamicPairCache) Evals() int64 { return c.evals.Load() }
+
+// Hits returns the number of lookups served from memory.
+func (c *DynamicPairCache) Hits() int64 { return c.hits.Load() }
+
+// Len returns the number of distinct pairs stored.
+func (c *DynamicPairCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package distance
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The dynamic cache must answer like the raw function, count evaluations
+// once per distinct pair, and serve repeats from memory.
+func TestDynamicPairCacheMemoizes(t *testing.T) {
+	calls := 0
+	fn := func(i, j int) float64 {
+		calls++
+		return float64(i*100 + j)
+	}
+	c := NewDynamicPairCache(fn)
+
+	if d := c.Dist(3, 7); d != 307 {
+		t.Fatalf("Dist(3,7) = %v", d)
+	}
+	// Symmetric lookup and repeat are both hits.
+	if d := c.Dist(7, 3); d != 307 {
+		t.Fatalf("Dist(7,3) = %v", d)
+	}
+	if d := c.Dist(3, 7); d != 307 {
+		t.Fatalf("repeat Dist(3,7) = %v", d)
+	}
+	if calls != 1 || c.Evals() != 1 || c.Hits() != 2 {
+		t.Errorf("calls=%d evals=%d hits=%d, want 1/1/2", calls, c.Evals(), c.Hits())
+	}
+	if c.Dist(5, 5) != 0 {
+		t.Error("identity pair not zero")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+// Growing the point set must not disturb stored pairs: distances computed
+// "in an earlier epoch" stay hits after new indices appear — the property
+// the epoch-based miner relies on.
+func TestDynamicPairCacheSurvivesGrowth(t *testing.T) {
+	var mu sync.Mutex
+	evaluated := map[[2]int]int{}
+	fn := func(i, j int) float64 {
+		mu.Lock()
+		evaluated[[2]int{i, j}]++
+		mu.Unlock()
+		return 1 / float64(i+j+1)
+	}
+	c := NewDynamicPairCache(fn)
+
+	// Epoch 1: points 0..9.
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			c.Dist(i, j)
+		}
+	}
+	epoch1Evals := c.Evals()
+	if epoch1Evals != 45 {
+		t.Fatalf("epoch 1 evals = %d, want 45", epoch1Evals)
+	}
+
+	// Epoch 2: points 0..14 — a full re-scan only evaluates pairs touching
+	// the 5 new points.
+	for i := 0; i < 15; i++ {
+		for j := i + 1; j < 15; j++ {
+			c.Dist(i, j)
+		}
+	}
+	newEvals := c.Evals() - epoch1Evals
+	if want := int64(15*14/2 - 45); newEvals != want {
+		t.Errorf("epoch 2 evals = %d, want %d (new-point pairs only)", newEvals, want)
+	}
+	for pair, n := range evaluated {
+		if n != 1 {
+			t.Errorf("pair %v evaluated %d times", pair, n)
+		}
+	}
+}
+
+// Concurrent lookups must agree and never corrupt stored values (run under
+// -race via the Makefile gate).
+func TestDynamicPairCacheConcurrent(t *testing.T) {
+	fn := func(i, j int) float64 { return math.Sqrt(float64(i*j + 1)) }
+	c := NewDynamicPairCache(fn)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 2000; k++ {
+				i, j := (k+w)%50, (k*7)%50
+				got := c.Dist(i, j)
+				want := 0.0
+				if i != j {
+					want = fn(min(i, j), max(i, j))
+				}
+				if got != want {
+					t.Errorf("Dist(%d,%d) = %v, want %v", i, j, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -55,7 +56,7 @@ func (e *Env) RunPipelinePerf() *PipelinePerfResult {
 		)
 		t0 := time.Now()
 		if streaming {
-			st = p.RunStream(qlog.SliceSource(e.Records), func(ar qlog.AreaRecord) {
+			st = p.RunStream(context.Background(), qlog.SliceSource(e.Records), func(ar qlog.AreaRecord) {
 				areas = append(areas, ar)
 			})
 		} else {

@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// The serving load harness at a reduced scale must pass all three
+// correctness gates: the served report matches the batch miner
+// byte-for-byte, graceful shutdown loses no accepted record, and the
+// snapshot restores to the identical report.
+func TestServePerfGates(t *testing.T) {
+	env := NewEnvRows(3000, 42, 400)
+	res := env.RunServePerf()
+	if res.Report == "" {
+		t.Fatal("serveperf produced no report")
+	}
+	t.Log("\n" + res.Report)
+	if !res.MatchesBatch {
+		t.Error("served report does not match the batch miner")
+	}
+	if !res.ZeroLossShutdown {
+		t.Error("graceful shutdown lost accepted records")
+	}
+	if !res.SnapshotRoundTrip {
+		t.Error("snapshot restore did not round-trip the report")
+	}
+	if res.Epochs < 2 {
+		t.Errorf("expected multiple epochs, got %d", res.Epochs)
+	}
+	if res.ThroughputRPS <= 0 || res.LatencyP50MS <= 0 {
+		t.Errorf("implausible load numbers: %.0f rec/s, p50 %.3fms", res.ThroughputRPS, res.LatencyP50MS)
+	}
+	if res.FinalEpochReuse <= 0 && res.Epochs > 1 {
+		t.Errorf("final epoch reused nothing (reuse ratio %.3f)", res.FinalEpochReuse)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vals, 0.5); p != 5.5 {
+		t.Errorf("p50 = %v, want 5.5", p)
+	}
+	if p := percentile(vals, 0.99); p < 9.9 || p > 10 {
+		t.Errorf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+}

@@ -1,6 +1,7 @@
 package qlog
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -42,8 +43,10 @@ func (s *StageTime) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
-// merge folds another StageTime into this one.
-func (s *StageTime) merge(o StageTime) {
+// Merge folds another StageTime into this one. It is not safe for
+// concurrent use: callers merging timings from concurrently-finishing
+// pipeline runs (e.g. two serving epochs) must hold their own lock.
+func (s *StageTime) Merge(o StageTime) {
 	if o.Count == 0 {
 		return
 	}
@@ -104,6 +107,42 @@ func (s *Stats) Coverage() float64 {
 	return float64(s.Extracted) / float64(s.Total)
 }
 
+// Merge folds another run's statistics into this one: counters add, failure
+// categories add key-wise, stage timings merge range-wise, and Elapsed
+// accumulates (two sequential batches took the sum of their wall clocks;
+// for overlapping runs the sum is total busy time, not wall time).
+// PeakInFlight takes the maximum. Merge is NOT safe for concurrent use —
+// a server merging per-batch stats from concurrently-finishing pipeline
+// runs must serialise calls with its own lock (see internal/serve).
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Total += o.Total
+	s.Parsed += o.Parsed
+	s.Extracted += o.Extracted
+	s.ExtractFailures += o.ExtractFailures
+	s.Truncated += o.Truncated
+	s.Approximate += o.Approximate
+	s.EmptyAreas += o.EmptyAreas
+	s.FullParses += o.FullParses
+	s.CacheHits += o.CacheHits
+	if o.PeakInFlight > s.PeakInFlight {
+		s.PeakInFlight = o.PeakInFlight
+	}
+	if len(o.ParseFailures) > 0 && s.ParseFailures == nil {
+		s.ParseFailures = make(map[string]int)
+	}
+	for k, v := range o.ParseFailures {
+		s.ParseFailures[k] += v
+	}
+	s.Parse.Merge(o.Parse)
+	s.Extract.Merge(o.Extract)
+	s.CNF.Merge(o.CNF)
+	s.Consolidate.Merge(o.Consolidate)
+	s.Elapsed += o.Elapsed
+}
+
 // RecordSource yields successive log records; ok reports whether rec is
 // valid, and false ends the stream. Sources are pulled from a single
 // goroutine, so they need not be concurrency-safe.
@@ -145,7 +184,7 @@ type Pipeline struct {
 // order and the aggregate statistics.
 func (p *Pipeline) Run(recs []Record) ([]AreaRecord, *Stats) {
 	out := make([]AreaRecord, 0, len(recs))
-	st := p.stream(SliceSource(recs), func(ar AreaRecord) { out = append(out, ar) })
+	st := p.stream(context.Background(), SliceSource(recs), func(ar AreaRecord) { out = append(out, ar) })
 	return out, st
 }
 
@@ -154,8 +193,13 @@ func (p *Pipeline) Run(recs []Record) ([]AreaRecord, *Stats) {
 // (plus one cached template per distinct statement shape). emit is called
 // for every successful extraction, in input order, from the calling
 // goroutine; it may be nil when only the statistics matter.
-func (p *Pipeline) RunStream(src RecordSource, emit func(AreaRecord)) *Stats {
-	return p.stream(src, emit)
+//
+// Cancelling ctx stops the run mid-stream: the feeder stops pulling from
+// src, in-flight records finish extraction and are emitted, and the
+// returned Stats cover exactly the records admitted before cancellation.
+// Callers distinguish a drained source from a cancelled one via ctx.Err().
+func (p *Pipeline) RunStream(ctx context.Context, src RecordSource, emit func(AreaRecord)) *Stats {
+	return p.stream(ctx, src, emit)
 }
 
 type poolJob struct {
@@ -172,7 +216,7 @@ type poolResult struct {
 // residency window, workers pull from a shared job channel (fast records
 // drain past slow ones instead of waiting behind a static chunk boundary),
 // and the collector reorders completions back to input order.
-func (p *Pipeline) stream(src RecordSource, emit func(AreaRecord)) *Stats {
+func (p *Pipeline) stream(ctx context.Context, src RecordSource, emit func(AreaRecord)) *Stats {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -201,17 +245,29 @@ func (p *Pipeline) stream(src RecordSource, emit func(AreaRecord)) *Stats {
 	partStats := make([]*Stats, workers)
 
 	go func() {
+		defer close(jobs)
+		done := ctx.Done()
 		ord := 0
 		for {
+			// A cancelled context stops the feed before the next pull, so a
+			// blocked server shutdown never drains the rest of the source.
+			select {
+			case <-done:
+				return
+			default:
+			}
 			rec, ok := src()
 			if !ok {
-				break
+				return
 			}
-			window <- struct{}{}
+			select {
+			case window <- struct{}{}:
+			case <-done:
+				return
+			}
 			jobs <- poolJob{ord: ord, rec: rec}
 			ord++
 		}
-		close(jobs)
 	}()
 
 	var wg sync.WaitGroup
@@ -257,25 +313,7 @@ func (p *Pipeline) stream(src RecordSource, emit func(AreaRecord)) *Stats {
 
 	total := newStats()
 	for _, ps := range partStats {
-		if ps == nil {
-			continue
-		}
-		total.Total += ps.Total
-		total.Parsed += ps.Parsed
-		total.Extracted += ps.Extracted
-		total.ExtractFailures += ps.ExtractFailures
-		total.Truncated += ps.Truncated
-		total.Approximate += ps.Approximate
-		total.EmptyAreas += ps.EmptyAreas
-		total.FullParses += ps.FullParses
-		total.CacheHits += ps.CacheHits
-		for k, v := range ps.ParseFailures {
-			total.ParseFailures[k] += v
-		}
-		total.Parse.merge(ps.Parse)
-		total.Extract.merge(ps.Extract)
-		total.CNF.merge(ps.CNF)
-		total.Consolidate.merge(ps.Consolidate)
+		total.Merge(ps)
 	}
 	total.PeakInFlight = peak
 	total.Elapsed = time.Since(start)

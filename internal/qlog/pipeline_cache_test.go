@@ -2,6 +2,7 @@ package qlog
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestRunStreamMatchesRun(t *testing.T) {
 
 	p2 := &Pipeline{Extractor: extract.New(sch), Workers: 4, Buffer: 8}
 	var streamed []AreaRecord
-	sStats := p2.RunStream(SliceSource(recs), func(ar AreaRecord) {
+	sStats := p2.RunStream(context.Background(), SliceSource(recs), func(ar AreaRecord) {
 		streamed = append(streamed, ar)
 	})
 
@@ -119,7 +120,7 @@ func TestRunStreamBoundedResidency(t *testing.T) {
 	recs := workloadRecords(t, 3000)
 	const workers, buffer = 2, 3
 	p := &Pipeline{Extractor: extract.New(skyserver.Schema()), Workers: workers, Buffer: buffer}
-	st := p.RunStream(SliceSource(recs), nil)
+	st := p.RunStream(context.Background(), SliceSource(recs), nil)
 	if st.Total != len(recs) {
 		t.Fatalf("total = %d, want %d", st.Total, len(recs))
 	}
@@ -168,7 +169,7 @@ func TestStreamingReaders(t *testing.T) {
 	}
 
 	var got []Record
-	if err := ReadCSVStream(bytes.NewReader(csvBuf.Bytes()), func(r Record) error {
+	if err := ReadCSVStream(context.Background(), bytes.NewReader(csvBuf.Bytes()), func(r Record) error {
 		got = append(got, r)
 		return nil
 	}); err != nil {
@@ -179,7 +180,7 @@ func TestStreamingReaders(t *testing.T) {
 	}
 
 	got = nil
-	if err := ReadJSONLStream(bytes.NewReader(jsonlBuf.Bytes()), func(r Record) error {
+	if err := ReadJSONLStream(context.Background(), bytes.NewReader(jsonlBuf.Bytes()), func(r Record) error {
 		got = append(got, r)
 		return nil
 	}); err != nil {
@@ -190,14 +191,14 @@ func TestStreamingReaders(t *testing.T) {
 	}
 
 	// Error formats survive the streaming rewrite.
-	err := ReadCSVStream(strings.NewReader("seq,time,user,sql\nx,0,u,SELECT 1\n"), func(Record) error { return nil })
+	err := ReadCSVStream(context.Background(), strings.NewReader("seq,time,user,sql\nx,0,u,SELECT 1\n"), func(Record) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "bad seq") {
 		t.Errorf("csv bad-seq error = %v", err)
 	}
 
 	// Callback errors abort the stream.
 	calls := 0
-	sentinel := ReadCSVStream(bytes.NewReader(csvBuf.Bytes()), func(Record) error {
+	sentinel := ReadCSVStream(context.Background(), bytes.NewReader(csvBuf.Bytes()), func(Record) error {
 		calls++
 		return errStop
 	})

@@ -7,6 +7,7 @@ package qlog
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -42,7 +43,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 // ReadCSV parses records written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Record, error) {
 	var out []Record
-	if err := ReadCSVStream(r, func(rec Record) error {
+	if err := ReadCSVStream(context.Background(), r, func(rec Record) error {
 		out = append(out, rec)
 		return nil
 	}); err != nil {
@@ -53,11 +54,19 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 
 // ReadCSVStream parses records written by WriteCSV one row at a time,
 // invoking fn for each without materialising the whole log. A non-nil error
-// from fn aborts the read and is returned unchanged.
-func ReadCSVStream(r io.Reader, fn func(Record) error) error {
+// from fn aborts the read and is returned unchanged. Cancelling ctx aborts
+// before the next row and returns ctx.Err(), so a shutting-down server
+// stops mid-file instead of draining it.
+func ReadCSVStream(ctx context.Context, r io.Reader, fn func(Record) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
+	done := ctx.Done()
 	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 		row, err := cr.Read()
 		if err == io.EOF {
 			return nil
@@ -97,7 +106,7 @@ func WriteJSONL(w io.Writer, recs []Record) error {
 // ReadJSONL parses JSONL records.
 func ReadJSONL(r io.Reader) ([]Record, error) {
 	var out []Record
-	if err := ReadJSONLStream(r, func(rec Record) error {
+	if err := ReadJSONLStream(context.Background(), r, func(rec Record) error {
 		out = append(out, rec)
 		return nil
 	}); err != nil {
@@ -108,13 +117,20 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 
 // ReadJSONLStream parses JSONL records one line at a time, invoking fn for
 // each without materialising the whole log. A non-nil error from fn aborts
-// the read and is returned unchanged.
-func ReadJSONLStream(r io.Reader, fn func(Record) error) error {
+// the read and is returned unchanged. Cancelling ctx aborts before the next
+// line and returns ctx.Err().
+func ReadJSONLStream(ctx context.Context, r io.Reader, fn func(Record) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	done := ctx.Done()
 	line := 0
 	for sc.Scan() {
 		line++
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 		if len(sc.Bytes()) == 0 {
 			continue
 		}

@@ -1,0 +1,137 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skyserver"
+)
+
+// A server that has ingested nothing still serves /report after its first
+// epoch: every format must handle a result with no clusters, no noise and
+// no pipeline stats without panicking or emitting broken framing.
+func TestWriteEmptyResult(t *testing.T) {
+	res := core.NewMiner(core.Config{Schema: skyserver.Schema()}).MineSQL(nil)
+	for _, f := range []Format{Text, CSV, JSON} {
+		var buf bytes.Buffer
+		if err := Write(&buf, res, f, Options{}); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", f)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, res, Text, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clusters: 0, noise queries: 0") {
+		t.Errorf("text header for empty result: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := Write(&buf, res, CSV, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("empty-result csv does not parse: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("empty-result csv has %d rows, want header only", len(rows))
+	}
+
+	buf.Reset()
+	if err := Write(&buf, res, JSON, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty-result json does not parse: %v", err)
+	}
+	if out["total_clusters"].(float64) != 0 {
+		t.Errorf("total_clusters = %v", out["total_clusters"])
+	}
+}
+
+// All-noise clustering: every statement distinct, none reaching minPts.
+// The report must show zero clusters while accounting for every query as
+// noise.
+func TestWriteNoiseOnly(t *testing.T) {
+	m := core.NewMiner(core.Config{Schema: skyserver.Schema(), MinPts: 8})
+	stmts := []string{
+		"SELECT ra FROM PhotoObjAll WHERE ra <= 10",
+		"SELECT z FROM Photoz WHERE z >= 0.7",
+		"SELECT dec FROM zooSpec WHERE dec <= -40",
+	}
+	res := m.MineSQL(stmts)
+	if len(res.Clusters) != 0 {
+		t.Fatalf("workload unexpectedly clustered: %d clusters", len(res.Clusters))
+	}
+	if res.NoiseQueries != len(stmts) {
+		t.Fatalf("noise queries = %d, want %d", res.NoiseQueries, len(stmts))
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, res, Text, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clusters: 0, noise queries: 3") {
+		t.Errorf("noise-only text: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := Write(&buf, res, JSON, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		NoiseQueries  int `json:"noise_queries"`
+		TotalClusters int `json:"total_clusters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.NoiseQueries != 3 || out.TotalClusters != 0 {
+		t.Errorf("noise-only json: %+v", out)
+	}
+}
+
+// Results arriving without pipeline statistics (core.Miner.MineAreas, or a
+// serve epoch before stats merge) must render a stable JSON shape: the
+// stats fields present and zero, not absent or null.
+func TestWriteStatsAbsentJSONGolden(t *testing.T) {
+	res := &core.Result{ChosenEps: 0.06}
+	var buf bytes.Buffer
+	if err := Write(&buf, res, JSON, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "statements": 0,
+  "extracted": 0,
+  "extraction_coverage": 0,
+  "distinct_areas": 0,
+  "noise_queries": 0,
+  "total_clusters": 0,
+  "clusters": null,
+  "eps": 0.06,
+  "contradictory_areas": 0
+}
+`
+	if buf.String() != golden {
+		t.Errorf("stats-absent json drifted from golden:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+
+	// Text must not print the stats line at all when stats are absent.
+	buf.Reset()
+	if err := Write(&buf, res, Text, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "statements:") {
+		t.Errorf("stats-absent text printed a stats line: %q", buf.String())
+	}
+}

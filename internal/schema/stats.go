@@ -27,6 +27,8 @@ type Stats struct {
 	mu          sync.RWMutex
 	numeric     map[string]*numericStat
 	categorical map[string]*categoricalStat
+	// gen counts effective mutations (see Generation in snapshot.go).
+	gen uint64
 }
 
 type numericStat struct {
@@ -67,6 +69,7 @@ func (s *Stats) SeedNumericSample(column string, sample []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.numeric[column] = &numericStat{content: iv, access: iv}
+	s.gen++
 }
 
 // SeedNumericContent seeds content(a) directly with a known interval (used
@@ -76,6 +79,7 @@ func (s *Stats) SeedNumericContent(column string, content interval.Interval) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.numeric[column] = &numericStat{content: content, access: content}
+	s.gen++
 }
 
 // SeedCategorical seeds the categorical content/access sets for column a.
@@ -88,6 +92,7 @@ func (s *Stats) SeedCategorical(column string, values []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.categorical[column] = cs
+	s.gen++
 }
 
 // ObserveNumeric records that a query referred to constant v on column a,
@@ -102,9 +107,14 @@ func (s *Stats) ObserveNumeric(column string, v float64) {
 	if !ok {
 		ns = &numericStat{content: interval.Point(v), access: interval.Point(v)}
 		s.numeric[column] = ns
+		s.gen++
 		return
 	}
-	ns.access = ns.access.Hull(interval.Point(v))
+	grown := ns.access.Hull(interval.Point(v))
+	if grown != ns.access {
+		ns.access = grown
+		s.gen++
+	}
 }
 
 // ObserveCategorical records that a query referred to value v on column a.
@@ -116,7 +126,10 @@ func (s *Stats) ObserveCategorical(column string, v string) {
 		cs = &categoricalStat{content: make(map[string]struct{}), access: make(map[string]struct{})}
 		s.categorical[column] = cs
 	}
-	cs.access[v] = struct{}{}
+	if _, seen := cs.access[v]; !seen {
+		cs.access[v] = struct{}{}
+		s.gen++
+	}
 }
 
 // NumericAccess returns access(a) for a numeric column. When the column has

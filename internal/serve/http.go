@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/qlog"
+	"repro/internal/report"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /ingest    JSON array, single object, or NDJSON stream of records
+//	POST /flush     drain the queue and run an epoch (blocks)
+//	POST /snapshot  write the snapshot now
+//	GET  /report    latest clustering (text/csv/json, content-negotiated)
+//	GET  /stats     cumulative pipeline statistics
+//	GET  /metrics   flat counters (ingest rate, cache hits, epoch latency)
+//	GET  /healthz   readiness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/flush", s.handleFlush)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// ingestReply is the JSON body of every /ingest response.
+type ingestReply struct {
+	Accepted int    `json:"accepted"`
+	Dropped  int    `json:"dropped,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleIngest admits records into the bounded queue. A full queue answers
+// 429 with the count accepted so far — accepted records are never dropped,
+// the client re-sends the remainder.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	ndjson := strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonl") ||
+		strings.Contains(ct, "jsonlines") || strings.Contains(ct, "text/plain")
+	if ndjson {
+		s.ingestNDJSON(w, r)
+		return
+	}
+	s.ingestJSON(w, r)
+}
+
+// ingestNDJSON streams one record per line into the queue without holding
+// the whole body in memory.
+func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	accepted := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec qlog.Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			writeJSON(w, http.StatusBadRequest, ingestReply{
+				Accepted: accepted,
+				Error:    fmt.Sprintf("line %d: %v", line, err),
+			})
+			return
+		}
+		if err := s.enqueue(rec); err != nil {
+			s.ingestRejected(w, accepted, err)
+			return
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ingestReply{Accepted: accepted, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+}
+
+// ingestJSON handles an application/json body: an array of records or one
+// record object.
+func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var recs []qlog.Record
+	tok, err := dec.Token()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ingestReply{Error: err.Error()})
+		return
+	}
+	if d, ok := tok.(json.Delim); ok && d == '[' {
+		for dec.More() {
+			var rec qlog.Record
+			if err := dec.Decode(&rec); err != nil {
+				writeJSON(w, http.StatusBadRequest, ingestReply{Error: err.Error()})
+				return
+			}
+			recs = append(recs, rec)
+		}
+	} else {
+		// Re-decode the whole body as one object: the first token consumed
+		// '{', so rebuild from the delimiter onward is messy — instead we
+		// require objects to arrive via NDJSON when streamed, and accept the
+		// common single-object case by buffering here.
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			writeJSON(w, http.StatusBadRequest, ingestReply{Error: "body must be a JSON array, object, or NDJSON stream"})
+			return
+		}
+		var rec qlog.Record
+		if err := decodeObjectRest(dec, &rec); err != nil {
+			writeJSON(w, http.StatusBadRequest, ingestReply{Error: err.Error()})
+			return
+		}
+		recs = append(recs, rec)
+	}
+	accepted := 0
+	for i := range recs {
+		if err := s.enqueue(recs[i]); err != nil {
+			s.ingestRejected(w, accepted, err)
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+}
+
+// decodeObjectRest fills rec from a decoder positioned just past the
+// object's opening brace.
+func decodeObjectRest(dec *json.Decoder, rec *qlog.Record) error {
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "seq":
+			if err := dec.Decode(&rec.Seq); err != nil {
+				return err
+			}
+		case "time":
+			if err := dec.Decode(&rec.Time); err != nil {
+				return err
+			}
+		case "user":
+			if err := dec.Decode(&rec.User); err != nil {
+				return err
+			}
+		case "sql":
+			if err := dec.Decode(&rec.SQL); err != nil {
+				return err
+			}
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := dec.Token() // closing brace
+	return err
+}
+
+func (s *Server) ingestRejected(w http.ResponseWriter, accepted int, err error) {
+	status := http.StatusTooManyRequests
+	if err == errClosed {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ingestReply{Accepted: accepted, Dropped: 1, Error: err.Error()})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.Flush()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"distinct_areas": s.inc.Distinct(),
+		"epochs":         s.epochs.Load(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.SnapshotPath == "" {
+		http.Error(w, "no snapshot path configured", http.StatusConflict)
+		return
+	}
+	if err := s.WriteSnapshot(s.cfg.SnapshotPath); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"path": s.cfg.SnapshotPath})
+}
+
+// negotiateFormat picks the report encoding: ?format= wins, then Accept.
+func negotiateFormat(r *http.Request) (report.Format, error) {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return report.ParseFormat(f)
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/json"):
+		return report.JSON, nil
+	case strings.Contains(accept, "text/csv"):
+		return report.CSV, nil
+	default:
+		return report.Text, nil
+	}
+}
+
+var contentTypes = map[report.Format]string{
+	report.Text: "text/plain; charset=utf-8",
+	report.CSV:  "text/csv",
+	report.JSON: "application/json",
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	format, err := negotiateFormat(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res := s.latest()
+	if res == nil {
+		http.Error(w, "no epoch has run yet — POST /flush or keep ingesting", http.StatusServiceUnavailable)
+		return
+	}
+	top := s.cfg.ReportTop
+	if t := r.URL.Query().Get("top"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 0 {
+			http.Error(w, "top must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	w.Header().Set("Content-Type", contentTypes[format])
+	_ = report.Write(w, res, format, report.Options{Top: top, Coverage: s.cfg.Coverage != nil})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.statsSnapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pipeline":       st,
+		"distinct_areas": s.inc.Distinct(),
+		"accepted":       s.accepted.Load(),
+		"rejected":       s.rejected.Load(),
+		"processed":      s.processedCount(),
+		"epochs":         s.epochs.Load(),
+	})
+}
+
+func (s *Server) processedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processed
+}
+
+// handleMetrics emits flat expvar-style counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.statsSnapshot()
+	uptime := time.Since(s.start).Seconds()
+	accepted := s.accepted.Load()
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(accepted) / uptime
+	}
+	templateLookups := st.CacheHits + st.FullParses
+	templateHitRatio := 0.0
+	if templateLookups > 0 {
+		templateHitRatio = float64(st.CacheHits) / float64(templateLookups)
+	}
+	evals, hits := s.inc.DistanceEvals(), s.inc.DistanceCacheHits()
+	distRatio := 0.0
+	if evals+hits > 0 {
+		distRatio = float64(hits) / float64(evals+hits)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":           uptime,
+		"ingest_accepted":          accepted,
+		"ingest_rejected":          s.rejected.Load(),
+		"ingest_processed":         s.processedCount(),
+		"ingest_rate_per_sec":      rate,
+		"queue_depth":              len(s.queue),
+		"queue_capacity":           cap(s.queue),
+		"distinct_areas":           s.inc.Distinct(),
+		"epochs":                   s.epochs.Load(),
+		"epoch_last_ms":            float64(s.lastEpochNS.Load()) / 1e6,
+		"epoch_total_ms":           float64(s.totalEpochNS.Load()) / 1e6,
+		"template_cache_hits":      st.CacheHits,
+		"template_full_parses":     st.FullParses,
+		"template_hit_ratio":       templateHitRatio,
+		"distance_evals":           evals,
+		"distance_cache_hits":      hits,
+		"distance_cache_hit_ratio": distRatio,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,348 @@
+// Package serve wraps the batch mining kernels in a long-running service:
+// records are ingested over HTTP into a bounded queue, extracted through
+// the streaming pipeline with a persistent warm template cache, and
+// re-clustered in epochs by the core.Incremental miner so /report always
+// serves a recent clustering while distance work is reused across epochs.
+//
+// The design keeps one invariant front and centre: after the final epoch of
+// a drained server, the report is byte-for-byte what the one-shot batch
+// miner would print for the same records (the serve-smoke gate).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/qlog"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Miner is the mining configuration (schema, eps, minPts, mode...).
+	// SampleSize should stay 0 for serving: sampling forfeits cross-epoch
+	// reuse (see core.Incremental).
+	Miner core.Config
+	// Coverage, when set, attaches area/object coverage to every epoch's
+	// clusters and enables the coverage columns in reports.
+	Coverage aggregate.DataSource
+	// QueueSize bounds the ingest queue; a full queue answers 429
+	// (default 4096).
+	QueueSize int
+	// BatchSize caps how many queued records one pipeline run drains
+	// (default 256).
+	BatchSize int
+	// EpochAreas triggers a re-clustering epoch once that many NEW distinct
+	// areas accumulated since the last one (default 512).
+	EpochAreas int
+	// EpochInterval additionally re-clusters on a timer when new areas are
+	// pending (0 = disabled; useful because a trickle of duplicates never
+	// trips EpochAreas).
+	EpochInterval time.Duration
+	// SnapshotPath, when set, is written atomically on Close and restored
+	// by NewServer, so a restarted server resumes without log replay.
+	SnapshotPath string
+	// ReportTop caps the clusters a report emits unless the request
+	// overrides it (0 = all).
+	ReportTop int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.EpochAreas <= 0 {
+		c.EpochAreas = 512
+	}
+	return c
+}
+
+// Server is the online mining service. Create with NewServer, serve its
+// Handler, and Shutdown to drain, run the final epoch and snapshot.
+type Server struct {
+	cfg   Config
+	miner *core.Miner
+	inc   *core.Incremental
+	pipe  *qlog.Pipeline
+
+	// baseCtx cancels the in-flight pipeline run when a deadline-bound
+	// Shutdown gives up on draining.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	queue chan qlog.Record
+
+	// mu guards closed, the cumulative pipeline stats and processed; cond
+	// signals processed advances (Flush waits on it).
+	mu        sync.Mutex
+	cond      *sync.Cond
+	closed    bool
+	cum       qlog.Stats
+	processed int64
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+	start    time.Time
+
+	epochTrig chan struct{}
+	stopEpoch chan struct{}
+	pumpDone  chan struct{}
+	epochDone chan struct{}
+
+	// epochMu serialises Recluster (the epoch worker, Flush and Shutdown
+	// can all request one).
+	epochMu       sync.Mutex
+	newSinceEpoch atomic.Int64
+	epochs        atomic.Int64
+	lastEpochNS   atomic.Int64
+	totalEpochNS  atomic.Int64
+
+	resMu sync.RWMutex
+	res   *core.Result
+}
+
+// NewServer builds a Server and starts its pump and epoch workers. When
+// cfg.SnapshotPath names an existing snapshot, the mining state is restored
+// from it (and an epoch run) before any ingest is accepted.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	miner := core.NewMiner(cfg.Miner)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		miner:     miner,
+		inc:       miner.Incremental(),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		queue:     make(chan qlog.Record, cfg.QueueSize),
+		epochTrig: make(chan struct{}, 1),
+		stopEpoch: make(chan struct{}),
+		pumpDone:  make(chan struct{}),
+		epochDone: make(chan struct{}),
+		start:     time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.pipe = &qlog.Pipeline{
+		Extractor: &extract.Extractor{Schema: cfg.Miner.Schema, PredCap: cfg.Miner.PredCap, Stats: miner.Stats()},
+		Workers:   cfg.Miner.Workers,
+		NoCache:   cfg.Miner.DisableTemplateCache,
+		Cache:     &extract.TemplateCache{},
+	}
+	if cfg.SnapshotPath != "" {
+		if err := s.restoreSnapshot(cfg.SnapshotPath); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	go s.pump()
+	go s.epochLoop()
+	return s, nil
+}
+
+// Miner exposes the underlying miner (tests compare against batch runs).
+func (s *Server) Miner() *core.Miner { return s.miner }
+
+var (
+	errClosed = errors.New("serve: server is shutting down")
+	errFull   = errors.New("serve: ingest queue full")
+)
+
+// enqueue admits one record or reports why it could not.
+func (s *Server) enqueue(rec qlog.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	select {
+	case s.queue <- rec:
+		s.accepted.Add(1)
+		return nil
+	default:
+		s.rejected.Add(1)
+		return errFull
+	}
+}
+
+// pump is the single queue consumer: it drains records in batches through
+// the streaming pipeline (template cache warm across batches) and feeds
+// extractions to the incremental miner.
+func (s *Server) pump() {
+	defer close(s.pumpDone)
+	batch := make([]qlog.Record, 0, s.cfg.BatchSize)
+	for {
+		rec, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], rec)
+		open := true
+	collect:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case r, ok2 := <-s.queue:
+				if !ok2 {
+					open = false
+					break collect
+				}
+				batch = append(batch, r)
+			default:
+				break collect
+			}
+		}
+		s.runBatch(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+func (s *Server) runBatch(batch []qlog.Record) {
+	st := s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
+		if s.inc.Add(&ar) {
+			s.newSinceEpoch.Add(1)
+		}
+	})
+	s.mu.Lock()
+	s.cum.Merge(st)
+	s.processed += int64(len(batch))
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if s.newSinceEpoch.Load() >= int64(s.cfg.EpochAreas) {
+		select {
+		case s.epochTrig <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// epochLoop re-clusters on the size trigger and (optionally) on a timer.
+func (s *Server) epochLoop() {
+	defer close(s.epochDone)
+	var tick <-chan time.Time
+	if s.cfg.EpochInterval > 0 {
+		t := time.NewTicker(s.cfg.EpochInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.stopEpoch:
+			return
+		case <-s.epochTrig:
+			s.runEpoch()
+		case <-tick:
+			if s.newSinceEpoch.Load() > 0 {
+				s.runEpoch()
+			}
+		}
+	}
+}
+
+// runEpoch re-clusters everything admitted so far and publishes the result.
+func (s *Server) runEpoch() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	t0 := time.Now()
+	// Areas added while Recluster runs belong to the next epoch.
+	s.newSinceEpoch.Store(0)
+	res := s.inc.Recluster()
+	res.PipelineStats = s.statsSnapshot()
+	if s.cfg.Coverage != nil {
+		res.AttachCoverage(s.cfg.Coverage)
+	}
+	el := time.Since(t0)
+	s.lastEpochNS.Store(int64(el))
+	s.totalEpochNS.Add(int64(el))
+	s.epochs.Add(1)
+	s.resMu.Lock()
+	s.res = res
+	s.resMu.Unlock()
+}
+
+// latest returns the most recent epoch's result (nil before the first).
+func (s *Server) latest() *core.Result {
+	s.resMu.RLock()
+	defer s.resMu.RUnlock()
+	return s.res
+}
+
+// statsSnapshot copies the cumulative pipeline stats (deep enough for the
+// caller to keep: the failure map is cloned).
+func (s *Server) statsSnapshot() *qlog.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cum
+	if c.ParseFailures != nil {
+		m := make(map[string]int, len(c.ParseFailures))
+		for k, v := range c.ParseFailures {
+			m[k] = v
+		}
+		c.ParseFailures = m
+	}
+	return &c
+}
+
+// Flush blocks until every record accepted before the call has been
+// extracted, then runs an epoch synchronously. It is the determinism hook:
+// after Flush, /report reflects every prior ingest.
+func (s *Server) Flush() {
+	target := s.accepted.Load()
+	s.mu.Lock()
+	for s.processed < target && !s.closed {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	s.runEpoch()
+}
+
+// Shutdown gracefully stops the server: intake closes (handlers answer
+// 503), the queue drains through extraction, the epoch worker stops, a
+// final epoch covers everything accepted, and — when configured — a
+// snapshot is written. If ctx expires while draining, the in-flight
+// pipeline run is cancelled (in-flight records finish, the rest of the
+// queue is abandoned) and the final epoch covers what was extracted.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.epochDone
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	select {
+	case <-s.pumpDone:
+	case <-ctx.Done():
+		s.cancel() // stop the in-flight pipeline feeder
+		<-s.pumpDone
+	}
+	close(s.stopEpoch)
+	<-s.epochDone
+	s.runEpoch()
+	s.cancel()
+	if s.cfg.SnapshotPath != "" {
+		if err := s.WriteSnapshot(s.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("serve: final snapshot: %w", err)
+		}
+	}
+	return ctx.Err()
+}
+
+// Close is Shutdown without a deadline: it always drains fully, so no
+// accepted record is lost.
+func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
+}

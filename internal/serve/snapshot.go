@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qlog"
+	"repro/internal/schema"
+)
+
+// snapshotVersion guards against loading a snapshot written by an
+// incompatible build.
+const snapshotVersion = 1
+
+// Snapshot is the on-disk service state: the access(a) registry first
+// (restore order matters — representatives are re-extracted under it), then
+// one representative statement per distinct area with accumulated weights
+// and users, plus the cumulative pipeline statistics and ingest counters.
+type Snapshot struct {
+	Version   int                   `json:"version"`
+	SavedAt   time.Time             `json:"saved_at"`
+	Accepted  int64                 `json:"accepted"`
+	Processed int64                 `json:"processed"`
+	Epochs    int64                 `json:"epochs"`
+	Pipeline  *qlog.Stats           `json:"pipeline"`
+	Registry  *schema.StatsSnapshot `json:"registry"`
+	Mining    *core.State           `json:"mining"`
+}
+
+// WriteSnapshot atomically persists the current state: marshal to a
+// temporary file in the target directory, fsync, rename. A crash mid-write
+// leaves the previous snapshot intact.
+func (s *Server) WriteSnapshot(path string) error {
+	snap := &Snapshot{
+		Version:   snapshotVersion,
+		SavedAt:   time.Now().UTC(),
+		Accepted:  s.accepted.Load(),
+		Processed: s.processedCount(),
+		Epochs:    s.epochs.Load(),
+		Pipeline:  s.statsSnapshot(),
+		Registry:  s.miner.Stats().Snapshot(),
+		Mining:    s.inc.ExportState(),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// restoreSnapshot loads state written by WriteSnapshot. A missing file is
+// not an error — the server simply starts empty.
+func (s *Server) restoreSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("serve: snapshot %s has version %d, want %d", path, snap.Version, snapshotVersion)
+	}
+	// Registry first: re-extraction of the representatives must see the
+	// exact access(a) state the areas were mined under.
+	s.miner.Stats().RestoreSnapshot(snap.Registry)
+	if err := s.inc.RestoreState(snap.Mining); err != nil {
+		return fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	if snap.Pipeline != nil {
+		s.mu.Lock()
+		s.cum = *snap.Pipeline
+		s.processed = snap.Processed
+		s.mu.Unlock()
+	}
+	s.accepted.Store(snap.Accepted)
+	s.epochs.Store(snap.Epochs)
+	if s.inc.Distinct() > 0 {
+		s.runEpoch()
+	}
+	return nil
+}
