@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet racecheck fuzz bench serve-smoke clean
+.PHONY: build test vet racecheck fuzz bench serve-smoke semcache-smoke clean
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,15 @@ vet:
 # The parallel region-query, pivot-index, and pair-cache code paths must stay
 # race-clean; qlog covers the streaming worker pool and the template cache,
 # extract the concurrent template rebinds, sqlparser the fingerprint pass,
-# serve the ingest queue / epoch worker / shutdown interleavings, and core
-# the concurrent Add vs Recluster paths of the incremental miner.
+# serve the ingest queue / epoch worker / shutdown interleavings, core the
+# concurrent Add vs Recluster paths of the incremental miner, interestcache
+# the atomic epoch-generation snapshot swap under concurrent queries, and
+# memdb the per-user rate limiter under concurrent admission.
 racecheck:
 	$(GO) test -race ./internal/dbscan/... ./internal/distance/... \
 		./internal/qlog/... ./internal/extract/... ./internal/sqlparser/... \
-		./internal/serve/... ./internal/core/...
+		./internal/serve/... ./internal/core/... ./internal/interestcache/... \
+		./internal/memdb/...
 
 # fuzz replays the checked-in seed corpora in regression mode (plain go test
 # runs every f.Add seed) and then explores each target briefly. Raise
@@ -27,24 +30,37 @@ racecheck:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sqlparser/ -run=Fuzz
+	$(GO) test ./internal/interval/ -run=Fuzz
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/interval/ -run=NONE -fuzz=FuzzIntervalSet -fuzztime=$(FUZZTIME)
 
 # bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining),
-# BENCH_pipeline.json (uncached vs template-cached extraction) and
-# BENCH_serve.json (online service under replayed load) at the 20k default
-# mix. vet + racecheck gate it so perf numbers are never recorded off racy
-# code.
+# BENCH_pipeline.json (uncached vs template-cached extraction), BENCH_serve.json
+# (online service under replayed load) and BENCH_semcache.json (semantic result
+# cache: hit ratio, speedup, staleness) at the 20k default mix — semcacheperf
+# runs at 5k because it replays the log four extra times (oracle, cached,
+# miss-path and staleness passes). vet + racecheck gate it so perf numbers are
+# never recorded off racy code.
 bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp clusterperf
 	$(GO) run ./cmd/benchreport -exp pipelineperf
 	$(GO) run ./cmd/benchreport -exp serveperf
+	$(GO) run ./cmd/benchreport -exp semcacheperf -scale 5000
 
 # serve-smoke starts the serving stack, replays 1k records into it, flushes,
 # and asserts /report matches the batch miner byte-for-byte in every format
 # (TestServeSmoke drives the real HTTP handler surface end to end).
 serve-smoke:
 	$(GO) test -race -count=1 -run TestServeSmoke -v ./internal/serve/
+
+# semcache-smoke is the end-to-end gate for the interest-driven result cache:
+# mine a 5k-query log through the HTTP ingest path, prefetch regions at the
+# epoch flush, replay every statement through POST /query with the
+# byte-identity oracle on, and require zero oracle failures and a ≥0.5 hit
+# ratio (TestSemCacheSmoke).
+semcache-smoke:
+	$(GO) test -race -count=1 -run TestSemCacheSmoke -v ./internal/serve/
 
 clean:
 	$(GO) clean ./...

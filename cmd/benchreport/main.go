@@ -4,17 +4,20 @@
 //
 // Usage:
 //
-//	benchreport [-scale 20000] [-seed 42] [-exp all|table1|fig1a|fig1b|fig1c|coverage|olapclus|olapclusraw|efficiency|requery|ablation|clusterperf|pipelineperf]
+//	benchreport [-scale 20000] [-seed 42] [-exp all|list|<experiment>]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
+// `-exp list` prints the available experiments with one-line descriptions.
 // The clusterperf experiment additionally writes its before/after numbers
 // (brute-force vs pivot-index clustering) to -benchjson (default
 // BENCH_clustering.json), pipelineperf writes its uncached-vs-cached
-// extraction numbers to -pipejson (default BENCH_pipeline.json), and
-// serveperf writes the online-service load numbers (throughput, backpressure
-// latency, cross-epoch reuse) to -servejson (default BENCH_serve.json), so
-// successive changes have a perf trajectory. -cpuprofile/-memprofile capture
-// stdlib pprof profiles of the selected experiments.
+// extraction numbers to -pipejson (default BENCH_pipeline.json), serveperf
+// writes the online-service load numbers (throughput, backpressure latency,
+// cross-epoch reuse) to -servejson (default BENCH_serve.json), and
+// semcacheperf writes the semantic-result-cache numbers (hit ratio, speedup,
+// staleness window) to -semjson (default BENCH_semcache.json), so successive
+// changes have a perf trajectory. -cpuprofile/-memprofile capture stdlib
+// pprof profiles of the selected experiments.
 package main
 
 import (
@@ -33,18 +36,130 @@ func main() {
 	os.Exit(run())
 }
 
+// experiment pairs a selectable id with a one-line description (shown by
+// `-exp list`) and the closure that runs it and returns its report.
+type experiment struct {
+	name string
+	desc string
+	fn   func() string
+}
+
+func listExperiments(w *os.File, exps []experiment) {
+	fmt.Fprintln(w, "available experiments (select with -exp <name>, or -exp all):")
+	for _, e := range exps {
+		fmt.Fprintf(w, "  %-14s %s\n", e.name, e.desc)
+	}
+}
+
 // run is main's body with a plain exit code so deferred profile writers run
 // before the process exits.
 func run() int {
 	scale := flag.Int("scale", 20000, "number of log queries to generate")
 	seed := flag.Int64("seed", 42, "generator seed")
-	exp := flag.String("exp", "all", "experiment id (all, table1, fig1a, fig1b, fig1c, coverage, olapclus, olapclusraw, efficiency, requery, ablation, ablationsigma, density, scaling, clusterperf, pipelineperf, serveperf)")
+	exp := flag.String("exp", "all", "experiment id, \"all\", or \"list\" to enumerate them")
 	benchJSON := flag.String("benchjson", "BENCH_clustering.json", "output path for the clusterperf JSON record")
 	pipeJSON := flag.String("pipejson", "BENCH_pipeline.json", "output path for the pipelineperf JSON record")
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "output path for the serveperf JSON record")
+	semJSON := flag.String("semjson", "BENCH_semcache.json", "output path for the semcacheperf JSON record")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	writeJSON := func(path string, v any) {
+		if data, err := json.MarshalIndent(v, "", "  "); err == nil {
+			if werr := os.WriteFile(path, append(data, '\n'), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+
+	// The substrate is built lazily so `-exp list` and unknown-id errors
+	// stay instant instead of generating a 20k-query log first.
+	var env *experiments.Env
+	getEnv := func() *experiments.Env {
+		if env == nil {
+			env = experiments.NewEnv(*scale, *seed)
+		}
+		return env
+	}
+
+	semcacheFailed := false
+	exps := []experiment{
+		{"table1", "paper Table 1: per-template access-area extraction accuracy",
+			func() string { return getEnv().RunTable1().Report }},
+		{"fig1a", "paper Figure 1a: cluster count vs minPts",
+			func() string { return getEnv().RunFigure1('a').Report }},
+		{"fig1b", "paper Figure 1b: cluster count vs epsilon",
+			func() string { return getEnv().RunFigure1('b').Report }},
+		{"fig1c", "paper Figure 1c: clustered-query fraction vs epsilon",
+			func() string { return getEnv().RunFigure1('c').Report }},
+		{"coverage", "share of the log covered by mined interest areas",
+			func() string { return getEnv().RunCoverage().Report }},
+		{"olapclus", "OLAP-style rollup over exact extracted areas",
+			func() string { return getEnv().RunOLAPClusExact().Report }},
+		{"olapclusraw", "OLAP-style rollup over raw (unfiltered) areas",
+			func() string { return getEnv().RunOLAPClusRaw().Report }},
+		{"efficiency", "extraction + clustering wall-clock efficiency",
+			func() string { return getEnv().RunEfficiency().Report }},
+		{"requery", "re-query rate: how often users revisit mined areas",
+			func() string { return getEnv().RunRequery().Report }},
+		{"ablation", "pipeline ablation: drop one stage at a time",
+			func() string { return getEnv().RunAblation().Report }},
+		{"ablationsigma", "sigma-expansion ablation for approximate areas",
+			func() string { return getEnv().RunAblationSigma().Report }},
+		{"density", "cluster density profile across the data space",
+			func() string { return getEnv().RunDensity().Report }},
+		{"scaling", "mining throughput as the log scale grows",
+			func() string { return getEnv().RunScaling().Report }},
+		{"clusterperf", "brute-force vs pivot-index clustering benchmark (writes -benchjson)",
+			func() string {
+				res := getEnv().RunClusterPerf()
+				writeJSON(*benchJSON, res)
+				return res.Report
+			}},
+		{"pipelineperf", "uncached vs template-cached extraction benchmark (writes -pipejson)",
+			func() string {
+				res := getEnv().RunPipelinePerf()
+				writeJSON(*pipeJSON, res)
+				return res.Report
+			}},
+		{"serveperf", "online-service load benchmark: throughput, backpressure, reuse (writes -servejson)",
+			func() string {
+				res := getEnv().RunServePerf()
+				writeJSON(*serveJSON, res)
+				return res.Report
+			}},
+		{"semcacheperf", "semantic result cache: oracle, hit ratio, speedup, staleness (writes -semjson)",
+			func() string {
+				res, err := experiments.RunSemCachePerf(*scale, *seed)
+				if err != nil {
+					semcacheFailed = true
+					return fmt.Sprintf("semcacheperf: %v\n", err)
+				}
+				writeJSON(*semJSON, res)
+				return res.Report
+			}},
+	}
+
+	want := strings.ToLower(*exp)
+	if want == "list" {
+		listExperiments(os.Stdout, exps)
+		return 0
+	}
+	known := want == "all"
+	for _, e := range exps {
+		if e.name == want {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", *exp)
+		listExperiments(os.Stderr, exps)
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -60,60 +175,13 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	env := experiments.NewEnv(*scale, *seed)
-	want := strings.ToLower(*exp)
-	ran := 0
-	run := func(name string, f func() string) {
-		if want != "all" && want != name {
-			return
+	for _, e := range exps {
+		if want != "all" && want != e.name {
+			continue
 		}
-		ran++
 		fmt.Println(strings.Repeat("=", 100))
-		fmt.Print(f())
+		fmt.Print(e.fn())
 		fmt.Println()
-	}
-	writeJSON := func(path string, v any) {
-		if data, err := json.MarshalIndent(v, "", "  "); err == nil {
-			if werr := os.WriteFile(path, append(data, '\n'), 0o644); werr != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %v\n", werr)
-			} else {
-				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-			}
-		}
-	}
-
-	run("table1", func() string { return env.RunTable1().Report })
-	run("fig1a", func() string { return env.RunFigure1('a').Report })
-	run("fig1b", func() string { return env.RunFigure1('b').Report })
-	run("fig1c", func() string { return env.RunFigure1('c').Report })
-	run("coverage", func() string { return env.RunCoverage().Report })
-	run("olapclus", func() string { return env.RunOLAPClusExact().Report })
-	run("olapclusraw", func() string { return env.RunOLAPClusRaw().Report })
-	run("efficiency", func() string { return env.RunEfficiency().Report })
-	run("requery", func() string { return env.RunRequery().Report })
-	run("ablation", func() string { return env.RunAblation().Report })
-	run("ablationsigma", func() string { return env.RunAblationSigma().Report })
-	run("density", func() string { return env.RunDensity().Report })
-	run("scaling", func() string { return env.RunScaling().Report })
-	run("clusterperf", func() string {
-		res := env.RunClusterPerf()
-		writeJSON(*benchJSON, res)
-		return res.Report
-	})
-	run("pipelineperf", func() string {
-		res := env.RunPipelinePerf()
-		writeJSON(*pipeJSON, res)
-		return res.Report
-	})
-	run("serveperf", func() string {
-		res := env.RunServePerf()
-		writeJSON(*serveJSON, res)
-		return res.Report
-	})
-
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		return 2
 	}
 
 	if *memProfile != "" {
@@ -128,6 +196,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			return 2
 		}
+	}
+	if semcacheFailed {
+		return 1
 	}
 	return 0
 }

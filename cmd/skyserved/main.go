@@ -12,9 +12,11 @@
 //	POST /ingest    JSON array, object, or NDJSON stream of records
 //	POST /flush     drain the queue and re-cluster now
 //	POST /snapshot  persist state now
-//	GET  /report    latest clustering (?format=text|csv|json, ?top=N)
+//	POST /query     execute a SELECT via the semantic result cache
+//	GET  /report    latest clustering (?format=text|csv|json, ?top=N,
+//	                ETag/If-None-Match)
 //	GET  /stats     cumulative pipeline statistics
-//	GET  /metrics   ingest/cache/epoch counters
+//	GET  /metrics   ingest/cache/epoch/semantic-cache counters
 //	GET  /healthz   readiness
 //
 // Drive it with loggen:
@@ -23,6 +25,13 @@
 //	loggen -n 20000 -replay -rate 2000 -url http://localhost:8080/ingest
 //	curl -s -X POST http://localhost:8080/flush
 //	curl -s http://localhost:8080/report
+//
+// After the first epoch, POST /query answers statements from the mined
+// interest regions when containment proves it sound (X-Cache: HIT), falling
+// back to direct execution otherwise:
+//
+//	curl -s -X POST --data 'SELECT objid FROM Photoz WHERE objid BETWEEN 1 AND 9' \
+//	    http://localhost:8080/query
 //
 // On SIGINT/SIGTERM the server drains in-flight extraction, runs a final
 // epoch and (with -snapshot) persists state for a replay-free restart.
@@ -61,6 +70,7 @@ func main() {
 	epochInterval := flag.Duration("epoch-interval", 15*time.Second, "re-cluster on this timer when new areas are pending (0 = off)")
 	snapshot := flag.String("snapshot", "", "snapshot path (restored on start, written on shutdown; empty = none)")
 	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
+	queryVerify := flag.Bool("query-verify", false, "check every cache-served /query result against direct execution (oracle; slow)")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	flag.Parse()
 
@@ -85,6 +95,8 @@ func main() {
 		EpochInterval: *epochInterval,
 		SnapshotPath:  *snapshot,
 		ReportTop:     *top,
+		QueryDB:       db,
+		QueryVerify:   *queryVerify,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyserved: %v\n", err)

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/extract"
+	"repro/internal/interestcache"
+	"repro/internal/interval"
+	"repro/internal/memdb"
+)
+
+// SemCachePerfResult is the outcome of the semantic-result-cache experiment
+// (E13): the Table-1 synthetic workload replayed against the interest-driven
+// cache built from the miner's own clusters. Five phases: (1) a full oracle
+// pass proving every cache-served result byte-identical to direct execution,
+// (2) an uncached direct-execution baseline, (3) the cached run (hit ratio
+// and speedup), (4) an always-miss run isolating the miss-path overhead, and
+// (5) a staleness probe — regions mined from the first half of the log
+// serving the second half, then re-mined at full coverage. cmd/benchreport
+// serialises it to BENCH_semcache.json.
+type SemCachePerfResult struct {
+	Queries int   `json:"queries"`
+	Seed    int64 `json:"seed"`
+	Rows    int   `json:"rows_per_table"`
+	Regions int   `json:"regions"`
+
+	OracleChecked int64 `json:"oracle_checked"`
+	OracleFailed  int64 `json:"oracle_failed"`
+
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+	BytesServed int64   `json:"bytes_served"`
+
+	DirectSeconds float64 `json:"direct_seconds"`
+	CachedSeconds float64 `json:"cached_seconds"`
+	Speedup       float64 `json:"speedup"`
+
+	MissSeconds       float64 `json:"miss_seconds"`
+	MissOverheadRatio float64 `json:"miss_overhead_ratio"`
+
+	StaleHitRatio float64 `json:"stale_hit_ratio"`
+	FreshHitRatio float64 `json:"fresh_hit_ratio"`
+
+	Report string `json:"-"`
+}
+
+// RunSemCachePerf mines the workload, installs the clusters into the cache,
+// and measures correctness, hit ratio, speedup and staleness behaviour.
+func RunSemCachePerf(scale int, seed int64) (*SemCachePerfResult, error) {
+	env := NewEnvRows(scale, seed, 800)
+	miner := env.Miner()
+	full := miner.MineRecords(env.Records)
+	if len(full.Clusters) == 0 {
+		return nil, fmt.Errorf("semcacheperf: mining produced no clusters")
+	}
+	opts := memdb.ExecOptions{RowLimit: 500000, StrictTSQL: true}
+	newCache := func(verify bool) *interestcache.Cache {
+		return interestcache.New(interestcache.Config{
+			DB:        env.DB,
+			Extractor: &extract.Extractor{Schema: env.Schema, Stats: miner.Stats()},
+			Templates: &extract.TemplateCache{},
+			Exec:      opts,
+			Verify:    verify,
+		})
+	}
+	res := &SemCachePerfResult{Queries: scale, Seed: seed, Rows: 800}
+
+	// Phase 1 — oracle: every cache-served result byte-identical to direct.
+	oracle := newCache(true)
+	oracle.Install(1, full.Clusters)
+	res.Regions = len(oracle.Regions())
+	for _, rec := range env.Records {
+		oracle.Query(rec.SQL)
+	}
+	om := oracle.Metrics()
+	res.OracleChecked, res.OracleFailed = om.VerifyChecked, om.VerifyFailed
+	if om.VerifyFailed != 0 {
+		return nil, fmt.Errorf("semcacheperf: %d oracle failures", om.VerifyFailed)
+	}
+
+	// Phase 2 — direct baseline over the same statements.
+	t0 := time.Now()
+	for _, rec := range env.Records {
+		env.DB.ExecuteSQL(rec.SQL, opts)
+	}
+	res.DirectSeconds = time.Since(t0).Seconds()
+
+	// Phase 3 — cached run, verification off, templates cold (they warm
+	// within the run exactly as a serving process would).
+	cached := newCache(false)
+	cached.Install(1, full.Clusters)
+	t0 = time.Now()
+	for _, rec := range env.Records {
+		cached.Query(rec.SQL)
+	}
+	res.CachedSeconds = time.Since(t0).Seconds()
+	cm := cached.Metrics()
+	res.Hits, res.Misses, res.BytesServed = cm.Hits, cm.Misses, cm.BytesServed
+	if total := cm.Hits + cm.Misses; total > 0 {
+		res.HitRatio = float64(cm.Hits) / float64(total)
+	}
+	if res.CachedSeconds > 0 {
+		res.Speedup = res.DirectSeconds / res.CachedSeconds
+	}
+
+	// Phase 4 — miss-path overhead: a decoy region on a relation no
+	// workload query reads forces the full lookup path (fingerprint,
+	// extraction, index probe) on every statement, with every statement
+	// still answered directly.
+	missOnly := newCache(false)
+	decoyBox := interval.NewBox()
+	decoyBox.Set("NoSuchRelation.x", interval.Closed(0, 1))
+	missOnly.Install(1, []*aggregate.Summary{
+		{ID: 999, Relations: []string{"NoSuchRelation"}, Box: decoyBox},
+	})
+	t0 = time.Now()
+	for _, rec := range env.Records {
+		missOnly.Query(rec.SQL)
+	}
+	res.MissSeconds = time.Since(t0).Seconds()
+	if res.DirectSeconds > 0 {
+		res.MissOverheadRatio = res.MissSeconds / res.DirectSeconds
+	}
+
+	// Phase 5 — staleness window: regions mined from the first half of the
+	// log serve the second half (the stale regime a slow epoch cadence
+	// produces), then a re-mine restores full coverage.
+	half := len(env.Records) / 2
+	halfRes := env.Miner().MineRecords(env.Records[:half])
+	stale := newCache(false)
+	stale.Install(1, halfRes.Clusters)
+	for _, rec := range env.Records[half:] {
+		stale.Query(rec.SQL)
+	}
+	sm := stale.Metrics()
+	if total := sm.Hits + sm.Misses; total > 0 {
+		res.StaleHitRatio = float64(sm.Hits) / float64(total)
+	}
+	stale.Install(2, full.Clusters)
+	fresh0 := stale.Metrics()
+	for _, rec := range env.Records[half:] {
+		stale.Query(rec.SQL)
+	}
+	fm := stale.Metrics()
+	if total := (fm.Hits - fresh0.Hits) + (fm.Misses - fresh0.Misses); total > 0 {
+		res.FreshHitRatio = float64(fm.Hits-fresh0.Hits) / float64(total)
+	}
+
+	res.Report = res.render()
+	return res, nil
+}
+
+func (r *SemCachePerfResult) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E13 semcacheperf — interest-driven semantic result cache (%d queries, %d regions)\n\n", r.Queries, r.Regions)
+	fmt.Fprintf(&b, "oracle: %d cache-served results checked against direct execution, %d mismatches\n", r.OracleChecked, r.OracleFailed)
+	fmt.Fprintf(&b, "hit ratio: %.3f (%d hits / %d misses), %d bytes served from regions\n", r.HitRatio, r.Hits, r.Misses, r.BytesServed)
+	fmt.Fprintf(&b, "latency: direct %.2fs, cached %.2fs — speedup %.2fx\n", r.DirectSeconds, r.CachedSeconds, r.Speedup)
+	fmt.Fprintf(&b, "miss path: %.2fs vs %.2fs direct — overhead ratio %.3f\n", r.MissSeconds, r.DirectSeconds, r.MissOverheadRatio)
+	fmt.Fprintf(&b, "staleness: half-log regions answer %.3f of the second half; re-mined regions answer %.3f\n", r.StaleHitRatio, r.FreshHitRatio)
+	return b.String()
+}

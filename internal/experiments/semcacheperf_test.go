@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// A small-scale end-to-end run of the E13 harness: the oracle must hold, the
+// workload must hit, and the phase accounting must be self-consistent.
+func TestRunSemCachePerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("semcacheperf is slow")
+	}
+	res, err := RunSemCachePerf(1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleFailed != 0 {
+		t.Fatalf("oracle failures: %+v", res)
+	}
+	if res.OracleChecked == 0 || res.Hits == 0 || res.Regions == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	if res.HitRatio < 0.5 {
+		t.Errorf("hit ratio %.3f below the 0.5 acceptance floor", res.HitRatio)
+	}
+	if res.StaleHitRatio > res.FreshHitRatio {
+		t.Errorf("stale regions out-hit fresh ones: stale %.3f, fresh %.3f",
+			res.StaleHitRatio, res.FreshHitRatio)
+	}
+	if res.Report == "" {
+		t.Error("empty report")
+	}
+}

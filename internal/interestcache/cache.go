@@ -1,0 +1,449 @@
+package interestcache
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aggregate"
+	"repro/internal/extract"
+	"repro/internal/memdb"
+	"repro/internal/sqlparser"
+)
+
+// Config wires a Cache to its data source and extraction path.
+type Config struct {
+	// DB is the authoritative database: the prefetch source and the
+	// fall-through execution target.
+	DB *memdb.DB
+	// Extractor maps statements to access areas. Share the miner's
+	// extractor so cache decisions see the same schema and statistics.
+	Extractor *extract.Extractor
+	// Templates is the fingerprint → extraction-template cache. Share the
+	// pipeline's instance so templates warmed by ingestion serve queries.
+	Templates *extract.TemplateCache
+	// Exec is applied identically to region-store and direct execution.
+	Exec memdb.ExecOptions
+	// Verify enables the correctness oracle: every cache-served result is
+	// checked byte-for-byte against direct execution, and on mismatch the
+	// direct result is returned and the failure counted. For tests and
+	// the semcacheperf harness.
+	Verify bool
+}
+
+// snapshot is one epoch's immutable region set. Queries load it once and use
+// it throughout; Install publishes a fresh snapshot atomically, so a
+// re-cluster never mixes regions of different generations in one lookup.
+type snapshot struct {
+	generation int64
+	regions    []*Region
+	index      *containmentIndex
+}
+
+// Cache is the semantic result cache. Zero value is not usable; construct
+// with New.
+type Cache struct {
+	cfg  Config
+	snap atomic.Pointer[snapshot]
+
+	// shapes records, per statement fingerprint, whether the statement
+	// shape is safe to serve from a restricted store (no HAVING anywhere,
+	// no derived tables — see safeShape). The verdict is shape-level, so
+	// it is shared by all statements with the fingerprint.
+	shapes sync.Map // uint64 → bool
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	bytesServed   atomic.Int64
+	verifyChecked atomic.Int64
+	verifyFailed  atomic.Int64
+}
+
+// New returns a cache with an empty region set (every query misses until the
+// first Install).
+func New(cfg Config) *Cache {
+	c := &Cache{cfg: cfg}
+	c.snap.Store(&snapshot{})
+	return c
+}
+
+// Install prefetches the clusters' access areas from the configured database
+// and atomically replaces the served region set. generation should be the
+// mining epoch; it is echoed in Info so callers can assert which region set
+// answered. Clusters with no relations or an unset box are skipped (they
+// describe nothing prefetchable).
+func (c *Cache) Install(generation int64, clusters []*aggregate.Summary) {
+	snap := &snapshot{generation: generation}
+	for _, cl := range clusters {
+		if cl == nil || len(cl.Relations) == 0 || cl.Box == nil {
+			continue
+		}
+		snap.regions = append(snap.regions, newRegion(c.cfg.DB, generation, cl))
+	}
+	snap.index = buildIndex(snap.regions)
+	c.snap.Store(snap)
+}
+
+// Info describes how a query was answered.
+type Info struct {
+	// Hit is true when the result came from a region store.
+	Hit bool
+	// RegionID is the serving region's cluster ID (hits only).
+	RegionID int
+	// Generation is the region-set generation consulted.
+	Generation int64
+	// Reason explains a miss: "no-regions", "fingerprint", "parse",
+	// "shape", "uncacheable", "inexact", "empty-area", "no-region",
+	// "store-error", "verify-failed".
+	Reason string
+}
+
+// Query answers sql from a containing cached region when the containment
+// rule proves it sound, falling through to direct execution otherwise. The
+// result is identical to direct execution either way (enforced by the
+// Verify oracle when enabled). Errors mirror direct execution: a statement
+// that fails directly fails here with the same error.
+func (c *Cache) Query(sql string) (*memdb.ResultSet, Info, error) {
+	snap := c.snap.Load()
+	info := Info{Generation: snap.generation}
+	if len(snap.regions) == 0 {
+		return c.miss(sql, info, "no-regions")
+	}
+	area, reason := c.lookupArea(sql)
+	if reason != "" {
+		return c.miss(sql, info, reason)
+	}
+	region := snap.index.lookup(area)
+	if region == nil {
+		return c.miss(sql, info, "no-region")
+	}
+	rs, err := region.store.ExecuteSQL(sql, c.cfg.Exec)
+	if err != nil {
+		// The store is a subset view; any store-side failure (row limit,
+		// evaluation error) might not occur directly, so never surface it.
+		return c.miss(sql, info, "store-error")
+	}
+	if c.cfg.Verify {
+		c.verifyChecked.Add(1)
+		direct, derr := c.cfg.DB.ExecuteSQL(sql, c.cfg.Exec)
+		if derr != nil || string(EncodeResultSet(direct)) != string(EncodeResultSet(rs)) {
+			c.verifyFailed.Add(1)
+			info.Reason = "verify-failed"
+			c.misses.Add(1)
+			return direct, info, derr
+		}
+	}
+	n := resultBytes(rs)
+	region.hits.Add(1)
+	region.bytesServed.Add(n)
+	c.hits.Add(1)
+	c.bytesServed.Add(n)
+	info.Hit = true
+	info.RegionID = region.ID
+	return rs, info, nil
+}
+
+func (c *Cache) miss(sql string, info Info, reason string) (*memdb.ResultSet, Info, error) {
+	info.Reason = reason
+	c.misses.Add(1)
+	rs, err := c.cfg.DB.ExecuteSQL(sql, c.cfg.Exec)
+	return rs, info, err
+}
+
+// lookupArea resolves sql to an access area through the shared template
+// cache: fingerprint → cached template → rebind, with a one-time slow path
+// (parse + extract + template store) per statement shape. A non-empty reason
+// means the statement cannot be cache-served.
+func (c *Cache) lookupArea(sql string) (*extract.AccessArea, string) {
+	fp, lits, err := sqlparser.Fingerprint(sql)
+	if err != nil || anyBadNum(lits) {
+		return nil, "fingerprint"
+	}
+	shapeV, shapeKnown := c.shapes.Load(fp)
+	var area *extract.AccessArea
+	if t, ok := c.cfg.Templates.Get(fp); ok && shapeKnown {
+		if shapeV != true {
+			return nil, "shape"
+		}
+		a, _, ok := t.Rebind(c.cfg.Extractor, lits)
+		if !ok {
+			return nil, "uncacheable"
+		}
+		area = a
+	} else {
+		stmt, perr := sqlparser.Parse(sql)
+		if perr != nil {
+			return nil, "parse"
+		}
+		sel, ok := stmt.(*sqlparser.SelectStatement)
+		if !ok {
+			return nil, "parse"
+		}
+		safe := safeShape(sel)
+		c.shapes.Store(fp, safe)
+		if t, ok := c.cfg.Templates.Get(fp); ok {
+			if !safe {
+				return nil, "shape"
+			}
+			a, _, rok := t.Rebind(c.cfg.Extractor, lits)
+			if !rok {
+				return nil, "uncacheable"
+			}
+			area = a
+		} else {
+			a, _, t, xerr := c.cfg.Extractor.ExtractTemplate(sel)
+			if t != nil {
+				c.cfg.Templates.Put(fp, t)
+			}
+			if xerr != nil || a == nil {
+				return nil, "uncacheable"
+			}
+			if !safe {
+				return nil, "shape"
+			}
+			area = a
+		}
+	}
+	switch {
+	case !area.Exact || area.Truncated:
+		return nil, "inexact"
+	case area.IsEmpty():
+		return nil, "empty-area"
+	case len(area.Relations) == 0:
+		return nil, "inexact"
+	}
+	return area, ""
+}
+
+// safeShape reports whether a statement may be answered from a restricted
+// row store when its access area is exact and contained in the store's
+// region. Almost every construct is safe — the extraction's Exact flag
+// already excludes approximated shapes, and row order is preserved by the
+// store so TOP/ORDER BY/DISTINCT agree — with two exceptions the Exact flag
+// does not see:
+//
+//   - HAVING with an aggregate comparison: extraction maps e.g.
+//     "HAVING MAX(x) > c" to the row-level predicate "x > c", which bounds
+//     the rows CONTRIBUTING the extreme but not every row of a qualifying
+//     group; the group's other rows fall outside the area, so a restricted
+//     store computes different aggregates. (The mapping is marked noCache,
+//     not approximate, so Exact survives.)
+//   - Derived tables "(SELECT ...) t": their inner projection feeds the
+//     outer query rows whose provenance the area does not bound
+//     conservatively in all compositions; rejected outright.
+//
+// The walk covers union arms, join trees, and every subquery position.
+func safeShape(sel *sqlparser.SelectStatement) bool {
+	if sel == nil {
+		return true
+	}
+	if sel.Having != nil {
+		return false
+	}
+	for _, te := range sel.From {
+		if !safeTableExpr(te) {
+			return false
+		}
+	}
+	exprs := []sqlparser.Expr{sel.Where}
+	for _, it := range sel.Select {
+		exprs = append(exprs, it.Expr)
+	}
+	exprs = append(exprs, sel.GroupBy...)
+	for _, oi := range sel.OrderBy {
+		exprs = append(exprs, oi.Expr)
+	}
+	for _, e := range exprs {
+		if !safeExpr(e) {
+			return false
+		}
+	}
+	for _, arm := range sel.Unions {
+		if !safeShape(arm.Select) {
+			return false
+		}
+	}
+	return true
+}
+
+func safeTableExpr(te sqlparser.TableExpr) bool {
+	switch t := te.(type) {
+	case *sqlparser.SubqueryTable:
+		return false
+	case *sqlparser.Join:
+		return safeTableExpr(t.Left) && safeTableExpr(t.Right) && safeExpr(t.On)
+	default:
+		return true
+	}
+}
+
+func safeExpr(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *sqlparser.BinaryExpr:
+		return safeExpr(x.L) && safeExpr(x.R)
+	case *sqlparser.UnaryExpr:
+		return safeExpr(x.X)
+	case *sqlparser.BetweenExpr:
+		return safeExpr(x.X) && safeExpr(x.Lo) && safeExpr(x.Hi)
+	case *sqlparser.InListExpr:
+		if !safeExpr(x.X) {
+			return false
+		}
+		for _, it := range x.List {
+			if !safeExpr(it) {
+				return false
+			}
+		}
+		return true
+	case *sqlparser.InSubqueryExpr:
+		return safeExpr(x.X) && safeShape(x.Sub)
+	case *sqlparser.ExistsExpr:
+		return safeShape(x.Sub)
+	case *sqlparser.QuantifiedExpr:
+		return safeExpr(x.X) && safeShape(x.Sub)
+	case *sqlparser.ScalarSubquery:
+		return safeShape(x.Sub)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			if !safeExpr(a) {
+				return false
+			}
+		}
+		return true
+	case *sqlparser.LikeExpr:
+		return safeExpr(x.X) && safeExpr(x.Pattern)
+	case *sqlparser.IsNullExpr:
+		return safeExpr(x.X)
+	case *sqlparser.CaseExpr:
+		if !safeExpr(x.Operand) || !safeExpr(x.Else) {
+			return false
+		}
+		for _, w := range x.Whens {
+			if !safeExpr(w.When) || !safeExpr(w.Then) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func anyBadNum(lits []sqlparser.Literal) bool {
+	for _, l := range lits {
+		if l.BadNum {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics is a point-in-time counter snapshot.
+type Metrics struct {
+	Generation  int64           `json:"generation"`
+	Regions     int             `json:"regions"`
+	Hits        int64           `json:"hits"`
+	Misses      int64           `json:"misses"`
+	BytesServed int64           `json:"bytes_served"`
+	VerifyChecked int64         `json:"verify_checked"`
+	VerifyFailed  int64         `json:"verify_failed"`
+	PerRegion   []RegionMetrics `json:"per_region"`
+}
+
+// RegionMetrics are the per-region serving counters of the CURRENT region
+// set; counters reset naturally on Install because regions are rebuilt.
+type RegionMetrics struct {
+	ID          int   `json:"id"`
+	Rows        int   `json:"rows"`
+	Bytes       int64 `json:"bytes"`
+	Hits        int64 `json:"hits"`
+	BytesServed int64 `json:"bytes_served"`
+}
+
+// Metrics returns the current counters and per-region statistics.
+func (c *Cache) Metrics() Metrics {
+	snap := c.snap.Load()
+	m := Metrics{
+		Generation:    snap.generation,
+		Regions:       len(snap.regions),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		BytesServed:   c.bytesServed.Load(),
+		VerifyChecked: c.verifyChecked.Load(),
+		VerifyFailed:  c.verifyFailed.Load(),
+	}
+	for _, r := range snap.regions {
+		m.PerRegion = append(m.PerRegion, RegionMetrics{
+			ID: r.ID, Rows: r.Rows, Bytes: r.Bytes,
+			Hits: r.Hits(), BytesServed: r.BytesServed(),
+		})
+	}
+	return m
+}
+
+// Generation returns the current region-set generation.
+func (c *Cache) Generation() int64 { return c.snap.Load().generation }
+
+// Regions returns the current region set (read-only).
+func (c *Cache) Regions() []*Region { return c.snap.Load().regions }
+
+// EncodeResultSet renders a result set into a canonical byte string: column
+// names, then row-major cells, each value tagged by kind with numbers as
+// IEEE-754 bits and strings length-prefixed. Two result sets are
+// byte-identical under this encoding iff they have the same columns and the
+// same rows in the same order — the oracle's definition of "identical".
+func EncodeResultSet(rs *memdb.ResultSet) []byte {
+	if rs == nil {
+		return nil
+	}
+	var buf []byte
+	appendStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, s...)
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(rs.Columns)))
+	buf = append(buf, n[:]...)
+	for _, col := range rs.Columns {
+		appendStr(col)
+	}
+	for _, row := range rs.Rows {
+		for _, v := range row {
+			buf = append(buf, byte(v.Kind))
+			switch v.Kind {
+			case memdb.Num:
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Num))
+				buf = append(buf, b[:]...)
+			case memdb.Str:
+				appendStr(v.Str)
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+func resultBytes(rs *memdb.ResultSet) int64 {
+	if rs == nil {
+		return 0
+	}
+	var n int64
+	for _, row := range rs.Rows {
+		for _, v := range row {
+			n++ // kind tag
+			switch v.Kind {
+			case memdb.Num:
+				n += 8
+			case memdb.Str:
+				n += int64(len(v.Str))
+			}
+		}
+	}
+	return n
+}

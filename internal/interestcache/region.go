@@ -1,0 +1,205 @@
+// Package interestcache is the semantic result cache the paper's access-area
+// mining motivates: mined clusters describe where in the data space users are
+// interested, so the rows inside each cluster's aggregated access area are
+// prefetched into per-region column stores and queries whose own access area
+// is contained in a cached region are answered from the region's store
+// instead of the full database (DESIGN.md §11).
+package interestcache
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/aggregate"
+	"repro/internal/extract"
+	"repro/internal/interval"
+	"repro/internal/memdb"
+	"repro/internal/predicate"
+)
+
+// Region is one prefetched cluster: the aggregated access area (relations,
+// hyper-rectangle, categorical value lists) plus a sealed sub-database
+// holding exactly the rows of the source database inside the area. The store
+// is immutable after construction; hit counters are atomic so the serving
+// path never takes a lock.
+type Region struct {
+	ID         int
+	Generation int64
+	Relations  []string
+	Box        *interval.Box
+	Categorical map[string][]string
+
+	store *memdb.DB
+	// Rows and Bytes size the prefetched column store: total row count and
+	// the byte footprint of its cells (8 bytes per number, len+1 per
+	// string, 1 per null — the kind tag).
+	Rows  int
+	Bytes int64
+
+	hits        atomic.Int64
+	bytesServed atomic.Int64
+}
+
+// newRegion prefetches the rows of db inside the cluster's aggregated access
+// area into a per-region column store. The restricted view is re-materialised
+// column by column into fresh row slices so the region store stays valid even
+// if the source tables are later mutated.
+func newRegion(db *memdb.DB, generation int64, c *aggregate.Summary) *Region {
+	r := &Region{
+		ID:          c.ID,
+		Generation:  generation,
+		Relations:   append([]string(nil), c.Relations...),
+		Box:         c.Box.Clone(),
+		Categorical: c.Categorical,
+	}
+	view := db.Restrict(r.Relations, r.Box, r.Categorical)
+	r.store = memdb.New(db.Schema)
+	for _, name := range view.Tables() {
+		src := view.Table(name)
+		cols := columnize(src)
+		dst := r.store.CreateTable(src.Name, src.Columns...)
+		dst.Rows = cols.rows()
+		r.Rows += len(dst.Rows)
+		r.Bytes += cols.bytes
+	}
+	return r
+}
+
+// columns is a per-table column store: one typed vector per column, cells
+// addressed row-major on read-out. It exists to own the region's copy of the
+// data (decoupled from the source DB) and to account bytes per cell.
+type columns struct {
+	kinds [][]memdb.ValueKind
+	nums  [][]float64
+	strs  [][]string
+	n     int
+	bytes int64
+}
+
+func columnize(t *memdb.Table) *columns {
+	c := &columns{
+		kinds: make([][]memdb.ValueKind, len(t.Columns)),
+		nums:  make([][]float64, len(t.Columns)),
+		strs:  make([][]string, len(t.Columns)),
+		n:     len(t.Rows),
+	}
+	for i := range t.Columns {
+		c.kinds[i] = make([]memdb.ValueKind, len(t.Rows))
+		c.nums[i] = make([]float64, len(t.Rows))
+		c.strs[i] = make([]string, len(t.Rows))
+	}
+	for ri, row := range t.Rows {
+		for ci, v := range row {
+			c.kinds[ci][ri] = v.Kind
+			c.bytes++ // kind tag
+			switch v.Kind {
+			case memdb.Num:
+				c.nums[ci][ri] = v.Num
+				c.bytes += 8
+			case memdb.Str:
+				c.strs[ci][ri] = v.Str
+				c.bytes += int64(len(v.Str))
+			}
+		}
+	}
+	return c
+}
+
+// rows seals the column store back into row form for the executor,
+// preserving the source row order (the property that makes TOP/ORDER
+// BY-free enumeration from a region a subsequence of direct enumeration).
+func (c *columns) rows() [][]memdb.Value {
+	out := make([][]memdb.Value, c.n)
+	for ri := range out {
+		row := make([]memdb.Value, len(c.kinds))
+		for ci := range c.kinds {
+			switch c.kinds[ci][ri] {
+			case memdb.Num:
+				row[ci] = memdb.N(c.nums[ci][ri])
+			case memdb.Str:
+				row[ci] = memdb.S(c.strs[ci][ri])
+			default:
+				row[ci] = memdb.NullValue()
+			}
+		}
+		out[ri] = row
+	}
+	return out
+}
+
+// Contains reports whether every row the query's access area can touch is
+// present in the region's store, i.e. whether the query may be answered from
+// the region. The rule (DESIGN.md §11):
+//
+//  1. every query relation is one of the region's relations;
+//  2. for each box dimension the region constrains on a relation the query
+//     references, the hull of the query's projected bounds (the full
+//     interval when the query leaves the column unconstrained) is contained
+//     in the region's interval;
+//  3. for each categorical column the region pins on a referenced relation,
+//     the query must pin the column to a subset of the region's values
+//     (case-insensitively, mirroring evaluation).
+//
+// Dimensions on relations the query never reads are irrelevant: the
+// restriction they induce removes rows of other tables only.
+func (r *Region) Contains(area *extract.AccessArea) bool {
+	for _, rel := range area.Relations {
+		if !containsFold(r.Relations, rel) {
+			return false
+		}
+	}
+	bounds := area.Bounds()
+	for _, dim := range r.Box.Dims() {
+		rel, _, ok := splitQualified(dim)
+		if !ok || !containsFold(area.Relations, rel) {
+			continue
+		}
+		q := interval.Full()
+		if set, ok := bounds[dim]; ok {
+			q = set.Hull()
+		}
+		if !r.Box.Get(dim).ContainsInterval(q) {
+			return false
+		}
+	}
+	if len(r.Categorical) > 0 {
+		strBounds := predicate.StringBounds(area.CNF)
+		for col, regionVals := range r.Categorical {
+			rel, _, ok := splitQualified(col)
+			if !ok || !containsFold(area.Relations, rel) {
+				continue
+			}
+			queryVals, ok := strBounds[col]
+			if !ok {
+				return false
+			}
+			for _, v := range queryVals {
+				if !containsFold(regionVals, v) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Hits and BytesServed expose the per-region serving counters.
+func (r *Region) Hits() int64        { return r.hits.Load() }
+func (r *Region) BytesServed() int64 { return r.bytesServed.Load() }
+
+func containsFold(list []string, s string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func splitQualified(name string) (rel, col string, ok bool) {
+	i := strings.LastIndex(name, ".")
+	if i < 0 {
+		return "", name, false
+	}
+	return name[:i], name[i+1:], true
+}

@@ -123,6 +123,26 @@ func (b *Box) VolumeRatio(reference *Box) float64 {
 	return ratio
 }
 
+// ContainsBox reports whether every point of other lies inside b: for each
+// dimension b constrains, other's projection onto that dimension (the full
+// interval when other leaves it unconstrained) must be a subset of b's
+// interval. Dimensions only other constrains never fail the test, since b is
+// unbounded there. An empty other is contained in any box. This is the
+// containment rule of the semantic result cache (DESIGN.md §11): a query
+// whose access-area box is contained in a cached region's box can be
+// answered from the region's prefetched rows.
+func (b *Box) ContainsBox(other *Box) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	for name, iv := range b.dims {
+		if !iv.ContainsInterval(other.Get(name)) {
+			return false
+		}
+	}
+	return true
+}
+
 // ContainsPoint reports whether the named values fall within every
 // constrained dimension of the box. Dimensions missing from values are
 // treated as outside (the point does not determine them).

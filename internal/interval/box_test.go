@@ -1,0 +1,74 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestContainsBox(t *testing.T) {
+	box := func(dims map[string]Interval) *Box {
+		b := NewBox()
+		for k, v := range dims {
+			b.Set(k, v)
+		}
+		return b
+	}
+	cases := []struct {
+		name  string
+		b, o  *Box
+		want  bool
+	}{
+		{"empty in anything", box(map[string]Interval{"a": Closed(0, 1)}),
+			box(map[string]Interval{"a": Empty()}), true},
+		{"unconstrained other fails constrained dim",
+			box(map[string]Interval{"a": Closed(0, 1)}), NewBox(), false},
+		{"unconstrained other passes full dim",
+			box(map[string]Interval{"a": Full()}), NewBox(), true},
+		{"subset", box(map[string]Interval{"a": Closed(0, 10)}),
+			box(map[string]Interval{"a": Closed(2, 3)}), true},
+		{"overlap not subset", box(map[string]Interval{"a": Closed(0, 10)}),
+			box(map[string]Interval{"a": Closed(5, 15)}), false},
+		{"extra dim on other is fine", box(map[string]Interval{"a": Closed(0, 10)}),
+			box(map[string]Interval{"a": Closed(1, 2), "b": Closed(7, 8)}), true},
+		{"missing dim on other fails", box(map[string]Interval{"a": Closed(0, 10), "b": Closed(0, 1)}),
+			box(map[string]Interval{"a": Closed(1, 2)}), false},
+		{"open endpoint boundary", box(map[string]Interval{"a": Open(0, 1)}),
+			box(map[string]Interval{"a": Closed(0, 1)}), false},
+		{"closed contains open at boundary", box(map[string]Interval{"a": Closed(0, 1)}),
+			box(map[string]Interval{"a": Open(0, 1)}), true},
+		{"one-sided ray", box(map[string]Interval{"a": Above(5, false)}),
+			box(map[string]Interval{"a": Above(5, false)}), true},
+		{"ray rejects closed-at-infinity degenerate", box(map[string]Interval{"a": Above(5, false)}),
+			box(map[string]Interval{"a": Closed(5, math.Inf(1))}), false},
+		{"empty region dim rejects non-empty query",
+			box(map[string]Interval{"a": Empty()}),
+			box(map[string]Interval{"a": Point(1)}), false},
+	}
+	for _, c := range cases {
+		if got := c.b.ContainsBox(c.o); got != c.want {
+			t.Errorf("%s: ContainsBox = %v, want %v (b=%v o=%v)", c.name, got, c.want, c.b, c.o)
+		}
+	}
+}
+
+// Containment must agree with point membership: any point inside other (on
+// the union of both boxes' dimensions) is inside b whenever b contains other.
+func TestContainsBoxPointConsistency(t *testing.T) {
+	b := NewBox()
+	b.Set("x", Closed(0, 10))
+	b.Set("y", Open(-1, 1))
+	o := NewBox()
+	o.Set("x", Closed(2, 3))
+	o.Set("y", Closed(-0.5, 0.5))
+	if !b.ContainsBox(o) {
+		t.Fatalf("expected containment")
+	}
+	for _, x := range []float64{2, 2.5, 3} {
+		for _, y := range []float64{-0.5, 0, 0.5} {
+			pt := map[string]float64{"x": x, "y": y}
+			if o.ContainsPoint(pt) && !b.ContainsPoint(pt) {
+				t.Fatalf("point %v in o but not in b", pt)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzInterval builds an interval from raw fuzz inputs. NaN endpoints are
+// normalised away, and infinite endpoints are forced open — the only form
+// the package itself ever constructs (Full/Below/Above), and the only one
+// with coherent complement semantics over the reals.
+func fuzzInterval(lo, hi float64, flags byte) Interval {
+	if math.IsNaN(lo) {
+		lo = 0
+	}
+	if math.IsNaN(hi) {
+		hi = 0
+	}
+	iv := Interval{Lo: lo, Hi: hi, LoOpen: flags&1 != 0, HiOpen: flags&2 != 0}
+	if math.IsInf(iv.Lo, 0) {
+		iv.LoOpen = true
+	}
+	if math.IsInf(iv.Hi, 0) {
+		iv.HiOpen = true
+	}
+	return iv
+}
+
+// checkCanonical asserts the Set invariant: sorted, non-empty, pairwise
+// disjoint and non-adjacent constituents.
+func checkCanonical(t *testing.T, label string, s Set) {
+	t.Helper()
+	ivs := s.Intervals()
+	for i, iv := range ivs {
+		if iv.IsEmpty() {
+			t.Fatalf("%s: member %d empty: %v", label, i, s)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := ivs[i-1]
+		if prev.Overlaps(iv) || prev.Adjacent(iv) {
+			t.Fatalf("%s: members %d,%d overlap/adjacent: %v", label, i-1, i, s)
+		}
+		if iv.Lo < prev.Lo {
+			t.Fatalf("%s: members out of order: %v", label, s)
+		}
+	}
+}
+
+// FuzzIntervalSet drives the interval-set algebra the semantic cache's
+// containment rule leans on: union/intersect/complement identities, endpoint
+// openness edge cases, and consistency between set operations and point
+// membership plus ContainsInterval.
+func FuzzIntervalSet(f *testing.F) {
+	f.Add(0.0, 1.0, byte(0), 0.5, 2.0, byte(1), 1.0, 1.0, byte(2))
+	f.Add(math.Inf(-1), 3.0, byte(2), 3.0, math.Inf(1), byte(0), -1.0, 5.0, byte(3))
+	f.Add(5.0, 5.0, byte(0), 5.0, 5.0, byte(1), 4.0, 6.0, byte(0))
+	f.Add(1.0, 0.0, byte(0), 0.0, 0.0, byte(3), math.Inf(-1), math.Inf(1), byte(3))
+	f.Add(-2.5, 7.25, byte(1), 7.25, 9.0, byte(0), 2.0, 2.0, byte(0))
+
+	f.Fuzz(func(t *testing.T, lo1, hi1 float64, f1 byte, lo2, hi2 float64, f2 byte, lo3, hi3 float64, f3 byte) {
+		a := fuzzInterval(lo1, hi1, f1)
+		b := fuzzInterval(lo2, hi2, f2)
+		c := fuzzInterval(lo3, hi3, f3)
+
+		sa, sb := NewSet(a, c), NewSet(b)
+		checkCanonical(t, "a", sa)
+		checkCanonical(t, "b", sb)
+
+		union := sa.Union(sb)
+		inter := sa.Intersect(sb)
+		checkCanonical(t, "union", union)
+		checkCanonical(t, "inter", inter)
+
+		if !union.Equal(sb.Union(sa)) {
+			t.Fatalf("union not commutative: %v vs %v", sa, sb)
+		}
+		if !inter.Equal(sb.Intersect(sa)) {
+			t.Fatalf("intersect not commutative: %v vs %v", sa, sb)
+		}
+		if !sa.Complement().Complement().Equal(sa) {
+			t.Fatalf("complement not involutive: %v -> %v -> %v",
+				sa, sa.Complement(), sa.Complement().Complement())
+		}
+		if !union.Complement().Equal(sa.Complement().Intersect(sb.Complement())) {
+			t.Fatalf("De Morgan violated for %v, %v", sa, sb)
+		}
+
+		// Point membership must agree with the set operations at endpoints
+		// (where openness matters) and in between.
+		probes := []float64{lo1, hi1, lo2, hi2, lo3, hi3}
+		for _, v := range []float64{lo1, hi1, lo2, hi2} {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				probes = append(probes, v-0.5, v+0.5, math.Nextafter(v, math.Inf(1)), math.Nextafter(v, math.Inf(-1)))
+			}
+		}
+		for _, v := range probes {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			inA, inB := sa.Contains(v), sb.Contains(v)
+			if got := union.Contains(v); got != (inA || inB) {
+				t.Fatalf("union membership of %v: got %v, want %v (%v ∪ %v)", v, got, inA || inB, sa, sb)
+			}
+			if got := inter.Contains(v); got != (inA && inB) {
+				t.Fatalf("intersect membership of %v: got %v, want %v (%v ∩ %v)", v, got, inA && inB, sa, sb)
+			}
+			if got := sa.Complement().Contains(v); got == inA {
+				t.Fatalf("complement membership of %v equals set membership (%v)", v, sa)
+			}
+			if sa.Hull().Contains(v) != sa.Hull().Contains(v) { // hull is an interval; sanity only
+				t.Fatalf("hull inconsistent")
+			}
+			if inA && !sa.Hull().Contains(v) {
+				t.Fatalf("hull of %v misses member point %v", sa, v)
+			}
+		}
+
+		// ContainsInterval must agree with the set algebra: a ⊇ b exactly
+		// when adding b to a changes nothing.
+		if got, want := a.ContainsInterval(b), NewSet(a).Union(NewSet(b)).Equal(NewSet(a)); got != want {
+			t.Fatalf("ContainsInterval(%v, %v) = %v, union test says %v", a, b, got, want)
+		}
+	})
+}

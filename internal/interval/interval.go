@@ -178,7 +178,7 @@ func (iv Interval) Adjacent(other Interval) bool {
 		return false
 	}
 	lo, hi := iv, other
-	if lo.Lo > hi.Lo || (lo.Lo == hi.Lo && hi.LoOpen && !lo.LoOpen) {
+	if lo.Lo > hi.Lo || (lo.Lo == hi.Lo && lo.LoOpen && !hi.LoOpen) {
 		lo, hi = hi, lo
 	}
 	// Union is contiguous when hi starts exactly where lo ends and at most

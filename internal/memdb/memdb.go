@@ -284,6 +284,32 @@ func (db *DB) ObjectFraction(relations []string, box *interval.Box, categorical 
 	return frac
 }
 
+// Restrict materialises the sub-database covering an aggregated access area:
+// for each listed relation present in db, a table holding exactly the rows
+// whose numeric columns fall inside box and whose categorical columns match
+// one of the given values (case-insensitively, mirroring query evaluation).
+// Box dimensions and categorical columns are qualified "Table.column";
+// entries for other relations or unknown columns are ignored, exactly as in
+// ObjectFraction. Row order is preserved and row slices are shared with db —
+// the result is a read-only view for the semantic cache's prefetcher, not an
+// independent copy. Relations absent from db are skipped.
+func (db *DB) Restrict(relations []string, box *interval.Box, categorical map[string][]string) *DB {
+	out := New(db.Schema)
+	for _, rel := range relations {
+		t := db.Table(rel)
+		if t == nil {
+			continue
+		}
+		nt := out.CreateTable(t.Name, t.Columns...)
+		for _, row := range t.Rows {
+			if rowMatches(t, row, box, categorical) {
+				nt.Rows = append(nt.Rows, row)
+			}
+		}
+	}
+	return out
+}
+
 func rowMatches(t *Table, row []Value, box *interval.Box, categorical map[string][]string) bool {
 	for _, col := range box.Dims() {
 		rel, cname, ok := splitQualified(col)

@@ -652,3 +652,33 @@ func TestNegationAndModulo(t *testing.T) {
 		t.Errorf("mod0 = %v", rs.Rows[0][0])
 	}
 }
+
+func TestRestrict(t *testing.T) {
+	db := sampleDB(t)
+	box := interval.NewBox()
+	box.Set("T.v", interval.Closed(15, 35))
+	box.Set("Other.x", interval.Point(1)) // foreign relation: ignored
+	sub := db.Restrict([]string{"T", "S", "Missing"}, box, map[string][]string{
+		"S.w": {"A", "c"}, // case-insensitive match, mirroring rowMatches
+	})
+	tt := sub.Table("T")
+	if tt == nil || len(tt.Rows) != 2 || tt.Rows[0][0].Num != 2 || tt.Rows[1][0].Num != 3 {
+		t.Fatalf("T restricted wrong: %+v", tt)
+	}
+	st := sub.Table("S")
+	if st == nil || len(st.Rows) != 2 || st.Rows[0][1].Str != "a" || st.Rows[1][1].Str != "c" {
+		t.Fatalf("S restricted wrong: %+v", st)
+	}
+	if sub.Table("Missing") != nil {
+		t.Fatal("absent relation must be skipped")
+	}
+	// Row order preserved and slices shared with the source.
+	if &st.Rows[0][0] != &db.Table("S").Rows[0][0] {
+		t.Fatal("rows must be shared, not copied")
+	}
+	// Restricted sub-database executes queries like any other DB.
+	rs := mustExec(t, sub, "SELECT u FROM T")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("exec over restricted db: %v", rs.Rows)
+	}
+}

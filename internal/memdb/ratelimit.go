@@ -2,6 +2,7 @@ package memdb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -33,22 +34,35 @@ func NewRateLimiter(perMinute int) *RateLimiter {
 }
 
 // Allow records a query by user at logical time ts (seconds) and reports
-// whether it is within quota. Denied queries are not recorded.
+// whether it is within quota: fewer than PerMinute recorded queries fall in
+// (ts-60, ts]. Denied queries are not recorded. Timestamps may arrive out of
+// order (concurrent clients race to the lock), so the window is kept sorted
+// and evicted against the newest time seen rather than by prefix-scanning in
+// arrival order — the latter silently stopped evicting once a late-arriving
+// old entry landed behind a newer one, denying users still within quota.
 func (rl *RateLimiter) Allow(user string, ts int64) bool {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	window := rl.history[user]
-	// Evict entries older than 60 seconds.
-	cut := 0
-	for cut < len(window) && window[cut] <= ts-60 {
-		cut++
+	maxTs := ts
+	if n := len(window); n > 0 && window[n-1] > maxTs {
+		maxTs = window[n-1]
 	}
+	// Evict entries at or before maxTs-60: outside every window that any
+	// in-order or late query could still fall into.
+	cut := sort.Search(len(window), func(i int) bool { return window[i] > maxTs-60 })
 	window = window[cut:]
-	if len(window) >= rl.PerMinute {
+	// Count the entries inside this query's own window (ts-60, ts].
+	lo := sort.Search(len(window), func(i int) bool { return window[i] > ts-60 })
+	hi := sort.Search(len(window), func(i int) bool { return window[i] > ts })
+	if hi-lo >= rl.PerMinute {
 		rl.history[user] = window
 		return false
 	}
-	rl.history[user] = append(window, ts)
+	window = append(window, 0)
+	copy(window[hi+1:], window[hi:])
+	window[hi] = ts
+	rl.history[user] = window
 	return true
 }
 

@@ -1,6 +1,8 @@
 package predicate
 
 import (
+	"sort"
+
 	"repro/internal/interval"
 )
 
@@ -53,6 +55,82 @@ func clauseColumnSet(cl Clause) (string, interval.Set, bool) {
 		set = set.Union(s)
 	}
 	return col, set, true
+}
+
+// StringBounds computes, for every categorical column the CNF pins to an
+// explicit value list, the set of admissible string constants: clauses whose
+// predicates are all string equalities on one column contribute the union of
+// their values, and several such clauses on the same column intersect. Like
+// Bounds, it is a sound over-approximation — clauses of any other shape
+// (numeric, negated, multi-column) constrain nothing here and are skipped.
+// The semantic result cache uses it to test a query's categorical demands
+// against a region's cached value lists (DESIGN.md §11).
+func StringBounds(c CNF) map[string][]string {
+	out := make(map[string][]string)
+	for _, cl := range c {
+		col, vals, ok := clauseStringSet(cl)
+		if !ok {
+			continue
+		}
+		if cur, exists := out[col]; exists {
+			out[col] = intersectStrings(cur, vals)
+		} else {
+			out[col] = vals
+		}
+	}
+	for col := range out {
+		sort.Strings(out[col])
+	}
+	return out
+}
+
+// clauseStringSet returns the single column a clause pins to string values
+// and the union of those values; ok is false when any predicate is not a
+// plain string equality or the clause spans several columns.
+func clauseStringSet(cl Clause) (string, []string, bool) {
+	if len(cl) == 0 {
+		return "", nil, false
+	}
+	col := ""
+	var vals []string
+	for _, p := range cl {
+		if p.Kind != ColumnConstant || p.Op != Eq || p.Val.Kind != StringVal {
+			return "", nil, false
+		}
+		if col == "" {
+			col = p.Column
+		} else if col != p.Column {
+			return "", nil, false
+		}
+		vals = append(vals, p.Val.Str)
+	}
+	return col, dedupStrings(vals), true
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func intersectStrings(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, s := range b {
+		inB[s] = true
+	}
+	out := make([]string, 0, len(a))
+	for _, s := range a {
+		if inB[s] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // BoundsBox converts per-column bounds to a Box using each set's hull.

@@ -71,3 +71,38 @@ func TestCNFClone(t *testing.T) {
 		t.Error("clone is not deep")
 	}
 }
+
+func TestStringBounds(t *testing.T) {
+	// (s = 'x' OR s = 'y' OR s = 'x') AND (s = 'y' OR s = 'z') AND
+	// (t = 'a') AND (a > 1) AND (u = 'p' OR v = 'q') AND (w = 'm' OR a = 2)
+	c := CNF{
+		{CC("s", Eq, Str("x")), CC("s", Eq, Str("y")), CC("s", Eq, Str("x"))},
+		{CC("s", Eq, Str("y")), CC("s", Eq, Str("z"))},
+		{CC("t", Eq, Str("a"))},
+		{CC("a", Gt, Number(1))},
+		{CC("u", Eq, Str("p")), CC("v", Eq, Str("q"))}, // multi-column: skipped
+		{CC("w", Eq, Str("m")), CC("a", Eq, Number(2))}, // mixed kinds: skipped
+	}
+	sb := StringBounds(c)
+	if got := sb["s"]; len(got) != 1 || got[0] != "y" {
+		t.Errorf("s = %v, want [y]", got)
+	}
+	if got := sb["t"]; len(got) != 1 || got[0] != "a" {
+		t.Errorf("t = %v, want [a]", got)
+	}
+	for _, col := range []string{"a", "u", "v", "w"} {
+		if _, ok := sb[col]; ok {
+			t.Errorf("column %s must not appear: %v", col, sb[col])
+		}
+	}
+}
+
+func TestStringBoundsRejectsNonEquality(t *testing.T) {
+	c := CNF{
+		{CC("s", Ne, Str("x"))},
+		{Cols("s", Eq, "t")},
+	}
+	if sb := StringBounds(c); len(sb) != 0 {
+		t.Errorf("StringBounds = %v, want empty", sb)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/memdb"
 	"repro/internal/qlog"
 	"repro/internal/report"
 )
@@ -18,15 +20,19 @@ import (
 //	POST /ingest    JSON array, single object, or NDJSON stream of records
 //	POST /flush     drain the queue and run an epoch (blocks)
 //	POST /snapshot  write the snapshot now
-//	GET  /report    latest clustering (text/csv/json, content-negotiated)
+//	POST /query     execute a statement via the semantic result cache
+//	GET  /report    latest clustering (text/csv/json, content-negotiated,
+//	                ETag/If-None-Match aware)
 //	GET  /stats     cumulative pipeline statistics
-//	GET  /metrics   flat counters (ingest rate, cache hits, epoch latency)
+//	GET  /metrics   flat counters (ingest rate, cache hits, epoch latency,
+//	                semantic-cache hit/miss/bytes per region)
 //	GET  /healthz   readiness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/flush", s.handleFlush)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -220,6 +226,92 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"path": s.cfg.SnapshotPath})
 }
 
+// queryReply is the JSON body of every /query response.
+type queryReply struct {
+	Columns  []string `json:"columns,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	RowCount int      `json:"row_count"`
+	Cache    struct {
+		Hit        bool   `json:"hit"`
+		Region     int    `json:"region,omitempty"`
+		Generation int64  `json:"generation"`
+		Reason     string `json:"reason,omitempty"`
+	} `json:"cache"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleQuery executes one SELECT through the semantic result cache: the
+// statement's access area is extracted (via the shared template cache) and,
+// when a prefetched region provably contains it, answered from the region's
+// column store; otherwise it falls through to direct execution. The body is
+// either raw SQL or a JSON object {"sql": "..."}.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.qcache == nil {
+		http.Error(w, "query serving not configured (no database attached)", http.StatusConflict)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sql := strings.TrimSpace(string(body))
+	if strings.Contains(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			SQL string `json:"sql"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, queryReply{Error: err.Error()})
+			return
+		}
+		sql = req.SQL
+	}
+	if sql == "" {
+		writeJSON(w, http.StatusBadRequest, queryReply{Error: "empty statement"})
+		return
+	}
+	rs, info, qerr := s.qcache.Query(sql)
+	var reply queryReply
+	reply.Cache.Hit = info.Hit
+	reply.Cache.Region = info.RegionID
+	reply.Cache.Generation = info.Generation
+	reply.Cache.Reason = info.Reason
+	cacheHeader := "MISS"
+	if info.Hit {
+		cacheHeader = "HIT"
+		w.Header().Set("X-Cache-Region", strconv.Itoa(info.RegionID))
+	}
+	w.Header().Set("X-Cache", cacheHeader)
+	w.Header().Set("X-Cache-Generation", strconv.FormatInt(info.Generation, 10))
+	if qerr != nil {
+		reply.Error = qerr.Error()
+		writeJSON(w, http.StatusBadRequest, reply)
+		return
+	}
+	reply.Columns = rs.Columns
+	reply.RowCount = len(rs.Rows)
+	reply.Rows = make([][]any, len(rs.Rows))
+	for i, row := range rs.Rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case memdb.Num:
+				out[j] = v.Num
+			case memdb.Str:
+				out[j] = v.Str
+			default:
+				out[j] = nil
+			}
+		}
+		reply.Rows[i] = out
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
 // negotiateFormat picks the report encoding: ?format= wins, then Accept.
 func negotiateFormat(r *http.Request) (report.Format, error) {
 	if f := r.URL.Query().Get("format"); f != "" {
@@ -248,7 +340,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res := s.latest()
+	res, gen := s.latest()
 	if res == nil {
 		http.Error(w, "no epoch has run yet — POST /flush or keep ingesting", http.StatusServiceUnavailable)
 		return
@@ -261,6 +353,21 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		top = n
+	}
+	// The report body is a pure function of (epoch generation, format, top),
+	// so that triple is the entity tag; polling clients send If-None-Match
+	// and skip re-downloading an unchanged Table-1 view.
+	etag := fmt.Sprintf(`"r%d-%s-%d"`, gen, format, top)
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		for _, cand := range strings.Split(match, ",") {
+			cand = strings.TrimSpace(cand)
+			cand = strings.TrimPrefix(cand, "W/")
+			if cand == etag || cand == "*" {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
 	}
 	w.Header().Set("Content-Type", contentTypes[format])
 	_ = report.Write(w, res, format, report.Options{Top: top, Coverage: s.cfg.Coverage != nil})
@@ -303,7 +410,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if evals+hits > 0 {
 		distRatio = float64(hits) / float64(evals+hits)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	metrics := map[string]any{
 		"uptime_seconds":           uptime,
 		"ingest_accepted":          accepted,
 		"ingest_rejected":          s.rejected.Load(),
@@ -321,7 +428,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"distance_evals":           evals,
 		"distance_cache_hits":      hits,
 		"distance_cache_hit_ratio": distRatio,
-	})
+	}
+	if s.qcache != nil {
+		m := s.qcache.Metrics()
+		metrics["semcache_generation"] = m.Generation
+		metrics["semcache_regions"] = m.Regions
+		metrics["semcache_hits"] = m.Hits
+		metrics["semcache_misses"] = m.Misses
+		metrics["semcache_bytes_served"] = m.BytesServed
+		metrics["semcache_verify_checked"] = m.VerifyChecked
+		metrics["semcache_verify_failed"] = m.VerifyFailed
+		if total := m.Hits + m.Misses; total > 0 {
+			metrics["semcache_hit_ratio"] = float64(m.Hits) / float64(total)
+		} else {
+			metrics["semcache_hit_ratio"] = 0.0
+		}
+		metrics["semcache_per_region"] = m.PerRegion
+	}
+	writeJSON(w, http.StatusOK, metrics)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/memdb"
+)
+
+func queryServer(t *testing.T, verify bool) (*Server, *httptest.Server) {
+	t.Helper()
+	db := testDB()
+	s, err := NewServer(Config{
+		Miner:       minerConfig(db),
+		QueryDB:     db,
+		QueryVerify: verify,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postQuery(t *testing.T, url, contentType, body string) (int, http.Header, queryReply) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	defer resp.Body.Close()
+	var reply queryReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatalf("query reply: %v", err)
+	}
+	return resp.StatusCode, resp.Header, reply
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, ts := queryServer(t, true)
+	postNDJSON(t, ts.URL, synthRecords(800, 7))
+	if _, err := http.Post(ts.URL+"/flush", "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw-SQL body. The whole-table probe may hit or miss depending on the
+	// mined regions; correctness and labelling are what we pin here.
+	sql := "SELECT TOP 5 objid FROM Photoz WHERE objid BETWEEN 1237657855534432934 AND 1237666210342830434"
+	status, hdr, reply := postQuery(t, ts.URL, "text/plain", sql)
+	if status != http.StatusOK || reply.Error != "" {
+		t.Fatalf("status %d, error %q", status, reply.Error)
+	}
+	if got := hdr.Get("X-Cache"); got != "HIT" && got != "MISS" {
+		t.Fatalf("X-Cache = %q", got)
+	}
+	if hdr.Get("X-Cache-Generation") == "" {
+		t.Fatal("missing X-Cache-Generation")
+	}
+	if reply.RowCount != len(reply.Rows) || len(reply.Columns) == 0 {
+		t.Fatalf("reply shape: %+v", reply)
+	}
+
+	// JSON body form must behave identically.
+	body, _ := json.Marshal(map[string]string{"sql": sql})
+	status2, _, reply2 := postQuery(t, ts.URL, "application/json", string(body))
+	if status2 != http.StatusOK {
+		t.Fatalf("json body status %d", status2)
+	}
+	if a, b := mustJSON(t, reply.Rows), mustJSON(t, reply2.Rows); a != b {
+		t.Fatalf("raw vs json body rows differ:\n%s\n%s", a, b)
+	}
+
+	// Parse errors surface as 400 with the executor's message.
+	status3, _, reply3 := postQuery(t, ts.URL, "text/plain", "DROP TABLE Photoz")
+	if status3 != http.StatusBadRequest || reply3.Error == "" {
+		t.Fatalf("bad statement: status %d, error %q", status3, reply3.Error)
+	}
+
+	// The oracle ran on every hit; none may have failed.
+	if m := s.QueryCache().Metrics(); m.VerifyFailed != 0 {
+		t.Fatalf("verify failures: %+v", m)
+	}
+
+	// Metrics expose the semantic-cache counters.
+	_, _, metricsBody := get(t, ts.URL+"/metrics", "")
+	var metrics map[string]any
+	if err := json.Unmarshal(metricsBody, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"semcache_hits", "semcache_misses", "semcache_regions",
+		"semcache_generation", "semcache_bytes_served", "semcache_per_region"} {
+		if _, ok := metrics[key]; !ok {
+			t.Errorf("metrics missing %s", key)
+		}
+	}
+}
+
+func TestQueryUnconfigured(t *testing.T) {
+	db := testDB()
+	s, err := NewServer(Config{Miner: minerConfig(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("SELECT 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want 409", resp.StatusCode)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestReportETag drives the If-None-Match flow across all three content
+// types: same generation → 304 with no body, new epoch → fresh body and a
+// changed tag, and the tag must differ across formats so a client cache
+// never serves a CSV body for a JSON request.
+func TestReportETag(t *testing.T) {
+	_, ts := queryServer(t, false)
+	postNDJSON(t, ts.URL, synthRecords(300, 3))
+	if _, err := http.Post(ts.URL+"/flush", "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	tags := map[string]string{}
+	for _, accept := range []string{"text/plain", "text/csv", "application/json"} {
+		status, hdr, body := get(t, ts.URL+"/report", accept)
+		if status != http.StatusOK || len(body) == 0 {
+			t.Fatalf("%s: status %d, %d bytes", accept, status, len(body))
+		}
+		etag := hdr.Get("ETag")
+		if etag == "" {
+			t.Fatalf("%s: no ETag", accept)
+		}
+		tags[accept] = etag
+
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/report", nil)
+		req.Header.Set("Accept", accept)
+		req.Header.Set("If-None-Match", etag)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified || buf.Len() != 0 {
+			t.Fatalf("%s: conditional status %d, %d bytes; want 304 empty", accept, resp.StatusCode, buf.Len())
+		}
+	}
+	if tags["text/plain"] == tags["text/csv"] || tags["text/csv"] == tags["application/json"] {
+		t.Fatalf("formats share an ETag: %v", tags)
+	}
+
+	// A new epoch must invalidate: the same If-None-Match now gets a body.
+	postNDJSON(t, ts.URL, synthRecords(300, 4))
+	if _, err := http.Post(ts.URL+"/flush", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/report", nil)
+	req.Header.Set("If-None-Match", tags["text/plain"])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || buf.Len() == 0 {
+		t.Fatalf("post-epoch conditional: status %d, %d bytes; want fresh 200", resp.StatusCode, buf.Len())
+	}
+	if resp.Header.Get("ETag") == tags["text/plain"] {
+		t.Fatal("ETag unchanged across epochs")
+	}
+}
+
+// TestSemCacheSmoke is the make semcache-smoke gate: mine a 5k-query log,
+// prefetch regions, serve the same statements through POST /query with the
+// byte-identity oracle on, and require zero oracle failures plus a real hit
+// population. It exercises the full mine → prefetch → serve → verify loop
+// in one process.
+func TestSemCacheSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke gate is slow")
+	}
+	db := testDB()
+	s, err := NewServer(Config{
+		Miner:       minerConfig(db),
+		QueryDB:     db,
+		QueryVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	recs := synthRecords(5000, 99)
+	for start := 0; start < len(recs); start += 1000 {
+		end := start + 1000
+		if end > len(recs) {
+			end = len(recs)
+		}
+		postNDJSON(t, ts.URL, recs[start:end])
+	}
+	if _, err := http.Post(ts.URL+"/flush", "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := memdb.ExecOptions{RowLimit: 500000, StrictTSQL: true}
+	served := 0
+	for _, rec := range recs {
+		status, _, reply := postQuery(t, ts.URL, "text/plain", rec.SQL)
+		direct, derr := db.ExecuteSQL(rec.SQL, opts)
+		if derr != nil {
+			if status != http.StatusBadRequest {
+				t.Fatalf("direct failed but /query served %q: %d", rec.SQL, status)
+			}
+			continue
+		}
+		if status != http.StatusOK {
+			t.Fatalf("/query failed for %q: %d %s", rec.SQL, status, reply.Error)
+		}
+		if reply.RowCount != len(direct.Rows) {
+			t.Fatalf("row count mismatch for %q: served %d, direct %d (hit=%v)",
+				rec.SQL, reply.RowCount, len(direct.Rows), reply.Cache.Hit)
+		}
+		served++
+	}
+	m := s.QueryCache().Metrics()
+	if m.VerifyFailed != 0 {
+		t.Fatalf("oracle failures: %+v", m)
+	}
+	if m.Hits == 0 {
+		t.Fatal("smoke run produced no cache hits")
+	}
+	ratio := float64(m.Hits) / float64(m.Hits+m.Misses)
+	t.Logf("served=%d hits=%d misses=%d ratio=%.3f regions=%d", served, m.Hits, m.Misses, ratio, m.Regions)
+	if ratio < 0.5 {
+		t.Errorf("hit ratio %.3f below the 0.5 acceptance floor", ratio)
+	}
+}

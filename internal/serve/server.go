@@ -20,6 +20,8 @@ import (
 	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/interestcache"
+	"repro/internal/memdb"
 	"repro/internal/qlog"
 )
 
@@ -51,6 +53,17 @@ type Config struct {
 	// ReportTop caps the clusters a report emits unless the request
 	// overrides it (0 = all).
 	ReportTop int
+	// QueryDB, when set, enables POST /query: statements are answered by
+	// the interest-driven semantic cache (regions prefetched from this
+	// database after every epoch) with fall-through to direct execution.
+	QueryDB *memdb.DB
+	// QueryExec is applied to both cache and direct execution (zero value:
+	// RowLimit 500000, StrictTSQL, matching SkyServer's limits).
+	QueryExec memdb.ExecOptions
+	// QueryVerify turns on the cache's byte-identity oracle: every
+	// cache-served result is checked against direct execution. Costs a
+	// second execution per hit; for tests and smoke gates.
+	QueryVerify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EpochAreas <= 0 {
 		c.EpochAreas = 512
+	}
+	if c.QueryExec == (memdb.ExecOptions{}) {
+		c.QueryExec = memdb.ExecOptions{RowLimit: 500000, StrictTSQL: true}
 	}
 	return c
 }
@@ -106,8 +122,15 @@ type Server struct {
 	lastEpochNS   atomic.Int64
 	totalEpochNS  atomic.Int64
 
-	resMu sync.RWMutex
-	res   *core.Result
+	// resMu guards res and resGen together so /report's ETag always labels
+	// the exact body served.
+	resMu  sync.RWMutex
+	res    *core.Result
+	resGen int64
+
+	// qcache is the semantic result cache behind POST /query (nil when
+	// Config.QueryDB is unset). runEpoch re-installs its region set.
+	qcache *interestcache.Cache
 }
 
 // NewServer builds a Server and starts its pump and epoch workers. When
@@ -136,6 +159,18 @@ func NewServer(cfg Config) (*Server, error) {
 		Workers:   cfg.Miner.Workers,
 		NoCache:   cfg.Miner.DisableTemplateCache,
 		Cache:     &extract.TemplateCache{},
+	}
+	if cfg.QueryDB != nil {
+		// The cache shares the pipeline's template cache and an extractor
+		// with the same schema/stats, so templates warmed by ingestion
+		// serve POST /query without re-extraction.
+		s.qcache = interestcache.New(interestcache.Config{
+			DB:        cfg.QueryDB,
+			Extractor: &extract.Extractor{Schema: cfg.Miner.Schema, PredCap: cfg.Miner.PredCap, Stats: miner.Stats()},
+			Templates: s.pipe.Cache,
+			Exec:      cfg.QueryExec,
+			Verify:    cfg.QueryVerify,
+		})
 	}
 	if cfg.SnapshotPath != "" {
 		if err := s.restoreSnapshot(cfg.SnapshotPath); err != nil {
@@ -263,18 +298,26 @@ func (s *Server) runEpoch() {
 	el := time.Since(t0)
 	s.lastEpochNS.Store(int64(el))
 	s.totalEpochNS.Add(int64(el))
-	s.epochs.Add(1)
+	gen := s.epochs.Add(1)
 	s.resMu.Lock()
 	s.res = res
+	s.resGen = gen
 	s.resMu.Unlock()
+	if s.qcache != nil {
+		s.qcache.Install(gen, res.Clusters)
+	}
 }
 
-// latest returns the most recent epoch's result (nil before the first).
-func (s *Server) latest() *core.Result {
+// latest returns the most recent epoch's result and its generation (nil, 0
+// before the first epoch).
+func (s *Server) latest() (*core.Result, int64) {
 	s.resMu.RLock()
 	defer s.resMu.RUnlock()
-	return s.res
+	return s.res, s.resGen
 }
+
+// QueryCache exposes the semantic result cache (nil unless QueryDB is set).
+func (s *Server) QueryCache() *interestcache.Cache { return s.qcache }
 
 // statsSnapshot copies the cumulative pipeline stats (deep enough for the
 // caller to keep: the failure map is cloned).

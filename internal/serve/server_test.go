@@ -332,7 +332,8 @@ func TestShutdownUnderLoadZeroLoss(t *testing.T) {
 	}
 
 	var want bytes.Buffer
-	if err := report.Write(&want, s.latest(), report.Text, report.Options{Coverage: true}); err != nil {
+	latestRes, _ := s.latest()
+	if err := report.Write(&want, latestRes, report.Text, report.Options{Coverage: true}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -342,7 +343,8 @@ func TestShutdownUnderLoadZeroLoss(t *testing.T) {
 	}
 	defer s2.Close()
 	var got bytes.Buffer
-	if err := report.Write(&got, s2.latest(), report.Text, report.Options{Coverage: true}); err != nil {
+	latestRes2, _ := s2.latest()
+	if err := report.Write(&got, latestRes2, report.Text, report.Options{Coverage: true}); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != want.String() {
@@ -372,7 +374,7 @@ func TestEpochSizeTrigger(t *testing.T) {
 	if s.epochs.Load() < 2 {
 		t.Errorf("expected background epochs beyond the flush, got %d", s.epochs.Load())
 	}
-	if s.latest() == nil {
+	if res, _ := s.latest(); res == nil {
 		t.Error("no result published")
 	}
 }
