@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test vet racecheck fuzz bench serve-smoke semcache-smoke clean
+.PHONY: build test vet racecheck fuzz fuzz-regression bench bench-check \
+	serve-smoke semcache-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -28,12 +29,16 @@ racecheck:
 # runs every f.Add seed) and then explores each target briefly. Raise
 # FUZZTIME for a longer soak.
 FUZZTIME ?= 30s
-fuzz:
-	$(GO) test ./internal/sqlparser/ -run=Fuzz
-	$(GO) test ./internal/interval/ -run=Fuzz
+fuzz: fuzz-regression
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/interval/ -run=NONE -fuzz=FuzzIntervalSet -fuzztime=$(FUZZTIME)
+
+# fuzz-regression replays only the checked-in seed corpora (every f.Add seed
+# plus testdata/fuzz entries) without exploring — deterministic, so CI can
+# gate on it.
+fuzz-regression:
+	$(GO) test -run=Fuzz ./internal/sqlparser/ ./internal/interval/
 
 # bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining),
 # BENCH_pipeline.json (uncached vs template-cached extraction), BENCH_serve.json
@@ -61,6 +66,26 @@ serve-smoke:
 # ratio (TestSemCacheSmoke).
 semcache-smoke:
 	$(GO) test -race -count=1 -run TestSemCacheSmoke -v ./internal/serve/
+
+# bench-check is the bench-drift gate: re-run the two deterministic
+# experiments at the checked-in scale and compare their counters against the
+# committed BENCH_*.json records with benchreport -compare (tolerance 15%;
+# wall-clock fields are ignored, see internal/benchcmp). Fails when a code
+# change regresses distance-eval or parse counters, or flips an identical_*
+# flag.
+BENCHTOL ?= 0.15
+bench-check:
+	$(GO) run ./cmd/benchreport -exp clusterperf -benchjson /tmp/bench_clustering_new.json
+	$(GO) run ./cmd/benchreport -exp pipelineperf -pipejson /tmp/bench_pipeline_new.json
+	$(GO) run ./cmd/benchreport -compare BENCH_clustering.json /tmp/bench_clustering_new.json -tol $(BENCHTOL)
+	$(GO) run ./cmd/benchreport -compare BENCH_pipeline.json /tmp/bench_pipeline_new.json -tol $(BENCHTOL)
+
+# ci mirrors .github/workflows/ci.yml locally: build, vet, unit tests, race
+# detector, fuzz seed-corpus regression, and both end-to-end smokes. The
+# nightly bench-drift job (make bench-check) is not part of ci — it takes
+# minutes, not seconds.
+ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke
+	@echo "ci: all gates green"
 
 clean:
 	$(GO) clean ./...

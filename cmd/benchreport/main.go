@@ -5,9 +5,15 @@
 // Usage:
 //
 //	benchreport [-scale 20000] [-seed 42] [-exp all|list|<experiment>]
-//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-obs]
+//	benchreport -compare old.json new.json [-tol 0.15]
 //
 // `-exp list` prints the available experiments with one-line descriptions.
+// `-obs` adds a "metrics" key to every BENCH_*.json written, holding a
+// snapshot of the process observability registry (internal/obs) taken after
+// the experiment ran. `-compare` diffs two BENCH_*.json records and exits
+// non-zero when a deterministic counter metric regressed beyond -tol
+// (see internal/benchcmp); wall-clock fields are ignored.
 // The clusterperf experiment additionally writes its before/after numbers
 // (brute-force vs pivot-index clustering) to -benchjson (default
 // BENCH_clustering.json), pipelineperf writes its uncached-vs-cached
@@ -27,13 +33,85 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
+	"repro/internal/benchcmp"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
+	// -compare takes positional file arguments, which the flag package
+	// would stop parsing at; it is a distinct mode with its own tiny CLI.
+	if len(os.Args) > 1 && os.Args[1] == "-compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	os.Exit(run())
+}
+
+// runCompare implements `benchreport -compare old.json new.json [-tol x]`:
+// exit 0 when no gated metric regressed, 1 on regression, 2 on usage or
+// I/O errors.
+func runCompare(args []string) int {
+	tol := 0.15
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-tol" || a == "--tol":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchreport -compare: -tol needs a value")
+				return 2
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchreport -compare: bad -tol %q\n", args[i])
+				return 2
+			}
+			tol = v
+		case strings.HasPrefix(a, "-tol="):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(a, "-tol="), 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchreport -compare: bad %q\n", a)
+				return 2
+			}
+			tol = v
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "benchreport -compare: unknown flag %q\n", a)
+			return 2
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchreport -compare old.json new.json [-tol 0.15]")
+		return 2
+	}
+	oldJSON, err := os.ReadFile(files[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport -compare: %v\n", err)
+		return 2
+	}
+	newJSON, err := os.ReadFile(files[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport -compare: %v\n", err)
+		return 2
+	}
+	rep, err := benchcmp.Compare(oldJSON, newJSON, tol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport -compare: %v\n", err)
+		return 2
+	}
+	fmt.Printf("comparing %s -> %s (tol %.0f%%)\n", files[0], files[1], 100*tol)
+	fmt.Print(rep.String())
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Printf("FAIL: %d metric(s) regressed beyond %.0f%%\n", len(regs), 100*tol)
+		return 1
+	}
+	fmt.Println("PASS: no counter-metric regressions")
+	return 0
 }
 
 // experiment pairs a selectable id with a one-line description (shown by
@@ -63,9 +141,21 @@ func run() int {
 	semJSON := flag.String("semjson", "BENCH_semcache.json", "output path for the semcacheperf JSON record")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
+	obsDump := flag.Bool("obs", false, "embed an observability registry snapshot under a \"metrics\" key in each BENCH_*.json")
 	flag.Parse()
 
 	writeJSON := func(path string, v any) {
+		if *obsDump {
+			// Round-trip the typed result through JSON so the snapshot can
+			// ride along without changing any experiment result type.
+			if raw, err := json.Marshal(v); err == nil {
+				doc := map[string]any{}
+				if json.Unmarshal(raw, &doc) == nil {
+					doc["metrics"] = obs.Default().Snapshot()
+					v = doc
+				}
+			}
+		}
 		if data, err := json.MarshalIndent(v, "", "  "); err == nil {
 			if werr := os.WriteFile(path, append(data, '\n'), 0o644); werr != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %v\n", werr)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	skyserved [-addr :8080] [-eps 0.06] [-minpts 8] [-snapshot state.json]
+//	          [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -17,7 +18,12 @@
 //	                ETag/If-None-Match)
 //	GET  /stats     cumulative pipeline statistics
 //	GET  /metrics   ingest/cache/epoch/semantic-cache counters
+//	                (?format=prom for Prometheus exposition)
+//	GET  /debug/slowlog  top-K slowest statements by fingerprint
 //	GET  /healthz   readiness
+//
+// With -debug-addr a second listener serves net/http/pprof under
+// /debug/pprof/ plus the same /metrics and /debug/slowlog views.
 //
 // Drive it with loggen:
 //
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +57,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distance"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/serve"
 	"repro/internal/skyserver"
@@ -72,6 +80,7 @@ func main() {
 	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
 	queryVerify := flag.Bool("query-verify", false, "check every cache-served /query result against direct execution (oracle; slow)")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
+	debugAddr := flag.String("debug-addr", "", "debug listener for pprof/metrics/slowlog (empty = off)")
 	flag.Parse()
 
 	dmode := distance.ModeEndpoint
@@ -108,6 +117,31 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("skyserved: listening on %s", *addr)
 
+	// Debug listener: pprof plus the Prometheus and slowlog views, kept off
+	// the service port so profiling is never exposed to ingest clients.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.Registry().WritePrometheus(w)
+			_ = obs.Default().WritePrometheus(w)
+		})
+		mux.Handle("/debug/slowlog", s.Handler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("skyserved: debug listener: %v", err)
+			}
+		}()
+		log.Printf("skyserved: debug (pprof) on %s", *debugAddr)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -119,6 +153,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
+	}
 	_ = httpSrv.Shutdown(ctx)
 	if err := s.Shutdown(ctx); err != nil && err != context.DeadlineExceeded {
 		log.Printf("skyserved: shutdown: %v", err)

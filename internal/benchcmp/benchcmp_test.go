@@ -1,0 +1,192 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+// baseline mirrors the shape of the checked-in BENCH_clustering.json.
+const baseline = `{
+  "queries": 20000,
+  "seed": 42,
+  "before_brute_force": {
+    "elapsed_ms": 31017.2,
+    "distance_evals": 51379824,
+    "cache_hits": 0
+  },
+  "after_pivot_index": {
+    "elapsed_ms": 15706.4,
+    "distance_evals": 16716455,
+    "cache_hits": 16627311
+  },
+  "eval_ratio": 3.0736,
+  "speedup_x": 1.9748,
+  "identical_clusters": true
+}`
+
+func TestIdenticalRecordsPass(t *testing.T) {
+	rep, err := Compare([]byte(baseline), []byte(baseline), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical records regressed: %+v", regs)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("identical records compared zero metrics")
+	}
+}
+
+// The acceptance fixture: a synthetic 20% counter regression must fail at
+// tol 0.15.
+func TestTwentyPercentRegressionFails(t *testing.T) {
+	worse := strings.Replace(baseline,
+		`"distance_evals": 16716455,
+    "cache_hits": 16627311`,
+		`"distance_evals": 20059746,
+    "cache_hits": 16627311`, 1)
+	rep, err := Compare([]byte(baseline), []byte(worse), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the distance_evals one", regs)
+	}
+	if regs[0].Path != "after_pivot_index.distance_evals" {
+		t.Errorf("regressed path %q", regs[0].Path)
+	}
+	if regs[0].Delta < 0.19 || regs[0].Delta > 0.21 {
+		t.Errorf("delta = %v, want ~0.20", regs[0].Delta)
+	}
+}
+
+func TestWithinToleranceDriftPasses(t *testing.T) {
+	// +10% distance evals at tol 0.15: drift, not a regression.
+	worse := strings.Replace(baseline, `"distance_evals": 16716455`,
+		`"distance_evals": 18388100`, 1)
+	rep, err := Compare([]byte(baseline), []byte(worse), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("10%% drift flagged at tol 0.15: %+v", regs)
+	}
+}
+
+func TestHigherBetterDirection(t *testing.T) {
+	// cache_hits dropping 30% is a regression; rising 30% is not.
+	drop := strings.Replace(baseline, `"cache_hits": 16627311`,
+		`"cache_hits": 11639117`, 1)
+	rep, err := Compare([]byte(baseline), []byte(drop), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Regressions() {
+		if f.Path == "after_pivot_index.cache_hits" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("30%% cache_hits drop not flagged: %+v", rep.Regressions())
+	}
+
+	rise := strings.Replace(baseline, `"distance_evals": 16716455`,
+		`"distance_evals": 1671645`, 1)
+	rep, err = Compare([]byte(baseline), []byte(rise), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+func TestTimingFieldsIgnored(t *testing.T) {
+	// 10x slower wall clock must not fail the gate: timings are noise.
+	slow := strings.Replace(baseline, `"elapsed_ms": 15706.4`,
+		`"elapsed_ms": 157064.0`, 1)
+	slow = strings.Replace(slow, `"speedup_x": 1.9748`, `"speedup_x": 0.2`, 1)
+	rep, err := Compare([]byte(baseline), []byte(slow), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("timing drift flagged: %+v", regs)
+	}
+}
+
+func TestScaleMismatchSkipsCounters(t *testing.T) {
+	small := strings.Replace(baseline, `"queries": 20000`, `"queries": 2000`, 1)
+	small = strings.Replace(small, `"distance_evals": 16716455`,
+		`"distance_evals": 99999999`, 1)
+	rep, err := Compare([]byte(baseline), []byte(small), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("cross-scale counters compared: %+v", regs)
+	}
+	if len(rep.Skipped) == 0 {
+		t.Error("scale mismatch reported no skipped counters")
+	}
+}
+
+func TestIdentityFlagFlipFails(t *testing.T) {
+	flip := strings.Replace(baseline, `"identical_clusters": true`,
+		`"identical_clusters": false`, 1)
+	rep, err := Compare([]byte(baseline), []byte(flip), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Path != "identical_clusters" {
+		t.Fatalf("identity flip not flagged: %+v", regs)
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	gone := strings.Replace(baseline, `"eval_ratio": 3.0736,`, ``, 1)
+	rep, err := Compare([]byte(baseline), []byte(gone), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Regressions() {
+		if f.Path == "eval_ratio" && f.Note == "metric disappeared" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dropped metric not flagged: %+v", rep.Regressions())
+	}
+}
+
+func TestMetricsSubtreeExcluded(t *testing.T) {
+	// A "metrics" snapshot (benchreport -obs) holds process-cumulative
+	// observability counters; they must not enter the gate.
+	withObs := strings.Replace(baseline, `"seed": 42,`,
+		`"seed": 42, "metrics": {"skyaccess_qlog_cache_hits_total": 5},`, 1)
+	rep, err := Compare([]byte(withObs), []byte(baseline), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if strings.HasPrefix(f.Path, "metrics.") {
+			t.Errorf("metrics subtree compared: %+v", f)
+		}
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("obs snapshot perturbed the gate: %+v", regs)
+	}
+}
+
+func TestBadJSONErrors(t *testing.T) {
+	if _, err := Compare([]byte("{"), []byte(baseline), 0.15); err == nil {
+		t.Error("truncated old record accepted")
+	}
+	if _, err := Compare([]byte(baseline), []byte("nope"), 0.15); err == nil {
+		t.Error("garbage new record accepted")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/aggregate"
 	"repro/internal/dbscan"
@@ -48,8 +49,10 @@ type Incremental struct {
 	gen      uint64
 	profiles []*distance.Profile
 	metric   *distance.Metric
-	cache    *distance.DynamicPairCache
-	parts    map[string]*incPartition
+	// cache is swapped by Recluster while the metrics handlers read the
+	// lifetime counters concurrently, hence the atomic pointer.
+	cache atomic.Pointer[distance.DynamicPairCache]
+	parts map[string]*incPartition
 }
 
 // incPartition is the persistent clustering state of one relation-set
@@ -96,17 +99,17 @@ func (inc *Incremental) Distinct() int {
 // DistanceEvals and DistanceCacheHits expose the lifetime counters of the
 // cross-epoch cache; per-epoch deltas give the reuse ratio serveperf reports.
 func (inc *Incremental) DistanceEvals() int64 {
-	if inc.cache == nil {
-		return 0
+	if c := inc.cache.Load(); c != nil {
+		return c.Evals()
 	}
-	return inc.cache.Evals()
+	return 0
 }
 
 func (inc *Incremental) DistanceCacheHits() int64 {
-	if inc.cache == nil {
-		return 0
+	if c := inc.cache.Load(); c != nil {
+		return c.Hits()
 	}
-	return inc.cache.Hits()
+	return 0
 }
 
 // snapshotItems copies the accumulator state admitted so far: shallow item
@@ -130,7 +133,12 @@ func (inc *Incremental) snapshotItems() ([]*aggregate.Item, int) {
 // and returns the same Result shape as a batch mine. DistanceEvals and
 // DistanceCacheHits report the cross-epoch cache's lifetime counters.
 func (inc *Incremental) Recluster() *Result {
+	ep := epochStage.Start()
+	defer ep.End()
+	epochsTotal.Inc()
+	snapSp := epochSnapshotStage.Start()
 	items, contradictory := inc.snapshotItems()
+	snapSp.End()
 	res := &Result{
 		ContradictoryAreas: contradictory,
 		DistinctAreas:      len(items),
@@ -148,24 +156,31 @@ func (inc *Incremental) Recluster() *Result {
 	// Cached distances, profiles and pivot tables are only valid while the
 	// access(a) registry they were compiled from is unchanged.
 	if gen := inc.m.stats.Generation(); gen != inc.gen || inc.metric == nil {
+		if inc.metric != nil {
+			epochCacheResets.Inc()
+		}
 		inc.gen = gen
 		inc.metric = &distance.Metric{Mode: inc.m.cfg.Mode, Stats: inc.m.stats}
 		inc.profiles = inc.profiles[:0]
-		inc.cache = nil
+		inc.cache.Store(nil)
 		inc.parts = make(map[string]*incPartition)
 	}
+	profSp := epochProfilesStage.Start()
 	for i := len(inc.profiles); i < len(items); i++ {
 		inc.profiles = append(inc.profiles, inc.metric.Profile(items[i].Area))
 	}
-	if inc.cache == nil {
+	profSp.End()
+	cache := inc.cache.Load()
+	if cache == nil {
 		metric, profiles := inc.metric, inc.profiles
-		inc.cache = distance.NewDynamicPairCache(func(i, j int) float64 {
+		cache = distance.NewDynamicPairCache(func(i, j int) float64 {
 			return metric.ProfileDistance(profiles[i], profiles[j])
 		})
+		inc.cache.Store(cache)
 	} else {
 		// The closure reads inc.profiles through this epoch's slice header.
 		metric, profiles := inc.metric, inc.profiles
-		inc.cache.SetFn(func(i, j int) float64 {
+		cache.SetFn(func(i, j int) float64 {
 			return metric.ProfileDistance(profiles[i], profiles[j])
 		})
 	}
@@ -173,7 +188,7 @@ func (inc *Incremental) Recluster() *Result {
 	eps := inc.m.cfg.Eps
 	if inc.m.cfg.AutoEps && len(items) > 1 {
 		var sampleHits int64
-		eps, sampleHits = inc.m.autoEps(len(items), inc.cache.Dist)
+		eps, sampleHits = inc.m.autoEps(len(items), cache.Dist)
 		res.DistanceCacheHits += sampleHits
 	}
 	res.ChosenEps = eps
@@ -181,6 +196,7 @@ func (inc *Incremental) Recluster() *Result {
 	groups, order := partitionItems(items, eps)
 	opts := aggregate.Options{SigmaRule: inc.m.cfg.SigmaRule, MinColumnSupport: inc.m.cfg.MinColumnSupport}
 
+	clusterSp := epochClusterStage.Start()
 	live := make(map[string]bool, len(order))
 	for _, key := range order {
 		part := groups[key]
@@ -190,7 +206,7 @@ func (inc *Incremental) Recluster() *Result {
 			weights[i] = items[idx].Weight
 		}
 		distFn := func(i, j int) float64 {
-			return inc.cache.Dist(part[i], part[j])
+			return cache.Dist(part[i], part[j])
 		}
 		dcfg := dbscan.Config{Eps: eps, MinPts: inc.m.cfg.MinPts, Workers: inc.m.cfg.Workers, Weights: weights}
 		var dres *dbscan.Result
@@ -213,10 +229,14 @@ func (inc *Incremental) Recluster() *Result {
 		}
 	}
 
-	res.DistanceEvals = inc.cache.Evals()
-	res.DistanceCacheHits += inc.cache.Hits()
+	clusterSp.End()
 
+	res.DistanceEvals = cache.Evals()
+	res.DistanceCacheHits += cache.Hits()
+
+	finSp := epochFinalizeStage.Start()
 	finalizeClusters(res)
+	finSp.End()
 	return res
 }
 

@@ -1,0 +1,20 @@
+package core
+
+import "repro/internal/obs"
+
+// Epoch-phase instruments for the incremental miner. One Recluster is one
+// "epoch" span; its phases — item snapshot, profile compilation, the
+// per-partition clustering loop, and result finalisation — get their own
+// histograms so a slow epoch attributes its time on /metrics?format=prom.
+var (
+	epochStage         = obs.NewStage("core_epoch")
+	epochSnapshotStage = obs.NewStage("core_epoch_snapshot")
+	epochProfilesStage = obs.NewStage("core_epoch_profiles")
+	epochClusterStage  = obs.NewStage("core_epoch_cluster")
+	epochFinalizeStage = obs.NewStage("core_epoch_finalize")
+
+	epochsTotal = obs.NewCounter("skyaccess_core_epochs_total",
+		"incremental recluster epochs run")
+	epochCacheResets = obs.NewCounter("skyaccess_core_epoch_cache_resets_total",
+		"epochs that dropped cached distances because the access(a) registry moved")
+)

@@ -130,6 +130,9 @@ type engine struct {
 // regionQuery returns all points within Eps of point i (including i),
 // scanning in parallel.
 func (e *engine) regionQuery(i int) []int {
+	sp := regionQueryStage.Start()
+	defer sp.End()
+	regionQueriesTotal.Inc()
 	if e.workers == 1 || e.n < parallelCutoff {
 		var out []int
 		for j := 0; j < e.n; j++ {
@@ -304,6 +307,9 @@ func NewPivotIndex(n int, dist func(i, j int) float64, k int) *PivotIndex {
 // NewPivotIndexParallel is NewPivotIndex with the per-pivot row computation
 // spread across workers; dist must then be safe for concurrent use.
 func NewPivotIndexParallel(n int, dist func(i, j int) float64, k, workers int) *PivotIndex {
+	sp := pivotBuildStage.Start()
+	defer sp.End()
+	pivotBuildsTotal.Inc()
 	if k > n {
 		k = n
 	}
@@ -399,6 +405,7 @@ func (ix *PivotIndex) Extend(n int, dist func(i, j int) float64) {
 	if n <= old {
 		return
 	}
+	pivotExtendsTotal.Inc()
 	for k, p := range ix.pivots {
 		row := ix.table[k]
 		for i := old; i < n; i++ {
@@ -411,6 +418,9 @@ func (ix *PivotIndex) Extend(n int, dist func(i, j int) float64) {
 // Region returns all points within eps of q (including q), using pivot
 // pruning to avoid most distance evaluations.
 func (ix *PivotIndex) Region(q int, eps float64, n int) []int {
+	sp := pivotRegionStage.Start()
+	defer sp.End()
+	pivotRegionsTotal.Inc()
 	return ix.regionRange(q, eps, 0, n, nil)
 }
 
@@ -421,6 +431,9 @@ func (ix *PivotIndex) RegionParallel(q int, eps float64, n, workers int) []int {
 	if workers == 1 || n < parallelCutoff {
 		return ix.Region(q, eps, n)
 	}
+	sp := pivotRegionStage.Start()
+	defer sp.End()
+	pivotRegionsTotal.Inc()
 	chunk := (n + workers - 1) / workers
 	parts := make([][]int, workers)
 	var wg sync.WaitGroup

@@ -1,0 +1,22 @@
+package dbscan
+
+import "repro/internal/obs"
+
+// Clustering instruments. Region queries are the DBSCAN hot path — one per
+// point per run — so both backends (brute-force scan, pivot-pruned scan)
+// record a latency span and a counter, making the pivot index's effect
+// directly visible as a histogram shift on /metrics?format=prom.
+var (
+	regionQueryStage = obs.NewStage("dbscan_region_query")
+	pivotRegionStage = obs.NewStage("dbscan_pivot_region")
+	pivotBuildStage  = obs.NewStage("dbscan_pivot_build")
+
+	regionQueriesTotal = obs.NewCounter("skyaccess_dbscan_region_queries_total",
+		"brute-force region queries executed")
+	pivotRegionsTotal = obs.NewCounter("skyaccess_dbscan_pivot_regions_total",
+		"pivot-pruned region queries executed")
+	pivotBuildsTotal = obs.NewCounter("skyaccess_dbscan_pivot_builds_total",
+		"pivot index builds (full constructions, not extensions)")
+	pivotExtendsTotal = obs.NewCounter("skyaccess_dbscan_pivot_extends_total",
+		"pivot index suffix extensions reusing the existing pivot set")
+)

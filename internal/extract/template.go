@@ -95,18 +95,24 @@ func (ex *Extractor) ExtractTemplate(sel *sqlparser.SelectStatement) (*AccessAre
 // stay consistent with the slow path. Relations and Referenced slices are
 // shared across rebinds of one template; callers must not mutate them.
 func (t *AreaTemplate) Rebind(ex *Extractor, lits []sqlparser.Literal) (*AccessArea, Timings, bool) {
+	sp := rebindStage.Start()
+	defer sp.End()
 	var tm Timings
 	if t.Uncacheable || t.ParseFailCat != "" || t.NonSelect || t.ExtractErr != nil || t.constraint == nil {
+		templateRebindFails.Inc()
 		return nil, tm, false
 	}
 	for _, g := range t.guards {
 		if g.Slot > len(lits) {
+			templateRebindFails.Inc()
 			return nil, tm, false
 		}
 		if strings.ContainsAny(lits[g.Slot-1].Str, "%_") != g.Wildcard {
+			templateRebindFails.Inc()
 			return nil, tm, false
 		}
 	}
+	templateRebinds.Inc()
 	var area *AccessArea
 	if t.fast {
 		t0 := time.Now()
@@ -309,9 +315,11 @@ func (c *TemplateCache) Get(fp uint64) (*AreaTemplate, bool) {
 	v, ok := c.m.Load(fp)
 	if !ok {
 		c.misses.Add(1)
+		templateMisses.Inc()
 		return nil, false
 	}
 	c.hits.Add(1)
+	templateHits.Inc()
 	return v.(*AreaTemplate), true
 }
 
@@ -326,6 +334,7 @@ func (c *TemplateCache) Put(fp uint64, t *AreaTemplate) {
 	}
 	if _, loaded := c.m.LoadOrStore(fp, t); !loaded {
 		c.size.Add(1)
+		templateStores.Inc()
 	}
 }
 

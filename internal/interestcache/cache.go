@@ -5,11 +5,26 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/extract"
 	"repro/internal/memdb"
+	"repro/internal/obs"
 	"repro/internal/sqlparser"
+)
+
+// Semantic-cache instruments: lookup and prefetch latency histograms in the
+// Default registry, plus slow-query-log entries covering the full
+// extraction+execution time of each Query, keyed by statement fingerprint
+// (never raw SQL).
+var (
+	queryStage    = obs.NewStage("interestcache_query")
+	lookupStage   = obs.NewStage("interestcache_lookup")
+	prefetchStage = obs.NewStage("interestcache_prefetch")
+
+	prefetchRegionsTotal = obs.NewCounter("skyaccess_interestcache_prefetch_regions_total",
+		"regions prefetched across all Install calls")
 )
 
 // Config wires a Cache to its data source and extraction path.
@@ -74,6 +89,8 @@ func New(cfg Config) *Cache {
 // answered. Clusters with no relations or an unset box are skipped (they
 // describe nothing prefetchable).
 func (c *Cache) Install(generation int64, clusters []*aggregate.Summary) {
+	sp := prefetchStage.Start()
+	defer sp.End()
 	snap := &snapshot{generation: generation}
 	for _, cl := range clusters {
 		if cl == nil || len(cl.Relations) == 0 || cl.Box == nil {
@@ -81,6 +98,7 @@ func (c *Cache) Install(generation int64, clusters []*aggregate.Summary) {
 		}
 		snap.regions = append(snap.regions, newRegion(c.cfg.DB, generation, cl))
 	}
+	prefetchRegionsTotal.Add(int64(len(snap.regions)))
 	snap.index = buildIndex(snap.regions)
 	c.snap.Store(snap)
 }
@@ -105,12 +123,25 @@ type Info struct {
 // Verify oracle when enabled). Errors mirror direct execution: a statement
 // that fails directly fails here with the same error.
 func (c *Cache) Query(sql string) (*memdb.ResultSet, Info, error) {
+	sp := queryStage.Start()
+	t0 := time.Now()
+	var fp uint64
+	defer func() {
+		sp.End()
+		// The slow log covers the whole call — extraction through execution
+		// on either the hit or the fall-through path — under the statement's
+		// fingerprint (0 when the statement never fingerprinted).
+		obs.DefaultSlowLog.Record("query", fp, time.Since(t0))
+	}()
 	snap := c.snap.Load()
 	info := Info{Generation: snap.generation}
 	if len(snap.regions) == 0 {
 		return c.miss(sql, info, "no-regions")
 	}
-	area, reason := c.lookupArea(sql)
+	lsp := lookupStage.Start()
+	area, afp, reason := c.lookupArea(sql)
+	lsp.End()
+	fp = afp
 	if reason != "" {
 		return c.miss(sql, info, reason)
 	}
@@ -154,41 +185,43 @@ func (c *Cache) miss(sql string, info Info, reason string) (*memdb.ResultSet, In
 // lookupArea resolves sql to an access area through the shared template
 // cache: fingerprint → cached template → rebind, with a one-time slow path
 // (parse + extract + template store) per statement shape. A non-empty reason
-// means the statement cannot be cache-served.
-func (c *Cache) lookupArea(sql string) (*extract.AccessArea, string) {
+// means the statement cannot be cache-served. The statement fingerprint is
+// returned either way (0 when fingerprinting itself failed) so the caller
+// can label slow-log entries.
+func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 	fp, lits, err := sqlparser.Fingerprint(sql)
 	if err != nil || anyBadNum(lits) {
-		return nil, "fingerprint"
+		return nil, fp, "fingerprint"
 	}
 	shapeV, shapeKnown := c.shapes.Load(fp)
 	var area *extract.AccessArea
 	if t, ok := c.cfg.Templates.Get(fp); ok && shapeKnown {
 		if shapeV != true {
-			return nil, "shape"
+			return nil, fp, "shape"
 		}
 		a, _, ok := t.Rebind(c.cfg.Extractor, lits)
 		if !ok {
-			return nil, "uncacheable"
+			return nil, fp, "uncacheable"
 		}
 		area = a
 	} else {
 		stmt, perr := sqlparser.Parse(sql)
 		if perr != nil {
-			return nil, "parse"
+			return nil, fp, "parse"
 		}
 		sel, ok := stmt.(*sqlparser.SelectStatement)
 		if !ok {
-			return nil, "parse"
+			return nil, fp, "parse"
 		}
 		safe := safeShape(sel)
 		c.shapes.Store(fp, safe)
 		if t, ok := c.cfg.Templates.Get(fp); ok {
 			if !safe {
-				return nil, "shape"
+				return nil, fp, "shape"
 			}
 			a, _, rok := t.Rebind(c.cfg.Extractor, lits)
 			if !rok {
-				return nil, "uncacheable"
+				return nil, fp, "uncacheable"
 			}
 			area = a
 		} else {
@@ -197,23 +230,23 @@ func (c *Cache) lookupArea(sql string) (*extract.AccessArea, string) {
 				c.cfg.Templates.Put(fp, t)
 			}
 			if xerr != nil || a == nil {
-				return nil, "uncacheable"
+				return nil, fp, "uncacheable"
 			}
 			if !safe {
-				return nil, "shape"
+				return nil, fp, "shape"
 			}
 			area = a
 		}
 	}
 	switch {
 	case !area.Exact || area.Truncated:
-		return nil, "inexact"
+		return nil, fp, "inexact"
 	case area.IsEmpty():
-		return nil, "empty-area"
+		return nil, fp, "empty-area"
 	case len(area.Relations) == 0:
-		return nil, "inexact"
+		return nil, fp, "inexact"
 	}
-	return area, ""
+	return area, fp, ""
 }
 
 // safeShape reports whether a statement may be answered from a restricted

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one recorded slow operation. Statements are identified by
+// their parser fingerprint, never raw SQL — the slow log is an operator
+// surface and must not leak query literals.
+type SlowEntry struct {
+	// Fingerprint is the sqlparser statement fingerprint (0 when the
+	// statement did not lex far enough to have one).
+	Fingerprint uint64 `json:"fingerprint"`
+	// Stage names the instrumented path that recorded the entry
+	// (e.g. "query" for extraction+execution through the semantic cache,
+	// "extract" for a pipeline slow path).
+	Stage string `json:"stage"`
+	// Seconds is the entry's total duration.
+	Seconds float64 `json:"seconds"`
+	// UnixNano is when the entry was recorded.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// SlowLog is a fixed-size ring buffer of SlowEntry. Writers overwrite the
+// oldest entry once full; TopK ranks what is currently resident. The ring
+// keeps the structure O(size) regardless of uptime, which is the property
+// a long-running miner needs (the SkyServer traffic report's multi-year
+// horizon is the design target).
+type SlowLog struct {
+	mu        sync.Mutex
+	ring      []SlowEntry
+	next      int
+	filled    int
+	threshold time.Duration
+}
+
+// NewSlowLog returns a ring of the given capacity (minimum 1) recording
+// operations at or above threshold (0 records everything).
+func NewSlowLog(size int, threshold time.Duration) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	return &SlowLog{ring: make([]SlowEntry, size), threshold: threshold}
+}
+
+// DefaultSlowLog is the process-wide slow log that /debug/slowlog serves.
+var DefaultSlowLog = NewSlowLog(512, 0)
+
+// Record adds one entry when d clears the threshold.
+func (l *SlowLog) Record(stage string, fp uint64, d time.Duration) {
+	if d < l.threshold {
+		return
+	}
+	e := SlowEntry{Fingerprint: fp, Stage: stage, Seconds: d.Seconds(), UnixNano: time.Now().UnixNano()}
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.filled < len(l.ring) {
+		l.filled++
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of resident entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.filled
+}
+
+// TopK returns up to k resident entries, slowest first (ties broken by
+// recency, newest first, so the ranking is deterministic for equal
+// durations). k <= 0 returns everything resident.
+func (l *SlowLog) TopK(k int) []SlowEntry {
+	l.mu.Lock()
+	out := make([]SlowEntry, l.filled)
+	copy(out, l.ring[:l.filled])
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].UnixNano > out[j].UnixNano
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Reset clears the ring (tests).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	l.next, l.filled = 0, 0
+	l.mu.Unlock()
+}

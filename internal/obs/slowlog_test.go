@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRingOverwrite(t *testing.T) {
+	l := NewSlowLog(4, 0)
+	for i := 1; i <= 6; i++ {
+		l.Record("query", uint64(i), time.Duration(i)*time.Millisecond)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+	top := l.TopK(0)
+	// Entries 1 and 2 were overwritten; slowest-first ordering.
+	wantFP := []uint64{6, 5, 4, 3}
+	for i, e := range top {
+		if e.Fingerprint != wantFP[i] {
+			t.Errorf("top[%d].Fingerprint = %d, want %d", i, e.Fingerprint, wantFP[i])
+		}
+	}
+}
+
+func TestSlowLogTopK(t *testing.T) {
+	l := NewSlowLog(16, 0)
+	for _, ms := range []int{5, 50, 1, 20} {
+		l.Record("extract", uint64(ms), time.Duration(ms)*time.Millisecond)
+	}
+	top := l.TopK(2)
+	if len(top) != 2 || top[0].Fingerprint != 50 || top[1].Fingerprint != 20 {
+		t.Errorf("TopK(2) = %+v, want fingerprints 50, 20", top)
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond)
+	l.Record("query", 1, 5*time.Millisecond)
+	l.Record("query", 2, 15*time.Millisecond)
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (below-threshold entry recorded)", l.Len())
+	}
+	if top := l.TopK(0); top[0].Fingerprint != 2 {
+		t.Errorf("kept fingerprint %d, want 2", top[0].Fingerprint)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(32, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Record("query", uint64(w), time.Microsecond)
+				if i%50 == 0 {
+					_ = l.TopK(5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 32 {
+		t.Errorf("len = %d, want full ring 32", l.Len())
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpanNesting runs an outer span with two inner spans and checks each
+// stage's histogram saw exactly its own completions, with the outer
+// duration at least covering the inner ones.
+func TestSpanNesting(t *testing.T) {
+	SetSpansEnabled(true)
+	outer := NewStage("test_outer")
+	inner := NewStage("test_inner")
+
+	so := outer.Start()
+	for i := 0; i < 2; i++ {
+		si := inner.Start()
+		time.Sleep(time.Millisecond)
+		si.End()
+	}
+	so.End()
+
+	if got := outer.Count(); got != 1 {
+		t.Errorf("outer count = %d, want 1", got)
+	}
+	if got := inner.Count(); got != 2 {
+		t.Errorf("inner count = %d, want 2", got)
+	}
+	if outer.hist.Sum() < inner.hist.Sum() {
+		t.Errorf("outer sum %v < inner sum %v", outer.hist.Sum(), inner.hist.Sum())
+	}
+}
+
+// TestSpanDisabledZeroAllocs is the hot-path contract: with spans disabled,
+// Start/End must not allocate (and not observe anything).
+func TestSpanDisabledZeroAllocs(t *testing.T) {
+	st := NewStage("test_disabled")
+	SetSpansEnabled(false)
+	defer SetSpansEnabled(true)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := st.Start()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %v per run, want 0", allocs)
+	}
+	if got := st.Count(); got != 0 {
+		t.Errorf("disabled spans recorded %d observations", got)
+	}
+}
+
+// TestSpanEnabledZeroAllocs: the enabled path is also allocation-free —
+// spans are plain values and observations are atomic adds.
+func TestSpanEnabledZeroAllocs(t *testing.T) {
+	st := NewStage("test_enabled_allocs")
+	SetSpansEnabled(true)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := st.Start()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("enabled span path allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestNilStage checks nil receivers are inert on every method.
+func TestNilStage(t *testing.T) {
+	var st *Stage
+	sp := st.Start()
+	sp.End()
+	st.Observe(time.Second)
+	if st.Count() != 0 {
+		t.Error("nil stage counted")
+	}
+}
+
+// TestStageObserve feeds a pre-measured duration through.
+func TestStageObserve(t *testing.T) {
+	SetSpansEnabled(true)
+	st := NewStage("test_observe")
+	st.Observe(3 * time.Millisecond)
+	if st.Count() != 1 {
+		t.Errorf("count = %d, want 1", st.Count())
+	}
+	SetSpansEnabled(false)
+	st.Observe(3 * time.Millisecond)
+	SetSpansEnabled(true)
+	if st.Count() != 1 {
+		t.Errorf("disabled Observe recorded; count = %d, want 1", st.Count())
+	}
+}

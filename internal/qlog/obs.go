@@ -1,0 +1,22 @@
+package qlog
+
+import "repro/internal/obs"
+
+// Pipeline stage histograms are fed from the StageTime measurements the
+// pipeline already takes for the §6.6 report — no second clock read — so
+// the prom view and the report view of a stage always describe the same
+// samples. Slow ingest-side extractions land in the process slow log under
+// the "ingest-extract" stage, identified by statement fingerprint.
+var (
+	parseObs       = obs.NewStage("qlog_parse")
+	extractObs     = obs.NewStage("qlog_extract")
+	cnfObs         = obs.NewStage("qlog_cnf")
+	consolidateObs = obs.NewStage("qlog_consolidate")
+
+	recordsTotal = obs.NewCounter("skyaccess_qlog_records_total",
+		"records admitted to the extraction pipeline")
+	cacheHitsTotal = obs.NewCounter("skyaccess_qlog_cache_hits_total",
+		"records served by a cached template")
+	fullParsesTotal = obs.NewCounter("skyaccess_qlog_full_parses_total",
+		"records that took the full parse and extraction path")
+)

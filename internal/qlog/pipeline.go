@@ -8,8 +8,16 @@ import (
 	"time"
 
 	"repro/internal/extract"
+	"repro/internal/obs"
 	"repro/internal/sqlparser"
 )
+
+// observeParse records one parse-stage duration in both the run's StageTime
+// (the §6.6 report) and the process-wide stage histogram.
+func observeParse(st *Stats, d time.Duration) {
+	st.Parse.observe(d)
+	parseObs.Observe(d)
+}
 
 // AreaRecord pairs a log record with its extracted access area.
 type AreaRecord struct {
@@ -331,6 +339,7 @@ func newStats() *Stats {
 // store.
 func (p *Pipeline) processOne(rec Record, st *Stats, cache *extract.TemplateCache) *AreaRecord {
 	st.Total++
+	recordsTotal.Inc()
 	if cache != nil {
 		t0 := time.Now()
 		fp, lits, ferr := sqlparser.Fingerprint(rec.SQL)
@@ -338,6 +347,7 @@ func (p *Pipeline) processOne(rec Record, st *Stats, cache *extract.TemplateCach
 			if t, ok := cache.Get(fp); ok {
 				if ar, done := p.applyTemplate(rec, t, lits, st, time.Since(t0)); done {
 					st.CacheHits++
+					cacheHitsTotal.Inc()
 					return ar
 				}
 				// Uncacheable shape or failed per-record guard: slow path,
@@ -368,15 +378,15 @@ func (p *Pipeline) applyTemplate(rec Record, t *extract.AreaTemplate, lits []sql
 	case t.Uncacheable:
 		return nil, false
 	case t.ParseFailCat != "":
-		st.Parse.observe(fpDur)
+		observeParse(st, fpDur)
 		st.ParseFailures[t.ParseFailCat]++
 		return nil, true
 	case t.NonSelect:
-		st.Parse.observe(fpDur)
+		observeParse(st, fpDur)
 		st.ParseFailures["non-select"]++
 		return nil, true
 	case t.ExtractErr != nil:
-		st.Parse.observe(fpDur)
+		observeParse(st, fpDur)
 		st.Parsed++
 		st.ExtractFailures++
 		return nil, true
@@ -395,9 +405,16 @@ func (p *Pipeline) applyTemplate(rec Record, t *extract.AreaTemplate, lits []sql
 // — is stored under fp for the rest of the fingerprint class.
 func (p *Pipeline) slowPath(rec Record, st *Stats, cache *extract.TemplateCache, fp uint64) *AreaRecord {
 	st.FullParses++
+	fullParsesTotal.Inc()
 	t0 := time.Now()
 	stmt, err := sqlparser.Parse(rec.SQL)
-	st.Parse.observe(time.Since(t0))
+	observeParse(st, time.Since(t0))
+	// Slow-path extractions carry a fingerprint only on the cached pipeline
+	// (fp == 0 under NoCache); those are the ones worth surfacing — a class
+	// that keeps missing the cache shows up here by fingerprint.
+	if fp != 0 {
+		defer func() { obs.DefaultSlowLog.Record("ingest-extract", fp, time.Since(t0)) }()
+	}
 	if err != nil {
 		cat := classifyParseError(err)
 		st.ParseFailures[cat]++
@@ -442,6 +459,9 @@ func (p *Pipeline) finish(rec Record, area *extract.AccessArea, tm extract.Timin
 	st.Extract.observe(tm.Extract)
 	st.CNF.observe(tm.CNF)
 	st.Consolidate.observe(tm.Consolidate)
+	extractObs.Observe(tm.Extract)
+	cnfObs.Observe(tm.CNF)
+	consolidateObs.Observe(tm.Consolidate)
 	st.Extracted++
 	if area.Truncated {
 		st.Truncated++

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/memdb"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/report"
 )
@@ -25,7 +26,10 @@ import (
 //	                ETag/If-None-Match aware)
 //	GET  /stats     cumulative pipeline statistics
 //	GET  /metrics   flat counters (ingest rate, cache hits, epoch latency,
-//	                semantic-cache hit/miss/bytes per region)
+//	                semantic-cache hit/miss/bytes per region);
+//	                ?format=prom renders the full registry in Prometheus
+//	                text exposition format
+//	GET  /debug/slowlog  top-K slowest statements by fingerprint (?k=N)
 //	GET  /healthz   readiness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -36,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -246,6 +251,8 @@ type queryReply struct {
 // column store; otherwise it falls through to direct execution. The body is
 // either raw SQL or a JSON object {"sql": "..."}.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sp := queryServeStage.Start()
+	defer sp.End()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -335,6 +342,8 @@ var contentTypes = map[report.Format]string{
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sp := reportStage.Start()
+	defer sp.End()
 	format, err := negotiateFormat(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -391,8 +400,29 @@ func (s *Server) processedCount() int64 {
 	return s.processed
 }
 
-// handleMetrics emits flat expvar-style counters.
+// handleMetrics serves the registry. The default view is the legacy flat
+// JSON map (keys unchanged since the first serve release); ?format=prom
+// renders the server registry plus the process-wide Default registry (stage
+// histograms, package counters) in Prometheus text exposition format.
+//
+// Every value is snapshotted OUTSIDE the server mutex: statsSnapshot takes
+// s.mu only long enough to copy the cumulative pipeline stats, and
+// everything else reads atomics. Neither view holds any lock while the
+// reply is built or written, so a slow client can never stall ingest or an
+// epoch flush (TestMetricsConcurrentWithFlush hammers this under -race).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+		_ = obs.Default().WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.legacyMetrics())
+}
+
+// legacyMetrics assembles the original flat counter map — now a JSON view
+// over the same atomics the registry's function-backed metrics read.
+func (s *Server) legacyMetrics() map[string]any {
 	st := s.statsSnapshot()
 	uptime := time.Since(s.start).Seconds()
 	accepted := s.accepted.Load()
@@ -445,7 +475,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		metrics["semcache_per_region"] = m.PerRegion
 	}
-	writeJSON(w, http.StatusOK, metrics)
+	return metrics
+}
+
+// slowlogEntry is the JSON shape of one /debug/slowlog row; the fingerprint
+// renders as fixed-width hex so it lines up with log-mining tooling.
+type slowlogEntry struct {
+	Fingerprint string  `json:"fingerprint"`
+	Stage       string  `json:"stage"`
+	Seconds     float64 `json:"seconds"`
+	UnixNano    int64   `json:"unix_nano"`
+}
+
+// handleSlowlog serves the top-K slowest recorded operations (ranked by
+// extraction+execution time, identified by statement fingerprint — raw SQL
+// never appears here). ?k=N caps the rows (default 20, 0 = everything
+// resident in the ring).
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	k := 20
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "k must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	top := obs.DefaultSlowLog.TopK(k)
+	out := make([]slowlogEntry, len(top))
+	for i, e := range top {
+		out[i] = slowlogEntry{
+			Fingerprint: fmt.Sprintf("%016x", e.Fingerprint),
+			Stage:       e.Stage,
+			Seconds:     e.Seconds,
+			UnixNano:    e.UnixNano,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entries": out})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

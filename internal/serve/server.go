@@ -22,6 +22,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/interestcache"
 	"repro/internal/memdb"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 )
 
@@ -131,6 +132,10 @@ type Server struct {
 	// qcache is the semantic result cache behind POST /query (nil when
 	// Config.QueryDB is unset). runEpoch re-installs its region set.
 	qcache *interestcache.Cache
+
+	// reg is the server's private metrics registry: function-backed views
+	// over the same atomics the JSON /metrics keys read (see initRegistry).
+	reg *obs.Registry
 }
 
 // NewServer builds a Server and starts its pump and epoch workers. When
@@ -172,6 +177,7 @@ func NewServer(cfg Config) (*Server, error) {
 			Verify:    cfg.QueryVerify,
 		})
 	}
+	s.initRegistry()
 	if cfg.SnapshotPath != "" {
 		if err := s.restoreSnapshot(cfg.SnapshotPath); err != nil {
 			cancel()
@@ -242,6 +248,8 @@ func (s *Server) pump() {
 }
 
 func (s *Server) runBatch(batch []qlog.Record) {
+	sp := ingestBatchStage.Start()
+	defer sp.End()
 	st := s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
 		if s.inc.Add(&ar) {
 			s.newSinceEpoch.Add(1)
@@ -287,6 +295,8 @@ func (s *Server) epochLoop() {
 func (s *Server) runEpoch() {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
+	sp := epochServeStage.Start()
+	defer sp.End()
 	t0 := time.Now()
 	// Areas added while Recluster runs belong to the next epoch.
 	s.newSinceEpoch.Store(0)

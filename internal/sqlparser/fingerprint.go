@@ -68,6 +68,9 @@ func hashByte(h uint64, b byte) uint64 {
 // The error is exactly the lexer's error: unlexable statements have no
 // fingerprint (and necessarily fail parsing too).
 func Fingerprint(src string) (uint64, []Literal, error) {
+	sp := fingerprintStage.Start()
+	defer sp.End()
+	fingerprintTotal.Inc()
 	h := uint64(fnvOffset64)
 	var lits []Literal
 	lx := NewLexer(src)

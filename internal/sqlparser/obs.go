@@ -1,0 +1,19 @@
+package sqlparser
+
+import "repro/internal/obs"
+
+// Package-wide instruments: every Parse and Fingerprint call is counted and
+// its latency lands in a Default-registry stage histogram, so the parser's
+// share of pipeline time is visible on /metrics?format=prom without the
+// per-record StageTime plumbing the §6.6 report uses.
+var (
+	parseStage       = obs.NewStage("sqlparser_parse")
+	fingerprintStage = obs.NewStage("sqlparser_fingerprint")
+
+	parseTotal = obs.NewCounter("skyaccess_sqlparser_parse_total",
+		"statements handed to the full parser")
+	parseErrors = obs.NewCounter("skyaccess_sqlparser_parse_errors_total",
+		"full parses rejected by the lexer or parser")
+	fingerprintTotal = obs.NewCounter("skyaccess_sqlparser_fingerprint_total",
+		"statements fingerprinted for the template cache")
+)

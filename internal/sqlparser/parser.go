@@ -50,12 +50,20 @@ func (e *ParseError) Error() string {
 // can classify them; genuinely malformed input returns a *ParseError (or
 // *LexError from the lexer).
 func Parse(src string) (Statement, error) {
+	sp := parseStage.Start()
+	defer sp.End()
+	parseTotal.Inc()
 	toks, err := NewLexer(src).Tokens()
 	if err != nil {
+		parseErrors.Inc()
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	return p.parseStatement()
+	st, err := p.parseStatement()
+	if err != nil {
+		parseErrors.Inc()
+	}
+	return st, err
 }
 
 // ParseSelect parses src and requires the result to be a SELECT statement.
