@@ -52,6 +52,7 @@ bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp pipelineperf
 	$(GO) run ./cmd/benchreport -exp serveperf
 	$(GO) run ./cmd/benchreport -exp semcacheperf -scale 5000
+	$(GO) run ./cmd/benchreport -exp kernelperf
 
 # serve-smoke starts the serving stack, replays 1k records into it, flushes,
 # and asserts /report matches the batch miner byte-for-byte in every format
@@ -67,18 +68,22 @@ serve-smoke:
 semcache-smoke:
 	$(GO) test -race -count=1 -run TestSemCacheSmoke -v ./internal/serve/
 
-# bench-check is the bench-drift gate: re-run the two deterministic
-# experiments at the checked-in scale and compare their counters against the
-# committed BENCH_*.json records with benchreport -compare (tolerance 15%;
-# wall-clock fields are ignored, see internal/benchcmp). Fails when a code
-# change regresses distance-eval or parse counters, or flips an identical_*
-# flag.
+# bench-check is the bench-drift gate: re-run the deterministic experiments
+# at the checked-in scales and compare their counters against the committed
+# BENCH_*.json records with benchreport -compare (tolerance 15%; wall-clock
+# fields are ignored, see internal/benchcmp). Fails when a code change
+# regresses distance-eval or parse counters, flips an identical_* flag, or
+# drops the flat kernel's early-exit ratio (kernelperf runs its default 20k
+# and 100k synthetic-area scales — the 100k scale is the acceptance point
+# for the flat-vs-pointer speedup).
 BENCHTOL ?= 0.15
 bench-check:
 	$(GO) run ./cmd/benchreport -exp clusterperf -benchjson /tmp/bench_clustering_new.json
 	$(GO) run ./cmd/benchreport -exp pipelineperf -pipejson /tmp/bench_pipeline_new.json
+	$(GO) run ./cmd/benchreport -exp kernelperf -kerneljson /tmp/bench_kernel_new.json
 	$(GO) run ./cmd/benchreport -compare BENCH_clustering.json /tmp/bench_clustering_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_pipeline.json /tmp/bench_pipeline_new.json -tol $(BENCHTOL)
+	$(GO) run ./cmd/benchreport -compare BENCH_kernel.json /tmp/bench_kernel_new.json -tol $(BENCHTOL)
 
 # ci mirrors .github/workflows/ci.yml locally: build, vet, unit tests, race
 # detector, fuzz seed-corpus regression, and both end-to-end smokes. The

@@ -139,6 +139,8 @@ func run() int {
 	pipeJSON := flag.String("pipejson", "BENCH_pipeline.json", "output path for the pipelineperf JSON record")
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "output path for the serveperf JSON record")
 	semJSON := flag.String("semjson", "BENCH_semcache.json", "output path for the semcacheperf JSON record")
+	kernelJSON := flag.String("kerneljson", "BENCH_kernel.json", "output path for the kernelperf JSON record")
+	kernelScales := flag.String("kernelscales", "", "comma-separated area counts for kernelperf (default \"20000,100000\")")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	obsDump := flag.Bool("obs", false, "embed an observability registry snapshot under a \"metrics\" key in each BENCH_*.json")
@@ -229,6 +231,23 @@ func run() int {
 					return fmt.Sprintf("semcacheperf: %v\n", err)
 				}
 				writeJSON(*semJSON, res)
+				return res.Report
+			}},
+		{"kernelperf", "flat SoA distance kernel vs pointer profiles microbenchmark (writes -kerneljson)",
+			func() string {
+				var scales []int
+				for _, s := range strings.Split(*kernelScales, ",") {
+					if s = strings.TrimSpace(s); s == "" {
+						continue
+					}
+					n, err := strconv.Atoi(s)
+					if err != nil || n <= 1 {
+						return fmt.Sprintf("kernelperf: bad -kernelscales entry %q\n", s)
+					}
+					scales = append(scales, n)
+				}
+				res := experiments.RunKernelPerf(*seed, scales...)
+				writeJSON(*kernelJSON, res)
 				return res.Report
 			}},
 	}

@@ -79,6 +79,8 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot path (restored on start, written on shutdown; empty = none)")
 	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
 	queryVerify := flag.Bool("query-verify", false, "check every cache-served /query result against direct execution (oracle; slow)")
+	deltaEpochs := flag.Bool("delta-epochs", false, "cluster only the delta between epochs (representatives + noise + new areas); flush/shutdown always re-cluster fully")
+	anchorEvery := flag.Int("anchor-every", 8, "with -delta-epochs, run a full re-cluster every Nth epoch")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	debugAddr := flag.String("debug-addr", "", "debug listener for pprof/metrics/slowlog (empty = off)")
 	flag.Parse()
@@ -96,6 +98,7 @@ func main() {
 			Schema: skyserver.Schema(), Stats: stats,
 			Eps: *eps, MinPts: *minPts, AutoEps: *autoEps,
 			Mode: dmode, Seed: *seed, Workers: *workers,
+			DeltaEpochs: *deltaEpochs, FullReclusterEvery: *anchorEvery,
 		},
 		Coverage:      db,
 		QueueSize:     *queue,

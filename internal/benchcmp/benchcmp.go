@@ -37,6 +37,10 @@ var gated = map[string]struct {
 	"eval_ratio":     {dirHigherBetter, false},
 	"parse_ratio":    {dirHigherBetter, false},
 	"hit_ratio":      {dirHigherBetter, false},
+	// The flat distance kernel's structural-equality early exit: the ratio is
+	// a deterministic replay of the seeded pair schedule, so a drop means the
+	// kernel stopped recognising equal constraint lists.
+	"early_exit_ratio": {dirHigherBetter, false},
 }
 
 // Finding is one compared metric.

@@ -76,6 +76,16 @@ type Config struct {
 	// zero values mean 3 and 0.5.
 	SigmaRule        float64
 	MinColumnSupport float64
+	// DeltaEpochs lets Incremental.ReclusterAuto cluster only the delta
+	// between epochs: stable clusters collapse to weighted representatives
+	// and DBSCAN runs over representatives + noise + new areas, with a full
+	// re-cluster every FullReclusterEvery epochs as the equivalence anchor.
+	// Only the DBSCAN backend with SampleSize 0 supports deltas; other
+	// configurations silently run full epochs.
+	DeltaEpochs bool
+	// FullReclusterEvery is the anchor cadence for DeltaEpochs: every Nth
+	// ReclusterAuto epoch re-clusters everything from scratch (0 = default 8).
+	FullReclusterEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -261,20 +271,20 @@ func (m *Miner) clusterBody(items []*aggregate.Item, res *Result) {
 	metric := &distance.Metric{Mode: m.cfg.Mode, Stats: m.stats}
 	opts := aggregate.Options{SigmaRule: m.cfg.SigmaRule, MinColumnSupport: m.cfg.MinColumnSupport}
 
-	// Precompile every profile once and route ALL distance evaluations —
-	// auto-eps, pivot rows, region queries — through one shared cache, so
-	// evaluation counts are comparable across configurations. The global
-	// cache memoizes when the item count allows it; partition-local caches
-	// below keep memoization effective at any scale. With the pivot index
-	// disabled (the perf harness's "before" baseline) the cache only
-	// counts, reproducing the pre-index evaluation pattern.
-	profiles := make([]*distance.Profile, len(items))
-	for i, it := range items {
-		profiles[i] = metric.Profile(it.Area)
+	// Precompile every profile once into the flat SoA kernel and route ALL
+	// distance evaluations — auto-eps, pivot rows, region queries — through
+	// one shared cache, so evaluation counts are comparable across
+	// configurations. The kernel computes values bit-identical to
+	// ProfileDistance with zero allocations per pair. The global cache
+	// memoizes when the item count allows it; partition-local caches below
+	// keep memoization effective at any scale. With the pivot index disabled
+	// (the perf harness's "before" baseline) the cache only counts,
+	// reproducing the pre-index evaluation pattern.
+	kern := distance.NewKernel(m.cfg.Mode)
+	for _, it := range items {
+		kern.Add(metric.Profile(it.Area))
 	}
-	rawDist := func(i, j int) float64 {
-		return metric.ProfileDistance(profiles[i], profiles[j])
-	}
+	rawDist := kern.Distance
 	var cache *distance.PairCache
 	if m.cfg.DisablePivotIndex {
 		cache = distance.NewCountingPairCache(len(items), rawDist)

@@ -17,4 +17,10 @@ var (
 		"incremental recluster epochs run")
 	epochCacheResets = obs.NewCounter("skyaccess_core_epoch_cache_resets_total",
 		"epochs that dropped cached distances because the access(a) registry moved")
+	anchorEpochsTotal = obs.NewCounter("skyaccess_core_anchor_epochs_total",
+		"full re-cluster epochs (every epoch without DeltaEpochs; the periodic anchors with it)")
+	deltaEpochsTotal = obs.NewCounter("skyaccess_core_delta_epochs_total",
+		"delta epochs that clustered only representatives + noise + new areas")
+	deltaPointsTotal = obs.NewCounter("skyaccess_core_delta_points_total",
+		"reduced points fed to DBSCAN across delta epochs")
 )

@@ -72,6 +72,10 @@ func Cluster(n int, dist func(i, j int) float64, cfg Config) *Result {
 		labels[i] = unclassified
 	}
 	e := &engine{n: n, dist: dist, cfg: cfg, labels: labels, workers: resolveWorkers(cfg.Workers, n)}
+	if e.workers > 1 && n >= parallelCutoff {
+		e.pool = newWorkerPool(e.workers)
+		defer e.pool.close()
+	}
 
 	clusterID := 0
 	for i := 0; i < n; i++ {
@@ -125,15 +129,71 @@ type engine struct {
 	cfg     Config
 	labels  []int
 	workers int
+	// pool, when non-nil, is the persistent per-Cluster-call worker pool
+	// parallel region queries run on. DBSCAN issues one region query per
+	// point; spawning `workers` fresh goroutines inside each (the previous
+	// design) meant n·workers goroutine launches per clustering run —
+	// billions at the 1M-area scale. The pool starts its goroutines once.
+	pool *workerPool
+}
+
+// workerPool is a fixed set of goroutines consuming closures from a
+// channel. Submitters never run tasks inline and tasks never submit,
+// so there is no nesting deadlock; close() tears the goroutines down.
+type workerPool struct {
+	tasks chan func()
+	done  sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{tasks: make(chan func(), workers)}
+	p.done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.done.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) close() {
+	close(p.tasks)
+	p.done.Wait()
+}
+
+// runChunks splits [0, n) into one chunk per worker and executes
+// fn(w, lo, hi) for each on the pool, blocking until all complete.
+func (p *workerPool) runChunks(n, workers int, fn func(w, lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		w, lo, hi := w, lo, hi
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}
+	}
+	wg.Wait()
 }
 
 // regionQuery returns all points within Eps of point i (including i),
-// scanning in parallel.
+// scanning in parallel on the engine's worker pool.
 func (e *engine) regionQuery(i int) []int {
 	sp := regionQueryStage.Start()
 	defer sp.End()
 	regionQueriesTotal.Inc()
-	if e.workers == 1 || e.n < parallelCutoff {
+	if e.pool == nil || e.workers == 1 || e.n < parallelCutoff {
 		var out []int
 		for j := 0; j < e.n; j++ {
 			if j == i || e.dist(i, j) <= e.cfg.Eps {
@@ -142,30 +202,16 @@ func (e *engine) regionQuery(i int) []int {
 		}
 		return out
 	}
-	chunk := (e.n + e.workers - 1) / e.workers
 	parts := make([][]int, e.workers)
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > e.n {
-			hi = e.n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var out []int
-			for j := lo; j < hi; j++ {
-				if j == i || e.dist(i, j) <= e.cfg.Eps {
-					out = append(out, j)
-				}
+	e.pool.runChunks(e.n, e.workers, func(w, lo, hi int) {
+		var out []int
+		for j := lo; j < hi; j++ {
+			if j == i || e.dist(i, j) <= e.cfg.Eps {
+				out = append(out, j)
 			}
-			parts[w] = out
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		parts[w] = out
+	})
 	var out []int
 	for _, p := range parts {
 		out = append(out, p...)
@@ -211,12 +257,20 @@ func (e *engine) expand(i int, seeds []int, id int) {
 // original DBSCAN paper [10]: plot the curve and pick eps at the "knee".
 // dist must be symmetric; the computation is O(n²) like the clustering
 // itself.
+// k is clamped to [1, n−1] (a point has only n−1 neighbours); n ≤ 1 has no
+// neighbour distances at all and yields an empty curve.
 func KDistances(n int, dist func(i, j int) float64, k int) []float64 {
+	if n <= 1 {
+		return nil
+	}
 	if k < 1 {
 		k = 1
 	}
+	if k > n-1 {
+		k = n - 1
+	}
 	out := make([]float64, 0, n)
-	row := make([]float64, 0, n)
+	row := make([]float64, 0, n-1)
 	for i := 0; i < n; i++ {
 		row = row[:0]
 		for j := 0; j < n; j++ {
@@ -225,15 +279,8 @@ func KDistances(n int, dist func(i, j int) float64, k int) []float64 {
 			}
 			row = append(row, dist(i, j))
 		}
-		if len(row) == 0 {
-			continue
-		}
-		kk := k
-		if kk > len(row) {
-			kk = len(row)
-		}
 		sort.Float64s(row)
-		out = append(out, row[kk-1])
+		out = append(out, row[k-1])
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
 	return out
@@ -425,33 +472,31 @@ func (ix *PivotIndex) Region(q int, eps float64, n int) []int {
 }
 
 // RegionParallel is Region with the candidate scan split across workers.
-// The result is in ascending index order like Region's.
+// The result is in ascending index order like Region's. Each call spawns
+// its own goroutines; the clustering drivers use regionPooled instead.
 func (ix *PivotIndex) RegionParallel(q int, eps float64, n, workers int) []int {
 	workers = resolveWorkers(workers, n)
 	if workers == 1 || n < parallelCutoff {
 		return ix.Region(q, eps, n)
 	}
+	pool := newWorkerPool(workers)
+	defer pool.close()
+	return ix.regionPooled(q, eps, n, workers, pool)
+}
+
+// regionPooled is the pooled candidate scan behind RegionParallel and
+// ClusterWithIndex; pool may be nil for a serial scan.
+func (ix *PivotIndex) regionPooled(q int, eps float64, n, workers int, pool *workerPool) []int {
+	if pool == nil || workers == 1 || n < parallelCutoff {
+		return ix.Region(q, eps, n)
+	}
 	sp := pivotRegionStage.Start()
 	defer sp.End()
 	pivotRegionsTotal.Inc()
-	chunk := (n + workers - 1) / workers
 	parts := make([][]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			parts[w] = ix.regionRange(q, eps, lo, hi, nil)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	pool.runChunks(n, workers, func(w, lo, hi int) {
+		parts[w] = ix.regionRange(q, eps, lo, hi, nil)
+	})
 	var out []int
 	for _, p := range parts {
 		out = append(out, p...)
@@ -523,7 +568,11 @@ func ClusterWithIndex(n int, dist func(i, j int) float64, cfg Config, ix *PivotI
 		labels[i] = unclassified
 	}
 	e := &engine{n: n, dist: dist, cfg: cfg, labels: labels, workers: workers}
-	region := func(i int) []int { return ix.RegionParallel(i, cfg.Eps, n, workers) }
+	if workers > 1 && n >= parallelCutoff {
+		e.pool = newWorkerPool(workers)
+		defer e.pool.close()
+	}
+	region := func(i int) []int { return ix.regionPooled(i, cfg.Eps, n, workers, e.pool) }
 
 	clusterID := 0
 	for i := 0; i < n; i++ {

@@ -433,3 +433,84 @@ func TestPivotsEmptyInput(t *testing.T) {
 		t.Errorf("res = %+v", res)
 	}
 }
+
+// TestKDistancesBoundary pins the clamping behaviour of KDistances: k is
+// clamped into [1, n-1], and degenerate inputs (n = 0, n = 1, k = 0,
+// k >= n) return without panicking.
+func TestKDistancesBoundary(t *testing.T) {
+	pts := []float64{0, 1, 2, 3}
+	d := euclid1D(pts)
+
+	if kd := KDistances(0, nil, 4); kd != nil {
+		t.Errorf("n=0: kd = %v, want nil", kd)
+	}
+	if kd := KDistances(1, d, 4); kd != nil {
+		t.Errorf("n=1: kd = %v, want nil", kd)
+	}
+	// k = 0 clamps up to 1 (nearest neighbour).
+	kd0 := KDistances(len(pts), d, 0)
+	kd1 := KDistances(len(pts), d, 1)
+	if len(kd0) != len(pts) {
+		t.Fatalf("k=0: len = %d, want %d", len(kd0), len(pts))
+	}
+	for i := range kd0 {
+		if kd0[i] != kd1[i] {
+			t.Fatalf("k=0 should clamp to k=1: %v vs %v", kd0, kd1)
+		}
+	}
+	// k = n and beyond clamp down to n-1 (the farthest other point).
+	kdN := KDistances(len(pts), d, len(pts))
+	kdMax := KDistances(len(pts), d, len(pts)-1)
+	if len(kdN) != len(pts) {
+		t.Fatalf("k=n: len = %d, want %d", len(kdN), len(pts))
+	}
+	for i := range kdN {
+		if kdN[i] != kdMax[i] {
+			t.Fatalf("k=n should clamp to k=n-1: %v vs %v", kdN, kdMax)
+		}
+	}
+	if kdN[0] != 3 {
+		t.Errorf("max (n-1)-NN distance = %v, want 3", kdN[0])
+	}
+}
+
+// TestWorkerPoolReuse exercises the persistent per-Cluster worker pool
+// directly: many region scans through one pool must match the serial scan,
+// and the pool must shut down cleanly.
+func TestWorkerPoolReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	n := parallelCutoff + 500
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = r.Float64() * 40
+	}
+	d := euclid1D(pts)
+
+	pool := newWorkerPool(8)
+	defer pool.close()
+	e := &engine{n: n, dist: d, cfg: Config{Eps: 0.3, MinPts: 4}, workers: 8, pool: pool}
+	es := &engine{n: n, dist: d, cfg: Config{Eps: 0.3, MinPts: 4}, workers: 1}
+	ix := NewPivotIndex(n, d, 5)
+	for q := 0; q < 50; q++ {
+		want := es.regionQuery(q)
+		got := e.regionQuery(q)
+		if len(got) != len(want) {
+			t.Fatalf("q=%d: pooled region size %d, serial %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d: pooled region[%d] = %d, serial %d", q, i, got[i], want[i])
+			}
+		}
+		pw := ix.regionPooled(q, 0.3, n, 8, pool)
+		ps := ix.Region(q, 0.3, n)
+		if len(pw) != len(ps) {
+			t.Fatalf("q=%d: pooled pivot region size %d, serial %d", q, len(pw), len(ps))
+		}
+		for i := range ps {
+			if pw[i] != ps[i] {
+				t.Fatalf("q=%d: pooled pivot region[%d] = %d, serial %d", q, i, pw[i], ps[i])
+			}
+		}
+	}
+}

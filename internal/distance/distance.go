@@ -19,10 +19,21 @@
 //     columns. Equality predicates with nearby constants come out close,
 //     which is what lets DBSCAN density-chain the "Photoz.objid = c"
 //     population into the paper's Cluster 1.
-//   - ModePaperLiteral: the formulas exactly as printed.
+//   - ModePaperLiteral: the formulas as printed, with two repairs needed to
+//     feed the result to DBSCAN at all — the paper normalises by the FIRST
+//     argument's access stats, which is asymmetric whenever the two sides
+//     fell back to different per-predicate access ranges, so both directions
+//     are averaged; and structurally identical predicates short-circuit to
+//     distance 0 (the printed overlap formula would score a predicate 0.6
+//     away from itself on the paper's own example), making the literal
+//     distance a pseudo-metric: d(p,p) = 0 and d(p,q) = d(q,p), the contract
+//     dbscan.Cluster documents.
 //
 // Distances are computed on precompiled Profiles so the O(n²) clustering
-// stage does no repeated interval clipping or stats lookups.
+// stage does no repeated interval clipping or stats lookups. For the bulk
+// clustering path, Kernel repacks the profiles into a flat struct-of-arrays
+// layout whose Distance produces bit-identical values with zero allocations
+// per pair.
 package distance
 
 import (
@@ -73,6 +84,7 @@ func (m *Metric) Distance(a, b *extract.AccessArea) float64 {
 
 // ProfileDistance computes d_tables + d_conj on precompiled profiles.
 func (m *Metric) ProfileDistance(p, q *Profile) float64 {
+	profileEvalsTotal.Inc()
 	return m.dTables(p, q) + m.dConj(p, q)
 }
 
@@ -130,7 +142,10 @@ func (m *Metric) dConj(p, q *Profile) float64 {
 	if len(b1) == 0 || len(b2) == 0 {
 		return 1
 	}
-	sum := 0.0
+	// The two directions accumulate separately and combine with ONE
+	// commutative addition, so d_conj(p,q) == d_conj(q,p) bit for bit (a
+	// running sum across both loops would round differently per direction).
+	sum1 := 0.0
 	for _, o1 := range b1 {
 		best := math.Inf(1)
 		for _, o2 := range b2 {
@@ -138,8 +153,9 @@ func (m *Metric) dConj(p, q *Profile) float64 {
 				best = d
 			}
 		}
-		sum += best
+		sum1 += best
 	}
+	sum2 := 0.0
 	for _, o2 := range b2 {
 		best := math.Inf(1)
 		for _, o1 := range b1 {
@@ -147,9 +163,9 @@ func (m *Metric) dConj(p, q *Profile) float64 {
 				best = d
 			}
 		}
-		sum += best
+		sum2 += best
 	}
-	return sum / float64(len(b1)+len(b2))
+	return (sum1 + sum2) / float64(len(b1)+len(b2))
 }
 
 // dDisj is the min-matching average over the atomic predicates of two
@@ -161,7 +177,8 @@ func (m *Metric) dDisj(o1, o2 clauseProfile) float64 {
 	if len(o1) == 0 || len(o2) == 0 {
 		return 1
 	}
-	sum := 0.0
+	// Separate per-side sums for exact symmetry, as in dConj.
+	sum1 := 0.0
 	for i := range o1 {
 		best := math.Inf(1)
 		for j := range o2 {
@@ -169,8 +186,9 @@ func (m *Metric) dDisj(o1, o2 clauseProfile) float64 {
 				best = d
 			}
 		}
-		sum += best
+		sum1 += best
 	}
+	sum2 := 0.0
 	for j := range o2 {
 		best := math.Inf(1)
 		for i := range o1 {
@@ -178,9 +196,9 @@ func (m *Metric) dDisj(o1, o2 clauseProfile) float64 {
 				best = d
 			}
 		}
-		sum += best
+		sum2 += best
 	}
-	return sum / float64(len(o1)+len(o2))
+	return (sum1 + sum2) / float64(len(o1)+len(o2))
 }
 
 // DPred exposes the atomic-predicate distance for tests.
@@ -191,6 +209,13 @@ func (m *Metric) DPred(p1, p2 predicate.Pred) float64 {
 }
 
 func (m *Metric) dPred(p1, p2 *predProfile) float64 {
+	if m.Mode == ModePaperLiteral && predProfilesEqual(p1, p2) {
+		// The printed overlap formula is a similarity: without this rule a
+		// predicate would sit a positive distance from itself (0.6 on the
+		// paper's own example), and DBSCAN's density reachability assumes
+		// d(p,p) = 0. Endpoint mode yields 0 for equal predicates naturally.
+		return 0
+	}
 	switch {
 	case p1.kind == kindColCol || p2.kind == kindColCol:
 		return m.dPredColCol(p1, p2)
@@ -231,6 +256,18 @@ func (m *Metric) dPredSameColumn(p1, p2 *predProfile) float64 {
 	if p1.kind == kindString {
 		return m.dPredCategorical(p1, p2)
 	}
+	// Each profile carries its own access(a) snapshot; when the registry
+	// never saw the column the per-predicate hull fallback can differ
+	// between the two sides, so normalising by p1's width alone made the
+	// distance asymmetric. Averaging the two directions restores d(p,q) =
+	// d(q,p); with shared stats (the common case) both directions are equal
+	// and the average reproduces the single-direction value exactly.
+	return (m.dirNumeric(p1, p2) + m.dirNumeric(p2, p1)) / 2
+}
+
+// dirNumeric is the one-directional same-column numeric d_pred, normalised
+// by p1's access width.
+func (m *Metric) dirNumeric(p1, p2 *predProfile) float64 {
 	w := p1.accessWidth
 	if w <= 0 {
 		// Degenerate access range: identical constants only.
@@ -262,17 +299,53 @@ func (m *Metric) dPredCategorical(p1, p2 *predProfile) float64 {
 		}
 	}
 	if m.Mode == ModePaperLiteral {
-		// "the number of items p1 and p2 have in common" over |access(a)|.
-		if p1.accessCard <= 0 {
-			return 0
-		}
-		return float64(inter) / float64(p1.accessCard)
+		// "the number of items p1 and p2 have in common" over |access(a)|,
+		// averaged over the two sides' cardinalities so the distance stays
+		// symmetric when their access snapshots differ.
+		return (dirCategorical(inter, p1) + dirCategorical(inter, p2)) / 2
 	}
 	union := len(p1.strSet) + len(p2.strSet) - inter
 	if union == 0 {
 		return 0
 	}
 	return 1 - float64(inter)/float64(union)
+}
+
+// dirCategorical is the one-directional literal categorical d_pred.
+func dirCategorical(inter int, p *predProfile) float64 {
+	if p.accessCard <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(p.accessCard)
+}
+
+// predProfilesEqual reports whether two compiled predicates denote the same
+// constraint: same kind, columns and operator, and identical compiled
+// geometry (clipped interval, access width and occupied fraction for
+// numeric; value set and access cardinality for categorical). dPred uses it
+// as the paper-literal identity rule and Kernel as an early exit; the two
+// implementations must agree, so any change here needs a mirror in flat.go.
+func predProfilesEqual(p1, p2 *predProfile) bool {
+	if p1.kind != p2.kind || p1.column != p2.column || p1.column2 != p2.column2 ||
+		p1.op != p2.op || p1.frac != p2.frac {
+		return false
+	}
+	switch p1.kind {
+	case kindNumeric:
+		return p1.iv.Equal(p2.iv) && p1.accessWidth == p2.accessWidth
+	case kindString:
+		if p1.accessCard != p2.accessCard || len(p1.strSet) != len(p2.strSet) {
+			return false
+		}
+		for v := range p1.strSet {
+			if _, ok := p2.strSet[v]; !ok {
+				return false
+			}
+		}
+		return true
+	default: // kindColCol: kind, columns and op say it all.
+		return true
+	}
 }
 
 func (m *Metric) dPredDifferentColumns(p1, p2 *predProfile) float64 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/distance"
 	"repro/internal/extract"
 	"repro/internal/qlog"
 )
@@ -37,7 +38,10 @@ type ClusterPerfResult struct {
 	EvalRatio         float64        `json:"eval_ratio"` // brute evals / pivot evals
 	SpeedupX          float64        `json:"speedup_x"`
 	IdenticalClusters bool           `json:"identical_clusters"`
-	Report            string         `json:"-"`
+	// Kernel is the flat-SoA-vs-pointer distance microbenchmark over this
+	// workload's real distinct areas (same shape as the kernelperf scales).
+	Kernel *KernelPerfScale `json:"kernelperf,omitempty"`
+	Report string           `json:"-"`
 }
 
 // RunClusterPerf executes the clustering perf comparison: one shared
@@ -85,6 +89,24 @@ func (e *Env) RunClusterPerf() *ClusterPerfResult {
 		out.SpeedupX = brute.ElapsedMS / pivot.ElapsedMS
 	}
 
+	// The same distinct areas the miner clustered, through the distance
+	// microbenchmark: evals/sec and early-exit rate on real workload shapes.
+	seen := make(map[string]struct{}, len(areas))
+	var distinct []*extract.AccessArea
+	for i := range areas {
+		a := areas[i].Area
+		if a.IsEmpty() {
+			continue
+		}
+		key := a.Key()
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		distinct = append(distinct, a)
+	}
+	out.Kernel = benchKernelAreas(distance.ModeEndpoint, e.Stats, distinct, kernelPairBudget, e.Seed)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "Clustering perf — pivot-index region queries vs brute force (%d queries, %d distinct areas)\n",
 		out.Queries, out.DistinctAreas)
@@ -96,6 +118,9 @@ func (e *Env) RunClusterPerf() *ClusterPerfResult {
 	row(pivot)
 	fmt.Fprintf(&b, "distance evaluations: %.2fx fewer with pivots; wall clock: %.2fx; identical clusters: %v\n",
 		out.EvalRatio, out.SpeedupX, out.IdenticalClusters)
+	fmt.Fprintf(&b, "flat kernel over the %d mined areas: %.0f evals/s vs %.0f pointer (%.2fx, early-exit %.4f, identical %v)\n",
+		out.Kernel.Areas, out.Kernel.Flat.EvalsPerSec, out.Kernel.Pointer.EvalsPerSec,
+		out.Kernel.SpeedupX, out.Kernel.EarlyExitRatio, out.Kernel.IdenticalDistances)
 	out.Report = b.String()
 	return out
 }

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/interval"
+	"repro/internal/predicate"
+	"repro/internal/schema"
+)
+
+// KernelPerfRun is one distance backend's timing over the fixed pair
+// schedule. ElapsedMS and EvalsPerSec are wall-clock (ignored by the
+// bench-drift gate); the eval count lives on the enclosing scale record.
+type KernelPerfRun struct {
+	Backend     string  `json:"backend"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
+// KernelPerfScale compares the pointer-walking ProfileDistance loop with
+// the flat SoA kernel at one area count, over an identical seeded pair
+// schedule. DistanceEvals, EarlyExits and EarlyExitRatio are deterministic
+// replays (gated by benchreport -compare); IdenticalDistances asserts the
+// two backends summed bit-identical values.
+type KernelPerfScale struct {
+	Areas              int           `json:"areas"`
+	DistanceEvals      int64         `json:"distance_evals"`
+	Pointer            KernelPerfRun `json:"before_pointer_profiles"`
+	Flat               KernelPerfRun `json:"after_flat_kernel"`
+	SpeedupX           float64       `json:"speedup_x"`
+	EarlyExits         int64         `json:"early_exits"`
+	EarlyExitRatio     float64       `json:"early_exit_ratio"`
+	IdenticalDistances bool          `json:"identical_distances"`
+}
+
+// KernelPerfResult is the outcome of the kernelperf experiment across its
+// area scales. Queries carries the total synthetic area count so the
+// bench-drift scale gate only compares records built at the same sizes.
+type KernelPerfResult struct {
+	Queries     int                `json:"queries"`
+	Seed        int64              `json:"seed"`
+	Scales      []*KernelPerfScale `json:"scales"`
+	MinSpeedupX float64            `json:"min_speedup_x"`
+	Report      string             `json:"-"`
+}
+
+// synthAreaPool generates n deterministic synthetic access areas shaped
+// like the SkyServer workload: constraint lists drawn from a shared
+// template pool with grid-snapped constants (so structurally identical
+// lists recur across areas, exercising the kernel's early exit the way
+// templated real logs do), attached to varying relation sets. The returned
+// stats registry seeds access(a) for every column used.
+func synthAreaPool(n int, seed int64) ([]*extract.AccessArea, *schema.Stats) {
+	stats := schema.NewStats()
+	type numCol struct {
+		name   string
+		lo, hi float64
+	}
+	numCols := []numCol{
+		{"PhotoObjAll.ra", 0, 360},
+		{"PhotoObjAll.dec", -90, 90},
+		{"Photoz.z", 0, 7},
+		{"SpecObjAll.mjd", 50000, 58000},
+		{"SpecObjAll.plate", 0, 12000},
+		{"galSpecLine.sigma_balmer", 0, 500},
+	}
+	for _, c := range numCols {
+		stats.SeedNumericContent(c.name, interval.Closed(c.lo, c.hi))
+	}
+	classes := []string{"STAR", "GALAXY", "QSO", "UNKNOWN"}
+	stats.SeedCategorical("SpecObjAll.class", classes)
+
+	tableSets := [][]string{
+		{"PhotoObjAll"},
+		{"SpecObjAll"},
+		{"Photoz"},
+		{"PhotoObjAll", "SpecObjAll"},
+		{"Photoz", "PhotoObjAll"},
+		{"galSpecLine", "SpecObjAll"},
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	poolSize := n / 16
+	if poolSize < 4 {
+		poolSize = 4
+	}
+	// Constants snap to a coarse per-column grid: distinct templates often
+	// share exact bounds, like real logs where a UI emits the same ranges.
+	const grid = 40
+	randPred := func() predicate.Pred {
+		switch r.Intn(10) {
+		case 0: // join
+			a := numCols[r.Intn(len(numCols))].name
+			b := numCols[r.Intn(len(numCols))].name
+			return predicate.Cols(a, predicate.Eq, b)
+		case 1, 2: // categorical
+			op := predicate.Eq
+			if r.Intn(4) == 0 {
+				op = predicate.Ne
+			}
+			return predicate.CC("SpecObjAll.class", op, predicate.Str(classes[r.Intn(len(classes))]))
+		default: // numeric half-range on a grid point
+			c := numCols[r.Intn(len(numCols))]
+			v := c.lo + (c.hi-c.lo)*float64(r.Intn(grid+1))/grid
+			ops := []predicate.Op{predicate.Lt, predicate.Le, predicate.Gt, predicate.Ge, predicate.Eq}
+			return predicate.CC(c.name, ops[r.Intn(len(ops))], predicate.Number(v))
+		}
+	}
+	// SkyServer templates carry several range constraints per query (the
+	// paper caps CNF conversion at 35 atomic predicates); 2-5 clauses of 1-4
+	// predicates matches the mined-area shapes the clusterperf workload
+	// produces.
+	pool := make([]predicate.CNF, poolSize)
+	for i := range pool {
+		nClauses := 2 + r.Intn(4)
+		cnf := make(predicate.CNF, 0, nClauses)
+		for c := 0; c < nClauses; c++ {
+			nPreds := 1 + r.Intn(4)
+			cl := make(predicate.Clause, 0, nPreds)
+			for p := 0; p < nPreds; p++ {
+				cl = append(cl, randPred())
+			}
+			cnf = append(cnf, cl)
+		}
+		pool[i] = cnf
+	}
+
+	areas := make([]*extract.AccessArea, n)
+	for i := range areas {
+		areas[i] = &extract.AccessArea{
+			Relations: tableSets[r.Intn(len(tableSets))],
+			CNF:       pool[r.Intn(poolSize)],
+			Exact:     true,
+		}
+	}
+	return areas, stats
+}
+
+// kernelPairBudget is the evaluation count per backend per scale: large
+// enough to dwarf timer noise, small enough that the 100k-area run stays in
+// CI budget.
+const kernelPairBudget = 1_000_000
+
+// benchKernelAreas times the pointer ProfileDistance loop against the flat
+// SoA kernel over an identical LCG pair schedule and verifies the summed
+// distances are bit-identical. Shared by the kernelperf experiment (synthetic
+// areas) and clusterperf (the real mined areas).
+func benchKernelAreas(mode distance.Mode, stats *schema.Stats, areas []*extract.AccessArea, pairs int, seed int64) *KernelPerfScale {
+	n := len(areas)
+	metric := &distance.Metric{Mode: mode, Stats: stats}
+	kern := distance.NewKernel(mode)
+	profiles := make([]*distance.Profile, n)
+	for i, a := range areas {
+		profiles[i] = metric.Profile(a)
+		kern.Add(profiles[i])
+	}
+
+	// A fixed multiplicative LCG gives both backends the exact same pair
+	// sequence without storing it; the replay is deterministic per (seed, n).
+	// Each backend keeps its own replay state so the runs can interleave.
+	lcgInit := func() uint64 { return uint64(seed)*6364136223846793005 + 1442695040888963407 }
+	next := func(state *uint64) int {
+		*state = *state*6364136223846793005 + 1442695040888963407
+		return int((*state >> 33) % uint64(n))
+	}
+
+	sumPointer := 0.0
+	pState := lcgInit()
+	t0 := time.Now()
+	for p := 0; p < pairs; p++ {
+		i, j := next(&pState), next(&pState)
+		sumPointer += metric.ProfileDistance(profiles[i], profiles[j])
+	}
+	pointerElapsed := time.Since(t0)
+
+	// Drain the collection debt the pointer path's per-pair allocations
+	// built up, outside either timer: the flat kernel allocates nothing, so
+	// no GC cycle starts (or steals CPU) during its run.
+	runtime.GC()
+
+	exitsBefore := distance.KernelEarlyExits()
+	sumFlat := 0.0
+	fState := lcgInit()
+	t0 = time.Now()
+	for p := 0; p < pairs; p++ {
+		i, j := next(&fState), next(&fState)
+		sumFlat += kern.Distance(i, j)
+	}
+	flatElapsed := time.Since(t0)
+	exits := distance.KernelEarlyExits() - exitsBefore
+
+	out := &KernelPerfScale{
+		Areas:         n,
+		DistanceEvals: int64(pairs),
+		Pointer: KernelPerfRun{
+			Backend:     "pointer-profiles",
+			ElapsedMS:   float64(pointerElapsed.Microseconds()) / 1e3,
+			EvalsPerSec: float64(pairs) / pointerElapsed.Seconds(),
+		},
+		Flat: KernelPerfRun{
+			Backend:     "flat-kernel",
+			ElapsedMS:   float64(flatElapsed.Microseconds()) / 1e3,
+			EvalsPerSec: float64(pairs) / flatElapsed.Seconds(),
+		},
+		EarlyExits:         exits,
+		EarlyExitRatio:     float64(exits) / float64(pairs),
+		IdenticalDistances: sumPointer == sumFlat,
+	}
+	if flatElapsed > 0 {
+		out.SpeedupX = pointerElapsed.Seconds() / flatElapsed.Seconds()
+	}
+	return out
+}
+
+// RunKernelPerf executes the distance-kernel microbenchmark at each area
+// scale (default 20k and 100k synthetic areas; a 1M-area run is documented
+// in EXPERIMENTS.md for manual use). Every scale replays the same seeded
+// ~1M-pair schedule through both backends.
+func RunKernelPerf(seed int64, scales ...int) *KernelPerfResult {
+	if len(scales) == 0 {
+		scales = []int{20000, 100000}
+	}
+	out := &KernelPerfResult{Seed: seed, MinSpeedupX: 0}
+	for _, n := range scales {
+		out.Queries += n
+		areas, stats := synthAreaPool(n, seed)
+		sc := benchKernelAreas(distance.ModeEndpoint, stats, areas, kernelPairBudget, seed)
+		out.Scales = append(out.Scales, sc)
+		if out.MinSpeedupX == 0 || sc.SpeedupX < out.MinSpeedupX {
+			out.MinSpeedupX = sc.SpeedupX
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distance-kernel perf — flat SoA kernel vs pointer ProfileDistance (%d evals per backend per scale)\n",
+		kernelPairBudget)
+	for _, sc := range out.Scales {
+		fmt.Fprintf(&b, "  %7d areas: pointer %10.1f ms (%12.0f evals/s)   flat %10.1f ms (%12.0f evals/s)   %5.2fx   early-exit %.4f   identical %v\n",
+			sc.Areas, sc.Pointer.ElapsedMS, sc.Pointer.EvalsPerSec,
+			sc.Flat.ElapsedMS, sc.Flat.EvalsPerSec, sc.SpeedupX, sc.EarlyExitRatio, sc.IdenticalDistances)
+	}
+	fmt.Fprintf(&b, "minimum speedup across scales: %.2fx (acceptance floor: 5x at 100k areas)\n", out.MinSpeedupX)
+	out.Report = b.String()
+	return out
+}

@@ -282,17 +282,21 @@ func (s *Server) epochLoop() {
 		case <-s.stopEpoch:
 			return
 		case <-s.epochTrig:
-			s.runEpoch()
+			s.runEpoch(false)
 		case <-tick:
 			if s.newSinceEpoch.Load() > 0 {
-				s.runEpoch()
+				s.runEpoch(false)
 			}
 		}
 	}
 }
 
-// runEpoch re-clusters everything admitted so far and publishes the result.
-func (s *Server) runEpoch() {
+// runEpoch re-clusters what changed since the last epoch and publishes the
+// result. force requests a full re-cluster regardless of Config.DeltaEpochs;
+// the periodic epoch worker passes false so mid-stream epochs may run the
+// reduced delta path, while Flush, Shutdown and snapshot restore anchor on
+// the exact clustering.
+func (s *Server) runEpoch(force bool) {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
 	sp := epochServeStage.Start()
@@ -300,7 +304,12 @@ func (s *Server) runEpoch() {
 	t0 := time.Now()
 	// Areas added while Recluster runs belong to the next epoch.
 	s.newSinceEpoch.Store(0)
-	res := s.inc.Recluster()
+	var res *core.Result
+	if force {
+		res = s.inc.Recluster()
+	} else {
+		res = s.inc.ReclusterAuto()
+	}
 	res.PipelineStats = s.statsSnapshot()
 	if s.cfg.Coverage != nil {
 		res.AttachCoverage(s.cfg.Coverage)
@@ -355,7 +364,7 @@ func (s *Server) Flush() {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
-	s.runEpoch()
+	s.runEpoch(true)
 }
 
 // Shutdown gracefully stops the server: intake closes (handlers answer
@@ -384,7 +393,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	close(s.stopEpoch)
 	<-s.epochDone
-	s.runEpoch()
+	s.runEpoch(true)
 	s.cancel()
 	if s.cfg.SnapshotPath != "" {
 		if err := s.WriteSnapshot(s.cfg.SnapshotPath); err != nil {

@@ -103,7 +103,7 @@ func (s *Server) restoreSnapshot(path string) error {
 	s.accepted.Store(snap.Accepted)
 	s.epochs.Store(snap.Epochs)
 	if s.inc.Distinct() > 0 {
-		s.runEpoch()
+		s.runEpoch(true)
 	}
 	return nil
 }
