@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test vet racecheck fuzz fuzz-regression bench bench-check \
-	serve-smoke semcache-smoke ci clean
+	serve-smoke semcache-smoke shard-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ racecheck:
 	$(GO) test -race ./internal/dbscan/... ./internal/distance/... \
 		./internal/qlog/... ./internal/extract/... ./internal/sqlparser/... \
 		./internal/serve/... ./internal/core/... ./internal/interestcache/... \
-		./internal/memdb/...
+		./internal/memdb/... ./internal/shard/...
 
 # fuzz replays the checked-in seed corpora in regression mode (plain go test
 # runs every f.Add seed) and then explores each target briefly. Raise
@@ -42,8 +42,9 @@ fuzz-regression:
 
 # bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining),
 # BENCH_pipeline.json (uncached vs template-cached extraction), BENCH_serve.json
-# (online service under replayed load) and BENCH_semcache.json (semantic result
-# cache: hit ratio, speedup, staleness) at the 20k default mix — semcacheperf
+# (online service under replayed load), BENCH_semcache.json (semantic result
+# cache: hit ratio, speedup, staleness) and BENCH_shard.json (relation-set
+# sharded coordinator at 1/2/4/8 shards) at the 20k default mix — semcacheperf
 # runs at 5k because it replays the log four extra times (oracle, cached,
 # miss-path and staleness passes). vet + racecheck gate it so perf numbers are
 # never recorded off racy code.
@@ -53,6 +54,7 @@ bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp serveperf
 	$(GO) run ./cmd/benchreport -exp semcacheperf -scale 5000
 	$(GO) run ./cmd/benchreport -exp kernelperf
+	$(GO) run ./cmd/benchreport -exp shardperf
 
 # serve-smoke starts the serving stack, replays 1k records into it, flushes,
 # and asserts /report matches the batch miner byte-for-byte in every format
@@ -68,6 +70,15 @@ serve-smoke:
 semcache-smoke:
 	$(GO) test -race -count=1 -run TestSemCacheSmoke -v ./internal/serve/
 
+# shard-smoke is the end-to-end gate for the sharded topology: a 4-shard
+# in-process cluster (same routing/merge code path as multi-node) ingests a
+# 1k-query log over real HTTP, flushes, and the coordinator's merged /report
+# must be byte-identical to the batch miner in every format
+# (TestCoordinatorMatchesBatch); the shard-down test proves ingest keeps
+# accepting and /report degrades with a staleness marker when a node dies.
+shard-smoke:
+	$(GO) test -race -count=1 -run 'TestCoordinatorMatchesBatch|TestShardDownDegradesGracefully' -v ./internal/shard/
+
 # bench-check is the bench-drift gate: re-run the deterministic experiments
 # at the checked-in scales and compare their counters against the committed
 # BENCH_*.json records with benchreport -compare (tolerance 15%; wall-clock
@@ -81,15 +92,17 @@ bench-check:
 	$(GO) run ./cmd/benchreport -exp clusterperf -benchjson /tmp/bench_clustering_new.json
 	$(GO) run ./cmd/benchreport -exp pipelineperf -pipejson /tmp/bench_pipeline_new.json
 	$(GO) run ./cmd/benchreport -exp kernelperf -kerneljson /tmp/bench_kernel_new.json
+	$(GO) run ./cmd/benchreport -exp shardperf -scale 5000 -shardjson /tmp/bench_shard_new.json
 	$(GO) run ./cmd/benchreport -compare BENCH_clustering.json /tmp/bench_clustering_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_pipeline.json /tmp/bench_pipeline_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_kernel.json /tmp/bench_kernel_new.json -tol $(BENCHTOL)
+	$(GO) run ./cmd/benchreport -compare BENCH_shard.json /tmp/bench_shard_new.json -tol $(BENCHTOL)
 
 # ci mirrors .github/workflows/ci.yml locally: build, vet, unit tests, race
 # detector, fuzz seed-corpus regression, and both end-to-end smokes. The
 # nightly bench-drift job (make bench-check) is not part of ci — it takes
 # minutes, not seconds.
-ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke
+ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke shard-smoke
 	@echo "ci: all gates green"
 
 clean:

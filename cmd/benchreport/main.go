@@ -19,7 +19,9 @@
 // BENCH_clustering.json), pipelineperf writes its uncached-vs-cached
 // extraction numbers to -pipejson (default BENCH_pipeline.json), serveperf
 // writes the online-service load numbers (throughput, backpressure latency,
-// cross-epoch reuse) to -servejson (default BENCH_serve.json), and
+// cross-epoch reuse) to -servejson (default BENCH_serve.json), shardperf
+// writes the sharded-coordinator scaling numbers (throughput and epoch wall
+// at 1/2/4/8 shards) to -shardjson (default BENCH_shard.json), and
 // semcacheperf writes the semantic-result-cache numbers (hit ratio, speedup,
 // staleness window) to -semjson (default BENCH_semcache.json), so successive
 // changes have a perf trajectory. -cpuprofile/-memprofile capture stdlib
@@ -138,6 +140,7 @@ func run() int {
 	benchJSON := flag.String("benchjson", "BENCH_clustering.json", "output path for the clusterperf JSON record")
 	pipeJSON := flag.String("pipejson", "BENCH_pipeline.json", "output path for the pipelineperf JSON record")
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "output path for the serveperf JSON record")
+	shardJSON := flag.String("shardjson", "BENCH_shard.json", "output path for the shardperf JSON record")
 	semJSON := flag.String("semjson", "BENCH_semcache.json", "output path for the semcacheperf JSON record")
 	kernelJSON := flag.String("kerneljson", "BENCH_kernel.json", "output path for the kernelperf JSON record")
 	kernelScales := flag.String("kernelscales", "", "comma-separated area counts for kernelperf (default \"20000,100000\")")
@@ -221,6 +224,12 @@ func run() int {
 			func() string {
 				res := getEnv().RunServePerf()
 				writeJSON(*serveJSON, res)
+				return res.Report
+			}},
+		{"shardperf", "sharded coordinator: throughput + epoch wall at 1/2/4/8 shards (writes -shardjson)",
+			func() string {
+				res := getEnv().RunShardPerf()
+				writeJSON(*shardJSON, res)
 				return res.Report
 			}},
 		{"semcacheperf", "semantic result cache: oracle, hit ratio, speedup, staleness (writes -semjson)",

@@ -12,6 +12,11 @@
 // (re-sending whatever a 429 backpressure response did not accept):
 //
 //	loggen -n 20000 -replay -rate 2000 -burst 100 -url http://localhost:8080/ingest
+//
+// -conns N replays over N concurrent connections (the log is split into N
+// contiguous slices, each replayed at rate/N so the aggregate -rate and the
+// per-burst 429-retry semantics are preserved) — the shape of a sharded
+// skyserved deployment's real ingest traffic.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/qlog"
@@ -39,6 +45,7 @@ func main() {
 	rate := flag.Float64("rate", 1000, "replay records per second (0 = as fast as possible)")
 	burst := flag.Int("burst", 100, "replay records per burst")
 	url := flag.String("url", "", "replay target: POST each burst to this /ingest endpoint instead of writing it")
+	conns := flag.Int("conns", 1, "concurrent replay connections (with -url; each replays a contiguous log slice at rate/conns)")
 	flag.Parse()
 
 	entries := skyserver.GenerateLog(skyserver.WorkloadConfig{
@@ -60,7 +67,7 @@ func main() {
 	}
 
 	if *replay {
-		if err := replayLog(w, recs, *rate, *burst, *url); err != nil {
+		if err := replay2(w, recs, *rate, *burst, *url, *conns); err != nil {
 			fatal(err)
 		}
 		return
@@ -78,6 +85,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// replay2 fans the replay out over conns concurrent connections. Each
+// connection owns a contiguous slice of the log and paces itself at
+// rate/conns, so the aggregate offered rate still matches -rate while the
+// server sees genuinely concurrent ingest. Pipe output (-url "") and conns
+// <= 1 keep the original single-stream behaviour; interleaving NDJSON
+// writers onto one pipe would corrupt lines.
+func replay2(w io.Writer, recs []qlog.Record, rate float64, burst int, url string, conns int) error {
+	if conns <= 1 || url == "" || len(recs) == 0 {
+		return replayLog(w, recs, rate, burst, url)
+	}
+	if conns > len(recs) {
+		conns = len(recs)
+	}
+	per := (len(recs) + conns - 1) / conns
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo >= len(recs) {
+			break
+		}
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		wg.Add(1)
+		go func(i int, slice []qlog.Record) {
+			defer wg.Done()
+			errs[i] = replayLog(nil, slice, rate/float64(conns), burst, url)
+		}(i, recs[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // replayLog emits the log in NDJSON bursts, pacing burst starts so the

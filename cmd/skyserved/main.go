@@ -6,7 +6,7 @@
 // Usage:
 //
 //	skyserved [-addr :8080] [-eps 0.06] [-minpts 8] [-snapshot state.json]
-//	          [-debug-addr :6060]
+//	          [-debug-addr :6060] [-shards N] [-role coordinator|shard -peers ...]
 //
 // Endpoints:
 //
@@ -22,13 +22,23 @@
 //	GET  /debug/slowlog  top-K slowest statements by fingerprint
 //	GET  /healthz   readiness
 //
+// Topologies (one binary, three roles):
+//
+//	-shards N       in-process sharding: N shard miners behind one
+//	                relation-set router and merged /report, same process
+//	-role shard     one shard node of a multi-node cluster (adds
+//	                GET /shard/result for the coordinator)
+//	-role coordinator -peers http://h1:8081,http://h2:8081
+//	                routes /ingest to the peer shards and serves the merged
+//	                /report, /stats, /metrics, /shard/status
+//
 // With -debug-addr a second listener serves net/http/pprof under
 // /debug/pprof/ plus the same /metrics and /debug/slowlog views.
 //
 // Drive it with loggen:
 //
 //	skyserved -addr :8080 &
-//	loggen -n 20000 -replay -rate 2000 -url http://localhost:8080/ingest
+//	loggen -n 20000 -replay -rate 2000 -conns 4 -url http://localhost:8080/ingest
 //	curl -s -X POST http://localhost:8080/flush
 //	curl -s http://localhost:8080/report
 //
@@ -40,7 +50,9 @@
 //	    http://localhost:8080/query
 //
 // On SIGINT/SIGTERM the server drains in-flight extraction, runs a final
-// epoch and (with -snapshot) persists state for a replay-free restart.
+// epoch and (with -snapshot) persists state for a replay-free restart; the
+// in-process shard topology writes one snapshot per shard (state.0.json,
+// state.1.json, ...) plus the router assignment (state.json.router).
 package main
 
 import (
@@ -52,16 +64,43 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/distance"
+	"repro/internal/extract"
 	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/skyserver"
 )
+
+// newHTTPServer applies the shared listener hardening: a slowloris client
+// cannot hold a connection open with a dribbling header, and idle keep-alive
+// connections are reaped.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// shardSnapshotPath derives shard i's snapshot path from the base by
+// inserting the index before the extension: state.json → state.2.json.
+func shardSnapshotPath(base string, i int) string {
+	if base == "" {
+		return ""
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + strconv.Itoa(i) + ext
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -76,6 +115,7 @@ func main() {
 	batch := flag.Int("batch", 256, "max records per pipeline batch")
 	epochAreas := flag.Int("epoch-areas", 512, "new distinct areas that trigger a re-clustering epoch")
 	epochInterval := flag.Duration("epoch-interval", 15*time.Second, "re-cluster on this timer when new areas are pending (0 = off)")
+	maxLag := flag.Int("max-lag", 0, "admission bound: 429 while this many new areas await mining (0 = off)")
 	snapshot := flag.String("snapshot", "", "snapshot path (restored on start, written on shutdown; empty = none)")
 	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
 	queryVerify := flag.Bool("query-verify", false, "check every cache-served /query result against direct execution (oracle; slow)")
@@ -83,39 +123,170 @@ func main() {
 	anchorEvery := flag.Int("anchor-every", 8, "with -delta-epochs, run a full re-cluster every Nth epoch")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	debugAddr := flag.String("debug-addr", "", "debug listener for pprof/metrics/slowlog (empty = off)")
+	shards := flag.Int("shards", 1, "in-process shard miners behind one router (1 = unsharded)")
+	warmup := flag.Int("warmup", 0, "router staging horizon in area-bearing records before keys bind to shards (0 = default 1024, negative = bind on first sight)")
+	role := flag.String("role", "", "multi-node role: coordinator or shard (empty = standalone)")
+	peers := flag.String("peers", "", "comma-separated shard base URLs (coordinator role)")
 	flag.Parse()
 
 	dmode := distance.ModeEndpoint
 	if *mode == "literal" {
 		dmode = distance.ModePaperLiteral
 	}
-	db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: *rows, Seed: 1})
-	stats := schema.NewStats()
-	skyserver.SeedStats(db, stats)
 
-	s, err := serve.NewServer(serve.Config{
-		Miner: core.Config{
+	sharded := *shards > 1 || *role == "coordinator"
+	if sharded && *autoEps {
+		fmt.Fprintln(os.Stderr, "skyserved: -autoeps is incompatible with sharding: merge exactness needs one fixed eps on every shard")
+		os.Exit(1)
+	}
+	if *role != "" && *role != "coordinator" && *role != "shard" {
+		fmt.Fprintf(os.Stderr, "skyserved: unknown -role %q (want coordinator or shard)\n", *role)
+		os.Exit(1)
+	}
+	if *role == "coordinator" && *peers == "" {
+		fmt.Fprintln(os.Stderr, "skyserved: -role coordinator needs -peers")
+		os.Exit(1)
+	}
+
+	minerCfg := func(stats *schema.Stats) core.Config {
+		return core.Config{
 			Schema: skyserver.Schema(), Stats: stats,
 			Eps: *eps, MinPts: *minPts, AutoEps: *autoEps,
 			Mode: dmode, Seed: *seed, Workers: *workers,
 			DeltaEpochs: *deltaEpochs, FullReclusterEvery: *anchorEvery,
-		},
-		Coverage:      db,
-		QueueSize:     *queue,
-		BatchSize:     *batch,
-		EpochAreas:    *epochAreas,
-		EpochInterval: *epochInterval,
-		SnapshotPath:  *snapshot,
-		ReportTop:     *top,
-		QueryDB:       db,
-		QueryVerify:   *queryVerify,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "skyserved: %v\n", err)
-		os.Exit(1)
+		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// What to serve, and how to stop it, by topology.
+	var handler http.Handler
+	var registry *obs.Registry
+	var shutdown func(context.Context) error
+
+	switch {
+	case *role == "coordinator":
+		// Pure router/merger: no local miner, no local database beyond the
+		// synthetic coverage source for the merged report.
+		db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: *rows, Seed: 1})
+		peerList := strings.Split(*peers, ",")
+		nodes := make([]shard.Node, len(peerList))
+		for i, p := range peerList {
+			nodes[i] = shard.NewHTTPNode(fmt.Sprintf("shard-%d", i), strings.TrimSpace(p), nil)
+		}
+		router := shard.NewRouter(len(nodes), skyserver.Schema(), 0, nil, *warmup)
+		statePath := ""
+		if *snapshot != "" {
+			statePath = *snapshot + ".router"
+		}
+		coord, err := shard.NewCoordinator(shard.Config{
+			Router:          router,
+			Nodes:           nodes,
+			QueueSize:       *queue,
+			BatchSize:       *batch,
+			Eps:             *eps,
+			Coverage:        db,
+			ReportTop:       *top,
+			RouterStatePath: statePath,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyserved: %v\n", err)
+			os.Exit(1)
+		}
+		coord.SeedMerge()
+		handler = coord.Handler()
+		shutdown = func(ctx context.Context) error { return coord.Close() }
+		log.Printf("skyserved: coordinator over %d shards: %s", len(nodes), *peers)
+
+	case *shards > 1:
+		// In-process sharding: N shard servers share one stats registry (the
+		// access(a) observations commute) and one template cache (warmed by
+		// the router), so the merged report is byte-identical to a single
+		// batch mine over the same records.
+		db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: *rows, Seed: 1})
+		stats := schema.NewStats()
+		skyserver.SeedStats(db, stats)
+		tcache := &extract.TemplateCache{}
+		router := shard.NewRouter(*shards, skyserver.Schema(), 0, tcache, *warmup)
+		nodes := make([]shard.Node, *shards)
+		for i := 0; i < *shards; i++ {
+			s, err := serve.NewServer(serve.Config{
+				Miner:         minerCfg(stats),
+				QueueSize:     *queue,
+				BatchSize:     *batch,
+				EpochAreas:    *epochAreas,
+				EpochInterval: *epochInterval,
+				MaxMiningLag:  *maxLag,
+				Templates:     tcache,
+				SnapshotPath:  shardSnapshotPath(*snapshot, i),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skyserved: shard %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			nodes[i] = shard.NewLocalNode(fmt.Sprintf("shard-%d", i), s)
+		}
+		statePath := ""
+		if *snapshot != "" {
+			statePath = *snapshot + ".router"
+		}
+		coord, err := shard.NewCoordinator(shard.Config{
+			Router:          router,
+			Nodes:           nodes,
+			QueueSize:       *queue,
+			BatchSize:       *batch,
+			Eps:             *eps,
+			Coverage:        db,
+			ReportTop:       *top,
+			RouterStatePath: statePath,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyserved: %v\n", err)
+			os.Exit(1)
+		}
+		coord.SeedMerge()
+		handler = coord.Handler()
+		shutdown = func(ctx context.Context) error { return coord.Close() }
+		log.Printf("skyserved: %d in-process shards", *shards)
+
+	default:
+		// Standalone server, or one shard node of a multi-node cluster.
+		db := skyserver.BuildDatabase(skyserver.DataConfig{RowsPerTable: *rows, Seed: 1})
+		stats := schema.NewStats()
+		skyserver.SeedStats(db, stats)
+		cfg := serve.Config{
+			Miner:         minerCfg(stats),
+			Coverage:      db,
+			QueueSize:     *queue,
+			BatchSize:     *batch,
+			EpochAreas:    *epochAreas,
+			EpochInterval: *epochInterval,
+			MaxMiningLag:  *maxLag,
+			SnapshotPath:  *snapshot,
+			ReportTop:     *top,
+			QueryDB:       db,
+			QueryVerify:   *queryVerify,
+		}
+		if *role == "shard" {
+			// A shard mines a routed slice: coverage and the semantic query
+			// cache belong to the coordinator's merged view.
+			cfg.Coverage = nil
+			cfg.QueryDB = nil
+		}
+		s, err := serve.NewServer(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyserved: %v\n", err)
+			os.Exit(1)
+		}
+		if *role == "shard" {
+			handler = shard.ResultHandler(s)
+			log.Printf("skyserved: shard node (coordinator fetches /shard/result)")
+		} else {
+			handler = s.Handler()
+		}
+		registry = s.Registry()
+		shutdown = s.Shutdown
+	}
+
+	httpSrv := newHTTPServer(*addr, handler)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("skyserved: listening on %s", *addr)
@@ -132,11 +303,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = s.Registry().WritePrometheus(w)
+			if registry != nil {
+				_ = registry.WritePrometheus(w)
+			}
 			_ = obs.Default().WritePrometheus(w)
 		})
-		mux.Handle("/debug/slowlog", s.Handler())
-		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
+		mux.Handle("/debug/slowlog", handler)
+		debugSrv = newHTTPServer(*debugAddr, mux)
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("skyserved: debug listener: %v", err)
@@ -160,7 +333,7 @@ func main() {
 		_ = debugSrv.Shutdown(ctx)
 	}
 	_ = httpSrv.Shutdown(ctx)
-	if err := s.Shutdown(ctx); err != nil && err != context.DeadlineExceeded {
+	if err := shutdown(ctx); err != nil && err != context.DeadlineExceeded {
 		log.Printf("skyserved: shutdown: %v", err)
 	}
 	log.Printf("skyserved: stopped")

@@ -24,6 +24,11 @@ type Item struct {
 	Weight int
 	// Users is the set of distinct users who issued such queries.
 	Users map[string]struct{}
+	// RelKey is the interned extract.RelationSetKey of Area.Relations,
+	// computed once when the item is created so the per-epoch partitioning
+	// hot path (and the shard router) never re-joins the relation list.
+	// Empty means "not yet computed" — consumers fall back to deriving it.
+	RelKey string
 }
 
 // Options controls summarisation.

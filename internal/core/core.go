@@ -230,7 +230,11 @@ func (a *itemAccum) add(ar *qlog.AreaRecord) (idx int, isNew bool) {
 	if !ok {
 		idx = len(a.items)
 		a.byKey[key] = idx
-		a.items = append(a.items, &aggregate.Item{Area: ar.Area, Users: make(map[string]struct{})})
+		a.items = append(a.items, &aggregate.Item{
+			Area:   ar.Area,
+			Users:  make(map[string]struct{}),
+			RelKey: extract.RelationSetKey(ar.Area.Relations),
+		})
 		isNew = true
 	}
 	it := a.items[idx]
@@ -362,7 +366,14 @@ func partitionItems(items []*aggregate.Item, eps float64) (map[string][]int, []s
 	if eps < 1.0/float64(maxTables+1) {
 		var order []string
 		for i, it := range items {
-			key := strings.Join(it.Area.Relations, ",")
+			// The interned key is set when the item enters an accumulator;
+			// items built directly (baselines, examples) derive it lazily so
+			// later epochs over the same item reuse it.
+			key := it.RelKey
+			if key == "" && len(it.Area.Relations) > 0 {
+				key = extract.RelationSetKey(it.Area.Relations)
+				it.RelKey = key
+			}
 			if _, ok := groups[key]; !ok {
 				order = append(order, key)
 			}
@@ -397,13 +408,28 @@ func collectPartition(res *Result, items []*aggregate.Item, part []int, dres *db
 }
 
 // finalizeClusters orders clusters by cardinality (Table-1 style) and
-// assigns stable ids.
+// assigns stable ids. The tie-break chain must be total over every field
+// the report renders: Expr alone collapses to "⊤" for unconstrained
+// clusters, and sort.Slice is unstable, so an Expr-only tie-break would
+// leave equal-cardinality clusters in input order — making the report
+// depend on arrival interleaving (and a shard-merged result differ from
+// the batch miner over the same log).
 func finalizeClusters(res *Result) {
 	sort.Slice(res.Clusters, func(i, j int) bool {
-		if res.Clusters[i].Cardinality != res.Clusters[j].Cardinality {
-			return res.Clusters[i].Cardinality > res.Clusters[j].Cardinality
+		a, b := res.Clusters[i], res.Clusters[j]
+		if a.Cardinality != b.Cardinality {
+			return a.Cardinality > b.Cardinality
 		}
-		return res.Clusters[i].Expr() < res.Clusters[j].Expr()
+		if ae, be := a.Expr(), b.Expr(); ae != be {
+			return ae < be
+		}
+		if ar, br := strings.Join(a.Relations, ","), strings.Join(b.Relations, ","); ar != br {
+			return ar < br
+		}
+		if a.UserCount != b.UserCount {
+			return a.UserCount > b.UserCount
+		}
+		return strings.Join(a.Representatives, "\n") < strings.Join(b.Representatives, "\n")
 	})
 	for i, c := range res.Clusters {
 		c.ID = i + 1

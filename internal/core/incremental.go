@@ -149,7 +149,7 @@ func (inc *Incremental) snapshotItems() ([]*aggregate.Item, int) {
 		for u := range it.Users {
 			users[u] = struct{}{}
 		}
-		items[i] = &aggregate.Item{Area: it.Area, Weight: it.Weight, Users: users}
+		items[i] = &aggregate.Item{Area: it.Area, Weight: it.Weight, Users: users, RelKey: it.RelKey}
 	}
 	return items, inc.acc.contradictory
 }

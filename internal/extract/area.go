@@ -84,7 +84,16 @@ func (a *AccessArea) IntermediateSQL() string {
 
 // Key returns a canonical identity for deduplication.
 func (a *AccessArea) Key() string {
-	return strings.Join(a.Relations, ",") + "§" + a.CNF.Key()
+	return RelationSetKey(a.Relations) + "§" + a.CNF.Key()
+}
+
+// RelationSetKey renders a (normalised: deduplicated, sorted) relation list
+// as the canonical comma-joined key. It is THE relation-set identity of the
+// system: core.partitionItems groups clustering partitions by it and the
+// shard router assigns relation sets to shard nodes by it, so the two can
+// never disagree about which partition a record belongs to.
+func RelationSetKey(rels []string) string {
+	return strings.Join(rels, ",")
 }
 
 // normalizeRelations deduplicates and alphabetically sorts relation names.

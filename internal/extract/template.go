@@ -57,7 +57,20 @@ type AreaTemplate struct {
 	// skipping CNF conversion and consolidation.
 	fast bool
 	cnf  predicate.CNF
+
+	// routeKey is the precomputed RelationSetKey of relations. A statement
+	// shape's FROM clause is literal-independent, so the key is valid for
+	// every record of the fingerprint class — including Uncacheable shapes,
+	// whose CONSTRAINT structure depends on values but whose relation set
+	// does not. Empty for non-area outcomes (parse failure, non-SELECT,
+	// extraction error).
+	routeKey string
 }
+
+// RouteKey returns the relation-set shard key shared by every record of the
+// template's fingerprint class, or "" when the class produces no access area
+// (and therefore contributes only summed counters, routable anywhere).
+func (t *AreaTemplate) RouteKey() string { return t.routeKey }
 
 // ExtractTemplate is ExtractWithTimings plus construction of the statement
 // shape's reusable template. The template is non-nil even on extraction
@@ -70,7 +83,14 @@ func (ex *Extractor) ExtractTemplate(sel *sqlparser.SelectStatement) (*AccessAre
 		return nil, tm, &AreaTemplate{ExtractErr: err}, err
 	}
 	if !st.cacheable {
-		return area, tm, &AreaTemplate{Uncacheable: true, Reason: st.cacheReason}, nil
+		// The sentinel still carries the class's (value-independent) relation
+		// set so the shard router can key on it without re-parsing.
+		return area, tm, &AreaTemplate{
+			Uncacheable: true,
+			Reason:      st.cacheReason,
+			relations:   area.Relations,
+			routeKey:    RelationSetKey(area.Relations),
+		}, nil
 	}
 	t := &AreaTemplate{
 		constraint: expr,
@@ -79,6 +99,7 @@ func (ex *Extractor) ExtractTemplate(sel *sqlparser.SelectStatement) (*AccessAre
 		exactBase:  st.exact,
 		truncated:  area.Truncated,
 		guards:     st.likeGuards,
+		routeKey:   RelationSetKey(area.Relations),
 	}
 	if tierASafe(expr, area.CNF) {
 		t.fast = true

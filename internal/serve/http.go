@@ -64,6 +64,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // 429 with the count accepted so far — accepted records are never dropped,
 // the client re-sends the remainder.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	IngestHTTP(w, r, s.enqueue)
+}
+
+// IngestHTTP implements the /ingest protocol — NDJSON or JSON body, one
+// enqueue call per record in input order, 429/503 with the accepted count on
+// refusal — against any admission function. The serve handler and the shard
+// coordinator share it so a client cannot tell a shard node from a
+// coordinator by ingest semantics. enqueue errors map to 503 for ErrClosed
+// and 429 for everything else (backpressure: the client re-sends the tail).
+func IngestHTTP(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -72,15 +82,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ndjson := strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonl") ||
 		strings.Contains(ct, "jsonlines") || strings.Contains(ct, "text/plain")
 	if ndjson {
-		s.ingestNDJSON(w, r)
+		ingestNDJSON(w, r, enqueue)
 		return
 	}
-	s.ingestJSON(w, r)
+	ingestJSON(w, r, enqueue)
 }
 
 // ingestNDJSON streams one record per line into the queue without holding
 // the whole body in memory.
-func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
+func ingestNDJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	accepted := 0
@@ -99,8 +109,8 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
-		if err := s.enqueue(rec); err != nil {
-			s.ingestRejected(w, accepted, err)
+		if err := enqueue(rec); err != nil {
+			ingestRejected(w, accepted, err)
 			return
 		}
 		accepted++
@@ -114,7 +124,7 @@ func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
 
 // ingestJSON handles an application/json body: an array of records or one
 // record object.
-func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request) {
+func ingestJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error) {
 	dec := json.NewDecoder(r.Body)
 	var recs []qlog.Record
 	tok, err := dec.Token()
@@ -149,8 +159,8 @@ func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request) {
 	}
 	accepted := 0
 	for i := range recs {
-		if err := s.enqueue(recs[i]); err != nil {
-			s.ingestRejected(w, accepted, err)
+		if err := enqueue(recs[i]); err != nil {
+			ingestRejected(w, accepted, err)
 			return
 		}
 		accepted++
@@ -195,9 +205,9 @@ func decodeObjectRest(dec *json.Decoder, rec *qlog.Record) error {
 	return err
 }
 
-func (s *Server) ingestRejected(w http.ResponseWriter, accepted int, err error) {
+func ingestRejected(w http.ResponseWriter, accepted int, err error) {
 	status := http.StatusTooManyRequests
-	if err == errClosed {
+	if err == ErrClosed {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, ingestReply{Accepted: accepted, Dropped: 1, Error: err.Error()})
@@ -319,8 +329,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
-// negotiateFormat picks the report encoding: ?format= wins, then Accept.
-func negotiateFormat(r *http.Request) (report.Format, error) {
+// NegotiateFormat picks the report encoding: ?format= wins, then Accept.
+// Exported so the shard coordinator's merged /report negotiates identically.
+func NegotiateFormat(r *http.Request) (report.Format, error) {
 	if f := r.URL.Query().Get("format"); f != "" {
 		return report.ParseFormat(f)
 	}
@@ -341,10 +352,14 @@ var contentTypes = map[report.Format]string{
 	report.JSON: "application/json",
 }
 
+// FormatContentType returns the Content-Type header value for a report
+// format (companion to NegotiateFormat for embedders).
+func FormatContentType(f report.Format) string { return contentTypes[f] }
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sp := reportStage.Start()
 	defer sp.End()
-	format, err := negotiateFormat(r)
+	format, err := NegotiateFormat(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -38,6 +38,19 @@ type Config struct {
 	// QueueSize bounds the ingest queue; a full queue answers 429
 	// (default 4096).
 	QueueSize int
+	// MaxMiningLag, when positive, bounds the un-mined backlog: ingest
+	// answers 429 while more than this many NEW distinct areas await their
+	// epoch, so admission is paced by mining capacity instead of letting
+	// report staleness grow without bound. Values below EpochAreas are
+	// raised to it (otherwise admission could stall before the epoch
+	// trigger ever fired). 0 disables the bound.
+	MaxMiningLag int
+	// Templates, when non-nil, is used (and populated) as the pipeline's
+	// template cache instead of a private one. The in-process shard
+	// topology shares one cache between the coordinator's router and every
+	// shard node, so a shape fingerprinted for routing is already warm when
+	// the owning shard extracts it.
+	Templates *extract.TemplateCache
 	// BatchSize caps how many queued records one pipeline run drains
 	// (default 256).
 	BatchSize int
@@ -76,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EpochAreas <= 0 {
 		c.EpochAreas = 512
+	}
+	if c.MaxMiningLag > 0 && c.MaxMiningLag < c.EpochAreas {
+		c.MaxMiningLag = c.EpochAreas
 	}
 	if c.QueryExec == (memdb.ExecOptions{}) {
 		c.QueryExec = memdb.ExecOptions{RowLimit: 500000, StrictTSQL: true}
@@ -116,12 +132,18 @@ type Server struct {
 	epochDone chan struct{}
 
 	// epochMu serialises Recluster (the epoch worker, Flush and Shutdown
-	// can all request one).
-	epochMu       sync.Mutex
-	newSinceEpoch atomic.Int64
-	epochs        atomic.Int64
-	lastEpochNS   atomic.Int64
-	totalEpochNS  atomic.Int64
+	// can all request one). epochFull/epochProcessed/epochStatsGen (also
+	// under epochMu) remember what the last epoch covered, so an idempotent
+	// re-flush — nothing processed, no stats movement since a full epoch —
+	// skips the re-cluster instead of redoing it.
+	epochMu        sync.Mutex
+	epochFull      bool
+	epochProcessed int64
+	epochStatsGen  uint64
+	newSinceEpoch  atomic.Int64
+	epochs         atomic.Int64
+	lastEpochNS    atomic.Int64
+	totalEpochNS   atomic.Int64
 
 	// resMu guards res and resGen together so /report's ETag always labels
 	// the exact body served.
@@ -159,11 +181,15 @@ func NewServer(cfg Config) (*Server, error) {
 		start:     time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	tcache := cfg.Templates
+	if tcache == nil {
+		tcache = &extract.TemplateCache{}
+	}
 	s.pipe = &qlog.Pipeline{
 		Extractor: &extract.Extractor{Schema: cfg.Miner.Schema, PredCap: cfg.Miner.PredCap, Stats: miner.Stats()},
 		Workers:   cfg.Miner.Workers,
 		NoCache:   cfg.Miner.DisableTemplateCache,
-		Cache:     &extract.TemplateCache{},
+		Cache:     tcache,
 	}
 	if cfg.QueryDB != nil {
 		// The cache shares the pipeline's template cache and an extractor
@@ -192,9 +218,13 @@ func NewServer(cfg Config) (*Server, error) {
 // Miner exposes the underlying miner (tests compare against batch runs).
 func (s *Server) Miner() *core.Miner { return s.miner }
 
+// Sentinel admission errors, exported so the shard coordinator (and other
+// embedders) can distinguish backpressure (retry later: ErrQueueFull,
+// ErrMiningLag) from shutdown (stop: ErrClosed).
 var (
-	errClosed = errors.New("serve: server is shutting down")
-	errFull   = errors.New("serve: ingest queue full")
+	ErrClosed    = errors.New("serve: server is shutting down")
+	ErrQueueFull = errors.New("serve: ingest queue full")
+	ErrMiningLag = errors.New("serve: un-mined area backlog at bound")
 )
 
 // enqueue admits one record or reports why it could not.
@@ -202,7 +232,11 @@ func (s *Server) enqueue(rec qlog.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errClosed
+		return ErrClosed
+	}
+	if s.cfg.MaxMiningLag > 0 && s.newSinceEpoch.Load() >= int64(s.cfg.MaxMiningLag) {
+		s.rejected.Add(1)
+		return ErrMiningLag
 	}
 	select {
 	case s.queue <- rec:
@@ -210,8 +244,20 @@ func (s *Server) enqueue(rec qlog.Record) error {
 		return nil
 	default:
 		s.rejected.Add(1)
-		return errFull
+		return ErrQueueFull
 	}
+}
+
+// IngestRecords admits records in order until one is refused, returning how
+// many were accepted and the first admission error (nil when all made it).
+// It is the programmatic twin of POST /ingest for in-process shard nodes.
+func (s *Server) IngestRecords(recs []qlog.Record) (int, error) {
+	for i := range recs {
+		if err := s.enqueue(recs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
 }
 
 // pump is the single queue consumer: it drains records in batches through
@@ -299,6 +345,17 @@ func (s *Server) epochLoop() {
 func (s *Server) runEpoch(force bool) {
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
+	// Idempotent re-flush: when the last epoch was already a full re-cluster
+	// and neither the processed count nor the stats registry moved since, a
+	// forced epoch would reproduce it exactly — skip the re-cluster. (A
+	// second POST /flush, or a coordinator flush right after the shard's own,
+	// becomes cheap instead of repeating the most expensive operation.)
+	processedNow := s.processedCount()
+	genNow := s.statsGeneration()
+	if s.epochFull && s.epochs.Load() > 0 &&
+		processedNow == s.epochProcessed && genNow == s.epochStatsGen {
+		return
+	}
 	sp := epochServeStage.Start()
 	defer sp.End()
 	t0 := time.Now()
@@ -325,6 +382,19 @@ func (s *Server) runEpoch(force bool) {
 	if s.qcache != nil {
 		s.qcache.Install(gen, res.Clusters)
 	}
+	s.epochFull = force
+	s.epochProcessed = processedNow
+	s.epochStatsGen = genNow
+}
+
+// statsGeneration reads the stats registry's mutation counter (0 when the
+// miner runs without one); a stable value across two instants proves every
+// distance profile compiled from the registry is identical at both.
+func (s *Server) statsGeneration() uint64 {
+	if st := s.miner.Stats(); st != nil {
+		return st.Generation()
+	}
+	return 0
 }
 
 // latest returns the most recent epoch's result and its generation (nil, 0
@@ -333,6 +403,43 @@ func (s *Server) latest() (*core.Result, int64) {
 	s.resMu.RLock()
 	defer s.resMu.RUnlock()
 	return s.res, s.resGen
+}
+
+// Latest exposes the most recent epoch's result and generation to embedders
+// (the shard coordinator merges these). Callers must treat the Result as
+// immutable — it is shared with every /report in flight.
+func (s *Server) Latest() (*core.Result, int64) { return s.latest() }
+
+// StatsSnapshot exposes a copy of the cumulative pipeline statistics.
+func (s *Server) StatsSnapshot() *qlog.Stats { return s.statsSnapshot() }
+
+// Telemetry is a point-in-time numeric snapshot of the server's ingest and
+// epoch counters, the shard coordinator's merge unit for /metrics.
+type Telemetry struct {
+	Accepted      int64   `json:"accepted"`
+	Rejected      int64   `json:"rejected"`
+	Processed     int64   `json:"processed"`
+	Epochs        int64   `json:"epochs"`
+	DistinctAreas int     `json:"distinct_areas"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCap      int     `json:"queue_capacity"`
+	EpochLastMS   float64 `json:"epoch_last_ms"`
+	EpochTotalMS  float64 `json:"epoch_total_ms"`
+}
+
+// Telemetry snapshots the counters without taking any epoch lock.
+func (s *Server) Telemetry() Telemetry {
+	return Telemetry{
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Processed:     s.processedCount(),
+		Epochs:        s.epochs.Load(),
+		DistinctAreas: s.inc.Distinct(),
+		QueueDepth:    len(s.queue),
+		QueueCap:      cap(s.queue),
+		EpochLastMS:   float64(s.lastEpochNS.Load()) / 1e6,
+		EpochTotalMS:  float64(s.totalEpochNS.Load()) / 1e6,
+	}
 }
 
 // QueryCache exposes the semantic result cache (nil unless QueryDB is set).

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// Handler returns the coordinator's HTTP surface — deliberately the same
+// shape as a single skyserved node, so clients (loggen, curl scripts,
+// dashboards) work unchanged against either:
+//
+//	POST /ingest        routed fan-out (NDJSON / JSON, serve's protocol)
+//	POST /flush         drain, flush every shard, re-merge (blocks)
+//	GET  /report        merged Table-1 view (text/csv/json, ETag-aware;
+//	                    X-Stale-Shards lists shards serving last-known
+//	                    results, X-Merge-Exact the equivalence guarantee)
+//	GET  /stats         merged pipeline statistics + per-shard breakdown
+//	GET  /metrics       flat counters (routing overhead, per-shard queues)
+//	GET  /shard/status  per-shard liveness and delivery state
+//	GET  /healthz       coordinator liveness
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		serve.IngestHTTP(w, r, c.Enqueue)
+	})
+	mux.HandleFunc("/flush", c.handleFlush)
+	mux.HandleFunc("/report", c.handleReport)
+	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/shard/status", c.handleStatus)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	c.Flush()
+	merged, gen, stale := c.Merged()
+	reply := map[string]any{"generation": gen, "stale_shards": stale}
+	if merged != nil {
+		reply["distinct_areas"] = merged.DistinctAreas
+		reply["clusters"] = len(merged.Clusters)
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	format, err := serve.NegotiateFormat(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, gen, stale := c.Merged()
+	if res == nil {
+		http.Error(w, "no merge has run yet — POST /flush or keep ingesting", http.StatusServiceUnavailable)
+		return
+	}
+	top := c.cfg.ReportTop
+	if t := r.URL.Query().Get("top"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 0 {
+			http.Error(w, "top must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	if len(stale) > 0 {
+		w.Header().Set("X-Stale-Shards", strings.Join(stale, ","))
+	}
+	w.Header().Set("X-Merge-Exact", strconv.FormatBool(c.MergeIsExact()))
+	// Same pure-function contract as the serve ETag, with the stale set in
+	// the tag: a shard recovering (same generation, fewer stale shards)
+	// must invalidate cached copies.
+	etag := fmt.Sprintf(`"m%d-%s-%d-%d"`, gen, format, top, len(stale))
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		for _, cand := range strings.Split(match, ",") {
+			cand = strings.TrimSpace(cand)
+			cand = strings.TrimPrefix(cand, "W/")
+			if cand == etag || cand == "*" {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	w.Header().Set("Content-Type", serve.FormatContentType(format))
+	_ = report.Write(w, res, format, report.Options{Top: top, Coverage: c.cfg.Coverage != nil})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	merged, gen, _ := c.Merged()
+	perShard := make(map[string]any, len(c.nodes))
+	c.mergeMu.RLock()
+	for i, node := range c.nodes {
+		if c.lastStats[i] != nil {
+			perShard[node.Name()] = c.lastStats[i]
+		}
+	}
+	c.mergeMu.RUnlock()
+	reply := map[string]any{
+		"pipeline":   c.MergedStats(),
+		"generation": gen,
+		"accepted":   c.Accepted(),
+		"rejected":   c.Rejected(),
+		"per_shard":  perShard,
+	}
+	if merged != nil {
+		reply["distinct_areas"] = merged.DistinctAreas
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(c.start).Seconds()
+	accepted := c.Accepted()
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(accepted) / uptime
+	}
+	routed := c.router.Routed()
+	routeNS := c.router.RouteNanos()
+	perRecord := 0.0
+	if routed > 0 {
+		perRecord = float64(routeNS) / float64(routed)
+	}
+	_, gen, stale := c.Merged()
+	metrics := map[string]any{
+		"uptime_seconds":        uptime,
+		"ingest_accepted":       accepted,
+		"ingest_rejected":       c.Rejected(),
+		"ingest_rate_per_sec":   rate,
+		"shards":                len(c.nodes),
+		"merge_generation":      gen,
+		"stale_shards":          len(stale),
+		"merge_exact":           c.MergeIsExact(),
+		"forward_retries":       c.Retries(),
+		"route_records":         routed,
+		"route_total_ns":        routeNS,
+		"route_ns_per_record":   perRecord,
+		"route_full_parses":     c.router.FullParses(),
+		"route_max_relations":   c.router.MaxRels(),
+		"template_cache_len":    c.router.Cache().Len(),
+		"template_cache_hits":   c.router.Cache().Hits(),
+		"template_cache_misses": c.router.Cache().Misses(),
+	}
+	for _, st := range c.Status() {
+		prefix := "shard_" + strconv.Itoa(st.Index) + "_"
+		metrics[prefix+"queue_depth"] = st.QueueDepth
+		metrics[prefix+"enqueued"] = st.Enqueued
+		metrics[prefix+"forwarded"] = st.Forwarded
+		metrics[prefix+"down"] = st.Down
+		metrics[prefix+"routed_load"] = st.Load
+	}
+	writeJSON(w, http.StatusOK, metrics)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": c.Status()})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.isClosed() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
