@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test vet racecheck fuzz fuzz-regression bench bench-check \
-	serve-smoke semcache-smoke shard-smoke ci clean
+	serve-smoke semcache-smoke shard-smoke wal-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,15 @@ vet:
 # extract the concurrent template rebinds, sqlparser the fingerprint pass,
 # serve the ingest queue / epoch worker / shutdown interleavings, core the
 # concurrent Add vs Recluster paths of the incremental miner, interestcache
-# the atomic epoch-generation snapshot swap under concurrent queries, and
-# memdb the per-user rate limiter under concurrent admission.
+# the atomic epoch-generation snapshot swap under concurrent queries, memdb
+# the per-user rate limiter under concurrent admission, and wal the staged
+# group-commit writer (concurrent Append/SyncTo vs the background fsync
+# goroutine and segment rotation).
 racecheck:
 	$(GO) test -race ./internal/dbscan/... ./internal/distance/... \
 		./internal/qlog/... ./internal/extract/... ./internal/sqlparser/... \
 		./internal/serve/... ./internal/core/... ./internal/interestcache/... \
-		./internal/memdb/... ./internal/shard/...
+		./internal/memdb/... ./internal/shard/... ./internal/wal/...
 
 # fuzz replays the checked-in seed corpora in regression mode (plain go test
 # runs every f.Add seed) and then explores each target briefly. Raise
@@ -33,18 +35,20 @@ fuzz: fuzz-regression
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/interval/ -run=NONE -fuzz=FuzzIntervalSet -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal/ -run=NONE -fuzz=FuzzSegmentDecode -fuzztime=$(FUZZTIME)
 
 # fuzz-regression replays only the checked-in seed corpora (every f.Add seed
 # plus testdata/fuzz entries) without exploring — deterministic, so CI can
 # gate on it.
 fuzz-regression:
-	$(GO) test -run=Fuzz ./internal/sqlparser/ ./internal/interval/
+	$(GO) test -run=Fuzz ./internal/sqlparser/ ./internal/interval/ ./internal/wal/
 
 # bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining),
 # BENCH_pipeline.json (uncached vs template-cached extraction), BENCH_serve.json
 # (online service under replayed load), BENCH_semcache.json (semantic result
-# cache: hit ratio, speedup, staleness) and BENCH_shard.json (relation-set
-# sharded coordinator at 1/2/4/8 shards) at the 20k default mix — semcacheperf
+# cache: hit ratio, speedup, staleness), BENCH_shard.json (relation-set
+# sharded coordinator at 1/2/4/8 shards) and BENCH_wal.json (durable ingest
+# WAL: fsync overhead, replay rate, windowed re-mine) at the 20k default mix — semcacheperf
 # runs at 5k because it replays the log four extra times (oracle, cached,
 # miss-path and staleness passes). vet + racecheck gate it so perf numbers are
 # never recorded off racy code.
@@ -55,6 +59,7 @@ bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp semcacheperf -scale 5000
 	$(GO) run ./cmd/benchreport -exp kernelperf
 	$(GO) run ./cmd/benchreport -exp shardperf
+	$(GO) run ./cmd/benchreport -exp walperf
 
 # serve-smoke starts the serving stack, replays 1k records into it, flushes,
 # and asserts /report matches the batch miner byte-for-byte in every format
@@ -79,6 +84,16 @@ semcache-smoke:
 shard-smoke:
 	$(GO) test -race -count=1 -run 'TestCoordinatorMatchesBatch|TestShardDownDegradesGracefully' -v ./internal/shard/
 
+# wal-smoke is the end-to-end durability gate: kill a server mid-ingest
+# (clean restart and torn-tail variants), reopen on the same WAL dir, and
+# require the recovered /report to be byte-identical to an uninterrupted
+# run; TestRemineWindowEquivalence proves POST /remine over a [from,to)
+# window matches batch-mining the same slice, and the shard variant proves
+# per-shard WALs recover under the coordinator. All under -race.
+wal-smoke:
+	$(GO) test -race -count=1 -run 'TestCrashRecoveryReplay|TestCrashRecoveryTornTail|TestRemineWindowEquivalence' -v ./internal/serve/
+	$(GO) test -race -count=1 -run TestShardedCrashRecovery -v ./internal/shard/
+
 # bench-check is the bench-drift gate: re-run the deterministic experiments
 # at the checked-in scales and compare their counters against the committed
 # BENCH_*.json records with benchreport -compare (tolerance 15%; wall-clock
@@ -93,16 +108,18 @@ bench-check:
 	$(GO) run ./cmd/benchreport -exp pipelineperf -pipejson /tmp/bench_pipeline_new.json
 	$(GO) run ./cmd/benchreport -exp kernelperf -kerneljson /tmp/bench_kernel_new.json
 	$(GO) run ./cmd/benchreport -exp shardperf -scale 5000 -shardjson /tmp/bench_shard_new.json
+	$(GO) run ./cmd/benchreport -exp walperf -waljson /tmp/bench_wal_new.json
 	$(GO) run ./cmd/benchreport -compare BENCH_clustering.json /tmp/bench_clustering_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_pipeline.json /tmp/bench_pipeline_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_kernel.json /tmp/bench_kernel_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_shard.json /tmp/bench_shard_new.json -tol $(BENCHTOL)
+	$(GO) run ./cmd/benchreport -compare BENCH_wal.json /tmp/bench_wal_new.json -tol $(BENCHTOL)
 
 # ci mirrors .github/workflows/ci.yml locally: build, vet, unit tests, race
 # detector, fuzz seed-corpus regression, and both end-to-end smokes. The
 # nightly bench-drift job (make bench-check) is not part of ci — it takes
 # minutes, not seconds.
-ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke shard-smoke
+ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke shard-smoke wal-smoke
 	@echo "ci: all gates green"
 
 clean:

@@ -23,7 +23,9 @@
 // writes the sharded-coordinator scaling numbers (throughput and epoch wall
 // at 1/2/4/8 shards) to -shardjson (default BENCH_shard.json), and
 // semcacheperf writes the semantic-result-cache numbers (hit ratio, speedup,
-// staleness window) to -semjson (default BENCH_semcache.json), so successive
+// staleness window) to -semjson (default BENCH_semcache.json), and walperf
+// writes the durability numbers (WAL fsync overhead, replay rate, windowed
+// re-mine speedup) to -waljson (default BENCH_wal.json), so successive
 // changes have a perf trajectory. -cpuprofile/-memprofile capture stdlib
 // pprof profiles of the selected experiments.
 package main
@@ -142,6 +144,7 @@ func run() int {
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "output path for the serveperf JSON record")
 	shardJSON := flag.String("shardjson", "BENCH_shard.json", "output path for the shardperf JSON record")
 	semJSON := flag.String("semjson", "BENCH_semcache.json", "output path for the semcacheperf JSON record")
+	walJSON := flag.String("waljson", "BENCH_wal.json", "output path for the walperf JSON record")
 	kernelJSON := flag.String("kerneljson", "BENCH_kernel.json", "output path for the kernelperf JSON record")
 	kernelScales := flag.String("kernelscales", "", "comma-separated area counts for kernelperf (default \"20000,100000\")")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -240,6 +243,12 @@ func run() int {
 					return fmt.Sprintf("semcacheperf: %v\n", err)
 				}
 				writeJSON(*semJSON, res)
+				return res.Report
+			}},
+		{"walperf", "durable ingest WAL: fsync overhead, replay rate, windowed re-mine (writes -waljson)",
+			func() string {
+				res := getEnv().RunWALPerf()
+				writeJSON(*walJSON, res)
 				return res.Report
 			}},
 		{"kernelperf", "flat SoA distance kernel vs pointer profiles microbenchmark (writes -kerneljson)",

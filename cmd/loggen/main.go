@@ -17,6 +17,12 @@
 // contiguous slices, each replayed at rate/N so the aggregate -rate and the
 // per-burst 429-retry semantics are preserved) — the shape of a sharded
 // skyserved deployment's real ingest traffic.
+//
+// -start/-step rewrite record times to a deterministic monotonic clock
+// (Time = start + i*step logical seconds), so WAL segment windows and
+// /remine time ranges are exercisable reproducibly:
+//
+//	loggen -n 20000 -step 4 -replay -url http://localhost:8080/ingest
 package main
 
 import (
@@ -46,6 +52,8 @@ func main() {
 	burst := flag.Int("burst", 100, "replay records per burst")
 	url := flag.String("url", "", "replay target: POST each burst to this /ingest endpoint instead of writing it")
 	conns := flag.Int("conns", 1, "concurrent replay connections (with -url; each replays a contiguous log slice at rate/conns)")
+	start := flag.Int64("start", 0, "with -step: timestamp (logical seconds) of the first record")
+	step := flag.Int64("step", 0, "rewrite record times to -start + i*-step, a monotonic clock for WAL windows and /remine ranges (0 = keep generator times)")
 	flag.Parse()
 
 	entries := skyserver.GenerateLog(skyserver.WorkloadConfig{
@@ -54,6 +62,11 @@ func main() {
 	recs := make([]qlog.Record, len(entries))
 	for i, e := range entries {
 		recs[i] = qlog.Record{Seq: e.Seq, Time: e.Time, User: e.User, SQL: e.SQL}
+	}
+	if *step > 0 {
+		for i := range recs {
+			recs[i].Time = *start + int64(i)**step
+		}
 	}
 
 	var w io.Writer = os.Stdout

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	skyserved [-addr :8080] [-eps 0.06] [-minpts 8] [-snapshot state.json]
-//	          [-debug-addr :6060] [-shards N] [-role coordinator|shard -peers ...]
+//	          [-wal-dir wal] [-debug-addr :6060] [-shards N]
+//	          [-role coordinator|shard -peers ...]
 //
 // Endpoints:
 //
@@ -14,6 +15,8 @@
 //	POST /flush     drain the queue and re-cluster now
 //	POST /snapshot  persist state now
 //	POST /query     execute a SELECT via the semantic result cache
+//	POST /remine    mine a historical [from,to) record-time window from the
+//	                WAL (optional relation/fingerprint filters; -wal-dir)
 //	GET  /report    latest clustering (?format=text|csv|json, ?top=N,
 //	                ETag/If-None-Match)
 //	GET  /stats     cumulative pipeline statistics
@@ -102,6 +105,15 @@ func shardSnapshotPath(base string, i int) string {
 	return strings.TrimSuffix(base, ext) + "." + strconv.Itoa(i) + ext
 }
 
+// shardWALDir derives shard i's WAL directory from the base: each
+// in-process shard owns its own log (wal → wal/shard-2).
+func shardWALDir(base string, i int) string {
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, "shard-"+strconv.Itoa(i))
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	eps := flag.Float64("eps", 0.06, "DBSCAN eps")
@@ -117,6 +129,9 @@ func main() {
 	epochInterval := flag.Duration("epoch-interval", 15*time.Second, "re-cluster on this timer when new areas are pending (0 = off)")
 	maxLag := flag.Int("max-lag", 0, "admission bound: 429 while this many new areas await mining (0 = off)")
 	snapshot := flag.String("snapshot", "", "snapshot path (restored on start, written on shutdown; empty = none)")
+	walDir := flag.String("wal-dir", "", "durable ingest WAL directory: /ingest acks only after group-commit fsync, restart replays the tail past the snapshot, POST /remine mines historical windows (empty = off; in-process shards get wal-dir/shard-N each)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = 8 MiB default)")
+	walWindow := flag.Int64("wal-window", 0, "also rotate WAL segments every N logical seconds of record time, for finer /remine segment skipping (0 = size-only)")
 	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
 	queryVerify := flag.Bool("query-verify", false, "check every cache-served /query result against direct execution (oracle; slow)")
 	deltaEpochs := flag.Bool("delta-epochs", false, "cluster only the delta between epochs (representatives + noise + new areas); flush/shutdown always re-cluster fully")
@@ -209,14 +224,17 @@ func main() {
 		nodes := make([]shard.Node, *shards)
 		for i := 0; i < *shards; i++ {
 			s, err := serve.NewServer(serve.Config{
-				Miner:         minerCfg(stats),
-				QueueSize:     *queue,
-				BatchSize:     *batch,
-				EpochAreas:    *epochAreas,
-				EpochInterval: *epochInterval,
-				MaxMiningLag:  *maxLag,
-				Templates:     tcache,
-				SnapshotPath:  shardSnapshotPath(*snapshot, i),
+				Miner:            minerCfg(stats),
+				QueueSize:        *queue,
+				BatchSize:        *batch,
+				EpochAreas:       *epochAreas,
+				EpochInterval:    *epochInterval,
+				MaxMiningLag:     *maxLag,
+				Templates:        tcache,
+				SnapshotPath:     shardSnapshotPath(*snapshot, i),
+				WALDir:           shardWALDir(*walDir, i),
+				WALSegmentBytes:  *walSegBytes,
+				WALSegmentWindow: *walWindow,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "skyserved: shard %d: %v\n", i, err)
@@ -253,17 +271,20 @@ func main() {
 		stats := schema.NewStats()
 		skyserver.SeedStats(db, stats)
 		cfg := serve.Config{
-			Miner:         minerCfg(stats),
-			Coverage:      db,
-			QueueSize:     *queue,
-			BatchSize:     *batch,
-			EpochAreas:    *epochAreas,
-			EpochInterval: *epochInterval,
-			MaxMiningLag:  *maxLag,
-			SnapshotPath:  *snapshot,
-			ReportTop:     *top,
-			QueryDB:       db,
-			QueryVerify:   *queryVerify,
+			Miner:            minerCfg(stats),
+			Coverage:         db,
+			QueueSize:        *queue,
+			BatchSize:        *batch,
+			EpochAreas:       *epochAreas,
+			EpochInterval:    *epochInterval,
+			MaxMiningLag:     *maxLag,
+			SnapshotPath:     *snapshot,
+			WALDir:           *walDir,
+			WALSegmentBytes:  *walSegBytes,
+			WALSegmentWindow: *walWindow,
+			ReportTop:        *top,
+			QueryDB:          db,
+			QueryVerify:      *queryVerify,
 		}
 		if *role == "shard" {
 			// A shard mines a routed slice: coverage and the semantic query

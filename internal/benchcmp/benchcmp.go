@@ -41,6 +41,11 @@ var gated = map[string]struct {
 	// a deterministic replay of the seeded pair schedule, so a drop means the
 	// kernel stopped recognising equal constraint lists.
 	"early_exit_ratio": {dirHigherBetter, false},
+	// The WAL segment index: on the seeded workload the re-mine window maps
+	// to a fixed set of segments, so scanning more (or skipping fewer) means
+	// the inline fingerprint/time-range index stopped pruning.
+	"window_segments_scanned": {dirLowerBetter, true},
+	"window_segments_skipped": {dirHigherBetter, true},
 }
 
 // Finding is one compared metric.

@@ -342,7 +342,18 @@ func (p *Pipeline) processOne(rec Record, st *Stats, cache *extract.TemplateCach
 	recordsTotal.Inc()
 	if cache != nil {
 		t0 := time.Now()
-		fp, lits, ferr := sqlparser.Fingerprint(rec.SQL)
+		var (
+			fp   uint64
+			lits []sqlparser.Literal
+			ferr error
+		)
+		if rec.FPValid {
+			// Admission already lexed the statement (WAL fingerprinting);
+			// reuse its pass instead of paying the lexer twice per record.
+			fp, lits = rec.FP, rec.Lits
+		} else {
+			fp, lits, ferr = sqlparser.Fingerprint(rec.SQL)
+		}
 		if ferr == nil && !anyBadNum(lits) {
 			if t, ok := cache.Get(fp); ok {
 				if ar, done := p.applyTemplate(rec, t, lits, st, time.Since(t0)); done {

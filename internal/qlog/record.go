@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/sqlparser"
 )
 
 // Record is one query-log line.
@@ -21,6 +23,15 @@ type Record struct {
 	Time int64  `json:"time"`
 	User string `json:"user"`
 	SQL  string `json:"sql"`
+
+	// Precomputed fingerprint pass, populated by an upstream stage that has
+	// already lexed the statement (WAL admission fingerprints every record
+	// for the segment index). When FPValid is set the pipeline reuses FP and
+	// Lits instead of lexing SQL a second time. Never serialised: a decoded
+	// or replayed record re-derives them.
+	FPValid bool                `json:"-"`
+	FP      uint64              `json:"-"`
+	Lits    []sqlparser.Literal `json:"-"`
 }
 
 // WriteCSV serialises records with a header row.

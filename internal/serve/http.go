@@ -37,6 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/flush", s.handleFlush)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/remine", s.handleRemine)
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -62,9 +63,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // handleIngest admits records into the bounded queue. A full queue answers
 // 429 with the count accepted so far — accepted records are never dropped,
-// the client re-sends the remainder.
+// the client re-sends the remainder. With a WAL configured, every reply
+// that acknowledges records is preceded by a group-commit fsync covering
+// them: an ack implies the records survive a crash.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	IngestHTTP(w, r, s.enqueue)
+	IngestHTTPCommit(w, r, s.enqueue, s.commitWAL)
 }
 
 // IngestHTTP implements the /ingest protocol — NDJSON or JSON body, one
@@ -74,6 +77,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // coordinator by ingest semantics. enqueue errors map to 503 for ErrClosed
 // and 429 for everything else (backpressure: the client re-sends the tail).
 func IngestHTTP(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error) {
+	IngestHTTPCommit(w, r, enqueue, nil)
+}
+
+// IngestHTTPCommit is IngestHTTP with a durability barrier: commit (when
+// non-nil) runs before any reply acknowledging accepted > 0 records. A
+// commit failure turns the reply into a 500 with zero accepted — nothing is
+// acknowledged that did not reach stable storage.
+func IngestHTTPCommit(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error, commit func(accepted int) error) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -82,15 +93,29 @@ func IngestHTTP(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record
 	ndjson := strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonl") ||
 		strings.Contains(ct, "jsonlines") || strings.Contains(ct, "text/plain")
 	if ndjson {
-		ingestNDJSON(w, r, enqueue)
+		ingestNDJSON(w, r, enqueue, commit)
 		return
 	}
-	ingestJSON(w, r, enqueue)
+	ingestJSON(w, r, enqueue, commit)
+}
+
+// replyIngest writes an ingest reply, running the durability barrier first
+// whenever the reply would acknowledge records.
+func replyIngest(w http.ResponseWriter, status int, reply ingestReply, commit func(int) error) {
+	if commit != nil && reply.Accepted > 0 {
+		if err := commit(reply.Accepted); err != nil {
+			writeJSON(w, http.StatusInternalServerError, ingestReply{
+				Error: "durability barrier failed, nothing acknowledged: " + err.Error(),
+			})
+			return
+		}
+	}
+	writeJSON(w, status, reply)
 }
 
 // ingestNDJSON streams one record per line into the queue without holding
 // the whole body in memory.
-func ingestNDJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error) {
+func ingestNDJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error, commit func(int) error) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	accepted := 0
@@ -103,28 +128,28 @@ func ingestNDJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Reco
 		}
 		var rec qlog.Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			writeJSON(w, http.StatusBadRequest, ingestReply{
+			replyIngest(w, http.StatusBadRequest, ingestReply{
 				Accepted: accepted,
 				Error:    fmt.Sprintf("line %d: %v", line, err),
-			})
+			}, commit)
 			return
 		}
 		if err := enqueue(rec); err != nil {
-			ingestRejected(w, accepted, err)
+			ingestRejected(w, accepted, err, commit)
 			return
 		}
 		accepted++
 	}
 	if err := sc.Err(); err != nil {
-		writeJSON(w, http.StatusBadRequest, ingestReply{Accepted: accepted, Error: err.Error()})
+		replyIngest(w, http.StatusBadRequest, ingestReply{Accepted: accepted, Error: err.Error()}, commit)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+	replyIngest(w, http.StatusAccepted, ingestReply{Accepted: accepted}, commit)
 }
 
 // ingestJSON handles an application/json body: an array of records or one
 // record object.
-func ingestJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error) {
+func ingestJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record) error, commit func(int) error) {
 	dec := json.NewDecoder(r.Body)
 	var recs []qlog.Record
 	tok, err := dec.Token()
@@ -160,12 +185,12 @@ func ingestJSON(w http.ResponseWriter, r *http.Request, enqueue func(qlog.Record
 	accepted := 0
 	for i := range recs {
 		if err := enqueue(recs[i]); err != nil {
-			ingestRejected(w, accepted, err)
+			ingestRejected(w, accepted, err, commit)
 			return
 		}
 		accepted++
 	}
-	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+	replyIngest(w, http.StatusAccepted, ingestReply{Accepted: accepted}, commit)
 }
 
 // decodeObjectRest fills rec from a decoder positioned just past the
@@ -205,12 +230,12 @@ func decodeObjectRest(dec *json.Decoder, rec *qlog.Record) error {
 	return err
 }
 
-func ingestRejected(w http.ResponseWriter, accepted int, err error) {
+func ingestRejected(w http.ResponseWriter, accepted int, err error, commit func(int) error) {
 	status := http.StatusTooManyRequests
 	if err == ErrClosed {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, ingestReply{Accepted: accepted, Dropped: 1, Error: err.Error()})
+	replyIngest(w, status, ingestReply{Accepted: accepted, Dropped: 1, Error: err.Error()}, commit)
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
@@ -473,6 +498,11 @@ func (s *Server) legacyMetrics() map[string]any {
 		"distance_evals":           evals,
 		"distance_cache_hits":      hits,
 		"distance_cache_hit_ratio": distRatio,
+	}
+	if s.wal != nil {
+		metrics["wal_next_offset"] = s.wal.NextOffset()
+		metrics["wal_durable_offset"] = s.wal.DurableOffset()
+		metrics["wal_segments"] = len(s.wal.Segments())
 	}
 	if s.qcache != nil {
 		m := s.qcache.Metrics()

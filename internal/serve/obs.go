@@ -13,6 +13,7 @@ var (
 	epochServeStage  = obs.NewStage("serve_epoch")
 	reportStage      = obs.NewStage("serve_report")
 	queryServeStage  = obs.NewStage("serve_query")
+	remineStage      = obs.NewStage("serve_remine")
 )
 
 // initRegistry builds the server's private metrics registry: every legacy
@@ -66,6 +67,35 @@ func (s *Server) initRegistry() {
 	r.NewCounterFunc("skyaccess_serve_distance_cache_hits_total",
 		"distance lookups answered by the cross-epoch pair cache",
 		func() float64 { return float64(s.inc.DistanceCacheHits()) })
+
+	if s.wal != nil || s.cfg.WALDir != "" {
+		// Registered via function so the gauges read whatever WAL the
+		// server ends up with (initRegistry runs before the WAL opens).
+		r.NewGaugeFunc("skyaccess_serve_wal_next_offset",
+			"offset the next WAL append receives (records ever logged)",
+			func() float64 {
+				if s.wal == nil {
+					return 0
+				}
+				return float64(s.wal.NextOffset())
+			})
+		r.NewGaugeFunc("skyaccess_serve_wal_durable_offset",
+			"fsynced WAL frontier — every record below it survives a crash",
+			func() float64 {
+				if s.wal == nil {
+					return 0
+				}
+				return float64(s.wal.DurableOffset())
+			})
+		r.NewGaugeFunc("skyaccess_serve_wal_segments",
+			"WAL segments on disk (sealed + active)",
+			func() float64 {
+				if s.wal == nil {
+					return 0
+				}
+				return float64(len(s.wal.Segments()))
+			})
+	}
 
 	if s.qcache != nil {
 		qc := s.qcache

@@ -24,6 +24,8 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/obs"
 	"repro/internal/qlog"
+	"repro/internal/sqlparser"
+	"repro/internal/wal"
 )
 
 // Config parameterises a Server.
@@ -64,6 +66,22 @@ type Config struct {
 	// SnapshotPath, when set, is written atomically on Close and restored
 	// by NewServer, so a restarted server resumes without log replay.
 	SnapshotPath string
+	// WALDir, when set, enables the durable ingest write-ahead log: every
+	// admitted record is appended to a segmented WAL and /ingest replies
+	// only after a group-commit fsync covers it, so an acknowledged record
+	// survives a crash. On restart the WAL tail past the snapshot's covered
+	// offset is replayed through the pipeline before serving, and POST
+	// /remine mines historical time windows straight from the log. Configure
+	// the WAL from the server's first boot: the log must cover every
+	// accepted record for replay offsets to line up.
+	WALDir string
+	// WALSegmentBytes rotates WAL segments by size (0 = the wal package
+	// default, 8 MiB).
+	WALSegmentBytes int64
+	// WALSegmentWindow rotates WAL segments once the record-time span they
+	// cover reaches this many time units (0 = size-only rotation). Smaller
+	// windows mean finer-grained segment skipping for /remine.
+	WALSegmentWindow int64
 	// ReportTop caps the clusters a report emits unless the request
 	// overrides it (0 = all).
 	ReportTop int
@@ -121,6 +139,32 @@ type Server struct {
 	closed    bool
 	cum       qlog.Stats
 	processed int64
+
+	// snapMu makes (processed, cum, miner state) batch-boundary consistent:
+	// runBatch holds it across the pipeline run and the counter update, and
+	// WriteSnapshot holds it while exporting, so a snapshot taken mid-run
+	// never pairs a miner state covering records the processed count does
+	// not — the WAL replay offset depends on that alignment.
+	snapMu sync.Mutex
+
+	// wal is the durable ingest log (nil unless Config.WALDir is set).
+	wal *wal.WAL
+	// walHigh is one past the offset of the last record this server
+	// appended (under s.mu). commitWAL reads it right after a caller's
+	// final enqueue, so the durability barrier targets the caller's own
+	// records and free-rides on group commits instead of chasing the
+	// ever-advancing global append frontier.
+	walHigh uint64
+	// fpc caches statement fingerprints for the WAL append path. SkyServer
+	// traffic is dominated by bots re-issuing identical statements, so
+	// admission almost never pays the lexer twice for the same text. On
+	// workloads with no text reuse the cache turns itself off (fpcOff)
+	// once the probation window shows a negligible hit rate.
+	fpcMu     sync.Mutex
+	fpc       map[string]fpEntry
+	fpcHits   int64
+	fpcMisses int64
+	fpcOff    atomic.Bool
 
 	accepted atomic.Int64
 	rejected atomic.Int64
@@ -204,15 +248,80 @@ func NewServer(cfg Config) (*Server, error) {
 		})
 	}
 	s.initRegistry()
+	var walOffset uint64
 	if cfg.SnapshotPath != "" {
-		if err := s.restoreSnapshot(cfg.SnapshotPath); err != nil {
+		snap, err := s.restoreSnapshot(cfg.SnapshotPath)
+		if err != nil {
 			cancel()
 			return nil, err
 		}
+		if snap != nil {
+			walOffset = snap.WALOffset
+		}
+	}
+	if cfg.WALDir != "" {
+		w, err := wal.Open(cfg.WALDir, wal.Options{
+			SegmentBytes:  cfg.WALSegmentBytes,
+			SegmentWindow: cfg.WALSegmentWindow,
+		})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: opening WAL: %w", err)
+		}
+		s.wal = w
+		// Replay the durable tail the snapshot does not cover, then align
+		// the ingest counters with the log: every appended record was
+		// accepted, and replay pushed processed up to the log's end.
+		if err := s.replayWAL(walOffset); err != nil {
+			w.Close()
+			cancel()
+			return nil, fmt.Errorf("serve: WAL replay: %w", err)
+		}
+		if n := int64(w.NextOffset()); n > s.accepted.Load() {
+			s.accepted.Store(n)
+		}
+		w.SetCompactFloor(walOffset)
+	}
+	// One anchoring epoch over everything restored and replayed, so /report
+	// is immediately consistent with the recovered state.
+	if s.inc.Distinct() > 0 {
+		s.runEpoch(true)
 	}
 	go s.pump()
 	go s.epochLoop()
 	return s, nil
+}
+
+// replayWAL streams the log tail from offset from through the extraction
+// pipeline in pump-sized batches. It runs before the pump starts, so it owns
+// the miner exclusively; the replayed records move the processed counter
+// exactly as live ingestion would have.
+func (s *Server) replayWAL(from uint64) error {
+	batch := make([]qlog.Record, 0, s.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		st := s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
+			if s.inc.Add(&ar) {
+				s.newSinceEpoch.Add(1)
+			}
+		})
+		s.mu.Lock()
+		s.cum.Merge(st)
+		s.processed += int64(len(batch))
+		s.mu.Unlock()
+		batch = batch[:0]
+	}
+	err := s.wal.Replay(from, func(rec qlog.Record) error {
+		batch = append(batch, rec)
+		if len(batch) >= s.cfg.BatchSize {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	return err
 }
 
 // Miner exposes the underlying miner (tests compare against batch runs).
@@ -227,8 +336,27 @@ var (
 	ErrMiningLag = errors.New("serve: un-mined area backlog at bound")
 )
 
-// enqueue admits one record or reports why it could not.
+// enqueue admits one record or reports why it could not. With a WAL
+// configured, admission also appends the record to the log (asynchronously —
+// durability is enforced by commitWAL before any acknowledgement). The queue
+// send and the WAL append happen under one mutex hold, so WAL order is
+// exactly processing order and replay reproduces the live run.
 func (s *Server) enqueue(rec qlog.Record) error {
+	var fp uint64
+	if s.wal != nil {
+		// Fingerprint outside the admission lock: lexing is the expensive
+		// part, and the WAL's segment index is keyed by it (0 = unparseable,
+		// compaction's drop marker). Doing it here — on the ingest goroutine,
+		// which otherwise idles on backpressure — keeps it off the WAL
+		// writer's sync-barrier critical path. The pass is carried on the
+		// record so the pipeline reuses it instead of lexing again.
+		var lits []sqlparser.Literal
+		var valid bool
+		fp, lits, valid = s.fingerprint(rec.SQL)
+		if valid {
+			rec.FPValid, rec.FP, rec.Lits = true, fp, lits
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -240,6 +368,14 @@ func (s *Server) enqueue(rec qlog.Record) error {
 	}
 	select {
 	case s.queue <- rec:
+		if s.wal != nil {
+			// Append cannot report a closed WAL here: the WAL closes only
+			// after s.closed is set, which this mutex hold just ruled out.
+			// Write errors surface at the commitWAL fsync barrier.
+			if off, err := s.wal.Append(rec, fp); err == nil {
+				s.walHigh = off + 1
+			}
+		}
 		s.accepted.Add(1)
 		return nil
 	default:
@@ -248,16 +384,113 @@ func (s *Server) enqueue(rec qlog.Record) error {
 	}
 }
 
+// fpcProbation is how many cache misses the fingerprint cache tolerates
+// before judging the workload: if fewer than 1/16 of lookups hit by then,
+// admission is paying map inserts (and the GC cost of a growing string map)
+// for texts that never recur, and the cache turns itself off. Bot traffic
+// shows hits within the first few hundred statements, so a short probation
+// does not mis-judge it.
+const fpcProbation = 1024
+
+// fpEntry is one fingerprint-cache value: the template hash plus the
+// literal pass for the exact statement text (identical text ⇒ identical
+// literals, so caching them together is sound).
+type fpEntry struct {
+	fp   uint64
+	lits []sqlparser.Literal
+}
+
+// fingerprint returns the WAL index fingerprint for a statement, cached by
+// exact text (0 = unparseable, compaction's drop marker). SkyServer bot
+// traffic re-issues identical statements, so the cache usually keeps
+// admission from paying the lexer twice — but a workload of all-distinct
+// texts (every literal unique) would pay the map without ever hitting it,
+// so the cache disables itself when the observed hit rate stays negligible.
+// The cache resets at 32k distinct statements, bounding memory.
+func (s *Server) fingerprint(sql string) (uint64, []sqlparser.Literal, bool) {
+	if s.fpcOff.Load() {
+		return fingerprintFull(sql)
+	}
+	s.fpcMu.Lock()
+	ent, ok := s.fpc[sql]
+	if ok {
+		s.fpcHits++
+		s.fpcMu.Unlock()
+		return ent.fp, ent.lits, true
+	}
+	s.fpcMisses++
+	if s.fpcMisses >= fpcProbation && s.fpcHits*16 < s.fpcMisses {
+		s.fpc = nil
+		s.fpcMu.Unlock()
+		s.fpcOff.Store(true)
+		return fingerprintFull(sql)
+	}
+	s.fpcMu.Unlock()
+	fp, lits, valid := fingerprintFull(sql)
+	if !valid {
+		return fp, lits, valid
+	}
+	s.fpcMu.Lock()
+	if len(s.fpc) >= 32<<10 {
+		s.fpc = nil
+	}
+	if s.fpc == nil {
+		s.fpc = make(map[string]fpEntry, 1024)
+	}
+	s.fpc[sql] = fpEntry{fp: fp, lits: lits}
+	s.fpcMu.Unlock()
+	return fp, lits, valid
+}
+
+// fingerprintFull lexes sql once for both consumers of the pass: the WAL's
+// segment index (fp) and the mining pipeline's template cache (fp + lits,
+// carried on the record so the pipeline skips its own lexer pass). An
+// unlexable statement reports valid=false with fp 0 — the WAL's drop marker;
+// the pipeline re-derives (and records) the failure itself.
+func fingerprintFull(sql string) (uint64, []sqlparser.Literal, bool) {
+	fp, lits, err := sqlparser.Fingerprint(sql)
+	if err != nil {
+		return 0, nil, false
+	}
+	return fp, lits, true
+}
+
+// commitWAL is the durability barrier: it blocks until every record
+// appended so far is fsynced. Callers invoke it before acknowledging
+// accepted records; with no WAL configured it is free.
+func (s *Server) commitWAL(accepted int) error {
+	if s.wal == nil || accepted == 0 {
+		return nil
+	}
+	// Target the frontier as of this caller's last accepted record (other
+	// clients may have nudged walHigh a hair further — their records land in
+	// the same group commit anyway). If a concurrent barrier's fsync already
+	// covered it, SyncTo returns without another fsync.
+	s.mu.Lock()
+	target := s.walHigh
+	s.mu.Unlock()
+	return s.wal.SyncTo(target)
+}
+
 // IngestRecords admits records in order until one is refused, returning how
 // many were accepted and the first admission error (nil when all made it).
 // It is the programmatic twin of POST /ingest for in-process shard nodes.
+// The accepted prefix is WAL-durable before the call returns.
 func (s *Server) IngestRecords(recs []qlog.Record) (int, error) {
+	accepted := len(recs)
+	var admitErr error
 	for i := range recs {
 		if err := s.enqueue(recs[i]); err != nil {
-			return i, err
+			accepted, admitErr = i, err
+			break
 		}
 	}
-	return len(recs), nil
+	if err := s.commitWAL(accepted); err != nil {
+		// Nothing is durably acknowledged when the fsync fails: the caller
+		// must treat the whole call as refused and re-send.
+		return 0, err
+	}
+	return accepted, admitErr
 }
 
 // pump is the single queue consumer: it drains records in batches through
@@ -296,6 +529,11 @@ func (s *Server) pump() {
 func (s *Server) runBatch(batch []qlog.Record) {
 	sp := ingestBatchStage.Start()
 	defer sp.End()
+	// snapMu spans the pipeline run AND the counter update: a snapshot
+	// taken between them would export miner state covering records that
+	// processed does not count, and WAL replay would then double-feed them.
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	st := s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
 		if s.inc.Add(&ar) {
 			s.newSinceEpoch.Add(1)
@@ -507,7 +745,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return fmt.Errorf("serve: final snapshot: %w", err)
 		}
 	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			return fmt.Errorf("serve: closing WAL: %w", err)
+		}
+	}
 	return ctx.Err()
+}
+
+// Abort simulates a crash for recovery tests: the queue closes, the
+// in-flight pipeline run is cancelled, workers stop — but no final epoch
+// runs and no snapshot is written. Whatever the WAL fsynced is all that
+// survives, exactly as after a kill -9.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.epochDone
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cancel()
+	<-s.pumpDone
+	close(s.stopEpoch)
+	<-s.epochDone
+	if s.wal != nil {
+		_ = s.wal.Close()
+	}
 }
 
 // Close is Shutdown without a deadline: it always drains fully, so no

@@ -31,12 +31,22 @@ type Snapshot struct {
 	Pipeline  *qlog.Stats           `json:"pipeline"`
 	Registry  *schema.StatsSnapshot `json:"registry"`
 	Mining    *core.State           `json:"mining"`
+	// WALOffset is the WAL position this snapshot covers: every record
+	// below it is folded into Mining/Registry, so restart replays the log
+	// from here. Processing order equals WAL append order (single pump,
+	// admission under one mutex), so the processed count IS the offset.
+	WALOffset uint64 `json:"wal_offset,omitempty"`
 }
 
 // WriteSnapshot atomically persists the current state: marshal to a
-// temporary file in the target directory, fsync, rename. A crash mid-write
-// leaves the previous snapshot intact.
+// temporary file in the target directory, fsync, rename, fsync the parent
+// directory (without that last step the rename itself could be lost in a
+// crash, resurrecting the previous snapshot against a compacted WAL). A
+// crash mid-write leaves the previous snapshot intact.
 func (s *Server) WriteSnapshot(path string) error {
+	// snapMu excludes a mid-batch pump: the miner state exported here must
+	// cover exactly the records the processed count says it does.
+	s.snapMu.Lock()
 	snap := &Snapshot{
 		Version:   snapshotVersion,
 		SavedAt:   time.Now().UTC(),
@@ -47,6 +57,8 @@ func (s *Server) WriteSnapshot(path string) error {
 		Registry:  s.miner.Stats().Snapshot(),
 		Mining:    s.inc.ExportState(),
 	}
+	snap.WALOffset = uint64(snap.Processed)
+	s.snapMu.Unlock()
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -68,31 +80,61 @@ func (s *Server) WriteSnapshot(path string) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// The snapshot now durably covers everything below WALOffset: those
+	// segments are cold, so the WAL may drop parse failures and dedupe
+	// duplicates in them.
+	if s.wal != nil {
+		s.wal.SetCompactFloor(snap.WALOffset)
+		if _, err := s.wal.Compact(); err != nil {
+			return fmt.Errorf("serve: WAL compaction: %w", err)
+		}
+	}
+	return nil
 }
 
-// restoreSnapshot loads state written by WriteSnapshot. A missing file is
-// not an error — the server simply starts empty.
-func (s *Server) restoreSnapshot(path string) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil
-	}
+// syncDir fsyncs a directory, making renames within it crash-durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// restoreSnapshot loads state written by WriteSnapshot, returning the
+// decoded snapshot so NewServer can replay the WAL tail past its covered
+// offset before the anchoring epoch runs. A missing file is not an error —
+// the server simply starts empty (nil, nil).
+func (s *Server) restoreSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
 	var snap Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("serve: snapshot %s has version %d, want %d", path, snap.Version, snapshotVersion)
+		return nil, fmt.Errorf("serve: snapshot %s has version %d, want %d", path, snap.Version, snapshotVersion)
 	}
 	// Registry first: re-extraction of the representatives must see the
 	// exact access(a) state the areas were mined under.
 	s.miner.Stats().RestoreSnapshot(snap.Registry)
 	if err := s.inc.RestoreState(snap.Mining); err != nil {
-		return fmt.Errorf("serve: snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
 	}
 	if snap.Pipeline != nil {
 		s.mu.Lock()
@@ -102,8 +144,5 @@ func (s *Server) restoreSnapshot(path string) error {
 	}
 	s.accepted.Store(snap.Accepted)
 	s.epochs.Store(snap.Epochs)
-	if s.inc.Distinct() > 0 {
-		s.runEpoch(true)
-	}
-	return nil
+	return &snap, nil
 }

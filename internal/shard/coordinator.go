@@ -90,8 +90,14 @@ type Coordinator struct {
 	enqueued  []atomic.Int64 // admitted to the shard queue
 	forwarded []atomic.Int64 // accepted by the shard node
 	dropped   []atomic.Int64 // abandoned after Close with the shard down
-	down      []atomic.Bool
-	retries   atomic.Int64
+	// baseForwarded/baseAccepted carry the routing offsets restored from the
+	// previous run's persisted state (see offsets.go), so the offsets the
+	// coordinator persists are monotonic across restarts while the per-run
+	// atomics keep their drained()/Status() meaning.
+	baseForwarded []int64
+	baseAccepted  int64
+	down          []atomic.Bool
+	retries       atomic.Int64
 
 	accepted atomic.Int64
 	rejected atomic.Int64
@@ -137,8 +143,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		lastResults: make([]*core.Result, n),
 		lastStats:   make([]*qlog.Stats, n),
 	}
+	c.baseForwarded = make([]int64, n)
 	if cfg.RouterStatePath != "" {
 		if err := c.router.LoadState(cfg.RouterStatePath); err != nil {
+			return nil, err
+		}
+		if err := c.loadOffsets(); err != nil {
 			return nil, err
 		}
 	}
@@ -465,6 +475,12 @@ func (c *Coordinator) Flush() {
 	}
 	wg.Wait()
 	c.remerge(fresh)
+	// Persist the routing state at every deterministic point, not just on
+	// Close: a coordinator crash after a flush then loses no binding and no
+	// offset — the shards' WALs hold the records, this sidecar holds who
+	// owns them. Best-effort here (Flush has no error path; Close retries
+	// with propagation).
+	_ = c.persistState()
 }
 
 // remerge rebuilds the merged view from the per-shard result cache. fresh
@@ -611,7 +627,8 @@ func (c *Coordinator) Router() *Router { return c.router }
 // Close stops admission, binds and delivers any still-staged records, lets
 // the senders deliver (or, for shards that stay down, abandon) the buffered
 // backlog, stops the health loop, closes every node — LocalNodes drain and
-// snapshot their embedded servers — and persists the router assignment.
+// snapshot their embedded servers — and persists the router assignment and
+// the per-shard routing offsets.
 func (c *Coordinator) Close() error {
 	c.ingestMu.Lock()
 	if c.closed {
@@ -664,10 +681,8 @@ func (c *Coordinator) Close() error {
 		}(i, node)
 	}
 	wg.Wait()
-	if c.cfg.RouterStatePath != "" {
-		if err := c.router.SaveState(c.cfg.RouterStatePath); err != nil {
-			return err
-		}
+	if err := c.persistState(); err != nil {
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {

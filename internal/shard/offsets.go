@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// coordState is the coordinator's persisted delivery frontier: for every
+// shard, how many records the coordinator has routed to it and seen accepted
+// (the shard's own WAL makes them durable — this file records who owns what,
+// not the records themselves). Saved next to the router assignment on every
+// Flush and on Close, restored in NewCoordinator so the offsets stay
+// monotonic across coordinator restarts. Together with the router state it
+// answers, after a crash, "which shard had how much of the log" without
+// asking the shards.
+type coordState struct {
+	Shards   int               `json:"shards"`
+	Accepted int64             `json:"accepted"`
+	Offsets  []shardOffsetInfo `json:"offsets"`
+}
+
+// shardOffsetInfo is one shard's persisted routing offset.
+type shardOffsetInfo struct {
+	Name      string `json:"name"`
+	Forwarded int64  `json:"forwarded"`
+	Dropped   int64  `json:"dropped,omitempty"`
+}
+
+// offsetsPath derives the offsets sidecar from the router-state path.
+func offsetsPath(routerStatePath string) string {
+	return routerStatePath + ".offsets"
+}
+
+// persistState saves the router assignment and the per-shard routing offsets
+// (both atomic write-then-rename). Called with no coordinator locks held;
+// the counters it reads are atomics and the router takes its own lock.
+func (c *Coordinator) persistState() error {
+	if c.cfg.RouterStatePath == "" {
+		return nil
+	}
+	if err := c.router.SaveState(c.cfg.RouterStatePath); err != nil {
+		return err
+	}
+	st := coordState{
+		Shards:   len(c.nodes),
+		Accepted: c.baseAccepted + c.accepted.Load(),
+		Offsets:  make([]shardOffsetInfo, len(c.nodes)),
+	}
+	for i, node := range c.nodes {
+		st.Offsets[i] = shardOffsetInfo{
+			Name:      node.Name(),
+			Forwarded: c.baseForwarded[i] + c.forwarded[i].Load(),
+			Dropped:   c.dropped[i].Load(),
+		}
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := offsetsPath(c.cfg.RouterStatePath)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadOffsets restores the persisted routing offsets into the coordinator's
+// base counters. The current-run atomics stay zero — drained() and Status()
+// keep their per-run meaning — while persistState re-adds the base, keeping
+// the on-disk offsets monotonic. A missing file is a cold start; a
+// shard-count mismatch is an error for the same reason it is in the router.
+func (c *Coordinator) loadOffsets() error {
+	if c.cfg.RouterStatePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(offsetsPath(c.cfg.RouterStatePath))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var st coordState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Shards != len(c.nodes) {
+		return fmt.Errorf("shard: offsets were saved for %d shards, running %d", st.Shards, len(c.nodes))
+	}
+	c.baseAccepted = st.Accepted
+	for i := range st.Offsets {
+		if i < len(c.baseForwarded) {
+			c.baseForwarded[i] = st.Offsets[i].Forwarded
+		}
+	}
+	return nil
+}
+
+// Offsets returns the durable per-shard routing offsets (restored base plus
+// this run's deliveries) in node order.
+func (c *Coordinator) Offsets() []int64 {
+	out := make([]int64, len(c.nodes))
+	for i := range c.nodes {
+		out[i] = c.baseForwarded[i] + c.forwarded[i].Load()
+	}
+	return out
+}

@@ -64,6 +64,35 @@ func hashByte(h uint64, b byte) uint64 {
 	return (h ^ uint64(b)) * fnvPrime64
 }
 
+// FingerprintOnly computes the same template hash as Fingerprint without
+// collecting literals — no slice growth, no ParseFloat. It is the
+// allocation-light path for callers that only key on the statement family
+// (the WAL's segment index). The hashes are identical by construction:
+// Number and String tokens contribute only their kind byte either way.
+// It skips the fingerprint stage span deliberately: this is the WAL
+// admission hot path, per-call clock reads are measurable there, and the
+// mining side's Fingerprint keeps the stage populated.
+func FingerprintOnly(src string) (uint64, error) {
+	fingerprintTotal.Inc()
+	h := uint64(fnvOffset64)
+	lx := Lexer{src: src, line: 1, col: 1} // value, so the lexer stays on the stack
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return 0, err
+		}
+		if tok.Kind == EOF {
+			return h, nil
+		}
+		h = hashByte(h, byte(tok.Kind))
+		switch tok.Kind {
+		case Param, Keyword, Op, Ident:
+			h = hashString(h, tok.Text)
+		}
+		h = hashByte(h, 0) // token separator
+	}
+}
+
 // Fingerprint computes the template hash of src and collects its literals.
 // The error is exactly the lexer's error: unlexable statements have no
 // fingerprint (and necessarily fail parsing too).
@@ -73,7 +102,7 @@ func Fingerprint(src string) (uint64, []Literal, error) {
 	fingerprintTotal.Inc()
 	h := uint64(fnvOffset64)
 	var lits []Literal
-	lx := NewLexer(src)
+	lx := Lexer{src: src, line: 1, col: 1} // value, so the lexer stays on the stack
 	for {
 		tok, err := lx.next()
 		if err != nil {

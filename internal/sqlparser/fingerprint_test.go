@@ -264,3 +264,47 @@ func FuzzFingerprint(f *testing.F) {
 		}
 	})
 }
+
+// FingerprintOnly is the allocation-light twin of Fingerprint: the hashes
+// must be bit-identical on every lexable statement, and both must reject the
+// same unlexable ones.
+func TestFingerprintOnlyMatchesFingerprint(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM T WHERE u > 1",
+		"SELECT * FROM T WHERE u BETWEEN 1 AND 8 AND name LIKE 'a%'",
+		"SELECT * FROM T WHERE u IN (1, 2, 3)",
+		"select top 10 p.objID, p.ra, p.dec from PhotoObj p where p.ra > 180.0 and p.type = 3",
+		"SELECT name FROM T WHERE name = 'abc' AND u = @param",
+		"EXEC dbo.fGetNearbyObjEq 180.0, 0.5, 1.0",
+	}
+	for _, e := range skyserver.GenerateLog(skyserver.WorkloadConfig{Queries: 500, Seed: 7}) {
+		srcs = append(srcs, e.SQL)
+	}
+	for _, src := range srcs {
+		want, _, err := sqlparser.Fingerprint(src)
+		if err != nil {
+			continue
+		}
+		got, err := sqlparser.FingerprintOnly(src)
+		if err != nil {
+			t.Fatalf("FingerprintOnly(%q): %v", src, err)
+		}
+		if got != want {
+			t.Errorf("FingerprintOnly(%q) = %x, Fingerprint = %x", src, got, want)
+		}
+	}
+	if _, err := sqlparser.FingerprintOnly("SELECT ` FROM"); err == nil {
+		t.Error("FingerprintOnly accepted an unlexable statement")
+	}
+}
+
+// BenchmarkFingerprintOnly prices the WAL admission path's per-statement
+// lexing cost on representative workload statements.
+func BenchmarkFingerprintOnly(b *testing.B) {
+	recs := skyserver.GenerateLog(skyserver.WorkloadConfig{Queries: 256, Seed: 7})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = sqlparser.FingerprintOnly(recs[i%len(recs)].SQL)
+	}
+}

@@ -157,30 +157,19 @@ func (lx *Lexer) next() (Token, error) {
 	case b >= '0' && b <= '9', b == '.' && lx.peekByteAt(1) >= '0' && lx.peekByteAt(1) <= '9':
 		return mk(Number, lx.lexNumber()), nil
 	case b == '@':
+		pstart := lx.pos
 		lx.advance()
-		var sb strings.Builder
-		sb.WriteByte('@')
-		for lx.pos < len(lx.src) {
-			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
-			if !isIdentPart(r) {
-				break
-			}
-			sb.WriteString(lx.src[lx.pos : lx.pos+size])
-			for i := 0; i < size; i++ {
-				lx.advance()
-			}
-		}
-		if sb.Len() == 1 {
+		lx.scanIdentPart()
+		if lx.pos == pstart+1 {
 			return Token{}, lx.errf("bare '@'")
 		}
-		return mk(Param, sb.String()), nil
+		return mk(Param, lx.src[pstart:lx.pos]), nil
 	}
 	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
 	if isIdentStart(r) {
 		text := lx.lexIdent()
-		upper := strings.ToUpper(text)
-		if reserved[upper] {
-			return mk(Keyword, upper), nil
+		if kw, ok := keywordCanon(text); ok {
+			return mk(Keyword, kw), nil
 		}
 		return mk(Ident, text), nil
 	}
@@ -191,10 +180,31 @@ func (lx *Lexer) next() (Token, error) {
 	return mk(Op, op), nil
 }
 
+// lexString slices the literal straight out of the source; only a string
+// with an escaped quote (”) pays a builder (lexStringSlow).
 func (lx *Lexer) lexString() (string, error) {
 	startLine, startCol := lx.line, lx.col
 	lx.advance() // opening quote
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		b := lx.advance()
+		if b == '\'' {
+			if lx.peekByte() == '\'' { // escaped quote
+				return lx.lexStringSlow(lx.src[start:lx.pos-1], startLine, startCol)
+			}
+			return lx.src[start : lx.pos-1], nil
+		}
+	}
+	return "", &LexError{Msg: "unterminated string literal", Line: startLine, Col: startCol}
+}
+
+// lexStringSlow resumes a string literal at its first escaped quote: prefix
+// is everything before it, the lexer sits on the pair's second quote.
+func (lx *Lexer) lexStringSlow(prefix string, startLine, startCol int) (string, error) {
 	var sb strings.Builder
+	sb.WriteString(prefix)
+	sb.WriteByte('\'')
+	lx.advance() // second quote of the escaped pair
 	for lx.pos < len(lx.src) {
 		b := lx.advance()
 		if b == '\'' {
@@ -222,60 +232,75 @@ func (lx *Lexer) lexQuotedIdent(open byte) (string, error) {
 		close = '`'
 	}
 	lx.advance()
-	var sb strings.Builder
+	start := lx.pos
 	for lx.pos < len(lx.src) {
 		b := lx.advance()
 		if b == close {
-			return sb.String(), nil
+			return lx.src[start : lx.pos-1], nil
 		}
-		sb.WriteByte(b)
 	}
 	return "", &LexError{Msg: "unterminated quoted identifier", Line: startLine, Col: startCol}
 }
 
 func (lx *Lexer) lexNumber() string {
-	var sb strings.Builder
+	start := lx.pos
 	seenDot, seenExp := false, false
 	for lx.pos < len(lx.src) {
 		b := lx.peekByte()
 		switch {
 		case b >= '0' && b <= '9':
-			sb.WriteByte(lx.advance())
+			lx.advance()
 		case b == '.' && !seenDot && !seenExp:
 			seenDot = true
-			sb.WriteByte(lx.advance())
-		case (b == 'e' || b == 'E') && !seenExp && sb.Len() > 0:
+			lx.advance()
+		case (b == 'e' || b == 'E') && !seenExp && lx.pos > start:
 			// Lookahead: exponent must be followed by digit or sign+digit.
 			n1, n2 := lx.peekByteAt(1), lx.peekByteAt(2)
 			if n1 >= '0' && n1 <= '9' || ((n1 == '+' || n1 == '-') && n2 >= '0' && n2 <= '9') {
 				seenExp = true
-				sb.WriteByte(lx.advance())
+				lx.advance()
 				if lx.peekByte() == '+' || lx.peekByte() == '-' {
-					sb.WriteByte(lx.advance())
+					lx.advance()
 				}
 			} else {
-				return sb.String()
+				return lx.src[start:lx.pos]
 			}
 		default:
-			return sb.String()
+			return lx.src[start:lx.pos]
 		}
 	}
-	return sb.String()
+	return lx.src[start:lx.pos]
 }
 
 func (lx *Lexer) lexIdent() string {
-	var sb strings.Builder
+	start := lx.pos
+	lx.scanIdentPart()
+	return lx.src[start:lx.pos]
+}
+
+// scanIdentPart advances over identifier-part characters: a byte loop for
+// ASCII (identifiers cannot contain '\n', so column tracking is a plain
+// add), falling back to rune decoding only on multi-byte input.
+func (lx *Lexer) scanIdentPart() {
 	for lx.pos < len(lx.src) {
+		b := lx.src[lx.pos]
+		if b < utf8.RuneSelf {
+			if !(b == '_' || b == '#' || b == '$' ||
+				'a' <= b && b <= 'z' || 'A' <= b && b <= 'Z' || '0' <= b && b <= '9') {
+				return
+			}
+			lx.pos++
+			lx.col++
+			continue
+		}
 		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
 		if !isIdentPart(r) {
-			break
+			return
 		}
-		sb.WriteString(lx.src[lx.pos : lx.pos+size])
-		for i := 0; i < size; i++ {
-			lx.advance()
-		}
+		// advance() counts columns per byte; keep that accounting.
+		lx.pos += size
+		lx.col += size
 	}
-	return sb.String()
 }
 
 func (lx *Lexer) lexOperator() (string, error) {

@@ -11,7 +11,10 @@
 // coverage experiment of Section 6.1 can count failure categories.
 package sqlparser
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // TokenKind enumerates lexical token categories.
 type TokenKind int
@@ -90,3 +93,53 @@ var reserved = map[string]bool{
 // identifier alias is expected in sloppy log queries; kept empty for now but
 // provides a single place to relax the grammar if a new log dialect needs it.
 var nonReservedAllowedAsAlias = map[string]bool{}
+
+// reservedCanon maps every reserved keyword to its interned canonical
+// (upper-case) spelling, so the lexer's keyword test neither allocates an
+// upper-cased copy per identifier nor re-allocates the canonical text per
+// keyword token.
+var reservedCanon = func() map[string]string {
+	m := make(map[string]string, len(reserved))
+	for kw := range reserved {
+		m[kw] = kw
+	}
+	return m
+}()
+
+var maxKeywordLen = func() int {
+	n := 0
+	for kw := range reserved {
+		if len(kw) > n {
+			n = len(kw)
+		}
+	}
+	if n > 16 {
+		panic("sqlparser: keywordCanon stack buffer too small for reserved word")
+	}
+	return n
+}()
+
+// keywordCanon reports whether an identifier is a reserved keyword and, if
+// so, returns its interned canonical form. The ASCII path upper-cases into a
+// stack buffer (the map lookup on a byte-slice conversion does not allocate);
+// identifiers with multi-byte runes take the allocating ToUpper path, since
+// Unicode case folding could in principle still land on a keyword.
+func keywordCanon(s string) (string, bool) {
+	if len(s) > maxKeywordLen {
+		return "", false
+	}
+	var buf [16]byte
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 {
+			canon, ok := reservedCanon[strings.ToUpper(s)]
+			return canon, ok
+		}
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		buf[i] = b
+	}
+	canon, ok := reservedCanon[string(buf[:len(s)])]
+	return canon, ok
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// syncFile makes a file's appended data durable (full fsync where the
+// platform has no cheaper data-only sync).
+func syncFile(f *os.File) error {
+	return f.Sync()
+}
