@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test vet racecheck fuzz fuzz-regression bench bench-check \
-	serve-smoke semcache-smoke shard-smoke wal-smoke ci clean
+	serve-smoke semcache-smoke shard-smoke wal-smoke traffic-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -47,8 +47,10 @@ fuzz-regression:
 # BENCH_pipeline.json (uncached vs template-cached extraction), BENCH_serve.json
 # (online service under replayed load), BENCH_semcache.json (semantic result
 # cache: hit ratio, speedup, staleness), BENCH_shard.json (relation-set
-# sharded coordinator at 1/2/4/8 shards) and BENCH_wal.json (durable ingest
-# WAL: fsync overhead, replay rate, windowed re-mine) at the 20k default mix — semcacheperf
+# sharded coordinator at 1/2/4/8 shards), BENCH_wal.json (durable ingest
+# WAL: fsync overhead, replay rate, windowed re-mine) and BENCH_traffic.json
+# (traffic-class mining: classifier accuracy, partition/drift gates, ingest
+# overhead) at the 20k default mix — semcacheperf
 # runs at 5k because it replays the log four extra times (oracle, cached,
 # miss-path and staleness passes). vet + racecheck gate it so perf numbers are
 # never recorded off racy code.
@@ -60,6 +62,7 @@ bench: vet racecheck
 	$(GO) run ./cmd/benchreport -exp kernelperf
 	$(GO) run ./cmd/benchreport -exp shardperf
 	$(GO) run ./cmd/benchreport -exp walperf
+	$(GO) run ./cmd/benchreport -exp trafficperf
 
 # serve-smoke starts the serving stack, replays 1k records into it, flushes,
 # and asserts /report matches the batch miner byte-for-byte in every format
@@ -94,6 +97,16 @@ wal-smoke:
 	$(GO) test -race -count=1 -run 'TestCrashRecoveryReplay|TestCrashRecoveryTornTail|TestRemineWindowEquivalence' -v ./internal/serve/
 	$(GO) test -race -count=1 -run TestShardedCrashRecovery -v ./internal/shard/
 
+# traffic-smoke is the end-to-end gate for traffic-class mining: the serve
+# partition test proves every per-class /report is byte-identical to batch
+# mining that class's records (and the classless report is untouched), the
+# shard variants prove the same through a 4-shard coordinator's merge, and
+# the drift tests prove the /drift event log is a deterministic function of
+# the ingest script on both topologies. All under -race.
+traffic-smoke:
+	$(GO) test -race -count=1 -run 'TestTrafficPartitionIdentity|TestTrafficDriftDeterministic' -v ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestCoordinatorTraffic' -v ./internal/shard/
+
 # bench-check is the bench-drift gate: re-run the deterministic experiments
 # at the checked-in scales and compare their counters against the committed
 # BENCH_*.json records with benchreport -compare (tolerance 15%; wall-clock
@@ -109,17 +122,19 @@ bench-check:
 	$(GO) run ./cmd/benchreport -exp kernelperf -kerneljson /tmp/bench_kernel_new.json
 	$(GO) run ./cmd/benchreport -exp shardperf -scale 5000 -shardjson /tmp/bench_shard_new.json
 	$(GO) run ./cmd/benchreport -exp walperf -waljson /tmp/bench_wal_new.json
+	$(GO) run ./cmd/benchreport -exp trafficperf -scale 10000 -trafficjson /tmp/bench_traffic_new.json
 	$(GO) run ./cmd/benchreport -compare BENCH_clustering.json /tmp/bench_clustering_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_pipeline.json /tmp/bench_pipeline_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_kernel.json /tmp/bench_kernel_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_shard.json /tmp/bench_shard_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_wal.json /tmp/bench_wal_new.json -tol $(BENCHTOL)
+	$(GO) run ./cmd/benchreport -compare BENCH_traffic.json /tmp/bench_traffic_new.json -tol $(BENCHTOL)
 
 # ci mirrors .github/workflows/ci.yml locally: build, vet, unit tests, race
 # detector, fuzz seed-corpus regression, and both end-to-end smokes. The
 # nightly bench-drift job (make bench-check) is not part of ci — it takes
 # minutes, not seconds.
-ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke shard-smoke wal-smoke
+ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke shard-smoke wal-smoke traffic-smoke
 	@echo "ci: all gates green"
 
 clean:

@@ -25,8 +25,11 @@
 // semcacheperf writes the semantic-result-cache numbers (hit ratio, speedup,
 // staleness window) to -semjson (default BENCH_semcache.json), and walperf
 // writes the durability numbers (WAL fsync overhead, replay rate, windowed
-// re-mine speedup) to -waljson (default BENCH_wal.json), so successive
-// changes have a perf trajectory. -cpuprofile/-memprofile capture stdlib
+// re-mine speedup) to -waljson (default BENCH_wal.json), and trafficperf
+// writes the traffic-class mining numbers (classifier precision/recall,
+// partition and drift-determinism gates, ingest overhead) to -trafficjson
+// (default BENCH_traffic.json), so successive changes have a perf
+// trajectory. -cpuprofile/-memprofile capture stdlib
 // pprof profiles of the selected experiments.
 package main
 
@@ -145,6 +148,7 @@ func run() int {
 	shardJSON := flag.String("shardjson", "BENCH_shard.json", "output path for the shardperf JSON record")
 	semJSON := flag.String("semjson", "BENCH_semcache.json", "output path for the semcacheperf JSON record")
 	walJSON := flag.String("waljson", "BENCH_wal.json", "output path for the walperf JSON record")
+	trafficJSON := flag.String("trafficjson", "BENCH_traffic.json", "output path for the trafficperf JSON record")
 	kernelJSON := flag.String("kerneljson", "BENCH_kernel.json", "output path for the kernelperf JSON record")
 	kernelScales := flag.String("kernelscales", "", "comma-separated area counts for kernelperf (default \"20000,100000\")")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -249,6 +253,12 @@ func run() int {
 			func() string {
 				res := getEnv().RunWALPerf()
 				writeJSON(*walJSON, res)
+				return res.Report
+			}},
+		{"trafficperf", "traffic-class mining: classifier accuracy, partition + drift gates, ingest cost (writes -trafficjson)",
+			func() string {
+				res := getEnv().RunTrafficPerf()
+				writeJSON(*trafficJSON, res)
 				return res.Report
 			}},
 		{"kernelperf", "flat SoA distance kernel vs pointer profiles microbenchmark (writes -kerneljson)",

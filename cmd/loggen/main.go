@@ -7,6 +7,13 @@
 //
 //	loggen [-n 20000] [-seed 42] [-format csv|jsonl] [-o file]
 //
+// -classes switches to the mixed-traffic generator: the log is apportioned
+// across per-class behaviours (bots hammering a template or two at machine
+// cadence, humans browsing in bursty sessions, admins issuing DDL), with
+// ground truth recoverable from the user-name prefix (bot##/adm##/u######):
+//
+//	loggen -n 20000 -classes bot:0.7,human:0.25,admin:0.05
+//
 // Replay mode paces the log out as NDJSON for driving skyserved — to a
 // file/stdout, or POSTed burst-by-burst straight at an /ingest endpoint
 // (re-sending whatever a 429 backpressure response did not accept):
@@ -33,6 +40,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,11 +63,22 @@ func main() {
 	conns := flag.Int("conns", 1, "concurrent replay connections (with -url; each replays a contiguous log slice at rate/conns)")
 	start := flag.Int64("start", 0, "with -step: timestamp (logical seconds) of the first record")
 	step := flag.Int64("step", 0, "rewrite record times to -start + i*-step, a monotonic clock for WAL windows and /remine ranges (0 = keep generator times)")
+	classes := flag.String("classes", "", "mixed-traffic mode: class shares as bot:0.7,human:0.25,admin:0.05 (empty = Table-1 workload)")
 	flag.Parse()
 
-	entries := skyserver.GenerateLog(skyserver.WorkloadConfig{
+	cfg := skyserver.WorkloadConfig{
 		Queries: *n, Seed: *seed, NoiseFraction: *noise, ErrorFraction: *errs,
-	})
+	}
+	var entries []skyserver.LogEntry
+	if *classes != "" {
+		mix, err := parseClassMix(*classes)
+		if err != nil {
+			fatal(err)
+		}
+		entries = skyserver.GenerateMixedLog(cfg, mix)
+	} else {
+		entries = skyserver.GenerateLog(cfg)
+	}
 	recs := make([]qlog.Record, len(entries))
 	for i, e := range entries {
 		recs[i] = qlog.Record{Seq: e.Seq, Time: e.Time, User: e.User, SQL: e.SQL}
@@ -214,6 +234,36 @@ func postBurst(url string, chunk []qlog.Record) error {
 		}
 	}
 	return nil
+}
+
+// parseClassMix parses "bot:0.7,human:0.25,admin:0.05". Classes may appear
+// in any order and be omitted (share 0); at least one share must be positive.
+func parseClassMix(s string) (skyserver.ClassMix, error) {
+	var mix skyserver.ClassMix
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return mix, fmt.Errorf("bad -classes entry %q (want class:share)", part)
+		}
+		share, err := strconv.ParseFloat(val, 64)
+		if err != nil || share < 0 {
+			return mix, fmt.Errorf("bad -classes share %q for class %q", val, name)
+		}
+		switch name {
+		case "bot":
+			mix.Bot = share
+		case "human":
+			mix.Human = share
+		case "admin":
+			mix.Admin = share
+		default:
+			return mix, fmt.Errorf("unknown -classes class %q (want bot, human or admin)", name)
+		}
+	}
+	if mix.Bot+mix.Human+mix.Admin <= 0 {
+		return mix, fmt.Errorf("-classes %q: at least one share must be positive", s)
+	}
+	return mix, nil
 }
 
 func fatal(err error) {

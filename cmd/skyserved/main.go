@@ -6,7 +6,7 @@
 // Usage:
 //
 //	skyserved [-addr :8080] [-eps 0.06] [-minpts 8] [-snapshot state.json]
-//	          [-wal-dir wal] [-debug-addr :6060] [-shards N]
+//	          [-wal-dir wal] [-debug-addr :6060] [-shards N] [-traffic]
 //	          [-role coordinator|shard -peers ...]
 //
 // Endpoints:
@@ -18,7 +18,10 @@
 //	POST /remine    mine a historical [from,to) record-time window from the
 //	                WAL (optional relation/fingerprint filters; -wal-dir)
 //	GET  /report    latest clustering (?format=text|csv|json, ?top=N,
-//	                ETag/If-None-Match)
+//	                ETag/If-None-Match; with -traffic, ?class=bot|human|admin
+//	                serves one traffic class's slice)
+//	GET  /drift     per-class interest-drift event log (-traffic)
+//	GET  /interfaces  top-K mined query interfaces (-traffic, ?top=N)
 //	GET  /stats     cumulative pipeline statistics
 //	GET  /metrics   ingest/cache/epoch/semantic-cache counters
 //	                (?format=prom for Prometheus exposition)
@@ -81,6 +84,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/skyserver"
+	"repro/internal/traffic"
 )
 
 // newHTTPServer applies the shared listener hardening: a slowloris client
@@ -142,6 +146,8 @@ func main() {
 	warmup := flag.Int("warmup", 0, "router staging horizon in area-bearing records before keys bind to shards (0 = default 1024, negative = bind on first sight)")
 	role := flag.String("role", "", "multi-node role: coordinator or shard (empty = standalone)")
 	peers := flag.String("peers", "", "comma-separated shard base URLs (coordinator role)")
+	trafficOn := flag.Bool("traffic", false, "classify ingest into bot/human/admin and mine per class: adds /report?class=, /drift and /interfaces (a coordinator assumes its shard peers also run -traffic)")
+	trafficOverrides := flag.String("traffic-overrides", "", "comma-separated user=class pins for known crawlers and admin accounts, e.g. sdssbot=bot,dba=admin")
 	flag.Parse()
 
 	dmode := distance.ModeEndpoint
@@ -161,6 +167,22 @@ func main() {
 	if *role == "coordinator" && *peers == "" {
 		fmt.Fprintln(os.Stderr, "skyserved: -role coordinator needs -peers")
 		os.Exit(1)
+	}
+
+	var trafficCfg *traffic.Config
+	if *trafficOn {
+		trafficCfg = &traffic.Config{}
+		if *trafficOverrides != "" {
+			trafficCfg.Overrides = make(map[string]string)
+			for _, pair := range strings.Split(*trafficOverrides, ",") {
+				user, cls, ok := strings.Cut(strings.TrimSpace(pair), "=")
+				if !ok || user == "" || !traffic.ValidClass(cls) {
+					fmt.Fprintf(os.Stderr, "skyserved: bad -traffic-overrides entry %q (want user=bot|human|admin)\n", pair)
+					os.Exit(1)
+				}
+				trafficCfg.Overrides[user] = cls
+			}
+		}
 	}
 
 	minerCfg := func(stats *schema.Stats) core.Config {
@@ -200,6 +222,7 @@ func main() {
 			Eps:             *eps,
 			Coverage:        db,
 			ReportTop:       *top,
+			Traffic:         *trafficOn,
 			RouterStatePath: statePath,
 		})
 		if err != nil {
@@ -235,6 +258,7 @@ func main() {
 				WALDir:           shardWALDir(*walDir, i),
 				WALSegmentBytes:  *walSegBytes,
 				WALSegmentWindow: *walWindow,
+				Traffic:          trafficCfg,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "skyserved: shard %d: %v\n", i, err)
@@ -254,6 +278,7 @@ func main() {
 			Eps:             *eps,
 			Coverage:        db,
 			ReportTop:       *top,
+			Traffic:         *trafficOn,
 			RouterStatePath: statePath,
 		})
 		if err != nil {
@@ -285,6 +310,7 @@ func main() {
 			ReportTop:        *top,
 			QueryDB:          db,
 			QueryVerify:      *queryVerify,
+			Traffic:          trafficCfg,
 		}
 		if *role == "shard" {
 			// A shard mines a routed slice: coverage and the semantic query

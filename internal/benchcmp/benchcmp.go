@@ -46,6 +46,11 @@ var gated = map[string]struct {
 	// the inline fingerprint/time-range index stopped pruning.
 	"window_segments_scanned": {dirLowerBetter, true},
 	"window_segments_skipped": {dirHigherBetter, true},
+	// The traffic classifier scores a deterministic replay of the seeded
+	// mixed workload against its generator's ground truth, so any drop means
+	// the heuristics (not the machine) got worse.
+	"classifier_precision": {dirHigherBetter, false},
+	"classifier_recall":    {dirHigherBetter, false},
 }
 
 // Finding is one compared metric.

@@ -47,6 +47,7 @@ type Incremental struct {
 	reps []qlog.Record
 
 	gen      uint64
+	primed   bool
 	profiles []*distance.Profile
 	metric   *distance.Metric
 	// kern is the flat SoA distance kernel over the compiled profiles; it is
@@ -57,6 +58,12 @@ type Incremental struct {
 	// lifetime counters concurrently, hence the atomic pointer.
 	cache atomic.Pointer[distance.DynamicPairCache]
 	parts map[string]*incPartition
+
+	// sub, when set (IncrementalShared), replaces the private metric /
+	// profiles / kern / cache quartet: items intern into the shared kernel
+	// and slots maps local item index → substrate slot.
+	sub   *Substrate
+	slots []int
 
 	// delta is the previous epoch's clustering in global item indices — the
 	// state a DeltaEpochs ReclusterAuto reduces against. nil until the first
@@ -101,6 +108,18 @@ func (m *Miner) Incremental() *Incremental {
 	}
 }
 
+// IncrementalShared returns an epoch-based miner that clusters through the
+// shared substrate instead of private distance structures — the per-class
+// miners use this so overlapping area populations pay for each distance
+// once. Results are bit-identical to a private Incremental over the same
+// records. Miners sharing a substrate must recluster sequentially; Adds may
+// still run concurrently.
+func (m *Miner) IncrementalShared(sub *Substrate) *Incremental {
+	inc := m.Incremental()
+	inc.sub = sub
+	return inc
+}
+
 // Add folds one extracted record into the accumulator. It reports whether
 // the record introduced a new distinct area (the serve epoch trigger counts
 // those).
@@ -124,6 +143,9 @@ func (inc *Incremental) Distinct() int {
 // DistanceEvals and DistanceCacheHits expose the lifetime counters of the
 // cross-epoch cache; per-epoch deltas give the reuse ratio serveperf reports.
 func (inc *Incremental) DistanceEvals() int64 {
+	if inc.sub != nil {
+		return inc.sub.Evals()
+	}
 	if c := inc.cache.Load(); c != nil {
 		return c.Evals()
 	}
@@ -131,6 +153,9 @@ func (inc *Incremental) DistanceEvals() int64 {
 }
 
 func (inc *Incremental) DistanceCacheHits() int64 {
+	if inc.sub != nil {
+		return inc.sub.Hits()
+	}
 	if c := inc.cache.Load(); c != nil {
 		return c.Hits()
 	}
@@ -210,35 +235,51 @@ func (inc *Incremental) recluster(full bool) *Result {
 	// Cached distances, profiles, pivot tables and the delta anchor are only
 	// valid while the access(a) registry they were compiled from is
 	// unchanged.
-	if gen := inc.m.stats.Generation(); gen != inc.gen || inc.metric == nil {
-		if inc.metric != nil {
+	if gen := inc.m.stats.Generation(); gen != inc.gen || !inc.primed {
+		if inc.primed {
 			epochCacheResets.Inc()
 		}
+		inc.primed = true
 		inc.gen = gen
-		inc.metric = &distance.Metric{Mode: inc.m.cfg.Mode, Stats: inc.m.stats}
-		inc.profiles = inc.profiles[:0]
-		inc.kern = distance.NewKernel(inc.m.cfg.Mode)
-		inc.cache.Store(nil)
+		if inc.sub == nil {
+			inc.metric = &distance.Metric{Mode: inc.m.cfg.Mode, Stats: inc.m.stats}
+			inc.profiles = inc.profiles[:0]
+			inc.kern = distance.NewKernel(inc.m.cfg.Mode)
+			inc.cache.Store(nil)
+		} else {
+			inc.slots = inc.slots[:0]
+		}
 		inc.parts = make(map[string]*incPartition)
 		inc.delta = nil
 		full = true
 	}
 	profSp := epochProfilesStage.Start()
-	for i := len(inc.profiles); i < len(items); i++ {
-		p := inc.metric.Profile(items[i].Area)
-		inc.profiles = append(inc.profiles, p)
-		inc.kern.Add(p)
+	var cache pairSource
+	if inc.sub != nil {
+		inc.sub.ensure(inc.gen)
+		for i := len(inc.slots); i < len(items); i++ {
+			inc.slots = append(inc.slots, inc.sub.slotFor(items[i].Area))
+		}
+		cache = &subView{sub: inc.sub, slots: inc.slots}
+	} else {
+		for i := len(inc.profiles); i < len(items); i++ {
+			p := inc.metric.Profile(items[i].Area)
+			inc.profiles = append(inc.profiles, p)
+			inc.kern.Add(p)
+		}
+		dc := inc.cache.Load()
+		if dc == nil {
+			dc = distance.NewDynamicPairCache(inc.kern.Distance)
+			inc.cache.Store(dc)
+		} else {
+			// The kernel is append-only, so the method value stays valid as
+			// items arrive; re-setting it here keeps the swap symmetric with
+			// resets.
+			dc.SetFn(inc.kern.Distance)
+		}
+		cache = dc
 	}
 	profSp.End()
-	cache := inc.cache.Load()
-	if cache == nil {
-		cache = distance.NewDynamicPairCache(inc.kern.Distance)
-		inc.cache.Store(cache)
-	} else {
-		// The kernel is append-only, so the method value stays valid as items
-		// arrive; re-setting it here keeps the swap symmetric with resets.
-		cache.SetFn(inc.kern.Distance)
-	}
 
 	if !full {
 		return inc.deltaEpoch(items, res, cache)
@@ -330,7 +371,7 @@ func (inc *Incremental) recluster(full bool) *Result {
 // a cluster's total weight rides on its representative, so prior clusters
 // can merge through new bridge points; prior clusters are never re-split
 // until the next full anchor re-clusters from scratch.
-func (inc *Incremental) deltaEpoch(items []*aggregate.Item, res *Result, cache *distance.DynamicPairCache) *Result {
+func (inc *Incremental) deltaEpoch(items []*aggregate.Item, res *Result, cache pairSource) *Result {
 	deltaEpochsTotal.Inc()
 	prior := inc.delta
 	eps := prior.anchorEps

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/extract"
+	"repro/internal/schema"
+)
+
+// Substrate is the distance infrastructure a family of Incremental miners
+// shares: access-area profiles interned by area key into one flat SoA
+// kernel, and one cross-miner DynamicPairCache over the interned slots. The
+// traffic-class miners cluster largely overlapping area populations (a bot
+// area and a human area with the same CNF are the same point), so routing
+// them through one substrate makes every cross-class repeat a cache hit:
+// the pair is evaluated once, by whichever miner reaches it first.
+//
+// Sharing cannot perturb results: the kernel's distances depend only on the
+// profile pair and the access(a) registry generation, so a cached value is
+// bit-identical to what a private kernel would have computed.
+//
+// Interning is locked; the cache is safe for the concurrent region queries
+// DBSCAN issues. Miners sharing a substrate must not RUN their recluster
+// epochs concurrently with each other (the serving layer's epoch loop is
+// sequential), because a registry-generation reset by one miner drops slots
+// another mid-epoch miner would still be reading.
+type Substrate struct {
+	mode  distance.Mode
+	stats *schema.Stats
+
+	mu     sync.Mutex
+	ready  bool
+	gen    uint64
+	metric *distance.Metric
+	byKey  map[string]int
+	kern   *distance.Kernel
+	cache  *distance.DynamicPairCache
+}
+
+// Substrate builds an empty shared substrate bound to this Miner's distance
+// mode and access(a) registry. Hand it to IncrementalShared on every miner
+// that should share distance work.
+func (m *Miner) Substrate() *Substrate {
+	return &Substrate{mode: m.cfg.Mode, stats: m.stats}
+}
+
+// ensure revalidates the shared structures against the registry generation,
+// dropping everything when it moved (profiles read schema.Stats, and
+// extraction grows it — exactly the Incremental invalidation rule).
+func (s *Substrate) ensure(gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready && s.gen == gen {
+		return
+	}
+	s.ready = true
+	s.gen = gen
+	s.metric = &distance.Metric{Mode: s.mode, Stats: s.stats}
+	s.byKey = make(map[string]int)
+	s.kern = distance.NewKernel(s.mode)
+	s.cache = distance.NewDynamicPairCache(s.kern.Distance)
+}
+
+// slotFor interns one access area, compiling its profile on first sight,
+// and returns its kernel slot. Identical areas — same Key() — map to the
+// same slot from every sharing miner.
+func (s *Substrate) slotFor(a *extract.AccessArea) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := a.Key()
+	if idx, ok := s.byKey[key]; ok {
+		return idx
+	}
+	idx := s.kern.Add(s.metric.Profile(a))
+	s.byKey[key] = idx
+	return idx
+}
+
+// Slots reports how many distinct areas are interned.
+func (s *Substrate) Slots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Evals returns the substrate-lifetime distance evaluations (cache misses)
+// across every sharing miner.
+func (s *Substrate) Evals() int64 {
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Evals()
+}
+
+// Hits returns the lookups the shared cache served from memory.
+func (s *Substrate) Hits() int64 {
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Hits()
+}
+
+// pairSource is what the clustering stages need from a distance cache. Both
+// the private DynamicPairCache and the substrate view satisfy it.
+type pairSource interface {
+	Dist(i, j int) float64
+	Evals() int64
+	Hits() int64
+}
+
+// subView adapts the shared substrate to one miner's local item index
+// space: local index i clusters as interned slot slots[i].
+type subView struct {
+	sub   *Substrate
+	slots []int
+}
+
+func (v *subView) Dist(i, j int) float64 { return v.sub.cache.Dist(v.slots[i], v.slots[j]) }
+func (v *subView) Evals() int64          { return v.sub.Evals() }
+func (v *subView) Hits() int64           { return v.sub.Hits() }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/skyserver"
+)
+
+// A substrate-sharing Incremental must produce exactly the clustering a
+// private Incremental (and hence the batch miner) produces over the same
+// records — the shared kernel/cache only change WHERE distances are
+// computed, never their values.
+func TestSubstrateEquivalentToPrivate(t *testing.T) {
+	recs := synthRecords(2500, 11)
+
+	m := NewMiner(Config{Schema: skyserver.Schema(), Seed: 11, Stats: seededStats()})
+	batch := m.MineRecords(recs)
+
+	sm := NewMiner(Config{Schema: skyserver.Schema(), Seed: 11, Stats: seededStats()})
+	sub := sm.Substrate()
+	inc := sm.IncrementalShared(sub)
+	areaRecs, _ := sm.pipeline().Run(recs)
+	const chunk = 700
+	var last *Result
+	for lo := 0; lo < len(areaRecs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(areaRecs) {
+			hi = len(areaRecs)
+		}
+		for i := lo; i < hi; i++ {
+			inc.Add(&areaRecs[i])
+		}
+		last = inc.Recluster()
+	}
+	sameMining(t, batch, last)
+}
+
+// Two miners over the same area population through one substrate share all
+// distance work: the second miner's epoch adds no kernel slots and no
+// evaluations — every pair is a cache hit.
+func TestSubstrateSharesDistanceWork(t *testing.T) {
+	m := NewMiner(Config{Schema: skyserver.Schema(), Seed: 5, Stats: seededStats()})
+	sub := m.Substrate()
+	a := m.IncrementalShared(sub)
+	b := m.IncrementalShared(sub)
+	areaRecs, _ := m.pipeline().Run(synthRecords(2000, 5))
+	if len(areaRecs) < 100 {
+		t.Fatalf("synthetic log extracted only %d areas", len(areaRecs))
+	}
+	for i := range areaRecs {
+		a.Add(&areaRecs[i])
+		b.Add(&areaRecs[i])
+	}
+	ra := a.Recluster()
+	slots, evals := sub.Slots(), sub.Evals()
+	if slots == 0 || evals == 0 {
+		t.Fatalf("first miner interned %d slots, %d evals", slots, evals)
+	}
+	rb := b.Recluster()
+	if got := sub.Slots(); got != slots {
+		t.Errorf("second miner interned %d new slots", got-slots)
+	}
+	if d := sub.Evals() - evals; d != 0 {
+		t.Errorf("second miner re-evaluated %d distances", d)
+	}
+	if sub.Hits() == 0 {
+		t.Error("second miner served no cache hits")
+	}
+	sameMining(t, ra, rb)
+}

@@ -1,0 +1,75 @@
+package extract
+
+import (
+	"sort"
+
+	"repro/internal/predicate"
+)
+
+// SlotBinding describes how one literal slot of a cached template is used
+// by the template's constraint: which canonical column it constrains, under
+// which comparison operator, and whether the literal is numeric or string.
+// It is the read-only introspection the /interfaces endpoint renders
+// parameterized query interfaces from.
+type SlotBinding struct {
+	// Slot is the 1-based lexer ordinal of the literal (Literal index
+	// Slot-1 in the statement's literal slice).
+	Slot int
+	// Column is the canonical "Relation.column" the slot constrains.
+	Column string
+	// Op is the comparison operator as SQL text ("<", ">=", "=", ...).
+	Op string
+	// Numeric reports whether the constraint value is numeric.
+	Numeric bool
+}
+
+// SlotBindings walks the template's constraint and returns one binding per
+// slot-tagged column-constant value, sorted by slot. Slots referenced more
+// than once (a literal folded into several predicates by normalisation)
+// report their first binding in expression order. Templates whose
+// constraint carries no slotted values (constant-folded or approximate
+// shapes) return nil.
+func (t *AreaTemplate) SlotBindings() []SlotBinding {
+	seen := make(map[int]SlotBinding)
+	var order []int
+	var walk func(e predicate.Expr)
+	walk = func(e predicate.Expr) {
+		switch x := e.(type) {
+		case *predicate.Leaf:
+			p := x.P
+			if p.Kind != predicate.ColumnConstant || p.Val.Slot <= 0 {
+				return
+			}
+			if _, ok := seen[p.Val.Slot]; ok {
+				return
+			}
+			seen[p.Val.Slot] = SlotBinding{
+				Slot:    p.Val.Slot,
+				Column:  p.Column,
+				Op:      p.Op.String(),
+				Numeric: p.Val.Kind == predicate.NumberVal,
+			}
+			order = append(order, p.Val.Slot)
+		case *predicate.Not:
+			walk(x.Kid)
+		case *predicate.And:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *predicate.Or:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(t.constraint)
+	if len(order) == 0 {
+		return nil
+	}
+	sort.Ints(order)
+	out := make([]SlotBinding, 0, len(order))
+	for _, s := range order {
+		out = append(out, seen[s])
+	}
+	return out
+}

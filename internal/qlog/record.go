@@ -29,6 +29,13 @@ type Record struct {
 	// for the segment index). When FPValid is set the pipeline reuses FP and
 	// Lits instead of lexing SQL a second time. Never serialised: a decoded
 	// or replayed record re-derives them.
+	// Class is the traffic class the record belongs to ("bot", "human",
+	// "admin", or "" when unclassified). Explicit tags survive JSON ingest
+	// and the WAL; untagged records are classified at admission when the
+	// serving layer has traffic mining enabled. CSV stays the 4-column
+	// paper-log format, so the class never round-trips through WriteCSV.
+	Class string `json:"class,omitempty"`
+
 	FPValid bool                `json:"-"`
 	FP      uint64              `json:"-"`
 	Lits    []sqlparser.Literal `json:"-"`

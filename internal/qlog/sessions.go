@@ -26,14 +26,28 @@ func (s *Session) Duration() int64 { return s.End - s.Start }
 // Sessionize splits records into per-user sessions using gapSeconds as the
 // inactivity timeout ([23] used 30 minutes for web sessions). Records need
 // not be sorted; output sessions are ordered by start time, queries within
-// a session by time.
+// a session by time. A non-positive gap is clamped to zero, meaning any
+// positive inter-query gap starts a new session while identical timestamps
+// stay together — the only consistent reading of "no tolerated gap".
 func Sessionize(recs []Record, gapSeconds int64) []*Session {
+	if len(recs) == 0 {
+		return nil
+	}
+	if gapSeconds < 0 {
+		gapSeconds = 0
+	}
 	byUser := make(map[string][]Record)
 	for _, r := range recs {
 		byUser[r.User] = append(byUser[r.User], r)
 	}
 	var out []*Session
 	for user, urecs := range byUser {
+		if len(urecs) == 0 {
+			// Guard the final flush: a session is only ever emitted with at
+			// least one record, so downstream Duration()/profile code never
+			// sees an empty session.
+			continue
+		}
 		sort.Slice(urecs, func(i, j int) bool { return urecs[i].Time < urecs[j].Time })
 		var cur *Session
 		for _, r := range urecs {

@@ -32,6 +32,101 @@ func TestSessionizeSplitsOnGap(t *testing.T) {
 	}
 }
 
+func TestSessionizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		recs []Record
+		gap  int64
+		want []struct {
+			user  string
+			start int64
+			n     int
+		}
+	}{
+		{
+			name: "empty input",
+			recs: nil, gap: 1800,
+			want: nil,
+		},
+		{
+			name: "single record",
+			recs: []Record{{Seq: 0, Time: 7, User: "solo", SQL: "SELECT 1"}},
+			gap:  1800,
+			want: []struct {
+				user  string
+				start int64
+				n     int
+			}{{"solo", 7, 1}},
+		},
+		{
+			// A gap exactly equal to the timeout stays in the session (the
+			// split condition is strictly greater-than), one past it splits.
+			name: "exact gap boundary",
+			recs: []Record{
+				{Seq: 0, Time: 0, User: "u", SQL: "a"},
+				{Seq: 1, Time: 1800, User: "u", SQL: "b"},
+				{Seq: 2, Time: 3601, User: "u", SQL: "c"},
+			},
+			gap: 1800,
+			want: []struct {
+				user  string
+				start int64
+				n     int
+			}{{"u", 0, 2}, {"u", 3601, 1}},
+		},
+		{
+			// Zero gap: identical timestamps share a session, any positive
+			// gap splits.
+			name: "zero gap",
+			recs: []Record{
+				{Seq: 0, Time: 5, User: "u", SQL: "a"},
+				{Seq: 1, Time: 5, User: "u", SQL: "b"},
+				{Seq: 2, Time: 6, User: "u", SQL: "c"},
+			},
+			gap: 0,
+			want: []struct {
+				user  string
+				start int64
+				n     int
+			}{{"u", 5, 2}, {"u", 6, 1}},
+		},
+		{
+			// Negative gap clamps to zero rather than splitting same-time
+			// records or underflowing the comparison.
+			name: "negative gap",
+			recs: []Record{
+				{Seq: 0, Time: 5, User: "u", SQL: "a"},
+				{Seq: 1, Time: 5, User: "u", SQL: "b"},
+				{Seq: 2, Time: 9, User: "u", SQL: "c"},
+			},
+			gap: -100,
+			want: []struct {
+				user  string
+				start int64
+				n     int
+			}{{"u", 5, 2}, {"u", 9, 1}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Sessionize(c.recs, c.gap)
+			if len(got) != len(c.want) {
+				t.Fatalf("sessions = %d, want %d (%+v)", len(got), len(c.want), got)
+			}
+			for i, w := range c.want {
+				s := got[i]
+				if s.User != w.user || s.Start != w.start || len(s.Records) != w.n {
+					t.Errorf("session %d = {user %s start %d n %d}, want %+v",
+						i, s.User, s.Start, len(s.Records), w)
+				}
+				if len(s.Records) == 0 {
+					t.Errorf("session %d is empty", i)
+				}
+			}
+		})
+	}
+}
+
 func TestSessionizeUnsortedInput(t *testing.T) {
 	recs := []Record{
 		{Seq: 0, Time: 200, User: "u", SQL: "b"},

@@ -10,10 +10,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/memdb"
 	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/report"
+	"repro/internal/traffic"
 )
 
 // Handler returns the service's HTTP surface:
@@ -23,7 +25,11 @@ import (
 //	POST /snapshot  write the snapshot now
 //	POST /query     execute a statement via the semantic result cache
 //	GET  /report    latest clustering (text/csv/json, content-negotiated,
-//	                ETag/If-None-Match aware)
+//	                ETag/If-None-Match aware; ?class=bot|human|admin serves
+//	                one traffic class's partition of it)
+//	GET  /drift     per-class interest-drift events (?class= filters)
+//	GET  /interfaces  hottest statement templates as parameterized query
+//	                interfaces (?top=N)
 //	GET  /stats     cumulative pipeline statistics
 //	GET  /metrics   flat counters (ingest rate, cache hits, epoch latency,
 //	                semantic-cache hit/miss/bytes per region);
@@ -39,6 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/remine", s.handleRemine)
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/drift", s.handleDrift)
+	mux.HandleFunc("/interfaces", s.handleInterfaces)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
@@ -219,6 +227,10 @@ func decodeObjectRest(dec *json.Decoder, rec *qlog.Record) error {
 			if err := dec.Decode(&rec.SQL); err != nil {
 				return err
 			}
+		case "class":
+			if err := dec.Decode(&rec.Class); err != nil {
+				return err
+			}
 		default:
 			var skip json.RawMessage
 			if err := dec.Decode(&skip); err != nil {
@@ -389,7 +401,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, gen := s.latest()
+	class := r.URL.Query().Get("class")
+	if class != "" {
+		if s.traffic == nil {
+			http.Error(w, "traffic mining not configured", http.StatusConflict)
+			return
+		}
+		if !traffic.ValidClass(class) {
+			http.Error(w, "class must be bot, human or admin", http.StatusBadRequest)
+			return
+		}
+	}
+	var res *core.Result
+	var gen int64
+	if class != "" {
+		res, gen = s.LatestClass(class)
+	} else {
+		res, gen = s.latest()
+	}
 	if res == nil {
 		http.Error(w, "no epoch has run yet — POST /flush or keep ingesting", http.StatusServiceUnavailable)
 		return
@@ -403,10 +432,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 		top = n
 	}
-	// The report body is a pure function of (epoch generation, format, top),
-	// so that triple is the entity tag; polling clients send If-None-Match
-	// and skip re-downloading an unchanged Table-1 view.
+	// The report body is a pure function of (epoch generation, class,
+	// format, top), so that tuple is the entity tag; polling clients send
+	// If-None-Match and skip re-downloading an unchanged Table-1 view. The
+	// classless tag keeps its original shape.
 	etag := fmt.Sprintf(`"r%d-%s-%d"`, gen, format, top)
+	if class != "" {
+		etag = fmt.Sprintf(`"r%d-%s-%s-%d"`, gen, class, format, top)
+	}
 	w.Header().Set("ETag", etag)
 	if match := r.Header.Get("If-None-Match"); match != "" {
 		for _, cand := range strings.Split(match, ",") {
@@ -519,6 +552,15 @@ func (s *Server) legacyMetrics() map[string]any {
 			metrics["semcache_hit_ratio"] = 0.0
 		}
 		metrics["semcache_per_region"] = m.PerRegion
+	}
+	if t := s.traffic; t != nil {
+		for _, cls := range traffic.Classes {
+			cc := t.counts[cls]
+			metrics["traffic_"+cls+"_records"] = cc.total.Load()
+			metrics["traffic_"+cls+"_extracted"] = cc.extracted.Load()
+		}
+		metrics["traffic_drift_events"] = t.driftEvents.Load()
+		metrics["traffic_interfaces_tracked"] = t.trackedInterfaces()
 	}
 	return metrics
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/traffic"
 )
 
 // Request-path stage spans (Default registry, shared across servers in one
@@ -95,6 +96,24 @@ func (s *Server) initRegistry() {
 				}
 				return float64(len(s.wal.Segments()))
 			})
+	}
+
+	if t := s.traffic; t != nil {
+		for _, cls := range traffic.Classes {
+			cc := t.counts[cls]
+			r.NewCounterFunc("skyaccess_serve_traffic_"+cls+"_records_total",
+				"processed records classified "+cls,
+				func() float64 { return float64(cc.total.Load()) })
+			r.NewCounterFunc("skyaccess_serve_traffic_"+cls+"_extracted_total",
+				"extracted areas fed to the "+cls+" class miner",
+				func() float64 { return float64(cc.extracted.Load()) })
+		}
+		r.NewCounterFunc("skyaccess_serve_traffic_drift_events_total",
+			"interest-drift events emitted across forced epochs",
+			func() float64 { return float64(t.driftEvents.Load()) })
+		r.NewGaugeFunc("skyaccess_serve_traffic_interfaces_tracked",
+			"distinct statement fingerprints the interface miner tracks",
+			func() float64 { return float64(t.trackedInterfaces()) })
 	}
 
 	if s.qcache != nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/sqlparser"
+	"repro/internal/traffic"
 	"repro/internal/wal"
 )
 
@@ -96,6 +97,13 @@ type Config struct {
 	// cache-served result is checked against direct execution. Costs a
 	// second execution per hit; for tests and smoke gates.
 	QueryVerify bool
+	// Traffic, when non-nil, enables traffic-class-aware mining: records
+	// are classified bot/human/admin in processing order, one incremental
+	// miner per class runs alongside the global one (sharing its distance
+	// substrate), GET /report?class= serves the per-class partition of the
+	// global report, GET /drift the per-class interest-drift events, and
+	// GET /interfaces the hottest mined query interfaces.
+	Traffic *traffic.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -189,11 +197,16 @@ type Server struct {
 	lastEpochNS    atomic.Int64
 	totalEpochNS   atomic.Int64
 
-	// resMu guards res and resGen together so /report's ETag always labels
-	// the exact body served.
-	resMu  sync.RWMutex
-	res    *core.Result
-	resGen int64
+	// resMu guards res, classRes and resGen together so /report's ETag
+	// always labels the exact body served.
+	resMu    sync.RWMutex
+	res      *core.Result
+	classRes map[string]*core.Result
+	resGen   int64
+
+	// traffic is the traffic-class mining subsystem (nil unless
+	// Config.Traffic is set).
+	traffic *trafficState
 
 	// qcache is the semantic result cache behind POST /query (nil when
 	// Config.QueryDB is unset). runEpoch re-installs its region set.
@@ -211,10 +224,20 @@ func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	miner := core.NewMiner(cfg.Miner)
 	ctx, cancel := context.WithCancel(context.Background())
+	// With traffic mining on, the global miner clusters through the shared
+	// substrate too: it interns every area first, so the class miners'
+	// epochs find their distances already computed.
+	var ts *trafficState
+	inc := miner.Incremental()
+	if cfg.Traffic != nil {
+		ts = newTrafficState(*cfg.Traffic, miner)
+		inc = miner.IncrementalShared(ts.sub)
+	}
 	s := &Server{
 		cfg:       cfg,
 		miner:     miner,
-		inc:       miner.Incremental(),
+		inc:       inc,
+		traffic:   ts,
 		baseCtx:   ctx,
 		cancel:    cancel,
 		queue:     make(chan qlog.Record, cfg.QueueSize),
@@ -283,9 +306,14 @@ func NewServer(cfg Config) (*Server, error) {
 		w.SetCompactFloor(walOffset)
 	}
 	// One anchoring epoch over everything restored and replayed, so /report
-	// is immediately consistent with the recovered state.
+	// is immediately consistent with the recovered state. Drift turns on
+	// only afterwards: the anchoring epoch reproduces the recovered
+	// clustering and must not be diffed against the restored prev snapshot.
 	if s.inc.Distinct() > 0 {
 		s.runEpoch(true)
+	}
+	if s.traffic != nil {
+		s.traffic.driftOn = true
 	}
 	go s.pump()
 	go s.epochLoop()
@@ -302,11 +330,7 @@ func (s *Server) replayWAL(from uint64) error {
 		if len(batch) == 0 {
 			return
 		}
-		st := s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
-			if s.inc.Add(&ar) {
-				s.newSinceEpoch.Add(1)
-			}
-		})
+		st := s.extractBatch(batch)
 		s.mu.Lock()
 		s.cum.Merge(st)
 		s.processed += int64(len(batch))
@@ -534,11 +558,7 @@ func (s *Server) runBatch(batch []qlog.Record) {
 	// processed does not count, and WAL replay would then double-feed them.
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	st := s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
-		if s.inc.Add(&ar) {
-			s.newSinceEpoch.Add(1)
-		}
-	})
+	st := s.extractBatch(batch)
 	s.mu.Lock()
 	s.cum.Merge(st)
 	s.processed += int64(len(batch))
@@ -609,12 +629,20 @@ func (s *Server) runEpoch(force bool) {
 	if s.cfg.Coverage != nil {
 		res.AttachCoverage(s.cfg.Coverage)
 	}
+	// The class miners recluster after the global one: every area is
+	// already interned in the shared substrate, so the class epochs pay
+	// cache lookups, not distance evaluations.
+	var classRes map[string]*core.Result
+	if s.traffic != nil {
+		classRes = s.reclusterClasses(force)
+	}
 	el := time.Since(t0)
 	s.lastEpochNS.Store(int64(el))
 	s.totalEpochNS.Add(int64(el))
 	gen := s.epochs.Add(1)
 	s.resMu.Lock()
 	s.res = res
+	s.classRes = classRes
 	s.resGen = gen
 	s.resMu.Unlock()
 	if s.qcache != nil {

@@ -36,6 +36,9 @@ type Snapshot struct {
 	// from here. Processing order equals WAL append order (single pump,
 	// admission under one mutex), so the processed count IS the offset.
 	WALOffset uint64 `json:"wal_offset,omitempty"`
+	// Traffic is the traffic-mining subsystem's state (absent when traffic
+	// mining is off — classless snapshots are unchanged).
+	Traffic *TrafficSnapshot `json:"traffic,omitempty"`
 }
 
 // WriteSnapshot atomically persists the current state: marshal to a
@@ -58,6 +61,7 @@ func (s *Server) WriteSnapshot(path string) error {
 		Mining:    s.inc.ExportState(),
 	}
 	snap.WALOffset = uint64(snap.Processed)
+	snap.Traffic = s.exportTraffic()
 	s.snapMu.Unlock()
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -135,6 +139,9 @@ func (s *Server) restoreSnapshot(path string) (*Snapshot, error) {
 	s.miner.Stats().RestoreSnapshot(snap.Registry)
 	if err := s.inc.RestoreState(snap.Mining); err != nil {
 		return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	if err := s.restoreTraffic(snap.Traffic); err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: traffic: %w", path, err)
 	}
 	if snap.Pipeline != nil {
 		s.mu.Lock()

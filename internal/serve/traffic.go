@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/qlog"
+	"repro/internal/traffic"
+)
+
+// classCounts is one traffic class's slice of the pipeline counters: how
+// many processed records the class received and how many of them produced
+// an access area. Together they synthesise the class report's statement /
+// extraction header — the per-class partition of the global pipeline stats.
+type classCounts struct {
+	total     atomic.Int64
+	extracted atomic.Int64
+}
+
+// trafficState bundles the traffic-mining subsystem: the online classifier
+// and interface miner (fed by the pump in processing order, under tmu), one
+// substrate-sharing incremental miner per class (pump feeds, epochs
+// recluster), and the drift detector (epoch lock).
+type trafficState struct {
+	cfg traffic.Config
+
+	// tmu guards classifier and ifaces. The pump observes under it in
+	// processing order — which equals admission order (single consumer) —
+	// so the class of every record is a pure function of the ingest script
+	// and WAL replay reproduces it exactly.
+	tmu        sync.Mutex
+	classifier *traffic.Classifier
+	ifaces     *traffic.Interfaces
+
+	// sub is the shared distance substrate: the global miner and the three
+	// class miners cluster overlapping area populations, so each pair's
+	// distance is computed once, whoever needs it first.
+	sub    *core.Substrate
+	incs   map[string]*core.Incremental
+	counts map[string]*classCounts
+
+	// drift state is guarded by Server.epochMu: only forced (flush /
+	// shutdown) epochs observe drift, so the event log is deterministic for
+	// a given ingest → flush script. driftOn stays false until NewServer's
+	// anchoring epoch has run — restore must not diff against itself.
+	drift       *traffic.Drift
+	driftEpochs int64
+	driftOn     bool
+	driftEvents atomic.Int64
+}
+
+func newTrafficState(cfg traffic.Config, miner *core.Miner) *trafficState {
+	t := &trafficState{
+		cfg:        cfg,
+		classifier: traffic.NewClassifier(cfg),
+		ifaces:     traffic.NewInterfaces(cfg.InterfaceMaxFPs, cfg.InterfaceMaxSamples),
+		drift:      traffic.NewDrift(cfg.DriftMaxEvents),
+		sub:        miner.Substrate(),
+		incs:       make(map[string]*core.Incremental, len(traffic.Classes)),
+		counts:     make(map[string]*classCounts, len(traffic.Classes)),
+	}
+	for _, cls := range traffic.Classes {
+		t.incs[cls] = miner.IncrementalShared(t.sub)
+		t.counts[cls] = &classCounts{}
+	}
+	return t
+}
+
+// classifyBatch assigns a traffic class to every record of one batch, in
+// order, before the batch enters the pipeline. Explicitly tagged records
+// keep their tag but are still observed — the classifier's state must be a
+// function of the full processed sequence for WAL replay to reproduce it.
+// Records arriving without the admission-time fingerprint pass (no WAL, or
+// WAL replay) are fingerprinted here; the pipeline reuses the pass.
+func (s *Server) classifyBatch(batch []qlog.Record) {
+	t := s.traffic
+	t.tmu.Lock()
+	defer t.tmu.Unlock()
+	for i := range batch {
+		rec := &batch[i]
+		if !rec.FPValid {
+			if fp, lits, ok := s.fingerprint(rec.SQL); ok {
+				rec.FPValid, rec.FP, rec.Lits = true, fp, lits
+			}
+		}
+		var fp uint64
+		if rec.FPValid {
+			fp = rec.FP
+		}
+		cls := t.classifier.Observe(rec.User, rec.Time, fp, rec.SQL)
+		if !traffic.ValidClass(rec.Class) {
+			rec.Class = cls
+		}
+		if rec.FPValid {
+			t.ifaces.Observe(rec.FP, rec.SQL, rec.Lits)
+		}
+		t.counts[rec.Class].total.Add(1)
+	}
+}
+
+// extractBatch runs one batch through classification (when traffic mining
+// is on) and the extraction pipeline, feeding the global miner and — per
+// record class — the class miners. Both the pump and WAL replay drain
+// through it, so live and replayed runs classify and mine identically.
+func (s *Server) extractBatch(batch []qlog.Record) *qlog.Stats {
+	if s.traffic != nil {
+		s.classifyBatch(batch)
+	}
+	return s.pipe.RunStream(s.baseCtx, qlog.SliceSource(batch), func(ar qlog.AreaRecord) {
+		if s.inc.Add(&ar) {
+			s.newSinceEpoch.Add(1)
+		}
+		if t := s.traffic; t != nil {
+			if cinc := t.incs[ar.Record.Class]; cinc != nil {
+				cinc.Add(&ar)
+				t.counts[ar.Record.Class].extracted.Add(1)
+			}
+		}
+	})
+}
+
+// reclusterClasses runs the per-class slice of one epoch. Caller holds
+// epochMu; the global recluster has already interned every area into the
+// shared substrate, so the class reclusters are mostly cache lookups. Drift
+// is observed only at forced epochs (deterministic boundaries) and only
+// once the server has anchored.
+func (s *Server) reclusterClasses(force bool) map[string]*core.Result {
+	t := s.traffic
+	classRes := make(map[string]*core.Result, len(traffic.Classes))
+	for _, cls := range traffic.Classes {
+		inc := t.incs[cls]
+		var r *core.Result
+		if force {
+			r = inc.Recluster()
+		} else {
+			r = inc.ReclusterAuto()
+		}
+		cc := t.counts[cls]
+		r.PipelineStats = &qlog.Stats{
+			Total:     int(cc.total.Load()),
+			Extracted: int(cc.extracted.Load()),
+		}
+		if s.cfg.Coverage != nil {
+			r.AttachCoverage(s.cfg.Coverage)
+		}
+		classRes[cls] = r
+	}
+	if force && t.driftOn {
+		t.driftEpochs++
+		for _, cls := range traffic.Classes {
+			ev := t.drift.Observe(cls, t.driftEpochs, classRes[cls].Clusters)
+			t.driftEvents.Add(int64(len(ev)))
+		}
+	}
+	return classRes
+}
+
+// TrafficEnabled reports whether the server mines per traffic class.
+func (s *Server) TrafficEnabled() bool { return s.traffic != nil }
+
+// LatestClass exposes the most recent epoch's clustering for one traffic
+// class (nil before the first epoch or with traffic mining off). Like
+// Latest, the Result must be treated as immutable.
+func (s *Server) LatestClass(class string) (*core.Result, int64) {
+	s.resMu.RLock()
+	defer s.resMu.RUnlock()
+	return s.classRes[class], s.resGen
+}
+
+// DriftEvents returns the retained drift-event log, optionally filtered to
+// one class ("" = all). The slice is a copy.
+func (s *Server) DriftEvents(class string) []traffic.Event {
+	if s.traffic == nil {
+		return nil
+	}
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.traffic.drift.Events(class)
+}
+
+// RenderInterfaces renders the top-K hottest statement templates as
+// parameterized query interfaces (nil with traffic mining off).
+func (s *Server) RenderInterfaces(top int) []traffic.Interface {
+	t := s.traffic
+	if t == nil {
+		return nil
+	}
+	t.tmu.Lock()
+	defer t.tmu.Unlock()
+	return t.ifaces.Render(top, s.pipe.Cache)
+}
+
+// TrackedInterfaces reports how many distinct statement fingerprints the
+// interface miner tracks (0 with traffic mining off).
+func (s *Server) TrackedInterfaces() int {
+	if s.traffic == nil {
+		return 0
+	}
+	return s.traffic.trackedInterfaces()
+}
+
+// TrafficUserClasses returns every tracked user's final class — the
+// per-user judgement the perf harness scores against ground truth.
+func (s *Server) TrafficUserClasses() map[string]string {
+	t := s.traffic
+	if t == nil {
+		return nil
+	}
+	t.tmu.Lock()
+	defer t.tmu.Unlock()
+	return t.classifier.UserClasses()
+}
+
+// handleDrift serves GET /drift: the deterministic per-class interest-drift
+// event log (?class=bot|human|admin filters).
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.traffic == nil {
+		http.Error(w, "traffic mining not configured", http.StatusConflict)
+		return
+	}
+	class := r.URL.Query().Get("class")
+	if class != "" && !traffic.ValidClass(class) {
+		http.Error(w, "class must be bot, human or admin", http.StatusBadRequest)
+		return
+	}
+	events := s.DriftEvents(class)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events": events,
+		"count":  len(events),
+	})
+}
+
+// handleInterfaces serves GET /interfaces: the top-K hottest statement
+// fingerprints rendered as parameterized query interfaces (?top=N, default
+// 10).
+func (s *Server) handleInterfaces(w http.ResponseWriter, r *http.Request) {
+	if s.traffic == nil {
+		http.Error(w, "traffic mining not configured", http.StatusConflict)
+		return
+	}
+	top := 10
+	if q := r.URL.Query().Get("top"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			http.Error(w, "top must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	ifaces := s.RenderInterfaces(top)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"interfaces": ifaces,
+		"tracked":    s.TrackedInterfaces(),
+	})
+}
+
+func (t *trafficState) trackedInterfaces() int {
+	t.tmu.Lock()
+	defer t.tmu.Unlock()
+	return t.ifaces.Len()
+}
+
+// TrafficSnapshot is the snapshot section for the traffic subsystem: the
+// classifier's per-user state, the interface miner, the drift detector, and
+// one mining state per class. All of it covers exactly the processed
+// records (classification happens in the pump), so WAL replay from the
+// snapshot's offset continues it without double-observing.
+type TrafficSnapshot struct {
+	Classifier  *traffic.ClassifierState      `json:"classifier,omitempty"`
+	Interfaces  *traffic.InterfacesState      `json:"interfaces,omitempty"`
+	Drift       *traffic.DriftState           `json:"drift,omitempty"`
+	DriftEpochs int64                         `json:"drift_epochs,omitempty"`
+	Mining      map[string]*core.State        `json:"mining,omitempty"`
+	Counts      map[string]TrafficClassCounts `json:"counts,omitempty"`
+}
+
+// TrafficClassCounts is one class's serialised pipeline counters.
+type TrafficClassCounts struct {
+	Total     int64 `json:"total"`
+	Extracted int64 `json:"extracted"`
+}
+
+// exportTraffic builds the snapshot section. Caller holds snapMu (which
+// excludes the pump); drift state is read under epochMu.
+func (s *Server) exportTraffic() *TrafficSnapshot {
+	t := s.traffic
+	if t == nil {
+		return nil
+	}
+	t.tmu.Lock()
+	snap := &TrafficSnapshot{
+		Classifier: t.classifier.ExportState(),
+		Interfaces: t.ifaces.ExportState(),
+		Mining:     make(map[string]*core.State, len(traffic.Classes)),
+		Counts:     make(map[string]TrafficClassCounts, len(traffic.Classes)),
+	}
+	t.tmu.Unlock()
+	for _, cls := range traffic.Classes {
+		snap.Mining[cls] = t.incs[cls].ExportState()
+		cc := t.counts[cls]
+		snap.Counts[cls] = TrafficClassCounts{
+			Total:     cc.total.Load(),
+			Extracted: cc.extracted.Load(),
+		}
+	}
+	s.epochMu.Lock()
+	snap.Drift = t.drift.ExportState()
+	snap.DriftEpochs = t.driftEpochs
+	s.epochMu.Unlock()
+	return snap
+}
+
+// restoreTraffic loads the snapshot section. Runs inside restoreSnapshot,
+// before any worker starts, with the registry already restored.
+func (s *Server) restoreTraffic(snap *TrafficSnapshot) error {
+	t := s.traffic
+	if t == nil || snap == nil {
+		return nil
+	}
+	if snap.Classifier != nil {
+		t.classifier.RestoreState(snap.Classifier)
+	}
+	if snap.Interfaces != nil {
+		t.ifaces.RestoreState(snap.Interfaces)
+	}
+	if snap.Drift != nil {
+		t.drift.RestoreState(snap.Drift)
+		t.driftEvents.Store(int64(len(snap.Drift.Events)))
+	}
+	t.driftEpochs = snap.DriftEpochs
+	for _, cls := range traffic.Classes {
+		if st := snap.Mining[cls]; st != nil {
+			if err := t.incs[cls].RestoreState(st); err != nil {
+				return err
+			}
+		}
+		if cc, ok := snap.Counts[cls]; ok {
+			t.counts[cls].total.Store(cc.Total)
+			t.counts[cls].extracted.Store(cc.Extracted)
+		}
+	}
+	return nil
+}

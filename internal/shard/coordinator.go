@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/qlog"
 	"repro/internal/serve"
+	"repro/internal/traffic"
 )
 
 // Config parameterises a Coordinator.
@@ -37,6 +38,11 @@ type Config struct {
 	// ReportTop caps merged report rows unless the request overrides (0 =
 	// all).
 	ReportTop int
+	// Traffic declares that the shards mine per traffic class (they were
+	// started with a traffic config) and enables the coordinator's
+	// class-aware surfaces: /report?class=, /drift and /interfaces. Each
+	// Flush then also fetches every shard's traffic bundle and merges it.
+	Traffic bool
 	// HealthInterval paces the liveness probe of every node (default 2s).
 	HealthInterval time.Duration
 	// RouterStatePath, when set, persists the router assignment on Close
@@ -118,6 +124,15 @@ type Coordinator struct {
 	// so a down shard degrades the merged report to stale instead of absent.
 	lastResults []*core.Result
 	lastStats   []*qlog.Stats
+
+	// lastTraffic caches each shard's most recent traffic bundle (only
+	// fetched with cfg.Traffic set); the merged* views are rebuilt from it
+	// by remerge. All under mergeMu.
+	lastTraffic  []*WireTraffic
+	mergedClass  map[string]*core.Result
+	mergedDrift  []traffic.Event
+	mergedIfaces []traffic.Interface
+	ifaceTracked int
 }
 
 // NewCoordinator builds a coordinator over cfg.Nodes and starts one sender
@@ -142,6 +157,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		healthDone:  make(chan struct{}),
 		lastResults: make([]*core.Result, n),
 		lastStats:   make([]*qlog.Stats, n),
+		lastTraffic: make([]*WireTraffic, n),
 	}
 	c.baseForwarded = make([]int64, n)
 	if cfg.RouterStatePath != "" {
@@ -466,9 +482,19 @@ func (c *Coordinator) Flush() {
 				c.down[i].Store(true)
 				return
 			}
+			var tr *WireTraffic
+			if c.cfg.Traffic {
+				if tr, err = node.Traffic(); err != nil {
+					c.down[i].Store(true)
+					return
+				}
+			}
 			c.mergeMu.Lock()
 			c.lastResults[i] = res
 			c.lastStats[i] = st
+			if tr != nil {
+				c.lastTraffic[i] = tr
+			}
 			c.mergeMu.Unlock()
 			fresh[i] = true
 		}(i, node)
@@ -500,6 +526,9 @@ func (c *Coordinator) remerge(fresh []bool) {
 	}
 	c.merged = merged
 	c.stale = stale
+	if c.cfg.Traffic {
+		c.mergeTrafficLocked()
+	}
 	c.gen++
 }
 
@@ -524,9 +553,18 @@ func (c *Coordinator) SeedMerge() {
 		if err != nil {
 			continue
 		}
+		var tr *WireTraffic
+		if c.cfg.Traffic {
+			if tr, err = node.Traffic(); err != nil {
+				continue
+			}
+		}
 		c.mergeMu.Lock()
 		c.lastResults[i] = res
 		c.lastStats[i] = st
+		if tr != nil {
+			c.lastTraffic[i] = tr
+		}
 		c.mergeMu.Unlock()
 		fresh[i] = true
 		any = true

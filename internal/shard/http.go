@@ -8,8 +8,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/serve"
+	"repro/internal/traffic"
 )
 
 // Handler returns the coordinator's HTTP surface — deliberately the same
@@ -19,8 +21,11 @@ import (
 //	POST /ingest        routed fan-out (NDJSON / JSON, serve's protocol)
 //	POST /flush         drain, flush every shard, re-merge (blocks)
 //	GET  /report        merged Table-1 view (text/csv/json, ETag-aware;
+//	                    ?class=bot|human|admin the per-class slice;
 //	                    X-Stale-Shards lists shards serving last-known
 //	                    results, X-Merge-Exact the equivalence guarantee)
+//	GET  /drift         merged per-class interest-drift event log
+//	GET  /interfaces    merged top-K mined query interfaces
 //	GET  /stats         merged pipeline statistics + per-shard breakdown
 //	GET  /metrics       flat counters (routing overhead, per-shard queues)
 //	GET  /shard/status  per-shard liveness and delivery state
@@ -32,6 +37,8 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/flush", c.handleFlush)
 	mux.HandleFunc("/report", c.handleReport)
+	mux.HandleFunc("/drift", c.handleDrift)
+	mux.HandleFunc("/interfaces", c.handleInterfaces)
 	mux.HandleFunc("/stats", c.handleStats)
 	mux.HandleFunc("/metrics", c.handleMetrics)
 	mux.HandleFunc("/shard/status", c.handleStatus)
@@ -68,7 +75,25 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, gen, stale := c.Merged()
+	class := r.URL.Query().Get("class")
+	if class != "" {
+		if !c.cfg.Traffic {
+			http.Error(w, "traffic mining not configured", http.StatusConflict)
+			return
+		}
+		if !traffic.ValidClass(class) {
+			http.Error(w, "class must be bot, human or admin", http.StatusBadRequest)
+			return
+		}
+	}
+	var res *core.Result
+	var gen int64
+	var stale []string
+	if class != "" {
+		res, gen, stale = c.MergedClass(class)
+	} else {
+		res, gen, stale = c.Merged()
+	}
 	if res == nil {
 		http.Error(w, "no merge has run yet — POST /flush or keep ingesting", http.StatusServiceUnavailable)
 		return
@@ -88,8 +113,12 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Merge-Exact", strconv.FormatBool(c.MergeIsExact()))
 	// Same pure-function contract as the serve ETag, with the stale set in
 	// the tag: a shard recovering (same generation, fewer stale shards)
-	// must invalidate cached copies.
+	// must invalidate cached copies. Class reports tag the class; the
+	// classless tag shape is unchanged.
 	etag := fmt.Sprintf(`"m%d-%s-%d-%d"`, gen, format, top, len(stale))
+	if class != "" {
+		etag = fmt.Sprintf(`"m%d-%s-%s-%d-%d"`, gen, class, format, top, len(stale))
+	}
 	w.Header().Set("ETag", etag)
 	if match := r.Header.Get("If-None-Match"); match != "" {
 		for _, cand := range strings.Split(match, ",") {
@@ -160,6 +189,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"template_cache_len":    c.router.Cache().Len(),
 		"template_cache_hits":   c.router.Cache().Hits(),
 		"template_cache_misses": c.router.Cache().Misses(),
+	}
+	if c.cfg.Traffic {
+		c.mergeMu.RLock()
+		metrics["traffic_drift_events"] = len(c.mergedDrift)
+		metrics["traffic_interfaces_tracked"] = c.ifaceTracked
+		c.mergeMu.RUnlock()
 	}
 	for _, st := range c.Status() {
 		prefix := "shard_" + strconv.Itoa(st.Index) + "_"

@@ -34,6 +34,10 @@ type Node interface {
 	Stats() (*qlog.Stats, error)
 	// Telemetry returns the shard's ingest/epoch counters.
 	Telemetry() (serve.Telemetry, error)
+	// Traffic returns the shard's traffic-mining bundle: per-class results,
+	// drift events and the tracked interface table. A shard running without
+	// traffic mining answers an Enabled=false bundle, never an error.
+	Traffic() (*WireTraffic, error)
 	// Healthy probes liveness (cheap; called by the coordinator's health
 	// loop).
 	Healthy() bool
@@ -90,6 +94,10 @@ func (n *LocalNode) Stats() (*qlog.Stats, error) {
 
 func (n *LocalNode) Telemetry() (serve.Telemetry, error) {
 	return n.srv.Telemetry(), nil
+}
+
+func (n *LocalNode) Traffic() (*WireTraffic, error) {
+	return encodeTraffic(n.srv), nil
 }
 
 func (n *LocalNode) Healthy() bool { return true }
@@ -234,6 +242,25 @@ func (n *HTTPNode) Telemetry() (serve.Telemetry, error) {
 	return tel, nil
 }
 
+// Traffic fetches the shard's traffic bundle. Fetched only at Flush (and
+// SeedMerge), so the payload size — the full interface table rides along —
+// is off the quiesce-poll path.
+func (n *HTTPNode) Traffic() (*WireTraffic, error) {
+	resp, err := n.client.Get(n.baseURL + "/shard/traffic")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard %s: traffic: HTTP %d", n.name, resp.StatusCode)
+	}
+	var wt WireTraffic
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&wt); err != nil {
+		return nil, err
+	}
+	return &wt, nil
+}
+
 func (n *HTTPNode) Healthy() bool {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -252,11 +279,12 @@ func (n *HTTPNode) Healthy() bool {
 
 func (n *HTTPNode) Close() error { return nil }
 
-// ResultHandler wraps a shard server's HTTP surface with the two extra
-// endpoints the coordinator needs: GET /shard/result (the latest epoch result
-// in wire form plus pipeline stats and telemetry in a single round trip) and
-// GET /shard/telemetry (counters only — cheap enough for the coordinator's
-// quiesce poll). Everything else falls through to the server's own handler.
+// ResultHandler wraps a shard server's HTTP surface with the extra endpoints
+// the coordinator needs: GET /shard/result (the latest epoch result in wire
+// form plus pipeline stats and telemetry in a single round trip), GET
+// /shard/telemetry (counters only — cheap enough for the coordinator's
+// quiesce poll) and GET /shard/traffic (the traffic-mining bundle).
+// Everything else falls through to the server's own handler.
 func ResultHandler(s *serve.Server) http.Handler {
 	base := s.Handler()
 	mux := http.NewServeMux()
@@ -284,6 +312,14 @@ func ResultHandler(s *serve.Server) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(s.Telemetry())
+	})
+	mux.HandleFunc("/shard/traffic", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(encodeTraffic(s))
 	})
 	return mux
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -492,6 +493,158 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ClassMix apportions a mixed-traffic log across the traffic classes by
+// record share. An all-zero mix falls back to the SkyServer Traffic Report's
+// rough shape: 70% bot, 25% human, 5% admin.
+type ClassMix struct {
+	Bot   float64
+	Human float64
+	Admin float64
+}
+
+// ClassOf returns a mixed-log record's ground-truth class from its user
+// name: GenerateMixedLog names bots bot##, admins adm## and everyone else
+// u###### — the evaluation key the traffic-perf harness scores the online
+// classifier against.
+func ClassOf(user string) string {
+	switch {
+	case strings.HasPrefix(user, "bot"):
+		return "bot"
+	case strings.HasPrefix(user, "adm"):
+		return "admin"
+	default:
+		return "human"
+	}
+}
+
+// GenerateMixedLog produces a query log whose per-user behaviour separates
+// into the three traffic classes:
+//
+//   - bots: a handful of bot## users, each locked to one or two statement
+//     templates (low fingerprint diversity), hammering at a constant 1–3 s
+//     cadence (low gap mean and stddev) in long runs;
+//   - humans: many u###### users browsing in bursty sessions — 3–12 mixed
+//     template/noise queries with irregular 8–240 s gaps, then a long pause;
+//   - admins: a few adm## users issuing DDL / variable-batch / mutation
+//     statements.
+//
+// The interleaved order is deterministic for a given config: entries are
+// laid out on per-user logical clocks and stably sorted by time, so the
+// same seed always yields byte-identical logs and therefore byte-identical
+// classifier behaviour downstream.
+func GenerateMixedLog(cfg WorkloadConfig, mix ClassMix) []LogEntry {
+	cfg = cfg.withDefaults()
+	if mix.Bot <= 0 && mix.Human <= 0 && mix.Admin <= 0 {
+		mix = ClassMix{Bot: 0.70, Human: 0.25, Admin: 0.05}
+	}
+	total := mix.Bot + mix.Human + mix.Admin
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x7ea6f1c))
+	tpls := templates()
+
+	nBot := int(float64(cfg.Queries) * mix.Bot / total)
+	nAdmin := int(float64(cfg.Queries) * mix.Admin / total)
+	nHuman := cfg.Queries - nBot - nAdmin
+	entries := make([]LogEntry, 0, cfg.Queries)
+
+	// Bots: each owns a contiguous machine-cadence run from its own start
+	// offset. Template lock-in keeps the per-user fingerprint set at 1–2.
+	if nBot > 0 {
+		bots := maxInt(2, nBot/2500)
+		if bots > 40 {
+			bots = 40
+		}
+		per := nBot / bots
+		for b := 0; b < bots; b++ {
+			count := per
+			if b == 0 {
+				count += nBot - per*bots
+			}
+			user := fmt.Sprintf("bot%02d", b)
+			gap := int64(1 + b%3)
+			t := int64(b * 11)
+			primary := tpls[b%len(tpls)]
+			secondary := tpls[(b*7+3)%len(tpls)]
+			dual := b%2 == 0
+			for k := 0; k < count; k++ {
+				tpl := primary
+				if dual && k%5 == 4 {
+					tpl = secondary
+				}
+				entries = append(entries, LogEntry{
+					User: user, Time: t, SQL: tpl.gen(r, false), Template: tpl.name,
+				})
+				t += gap
+			}
+		}
+	}
+
+	// Humans: bursty sessions over a shared horizon so they interleave with
+	// the bot runs instead of trailing them.
+	horizon := int64(maxInt(nHuman, nBot) * 4)
+	if horizon < 1 {
+		horizon = 1
+	}
+	emitted := 0
+	for u := 0; emitted < nHuman; u++ {
+		user := fmt.Sprintf("u%06d", u)
+		t := int64(r.Intn(int(horizon)))
+		sessions := 1 + r.Intn(3)
+		for s := 0; s < sessions && emitted < nHuman; s++ {
+			qs := 3 + r.Intn(10)
+			for q := 0; q < qs && emitted < nHuman; q++ {
+				var sql string
+				var label string
+				switch {
+				case r.Float64() < cfg.ErrorFraction:
+					sql, label = "SELEC objid FRM PhotoObjAll", "error"
+				case r.Float64() < cfg.NoiseFraction:
+					sql, label = noiseQuery(r), "noise"
+				default:
+					tpl := tpls[r.Intn(len(tpls))]
+					sql, label = tpl.gen(r, r.Float64() < cfg.VariantFraction), tpl.name
+				}
+				entries = append(entries, LogEntry{User: user, Time: t, SQL: sql, Template: label})
+				t += int64(8 + r.Intn(233))
+				emitted++
+			}
+			t += int64(3600 + r.Intn(7200))
+		}
+	}
+
+	// Admins: a few operators running DDL, batch variables and mutations.
+	if nAdmin > 0 {
+		admins := maxInt(1, nAdmin/200)
+		if admins > 10 {
+			admins = 10
+		}
+		for k := 0; k < nAdmin; k++ {
+			user := fmt.Sprintf("adm%02d", k%admins)
+			var sql string
+			switch r.Intn(5) {
+			case 0:
+				sql = fmt.Sprintf("CREATE TABLE mydb.run%d (objid bigint, ra float)", r.Intn(1000))
+			case 1:
+				sql = fmt.Sprintf("DECLARE @ra float SET @ra = %s", ffloat(r.Float64()*360, 2))
+			case 2:
+				sql = fmt.Sprintf("INSERT INTO mydb.targets SELECT objid FROM PhotoObjAll WHERE ra > %s", ffloat(r.Float64()*360, 2))
+			case 3:
+				sql = fmt.Sprintf("UPDATE mydb.targets SET done = %d WHERE objid = %d", r.Intn(2), r.Intn(1<<20))
+			default:
+				sql = fmt.Sprintf("DROP TABLE mydb.run%d", r.Intn(1000))
+			}
+			entries = append(entries, LogEntry{
+				User: user, Time: int64(r.Intn(int(horizon))), SQL: sql, Template: "admin",
+			})
+		}
+	}
+
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Time < entries[j].Time })
+	for i := range entries {
+		entries[i].Seq = i
+	}
+	return entries
 }
 
 // Countries lists the query-origin countries simulated by the generator;

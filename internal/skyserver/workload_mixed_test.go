@@ -1,0 +1,81 @@
+package skyserver
+
+import (
+	"testing"
+
+	"repro/internal/sqlparser"
+	"repro/internal/traffic"
+)
+
+// The mixed-traffic generator must be deterministic and honour the requested
+// class shares to within integer rounding.
+func TestGenerateMixedLogComposition(t *testing.T) {
+	cfg := WorkloadConfig{Queries: 8000, Seed: 11}
+	mix := ClassMix{Bot: 0.7, Human: 0.25, Admin: 0.05}
+	log := GenerateMixedLog(cfg, mix)
+	if len(log) != cfg.Queries {
+		t.Fatalf("len = %d, want %d", len(log), cfg.Queries)
+	}
+	counts := map[string]int{}
+	for i, e := range log {
+		if e.Seq != i {
+			t.Fatalf("entry %d has Seq %d", i, e.Seq)
+		}
+		if i > 0 && e.Time < log[i-1].Time {
+			t.Fatalf("entry %d time %d precedes %d", i, e.Time, log[i-1].Time)
+		}
+		counts[ClassOf(e.User)]++
+	}
+	for cls, share := range map[string]float64{"bot": 0.7, "human": 0.25, "admin": 0.05} {
+		got := float64(counts[cls]) / float64(len(log))
+		if got < share-0.01 || got > share+0.01 {
+			t.Errorf("class %s share = %.3f, want ~%.2f", cls, got, share)
+		}
+	}
+
+	again := GenerateMixedLog(cfg, mix)
+	for i := range log {
+		if log[i] != again[i] {
+			t.Fatalf("entry %d differs between identical runs: %+v vs %+v", i, log[i], again[i])
+		}
+	}
+}
+
+// The generated behaviours must actually trip the online classifier: feeding
+// the mixed log straight through traffic.Classifier and scoring its per-user
+// verdicts against the user-prefix ground truth must clear the paper-grade
+// 0.95 precision/recall bar for every class.
+func TestGenerateMixedLogClassifies(t *testing.T) {
+	log := GenerateMixedLog(WorkloadConfig{Queries: 12000, Seed: 3}, ClassMix{Bot: 0.7, Human: 0.25, Admin: 0.05})
+	clf := traffic.NewClassifier(traffic.Config{})
+	for _, e := range log {
+		fp, _, err := sqlparser.Fingerprint(e.SQL)
+		if err != nil {
+			fp = 0
+		}
+		clf.Observe(e.User, e.Time, fp, e.SQL)
+	}
+	tp := map[string]int{}
+	fp := map[string]int{}
+	fn := map[string]int{}
+	for user, got := range clf.UserClasses() {
+		want := ClassOf(user)
+		if got == want {
+			tp[want]++
+		} else {
+			fp[got]++
+			fn[want]++
+		}
+	}
+	for _, cls := range traffic.Classes {
+		if tp[cls] == 0 {
+			t.Fatalf("class %s: no true positives — generator produced no classifiable %s users", cls, cls)
+		}
+		prec := float64(tp[cls]) / float64(tp[cls]+fp[cls])
+		rec := float64(tp[cls]) / float64(tp[cls]+fn[cls])
+		if prec < 0.95 || rec < 0.95 {
+			t.Errorf("class %s: precision %.3f recall %.3f, want >= 0.95 (tp=%d fp=%d fn=%d)",
+				cls, prec, rec, tp[cls], fp[cls], fn[cls])
+		}
+	}
+}

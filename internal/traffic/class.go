@@ -1,0 +1,36 @@
+// Package traffic classifies ingested query-log records into traffic
+// classes and mines each class separately. The SkyServer Traffic Report
+// (Singh et al.) shows real telescope-archive traffic is dominated by a few
+// programmatic bots, shaped by human browse sessions, and salted with
+// administrative statements — so a single global interest profile conflates
+// crawler noise with genuine astronomer interests. The package provides:
+//
+//   - an online per-user Classifier (request rate, inter-query gap
+//     regularity, fingerprint diversity, session length, plus an explicit
+//     override list) assigning each record to bot / human / admin,
+//   - a Drift detector emitting appeared / grew / shrank / vanished events
+//     when a class's clusters move between epochs, and
+//   - an Interfaces miner rendering the hottest statement fingerprints as
+//     parameterized query interfaces (slot name, inferred type, observed
+//     value range) from the extraction layer's slotted templates.
+//
+// Everything here is deterministic for a given observation sequence: the
+// serving layer feeds it under its admission lock, so two runs of the same
+// workload produce byte-identical per-class reports and drift logs.
+package traffic
+
+// Traffic classes. The empty string means "unclassified" and never appears
+// on a record once classification is enabled.
+const (
+	Bot   = "bot"
+	Human = "human"
+	Admin = "admin"
+)
+
+// Classes lists the valid classes in their canonical (report) order.
+var Classes = []string{Bot, Human, Admin}
+
+// ValidClass reports whether s names a traffic class.
+func ValidClass(s string) bool {
+	return s == Bot || s == Human || s == Admin
+}

@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/qlog"
+)
+
+// classOf is the deterministic class assignment the class tests use;
+// every third record stays unclassified to exercise the optional field.
+func classOf(i int) string {
+	switch i % 3 {
+	case 0:
+		return "bot"
+	case 1:
+		return "human"
+	default:
+		return ""
+	}
+}
+
+func mkClassRecord(i int) (qlog.Record, uint64) {
+	rec, _ := mkRecord(i)
+	rec.Class = classOf(i)
+	// All fingerprints valid: compaction drops fp==0 records, and this test
+	// is about lossless class round-trips.
+	return rec, uint64(1 + i%5)
+}
+
+// Class-tagged records must round-trip through append, sync, reopen and
+// replay — including through compaction's group entries, which fold
+// duplicates only within one class.
+func TestClassSurvivesReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 240
+	for i := 0; i < n; i++ {
+		rec, fp := mkClassRecord(i)
+		if _, err := w.Append(rec, fp); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		got := collectReplay(t, w, 0)
+		if len(got) != n {
+			t.Fatalf("%s: replayed %d records, want %d", stage, len(got), n)
+		}
+		// Compaction groups families, which reorders records within a
+		// segment; seqs are unique, so sorting restores the logical order.
+		sort.Slice(got, func(i, j int) bool { return got[i].Seq < got[j].Seq })
+		for i, rec := range got {
+			want, _ := mkClassRecord(i)
+			if !reflect.DeepEqual(rec, want) {
+				t.Fatalf("%s: record %d = %+v, want %+v", stage, i, rec, want)
+			}
+		}
+	}
+	check("pre-compaction")
+
+	// Compact everything below the durable tip and re-check: group expansion
+	// must reproduce each record's class.
+	w.SetCompactFloor(w.DurableOffset())
+	st, err := w.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments == 0 || st.Deduped == 0 {
+		t.Fatalf("compaction did nothing: %+v", st)
+	}
+	check("post-compaction")
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = Open(dir, Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	check("post-reopen")
+}
+
+// A WAL written without classes must be byte-identical to the original
+// format: the optional trailing field is only emitted when non-empty.
+func TestClasslessEncodingUnchanged(t *testing.T) {
+	rec := qlog.Record{Seq: 7, Time: 28, User: "u1", SQL: "SELECT 1 FROM t"}
+	plain := encodeRecord(nil, &rec, 42)
+	dec, err := decodeRecord(plain[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.rec.Class != "" {
+		t.Fatalf("classless decode got class %q", dec.rec.Class)
+	}
+	tagged := rec
+	tagged.Class = "bot"
+	withClass := encodeRecord(nil, &tagged, 42)
+	if len(withClass) != len(plain)+1+len("bot") {
+		t.Fatalf("class field added %d bytes, want %d", len(withClass)-len(plain), 1+len("bot"))
+	}
+	dec2, err := decodeRecord(withClass[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.rec.Class != "bot" {
+		t.Fatalf("decoded class %q, want bot", dec2.rec.Class)
+	}
+
+	g := group{fp: 9, user: "u2", sql: "SELECT 2", seqs: []int{1, 5}, times: []int64{4, 20}}
+	gp := encodeGroup(nil, &g)
+	gdec, err := decodeGroup(gp[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gdec.class != "" {
+		t.Fatalf("classless group decode got class %q", gdec.class)
+	}
+	g.class = "human"
+	gp2 := encodeGroup(nil, &g)
+	gdec2, err := decodeGroup(gp2[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gdec2.class != "human" {
+		t.Fatalf("decoded group class %q, want human", gdec2.class)
+	}
+	if fmt.Sprintf("%v", gdec2.seqs) != "[1 5]" {
+		t.Fatalf("group seqs corrupted: %v", gdec2.seqs)
+	}
+}

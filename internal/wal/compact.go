@@ -17,11 +17,14 @@ type CompactStats struct {
 }
 
 // famKey identifies one duplicate family: same statement fingerprint, same
-// user, same literal statement text.
+// user, same literal statement text, same traffic class — class-tagged
+// records never fold into a family of a different class, so expansion
+// replays the classes exactly.
 type famKey struct {
-	fp   uint64
-	user string
-	sql  string
+	fp    uint64
+	user  string
+	sql   string
+	class string
 }
 
 // Compact rewrites every cold segment — sealed AND wholly below the
@@ -78,7 +81,7 @@ func (w *WAL) compactSegment(m *segMeta, st *CompactStats) error {
 			dropped++
 			return nil
 		}
-		k := famKey{fp: fp, user: rec.User, sql: rec.SQL}
+		k := famKey{fp: fp, user: rec.User, sql: rec.SQL, class: rec.Class}
 		i, ok := idx[k]
 		if !ok {
 			i = len(fams)
@@ -125,12 +128,12 @@ func (w *WAL) compactSegment(m *segMeta, st *CompactStats) error {
 	for _, fam := range fams {
 		fpset[fam.key.fp] = struct{}{}
 		if len(fam.seqs) == 1 {
-			rec := qlog.Record{Seq: fam.seqs[0], Time: fam.times[0], User: fam.key.user, SQL: fam.key.sql}
+			rec := qlog.Record{Seq: fam.seqs[0], Time: fam.times[0], User: fam.key.user, SQL: fam.key.sql, Class: fam.key.class}
 			seeTime(rec.Time)
 			records++
 			buf = frame(buf[:0], encodeRecord(nil, &rec, fam.key.fp))
 		} else {
-			g := group{fp: fam.key.fp, user: fam.key.user, sql: fam.key.sql, seqs: fam.seqs, times: fam.times}
+			g := group{fp: fam.key.fp, user: fam.key.user, sql: fam.key.sql, class: fam.key.class, seqs: fam.seqs, times: fam.times}
 			for _, t := range fam.times {
 				seeTime(t)
 				records++

@@ -68,7 +68,10 @@ type record struct {
 func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
 func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
 
-// encodeRecord appends one kindRecord payload (no framing) to b.
+// encodeRecord appends one kindRecord payload (no framing) to b. The
+// traffic class rides as an optional trailing field, emitted only when
+// non-empty, so classless logs stay byte-identical to the original format
+// and old segments decode with Class "".
 func encodeRecord(b []byte, rec *qlog.Record, fp uint64) []byte {
 	b = append(b, kindRecord)
 	b = appendUvarint(b, uint64(rec.Seq))
@@ -78,20 +81,28 @@ func encodeRecord(b []byte, rec *qlog.Record, fp uint64) []byte {
 	b = append(b, rec.User...)
 	b = appendUvarint(b, uint64(len(rec.SQL)))
 	b = append(b, rec.SQL...)
+	if rec.Class != "" {
+		b = appendUvarint(b, uint64(len(rec.Class)))
+		b = append(b, rec.Class...)
+	}
 	return b
 }
 
 // group is one compacted duplicate family: the same user issuing the same
-// statement text n times. seqs/times are parallel, in original log order.
+// statement text n times under the same traffic class. seqs/times are
+// parallel, in original log order.
 type group struct {
 	fp    uint64
 	user  string
 	sql   string
+	class string
 	seqs  []int
 	times []int64
 }
 
-// encodeGroup appends one kindGroup payload (no framing) to b.
+// encodeGroup appends one kindGroup payload (no framing) to b. Like record
+// entries, the class is an optional trailing field emitted only when
+// non-empty.
 func encodeGroup(b []byte, g *group) []byte {
 	b = append(b, kindGroup)
 	b = appendUvarint(b, g.fp)
@@ -105,6 +116,10 @@ func encodeGroup(b []byte, g *group) []byte {
 		b = appendVarint(b, int64(g.seqs[i])-prevSeq)
 		b = appendVarint(b, g.times[i]-prevT)
 		prevSeq, prevT = int64(g.seqs[i]), g.times[i]
+	}
+	if g.class != "" {
+		b = appendUvarint(b, uint64(len(g.class)))
+		b = append(b, g.class...)
 	}
 	return b
 }
@@ -245,10 +260,16 @@ func decodeRecord(b []byte) (record, error) {
 	if err != nil {
 		return r, err
 	}
+	var class string
+	if len(b) != 0 {
+		if class, b, err = readBytes(b); err != nil {
+			return r, err
+		}
+	}
 	if len(b) != 0 {
 		return r, ErrCorrupt
 	}
-	r.rec = qlog.Record{Seq: int(seq), Time: t, User: user, SQL: sql}
+	r.rec = qlog.Record{Seq: int(seq), Time: t, User: user, SQL: sql, Class: class}
 	r.fp = fp
 	return r, nil
 }
@@ -285,6 +306,11 @@ func decodeGroup(b []byte) (group, error) {
 		prevT += dT
 		g.seqs = append(g.seqs, int(prevSeq))
 		g.times = append(g.times, prevT)
+	}
+	if len(b) != 0 {
+		if g.class, b, err = readBytes(b); err != nil {
+			return g, err
+		}
 	}
 	if len(b) != 0 {
 		return g, ErrCorrupt
@@ -405,7 +431,7 @@ func scanSegment(r io.Reader, onRecord func(rec qlog.Record, fp uint64) error) (
 				res.records++
 				res.span++
 				if onRecord != nil {
-					rec := qlog.Record{Seq: g.seqs[i], Time: g.times[i], User: g.user, SQL: g.sql}
+					rec := qlog.Record{Seq: g.seqs[i], Time: g.times[i], User: g.user, SQL: g.sql, Class: g.class}
 					if cerr := onRecord(rec, g.fp); cerr != nil {
 						return res, cerr
 					}

@@ -468,7 +468,7 @@ func (w *WAL) Append(rec qlog.Record, fp uint64) (uint64, error) {
 	// a pooled buffer and no copy.
 	bp := entryPool.Get().(*[]byte)
 	buf := *bp
-	if need := entryHeader + 64 + len(rec.User) + len(rec.SQL); cap(buf) < need {
+	if need := entryHeader + 64 + len(rec.User) + len(rec.SQL) + len(rec.Class); cap(buf) < need {
 		buf = make([]byte, 0, need)
 	}
 	buf = encodeRecord(buf[:entryHeader], &rec, fp)
