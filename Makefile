@@ -1,7 +1,8 @@
 GO ?= go
 
-.PHONY: build test vet racecheck fuzz fuzz-regression bench bench-check \
-	serve-smoke semcache-smoke shard-smoke wal-smoke traffic-smoke ci clean
+.PHONY: build test vet lint racecheck fuzz fuzz-regression bench bench-check \
+	quick-identity serve-smoke semcache-smoke shard-smoke wal-smoke \
+	traffic-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -11,6 +12,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint fails on any gofmt-unformatted file, runs go vet, and runs staticcheck
+# when the binary is on PATH (skipped otherwise so the gate works on minimal
+# toolchains).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipped"; fi
 
 # The parallel region-query, pivot-index, and pair-cache code paths must stay
 # race-clean; qlog covers the streaming worker pool and the template cache,
@@ -36,12 +47,14 @@ fuzz: fuzz-regression
 	$(GO) test ./internal/sqlparser/ -run=NONE -fuzz=FuzzFingerprint -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/interval/ -run=NONE -fuzz=FuzzIntervalSet -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal/ -run=NONE -fuzz=FuzzSegmentDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/interestcache/ -run=NONE -fuzz=FuzzContainmentIndex -fuzztime=$(FUZZTIME)
 
 # fuzz-regression replays only the checked-in seed corpora (every f.Add seed
 # plus testdata/fuzz entries) without exploring — deterministic, so CI can
 # gate on it.
 fuzz-regression:
-	$(GO) test -run=Fuzz ./internal/sqlparser/ ./internal/interval/ ./internal/wal/
+	$(GO) test -run=Fuzz ./internal/sqlparser/ ./internal/interval/ ./internal/wal/ \
+		./internal/interestcache/
 
 # bench regenerates BENCH_clustering.json (brute-force vs pivot-index mining),
 # BENCH_pipeline.json (uncached vs template-cached extraction), BENCH_serve.json
@@ -130,11 +143,24 @@ bench-check:
 	$(GO) run ./cmd/benchreport -compare BENCH_wal.json /tmp/bench_wal_new.json -tol $(BENCHTOL)
 	$(GO) run ./cmd/benchreport -compare BENCH_traffic.json /tmp/bench_traffic_new.json -tol $(BENCHTOL)
 
-# ci mirrors .github/workflows/ci.yml locally: build, vet, unit tests, race
-# detector, fuzz seed-corpus regression, and both end-to-end smokes. The
-# nightly bench-drift job (make bench-check) is not part of ci — it takes
-# minutes, not seconds.
-ci: build vet test racecheck fuzz-regression serve-smoke semcache-smoke shard-smoke wal-smoke traffic-smoke
+# quick-identity is the per-PR semantic-cache gate: re-run semcacheperf at a
+# reduced scale and compare ONLY the scale-independent correctness gates
+# (identical_* booleans, zero-stay-zero oracle counters) against the
+# committed full-scale BENCH_semcache.json. Counters and ratios are scale-
+# dependent and deliberately ignored (-identity), so the gate is cheap
+# enough to run on every PR yet still fails the moment an optimised serving
+# path stops reproducing direct execution.
+QUICKJSON ?= /tmp/bench_semcache_quick.json
+quick-identity:
+	$(GO) run ./cmd/benchreport -exp semcacheperf -scale 2000 -semjson $(QUICKJSON)
+	$(GO) run ./cmd/benchreport -compare BENCH_semcache.json $(QUICKJSON) -identity
+
+# ci mirrors .github/workflows/ci.yml locally: build, lint (gofmt + vet +
+# staticcheck when present), unit tests, race detector, fuzz seed-corpus
+# regression, the per-PR semcache identity gate, and the end-to-end smokes.
+# The nightly bench-drift job (make bench-check) is not part of ci — it
+# takes minutes, not seconds.
+ci: build lint test racecheck fuzz-regression quick-identity serve-smoke semcache-smoke shard-smoke wal-smoke traffic-smoke
 	@echo "ci: all gates green"
 
 clean:

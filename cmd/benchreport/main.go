@@ -57,15 +57,20 @@ func main() {
 	os.Exit(run())
 }
 
-// runCompare implements `benchreport -compare old.json new.json [-tol x]`:
-// exit 0 when no gated metric regressed, 1 on regression, 2 on usage or
-// I/O errors.
+// runCompare implements `benchreport -compare old.json new.json [-tol x]
+// [-identity]`: exit 0 when no gated metric regressed, 1 on regression, 2 on
+// usage or I/O errors. With -identity only the scale-independent correctness
+// gates run (identical_* booleans, zero-stay-zero counters), so a
+// reduced-scale quick record compares against the full-scale baseline.
 func runCompare(args []string) int {
 	tol := 0.15
+	identity := false
 	var files []string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
+		case a == "-identity" || a == "--identity":
+			identity = true
 		case a == "-tol" || a == "--tol":
 			if i+1 >= len(args) {
 				fmt.Fprintln(os.Stderr, "benchreport -compare: -tol needs a value")
@@ -93,7 +98,7 @@ func runCompare(args []string) int {
 		}
 	}
 	if len(files) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchreport -compare old.json new.json [-tol 0.15]")
+		fmt.Fprintln(os.Stderr, "usage: benchreport -compare old.json new.json [-tol 0.15] [-identity]")
 		return 2
 	}
 	oldJSON, err := os.ReadFile(files[0])
@@ -106,15 +111,28 @@ func runCompare(args []string) int {
 		fmt.Fprintf(os.Stderr, "benchreport -compare: %v\n", err)
 		return 2
 	}
-	rep, err := benchcmp.Compare(oldJSON, newJSON, tol)
+	var rep *benchcmp.Report
+	if identity {
+		rep, err = benchcmp.CompareIdentity(oldJSON, newJSON)
+	} else {
+		rep, err = benchcmp.Compare(oldJSON, newJSON, tol)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport -compare: %v\n", err)
 		return 2
 	}
-	fmt.Printf("comparing %s -> %s (tol %.0f%%)\n", files[0], files[1], 100*tol)
+	if identity {
+		fmt.Printf("comparing %s -> %s (identity gates only)\n", files[0], files[1])
+	} else {
+		fmt.Printf("comparing %s -> %s (tol %.0f%%)\n", files[0], files[1], 100*tol)
+	}
 	fmt.Print(rep.String())
 	if regs := rep.Regressions(); len(regs) > 0 {
-		fmt.Printf("FAIL: %d metric(s) regressed beyond %.0f%%\n", len(regs), 100*tol)
+		if identity {
+			fmt.Printf("FAIL: %d identity gate(s) broken\n", len(regs))
+		} else {
+			fmt.Printf("FAIL: %d metric(s) regressed beyond %.0f%%\n", len(regs), 100*tol)
+		}
 		return 1
 	}
 	fmt.Println("PASS: no counter-metric regressions")

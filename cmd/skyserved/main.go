@@ -138,6 +138,9 @@ func main() {
 	walWindow := flag.Int64("wal-window", 0, "also rotate WAL segments every N logical seconds of record time, for finer /remine segment skipping (0 = size-only)")
 	top := flag.Int("top", 0, "default cluster cap for /report (0 = all)")
 	queryVerify := flag.Bool("query-verify", false, "check every cache-served /query result against direct execution (oracle; slow)")
+	cacheBudget := flag.Int64("cache-budget", 0, "semantic-cache resident-bytes budget: regions admitted best-heat-first, coldest evicted under pressure (0 = unlimited)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "per-region staleness bound: unchanged regions keep their store across epochs while younger than this, older stores miss as stale (0 = rebuild every epoch)")
+	cacheComposeMax := flag.Int("cache-compose-max", 4, "max regions a composed /query answer may union (negative = disable composition)")
 	deltaEpochs := flag.Bool("delta-epochs", false, "cluster only the delta between epochs (representatives + noise + new areas); flush/shutdown always re-cluster fully")
 	anchorEvery := flag.Int("anchor-every", 8, "with -delta-epochs, run a full re-cluster every Nth epoch")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
@@ -310,6 +313,9 @@ func main() {
 			ReportTop:        *top,
 			QueryDB:          db,
 			QueryVerify:      *queryVerify,
+			CacheBudget:      *cacheBudget,
+			CacheTTL:         *cacheTTL,
+			CacheComposeMax:  *cacheComposeMax,
 			Traffic:          trafficCfg,
 		}
 		if *role == "shard" {

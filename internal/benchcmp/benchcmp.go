@@ -51,6 +51,20 @@ var gated = map[string]struct {
 	// the heuristics (not the machine) got worse.
 	"classifier_precision": {dirHigherBetter, false},
 	"classifier_recall":    {dirHigherBetter, false},
+	// Semantic-cache v2: the budget curve is a deterministic replay, so the
+	// hit ratio at the half-residency budget moves only with admission code.
+	"hit_ratio_at_half_budget": {dirHigherBetter, false},
+}
+
+// zeroGated metrics are correctness counters: once a record establishes zero
+// (no oracle mismatches), any successor record must report the key — at ANY
+// workload scale — and report it as zero. A single mismatch is one too many
+// no matter how few queries ran, so these are exempt from both tol and the
+// scale gate.
+var zeroGated = map[string]bool{
+	"oracle_failed":     true,
+	"oracle_mismatches": true,
+	"verify_failed":     true,
 }
 
 // Finding is one compared metric.
@@ -116,6 +130,20 @@ func fmtVal(v float64) string {
 // drift in the worse direction (0.15 = 15%). Booleans named identical_*
 // must not flip true -> false regardless of tol.
 func Compare(oldJSON, newJSON []byte, tol float64) (*Report, error) {
+	return compare(oldJSON, newJSON, tol, false)
+}
+
+// CompareIdentity checks only the scale-independent correctness gates:
+// identical_* booleans and the zero-stay-zero counters. Counters and ratios
+// are ignored entirely, so a reduced-scale record (a per-PR quick run)
+// compares cleanly against the committed full-scale baseline while still
+// failing the moment an optimised path stops reproducing the baseline
+// result.
+func CompareIdentity(oldJSON, newJSON []byte) (*Report, error) {
+	return compare(oldJSON, newJSON, 0, true)
+}
+
+func compare(oldJSON, newJSON []byte, tol float64, identityOnly bool) (*Report, error) {
 	var oldDoc, newDoc map[string]any
 	if err := json.Unmarshal(oldJSON, &oldDoc); err != nil {
 		return nil, fmt.Errorf("old record: %w", err)
@@ -141,16 +169,42 @@ func Compare(oldJSON, newJSON []byte, tol float64) (*Report, error) {
 	sort.Strings(paths)
 
 	for _, p := range paths {
+		oldV := oldFlat[p]
+		newV, present := newFlat[p]
+		if zeroGated[basename(p)] && oldV == 0 {
+			// Zero-stay-zero: scale-independent, tolerance-free.
+			f := Finding{Path: p, Old: 0, New: newV}
+			switch {
+			case !present:
+				f.New, f.Delta, f.Regressed, f.Note = math.NaN(), math.Inf(1), true, "correctness counter disappeared"
+			case newV != 0:
+				f.Delta, f.Regressed, f.Note = math.Inf(1), true, "correctness counter left zero"
+			}
+			rep.Findings = append(rep.Findings, f)
+			continue
+		}
+		if identityOnly {
+			continue
+		}
 		rule, ok := gated[basename(p)]
 		if !ok || rule.dir == dirIgnore {
 			continue
 		}
 		if rule.scale && !sameScale {
+			if !present {
+				// A gated key vanishing is a regression even when the scales
+				// differ: the skip list is for values that exist but are not
+				// comparable, never for keys the new record stopped reporting.
+				rep.Findings = append(rep.Findings, Finding{
+					Path: p, Old: oldV, New: math.NaN(),
+					Delta: math.Inf(1), Regressed: true,
+					Note: "gated key missing from new record (scale mismatch)",
+				})
+				continue
+			}
 			rep.Skipped = append(rep.Skipped, p)
 			continue
 		}
-		oldV := oldFlat[p]
-		newV, present := newFlat[p]
 		if !present {
 			rep.Findings = append(rep.Findings, Finding{
 				Path: p, Old: oldV, New: math.NaN(),

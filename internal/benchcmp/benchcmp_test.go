@@ -190,3 +190,112 @@ func TestBadJSONErrors(t *testing.T) {
 		t.Error("garbage new record accepted")
 	}
 }
+
+func TestScaleMismatchMissingGatedKeyFails(t *testing.T) {
+	// The historical bug: at a scale mismatch, a gated key missing from the
+	// new record slipped into the skip list and the gate passed silently. A
+	// vanished key must fail regardless of scale.
+	small := strings.Replace(baseline, `"queries": 20000`, `"queries": 2000`, 1)
+	small = strings.Replace(small, `"distance_evals": 16716455,`, ``, 1)
+	rep, err := Compare([]byte(baseline), []byte(small), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Regressions() {
+		if f.Path == "after_pivot_index.distance_evals" {
+			found = true
+			if !strings.Contains(f.Note, "missing") {
+				t.Errorf("note = %q", f.Note)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missing gated key at scale mismatch not flagged: %+v", rep.Regressions())
+	}
+	for _, s := range rep.Skipped {
+		if s == "after_pivot_index.distance_evals" {
+			t.Error("missing key also listed as skipped")
+		}
+	}
+}
+
+const semBaseline = `{
+  "queries": 20000,
+  "verify_failed": 0,
+  "hit_ratio": 0.87,
+  "hit_ratio_at_half_budget": 0.80,
+  "identical_single_region": true,
+  "identical_composed": true
+}`
+
+func TestZeroStayZeroAcrossScales(t *testing.T) {
+	// verify_failed leaving zero fails even at a different workload scale
+	// and within any tolerance.
+	bad := strings.Replace(semBaseline, `"queries": 20000`, `"queries": 500`, 1)
+	bad = strings.Replace(bad, `"verify_failed": 0`, `"verify_failed": 1`, 1)
+	rep, err := Compare([]byte(semBaseline), []byte(bad), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Regressions() {
+		if f.Path == "verify_failed" && strings.Contains(f.Note, "left zero") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("verify_failed=1 not flagged: %+v", rep.Regressions())
+	}
+
+	gone := strings.Replace(semBaseline, `"verify_failed": 0,`, ``, 1)
+	rep, err = Compare([]byte(semBaseline), []byte(gone), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, f := range rep.Regressions() {
+		if f.Path == "verify_failed" && strings.Contains(f.Note, "disappeared") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vanished verify_failed not flagged: %+v", rep.Regressions())
+	}
+}
+
+func TestCompareIdentityIgnoresCountersGatesBooleans(t *testing.T) {
+	// A quick reduced-scale run: every counter and ratio differs wildly, but
+	// identity booleans hold and zero-gates hold — must pass.
+	quick := strings.Replace(semBaseline, `"queries": 20000`, `"queries": 500`, 1)
+	quick = strings.Replace(quick, `"hit_ratio": 0.87`, `"hit_ratio": 0.10`, 1)
+	quick = strings.Replace(quick, `"hit_ratio_at_half_budget": 0.80`, `"hit_ratio_at_half_budget": 0.05`, 1)
+	rep, err := CompareIdentity([]byte(semBaseline), []byte(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("identity compare gated a counter: %+v", regs)
+	}
+
+	// But an identity boolean flipping still fails.
+	flip := strings.Replace(quick, `"identical_composed": true`, `"identical_composed": false`, 1)
+	rep, err = CompareIdentity([]byte(semBaseline), []byte(flip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Path != "identical_composed" {
+		t.Fatalf("identity flip not flagged: %+v", regs)
+	}
+
+	// And so does a zero-gate breach.
+	bad := strings.Replace(quick, `"verify_failed": 0`, `"verify_failed": 3`, 1)
+	rep, err = CompareIdentity([]byte(semBaseline), []byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions()) != 1 {
+		t.Fatalf("zero-gate breach in identity mode: %+v", rep.Regressions())
+	}
+}

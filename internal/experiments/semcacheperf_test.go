@@ -2,8 +2,10 @@ package experiments
 
 import "testing"
 
-// A small-scale end-to-end run of the E13 harness: the oracle must hold, the
-// workload must hit, and the phase accounting must be self-consistent.
+// A small-scale end-to-end run of the E13+E18 harness: the oracle must
+// hold, the workload must hit, every v2 path (composed, agg, preagg) must
+// actually serve traffic, and the budget curve must show residency bounded
+// by each budget.
 func TestRunSemCachePerf(t *testing.T) {
 	if testing.Short() {
 		t.Skip("semcacheperf is slow")
@@ -24,6 +26,26 @@ func TestRunSemCachePerf(t *testing.T) {
 	if res.StaleHitRatio > res.FreshHitRatio {
 		t.Errorf("stale regions out-hit fresh ones: stale %.3f, fresh %.3f",
 			res.StaleHitRatio, res.FreshHitRatio)
+	}
+	if !res.IdenticalSingleRegion || !res.IdenticalComposed || !res.IdenticalPreagg {
+		t.Errorf("identity gates not all true: single=%v composed=%v preagg=%v (agg_hits=%d preagg_hits=%d composed_hits=%d)",
+			res.IdenticalSingleRegion, res.IdenticalComposed, res.IdenticalPreagg,
+			res.AggHits, res.PreaggHits, res.ComposedHits)
+	}
+	if len(res.BudgetCurve) != 3 {
+		t.Fatalf("budget curve has %d points, want 3", len(res.BudgetCurve))
+	}
+	for _, pt := range res.BudgetCurve {
+		if pt.BytesResident > pt.BudgetBytes {
+			t.Errorf("budget point %d: resident %d exceeds budget", pt.BudgetBytes, pt.BytesResident)
+		}
+		if pt.Hits == 0 {
+			t.Errorf("budget point %d: no hits", pt.BudgetBytes)
+		}
+	}
+	if res.HitRatioAtHalfBudget < 0.70 {
+		t.Errorf("hit ratio at half budget %.3f below the 0.70 acceptance floor",
+			res.HitRatioAtHalfBudget)
 	}
 	if res.Report == "" {
 		t.Error("empty report")

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/aggregate"
+	"repro/internal/interval"
+)
+
+// splitDimOf picks the axis a region split bisects: the widest dimension of
+// the cluster's box with finite endpoints on both sides. Returns "" when no
+// dimension qualifies (point boxes, half-open boxes, categorical-only
+// clusters).
+func splitDimOf(c *aggregate.Summary) string {
+	best, bestW := "", 0.0
+	for _, d := range c.Box.Dims() {
+		iv := c.Box.Get(d)
+		if math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+			continue
+		}
+		if w := iv.Hi - iv.Lo; w > bestW {
+			best, bestW = d, w
+		}
+	}
+	return best
+}
+
+// closeFinite drops openness on finite endpoints. The split halves use the
+// closed hull of every non-split dimension so that a closed query interval
+// equal to the original bound still tests as contained; a region box may
+// only grow — prefetching extra boundary rows is sound, serving is still
+// containment-proven per query.
+func closeFinite(iv interval.Interval) interval.Interval {
+	if !math.IsInf(iv.Lo, 0) {
+		iv.LoOpen = false
+	}
+	if !math.IsInf(iv.Hi, 0) {
+		iv.HiOpen = false
+	}
+	return iv
+}
+
+// SplitClusters replaces every splittable cluster with two half-regions
+// that partition its box at the midpoint of the widest finite dimension:
+// the low half closes at mid, the high half opens there, so together they
+// tile the original box exactly and their row sets are position-disjoint.
+// Unsplittable clusters pass through unchanged. The result is a region set
+// on which queries that used to be single-region hits become covering-set
+// material — the deterministic workload for the composed and
+// partial-aggregate paths. Half IDs are 100·ID+1 (low) and 100·ID+2 (high)
+// so provenance stays readable in metrics.
+func SplitClusters(clusters []*aggregate.Summary) []*aggregate.Summary {
+	out := make([]*aggregate.Summary, 0, 2*len(clusters))
+	for _, c := range clusters {
+		d := splitDimOf(c)
+		if d == "" {
+			out = append(out, c)
+			continue
+		}
+		iv := c.Box.Get(d)
+		mid := iv.Lo + (iv.Hi-iv.Lo)/2
+		if !(mid > iv.Lo && mid < iv.Hi) {
+			out = append(out, c)
+			continue
+		}
+		half := func(id int, div interval.Interval) *aggregate.Summary {
+			h := *c
+			h.ID = id
+			h.Box = interval.NewBox()
+			for _, dim := range c.Box.Dims() {
+				h.Box.Set(dim, closeFinite(c.Box.Get(dim)))
+			}
+			h.Box.Set(d, div)
+			return &h
+		}
+		out = append(out,
+			half(100*c.ID+1, interval.Closed(iv.Lo, mid)),
+			half(100*c.ID+2, interval.Interval{Lo: mid, LoOpen: true, Hi: iv.Hi}),
+		)
+	}
+	return out
+}
+
+// AggProbes derives deterministic aggregate statements from the mined
+// clusters — the safeShape-rejected HAVING class the aggregate path serves.
+// Each probe groups a splittable single-relation numeric cluster by its
+// split column over the cluster's full box, so against the split region set
+// it needs both halves (partial-aggregate combine) and against the original
+// set it fits one region (full aggregate pushdown):
+//
+//	SELECT c, COUNT(*), MIN(c), MAX(c) FROM R
+//	WHERE <closed conjunction over every box dim> GROUP BY c
+//	HAVING COUNT(*) >= 1
+//
+// Clusters with categorical pins, multiple relations, or any infinite box
+// endpoint are skipped: the combine gates exclude them by design.
+func AggProbes(clusters []*aggregate.Summary) []string {
+	var probes []string
+	for _, c := range clusters {
+		if len(c.Relations) != 1 || len(c.Categorical) > 0 {
+			continue
+		}
+		d := splitDimOf(c)
+		if d == "" {
+			continue
+		}
+		rel := c.Relations[0]
+		ok := true
+		var conj []string
+		for _, dim := range c.Box.Dims() {
+			r, col, found := strings.Cut(dim, ".")
+			if !found || r != rel {
+				ok = false
+				break
+			}
+			iv := c.Box.Get(dim)
+			if math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+				ok = false
+				break
+			}
+			conj = append(conj, fmt.Sprintf("%s >= %s AND %s <= %s",
+				col, sqlNum(iv.Lo), col, sqlNum(iv.Hi)))
+		}
+		if !ok || len(conj) == 0 {
+			continue
+		}
+		_, gcol, _ := strings.Cut(d, ".")
+		probes = append(probes, fmt.Sprintf(
+			"SELECT %s, COUNT(*), MIN(%s), MAX(%s) FROM %s WHERE %s GROUP BY %s HAVING COUNT(*) >= 1",
+			gcol, gcol, gcol, rel, strings.Join(conj, " AND "), gcol))
+	}
+	return probes
+}
+
+// sqlNum renders a float64 as a plain decimal SQL literal (no exponent —
+// 'f' with -1 precision is the shortest decimal that round-trips, so the
+// parsed constant is bit-identical to the box endpoint).
+func sqlNum(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

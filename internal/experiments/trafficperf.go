@@ -54,8 +54,8 @@ type TrafficPerfResult struct {
 	DriftEvents        int  `json:"drift_events"`
 
 	// The mined query-interface surface.
-	InterfacesTracked int    `json:"interfaces_tracked"`
-	TopInterfaceHits  int64  `json:"top_interface_hits"`
+	InterfacesTracked int   `json:"interfaces_tracked"`
+	TopInterfaceHits  int64 `json:"top_interface_hits"`
 
 	// Ingest cost: concurrent burst clients, traffic mining off vs on,
 	// fastest of ABBA-paired rounds (interference is additive, so each

@@ -45,6 +45,26 @@ type Config struct {
 	// direct result is returned and the failure counted. For tests and
 	// the semcacheperf harness.
 	Verify bool
+
+	// BudgetBytes caps the total byte footprint of resident region stores.
+	// <= 0 means unlimited (every candidate region is materialised, the
+	// v1 behaviour). See heat.go for the admission policy.
+	BudgetBytes int64
+	// ProbationFraction is the slice of the budget reserved for zero-heat
+	// newcomer regions (default 0.15).
+	ProbationFraction float64
+	// HeatDecay is the per-install aging factor applied to the heat book
+	// (default 0.5).
+	HeatDecay float64
+	// RegionTTL bounds per-region staleness. 0 keeps the v1 behaviour:
+	// every Install rebuilds every admitted store. When positive, a region
+	// whose identity survives re-mining keeps its store across Install
+	// while younger than the TTL, and a hit's store age is surfaced as
+	// Info.Staleness; stores older than the TTL miss with reason "stale".
+	RegionTTL time.Duration
+	// ComposeMax caps the covering-set size for multi-region composition
+	// (default 4; negative disables composition).
+	ComposeMax int
 }
 
 // snapshot is one epoch's immutable region set. Queries load it once and use
@@ -53,7 +73,14 @@ type Config struct {
 type snapshot struct {
 	generation int64
 	regions    []*Region
-	index      *containmentIndex
+	// shadows are this generation's non-admitted candidates: area metadata
+	// without stores, scanned on miss to credit near-miss heat.
+	shadows []*Region
+	index   *containmentIndex
+	// composed caches union stores per cover (coverKey → *memdb.DB).
+	composed sync.Map
+	// bytesResident totals the admitted stores' byte footprint.
+	bytesResident int64
 }
 
 // Cache is the semantic result cache. Zero value is not usable; construct
@@ -62,66 +89,271 @@ type Cache struct {
 	cfg  Config
 	snap atomic.Pointer[snapshot]
 
-	// shapes records, per statement fingerprint, whether the statement
-	// shape is safe to serve from a restricted store (no HAVING anywhere,
-	// no derived tables — see safeShape). The verdict is shape-level, so
-	// it is shared by all statements with the fingerprint.
-	shapes sync.Map // uint64 → bool
+	// budget is the live byte budget (runtime-adjustable via SetBudget).
+	budget atomic.Int64
+	// book carries per-identity heat across generations.
+	book *heatBook
+	// installMu serialises Install and SetBudget.
+	installMu sync.Mutex
 
-	hits          atomic.Int64
-	misses        atomic.Int64
-	bytesServed   atomic.Int64
-	verifyChecked atomic.Int64
-	verifyFailed  atomic.Int64
+	// shapes records, per statement fingerprint, the statement's shape
+	// class (safe / aggregate / unsafe — see shapeClassOf). The verdict is
+	// shape-level, so it is shared by all statements with the fingerprint.
+	shapes sync.Map // uint64 → shapeClass
+
+	// plans registers distinct aggregate-plan signatures seen by the agg
+	// path so Install can pre-build the per-region group books.
+	plansMu sync.Mutex
+	plans   []*aggPlan
+
+	hits            atomic.Int64
+	misses          atomic.Int64
+	bytesServed     atomic.Int64
+	verifyChecked   atomic.Int64
+	verifyFailed    atomic.Int64
+	composedHits    atomic.Int64
+	aggHits         atomic.Int64
+	preaggHits      atomic.Int64
+	nearMisses      atomic.Int64
+	staleMisses     atomic.Int64
+	evicted         atomic.Int64
+	reused          atomic.Int64
+	probationAdmits atomic.Int64
 }
+
+// shapeClass is a statement shape's cache verdict.
+type shapeClass int
+
+const (
+	shapeUnsafe shapeClass = iota
+	shapeSafe              // servable from any containing restricted store
+	shapeAgg               // HAVING class: servable via the aggregate path
+)
 
 // New returns a cache with an empty region set (every query misses until the
 // first Install).
 func New(cfg Config) *Cache {
-	c := &Cache{cfg: cfg}
+	if cfg.ProbationFraction == 0 {
+		cfg.ProbationFraction = 0.15
+	} else if cfg.ProbationFraction < 0 || cfg.ProbationFraction >= 1 {
+		cfg.ProbationFraction = 0 // explicit out-of-range value disables the reserve
+	}
+	if cfg.HeatDecay <= 0 || cfg.HeatDecay >= 1 {
+		cfg.HeatDecay = 0.5
+	}
+	if cfg.ComposeMax == 0 {
+		cfg.ComposeMax = 4
+	}
+	c := &Cache{cfg: cfg, book: newHeatBook()}
+	c.budget.Store(cfg.BudgetBytes)
 	c.snap.Store(&snapshot{})
 	return c
 }
 
-// Install prefetches the clusters' access areas from the configured database
-// and atomically replaces the served region set. generation should be the
-// mining epoch; it is echoed in Info so callers can assert which region set
-// answered. Clusters with no relations or an unset box are skipped (they
-// describe nothing prefetchable).
+// Install folds the previous generation's access heat into the book, plans
+// admission of the clusters' regions best-heat-first under the byte budget,
+// materialises (or, within the TTL, carries over) the admitted stores, and
+// atomically replaces the served snapshot. Non-admitted candidates stay as
+// shadows collecting near-miss heat. Clusters with no relations or an unset
+// box are skipped (they describe nothing prefetchable).
 func (c *Cache) Install(generation int64, clusters []*aggregate.Summary) {
 	sp := prefetchStage.Start()
 	defer sp.End()
-	snap := &snapshot{generation: generation}
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	prev := c.snap.Load()
+	c.book.fold(prev.regions, prev.shadows, c.cfg.HeatDecay, generation)
+	prevResident := make(map[string]*Region, len(prev.regions))
+	for _, r := range prev.regions {
+		prevResident[r.identity] = r
+	}
+
+	type candidate struct {
+		cl       *aggregate.Summary
+		identity string
+		heat     float64
+		carry    *Region
+	}
+	var cands []candidate
+	heats := []float64{}
+	sizes := []int64{}
 	for _, cl := range clusters {
 		if cl == nil || len(cl.Relations) == 0 || cl.Box == nil {
 			continue
 		}
-		snap.regions = append(snap.regions, newRegion(c.cfg.DB, generation, cl))
+		cn := candidate{cl: cl, identity: identityOf(cl.Relations, cl.Box, cl.Categorical)}
+		cn.heat = c.book.heat(cn.identity)
+		size := c.book.knownBytes(cn.identity)
+		if p, ok := prevResident[cn.identity]; ok && c.cfg.RegionTTL > 0 && p.Staleness() < c.cfg.RegionTTL {
+			cn.carry = p
+			size = p.Bytes
+		}
+		cands = append(cands, cn)
+		heats = append(heats, cn.heat)
+		sizes = append(sizes, size)
+	}
+
+	budget := c.budget.Load()
+	plan := planAdmissions(heats, sizes, budget, c.cfg.ProbationFraction)
+	snap := &snapshot{generation: generation}
+	type resident struct {
+		r    *Region
+		heat float64
+		pos  int
+	}
+	var residents []resident
+	for i, ad := range plan {
+		cn := cands[i]
+		if !ad.admit {
+			snap.shadows = append(snap.shadows, newShadowRegion(generation, cn.cl))
+			continue
+		}
+		var r *Region
+		if cn.carry != nil {
+			r = carryRegion(cn.carry, cn.cl.ID, generation)
+			c.reused.Add(1)
+		} else {
+			r = newRegion(c.cfg.DB, generation, cn.cl)
+		}
+		c.book.setBytes(cn.identity, r.Bytes)
+		if ad.probation {
+			c.probationAdmits.Add(1)
+		}
+		residents = append(residents, resident{r: r, heat: cn.heat, pos: i})
+	}
+
+	// Hard budget guarantee: the plan charged last-known sizes, so freshly
+	// measured stores can overflow. Demote coldest-first (ties: latest
+	// candidate first) until resident bytes fit.
+	if budget > 0 {
+		var total int64
+		for _, res := range residents {
+			total += res.r.Bytes
+		}
+		for total > budget && len(residents) > 0 {
+			worst := 0
+			for i := 1; i < len(residents); i++ {
+				if residents[i].heat < residents[worst].heat ||
+					(residents[i].heat == residents[worst].heat && residents[i].pos > residents[worst].pos) {
+					worst = i
+				}
+			}
+			total -= residents[worst].r.Bytes
+			snap.shadows = append(snap.shadows, shadowFromRegion(residents[worst].r))
+			residents = append(residents[:worst], residents[worst+1:]...)
+		}
+	}
+
+	for _, res := range residents {
+		snap.regions = append(snap.regions, res.r)
+		snap.bytesResident += res.r.Bytes
+	}
+	for _, sh := range snap.shadows {
+		if _, was := prevResident[sh.identity]; was {
+			c.evicted.Add(1)
+		}
 	}
 	prefetchRegionsTotal.Add(int64(len(snap.regions)))
+	snap.index = buildIndex(snap.regions)
+	for _, p := range c.registeredPlans() {
+		for _, r := range snap.regions {
+			r.books.get(r, p)
+		}
+	}
+	c.snap.Store(snap)
+}
+
+// shadowFromRegion demotes a (just built or carried) region to a shadow.
+func shadowFromRegion(r *Region) *Region {
+	return &Region{
+		ID:          r.ID,
+		Generation:  r.Generation,
+		Relations:   r.Relations,
+		Box:         r.Box,
+		Categorical: r.Categorical,
+		identity:    r.identity,
+		shadow:      true,
+	}
+}
+
+// SetBudget changes the byte budget at runtime. Shrinking re-runs a
+// drop-only admission over the current residents (using live heat: book
+// heat plus this generation's counters), demoting the coldest to shadows
+// immediately; growing takes effect at the next Install.
+func (c *Cache) SetBudget(budget int64) {
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	c.budget.Store(budget)
+	if budget <= 0 {
+		return
+	}
+	prev := c.snap.Load()
+	var total int64
+	for _, r := range prev.regions {
+		total += r.Bytes
+	}
+	if total <= budget {
+		return
+	}
+	heats := make([]float64, len(prev.regions))
+	sizes := make([]int64, len(prev.regions))
+	for i, r := range prev.regions {
+		heats[i] = c.book.heat(r.identity) + float64(r.hits.Load()+r.nearMisses.Load())
+		sizes[i] = r.Bytes
+	}
+	plan := planAdmissions(heats, sizes, budget, 0)
+	snap := &snapshot{generation: prev.generation}
+	snap.shadows = append(snap.shadows, prev.shadows...)
+	for i, ad := range plan {
+		r := prev.regions[i]
+		if ad.admit {
+			snap.regions = append(snap.regions, r)
+			snap.bytesResident += r.Bytes
+		} else {
+			snap.shadows = append(snap.shadows, shadowFromRegion(r))
+			c.evicted.Add(1)
+		}
+	}
 	snap.index = buildIndex(snap.regions)
 	c.snap.Store(snap)
 }
 
+// Budget returns the live byte budget (<= 0 means unlimited).
+func (c *Cache) Budget() int64 { return c.budget.Load() }
+
 // Info describes how a query was answered.
 type Info struct {
-	// Hit is true when the result came from a region store.
+	// Hit is true when the result came from cached region stores.
 	Hit bool
-	// RegionID is the serving region's cluster ID (hits only).
+	// RegionID is the (first) serving region's cluster ID (hits only).
 	RegionID int
+	// Regions lists every serving region's cluster ID (hits only; length
+	// > 1 on composed and partial-aggregate hits).
+	Regions []int
+	// Path labels how a hit was assembled: "single" (one containing
+	// region), "composed" (union store over a covering set), "agg" (full
+	// aggregate statement on one containing region), "preagg" (partial
+	// aggregates combined across a covering set).
+	Path string
+	// Staleness is the maximum age of the serving stores (hits only;
+	// non-zero only with a RegionTTL configured, since otherwise stores
+	// are rebuilt each generation).
+	Staleness time.Duration
 	// Generation is the region-set generation consulted.
 	Generation int64
 	// Reason explains a miss: "no-regions", "fingerprint", "parse",
 	// "shape", "uncacheable", "inexact", "empty-area", "no-region",
-	// "store-error", "verify-failed".
+	// "store-error", "stale", "verify-failed".
 	Reason string
 }
 
-// Query answers sql from a containing cached region when the containment
-// rule proves it sound, falling through to direct execution otherwise. The
-// result is identical to direct execution either way (enforced by the
-// Verify oracle when enabled). Errors mirror direct execution: a statement
-// that fails directly fails here with the same error.
+// Query answers sql from the cached regions when containment proves it
+// sound — a single containing region, a composed covering set, or the
+// aggregate path for the HAVING class — falling through to direct execution
+// otherwise. The result is identical to direct execution either way
+// (enforced by the Verify oracle when enabled). Errors mirror direct
+// execution: a statement that fails directly fails here with the same
+// error.
 func (c *Cache) Query(sql string) (*memdb.ResultSet, Info, error) {
 	sp := queryStage.Start()
 	t0 := time.Now()
@@ -135,26 +367,129 @@ func (c *Cache) Query(sql string) (*memdb.ResultSet, Info, error) {
 	}()
 	snap := c.snap.Load()
 	info := Info{Generation: snap.generation}
-	if len(snap.regions) == 0 {
+	if len(snap.regions) == 0 && len(snap.shadows) == 0 {
 		return c.miss(sql, info, "no-regions")
 	}
 	lsp := lookupStage.Start()
 	area, afp, reason := c.lookupArea(sql)
 	lsp.End()
 	fp = afp
+	if reason == "agg" {
+		return c.queryAgg(snap, sql, info)
+	}
 	if reason != "" {
 		return c.miss(sql, info, reason)
 	}
-	region := snap.index.lookup(area)
-	if region == nil {
-		return c.miss(sql, info, "no-region")
+	shape := newQueryShape(area)
+	if region := snap.index.lookup(shape); region != nil {
+		if c.regionsStale(region) {
+			c.staleMisses.Add(1)
+			return c.miss(sql, info, "stale")
+		}
+		rs, err := region.store.ExecuteSQL(sql, c.cfg.Exec)
+		if err != nil {
+			// The store is a subset view; any store-side failure (row limit,
+			// evaluation error) might not occur directly, so never surface it.
+			return c.miss(sql, info, "store-error")
+		}
+		return c.finishHit(sql, rs, info, "single", region)
 	}
-	rs, err := region.store.ExecuteSQL(sql, c.cfg.Exec)
+	if cv := snap.index.findCover(shape, c.cfg.ComposeMax); cv != nil {
+		if c.regionsStale(cv.regions...) {
+			c.staleMisses.Add(1)
+			return c.miss(sql, info, "stale")
+		}
+		if store, err := snap.unionStore(cv); err == nil {
+			rs, err := store.ExecuteSQL(sql, c.cfg.Exec)
+			if err != nil {
+				return c.miss(sql, info, "store-error")
+			}
+			return c.finishHit(sql, rs, info, "composed", cv.regions...)
+		}
+	}
+	c.creditShadows(snap, shape)
+	return c.miss(sql, info, "no-region")
+}
+
+// queryAgg serves the HAVING aggregate class. Containment is decided on the
+// WHERE-only access area — the statement with HAVING stripped — which is
+// exactly the row set the aggregation consumes, so any store that is a
+// superset-in-order of those rows computes every group and aggregate
+// identically to direct execution (DESIGN.md §17).
+func (c *Cache) queryAgg(snap *snapshot, sql string, info Info) (*memdb.ResultSet, Info, error) {
+	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		// The store is a subset view; any store-side failure (row limit,
-		// evaluation error) might not occur directly, so never surface it.
-		return c.miss(sql, info, "store-error")
+		return c.miss(sql, info, "parse")
 	}
+	sel, ok := stmt.(*sqlparser.SelectStatement)
+	if !ok {
+		return c.miss(sql, info, "parse")
+	}
+	plan := buildAggPlan(sel)
+	if plan != nil {
+		c.registerPlan(plan)
+	}
+	whereOnly := *sel
+	whereOnly.Having = nil
+	area, err := c.cfg.Extractor.Extract(&whereOnly)
+	if err != nil || area == nil {
+		return c.miss(sql, info, "uncacheable")
+	}
+	switch {
+	case !area.Exact || area.Truncated || len(area.Relations) == 0:
+		return c.miss(sql, info, "inexact")
+	case area.IsEmpty():
+		return c.miss(sql, info, "empty-area")
+	}
+	shape := newQueryShape(area)
+	if region := snap.index.lookup(shape); region != nil {
+		if c.regionsStale(region) {
+			c.staleMisses.Add(1)
+			return c.miss(sql, info, "stale")
+		}
+		rs, err := region.store.ExecuteSQL(sql, c.cfg.Exec)
+		if err != nil {
+			return c.miss(sql, info, "store-error")
+		}
+		return c.finishHit(sql, rs, info, "agg", region)
+	}
+	if cv := snap.index.findCover(shape, c.cfg.ComposeMax); cv != nil {
+		if c.regionsStale(cv.regions...) {
+			c.staleMisses.Add(1)
+			return c.miss(sql, info, "stale")
+		}
+		if rs, ok := combinePreagg(cv, plan, area, shape, c.cfg.Exec.RowLimit); ok {
+			return c.finishHit(sql, rs, info, "preagg", cv.regions...)
+		}
+		if store, err := snap.unionStore(cv); err == nil {
+			rs, err := store.ExecuteSQL(sql, c.cfg.Exec)
+			if err != nil {
+				return c.miss(sql, info, "store-error")
+			}
+			return c.finishHit(sql, rs, info, "composed", cv.regions...)
+		}
+	}
+	c.creditShadows(snap, shape)
+	return c.miss(sql, info, "no-region")
+}
+
+// regionsStale reports whether any serving store is older than the
+// configured TTL (never with no TTL set).
+func (c *Cache) regionsStale(regions ...*Region) bool {
+	if c.cfg.RegionTTL <= 0 {
+		return false
+	}
+	for _, r := range regions {
+		if r.Staleness() > c.cfg.RegionTTL {
+			return true
+		}
+	}
+	return false
+}
+
+// finishHit verifies (when configured), credits counters, and fills Info
+// for a hit assembled from the given regions via the given path.
+func (c *Cache) finishHit(sql string, rs *memdb.ResultSet, info Info, path string, regions ...*Region) (*memdb.ResultSet, Info, error) {
 	if c.cfg.Verify {
 		c.verifyChecked.Add(1)
 		direct, derr := c.cfg.DB.ExecuteSQL(sql, c.cfg.Exec)
@@ -166,13 +501,71 @@ func (c *Cache) Query(sql string) (*memdb.ResultSet, Info, error) {
 		}
 	}
 	n := resultBytes(rs)
-	region.hits.Add(1)
-	region.bytesServed.Add(n)
+	for i, r := range regions {
+		r.hits.Add(1)
+		if i == 0 {
+			r.bytesServed.Add(n)
+		}
+	}
 	c.hits.Add(1)
 	c.bytesServed.Add(n)
+	switch path {
+	case "composed":
+		c.composedHits.Add(1)
+	case "agg":
+		c.aggHits.Add(1)
+	case "preagg":
+		c.preaggHits.Add(1)
+	}
 	info.Hit = true
-	info.RegionID = region.ID
+	info.Path = path
+	info.RegionID = regions[0].ID
+	for _, r := range regions {
+		info.Regions = append(info.Regions, r.ID)
+	}
+	if c.cfg.RegionTTL > 0 {
+		for _, r := range regions {
+			if s := r.Staleness(); s > info.Staleness {
+				info.Staleness = s
+			}
+		}
+	}
 	return rs, info, nil
+}
+
+// creditShadows records a near-miss on every shadow that would have
+// contained the query — the heat signal that lets an evicted region earn
+// readmission.
+func (c *Cache) creditShadows(snap *snapshot, shape *queryShape) {
+	for _, r := range snap.shadows {
+		if r.containsShape(shape, "", "") {
+			r.nearMisses.Add(1)
+			c.nearMisses.Add(1)
+		}
+	}
+}
+
+// registerPlan records a distinct aggregate-plan signature (bounded) for
+// install-time book precomputation.
+func (c *Cache) registerPlan(p *aggPlan) {
+	c.plansMu.Lock()
+	defer c.plansMu.Unlock()
+	if len(c.plans) >= 32 {
+		return
+	}
+	key := p.planKey()
+	for _, q := range c.plans {
+		if q.planKey() == key {
+			return
+		}
+	}
+	c.plans = append(c.plans, p)
+}
+
+func (c *Cache) registeredPlans() []*aggPlan {
+	c.plansMu.Lock()
+	defer c.plansMu.Unlock()
+	return append([]*aggPlan(nil), c.plans...)
 }
 
 func (c *Cache) miss(sql string, info Info, reason string) (*memdb.ResultSet, Info, error) {
@@ -184,10 +577,11 @@ func (c *Cache) miss(sql string, info Info, reason string) (*memdb.ResultSet, In
 
 // lookupArea resolves sql to an access area through the shared template
 // cache: fingerprint → cached template → rebind, with a one-time slow path
-// (parse + extract + template store) per statement shape. A non-empty reason
-// means the statement cannot be cache-served. The statement fingerprint is
-// returned either way (0 when fingerprinting itself failed) so the caller
-// can label slow-log entries.
+// (parse + classify + extract + template store) per statement shape. A
+// non-empty reason means the statement cannot be served from this path; the
+// special reason "agg" routes the statement to the aggregate path instead.
+// The statement fingerprint is returned either way (0 when fingerprinting
+// itself failed) so the caller can label slow-log entries.
 func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 	fp, lits, err := sqlparser.Fingerprint(sql)
 	if err != nil || anyBadNum(lits) {
@@ -195,10 +589,15 @@ func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 	}
 	shapeV, shapeKnown := c.shapes.Load(fp)
 	var area *extract.AccessArea
-	if t, ok := c.cfg.Templates.Get(fp); ok && shapeKnown {
-		if shapeV != true {
+	if shapeKnown {
+		switch shapeV.(shapeClass) {
+		case shapeAgg:
+			return nil, fp, "agg"
+		case shapeUnsafe:
 			return nil, fp, "shape"
 		}
+	}
+	if t, ok := c.cfg.Templates.Get(fp); ok && shapeKnown {
 		a, _, ok := t.Rebind(c.cfg.Extractor, lits)
 		if !ok {
 			return nil, fp, "uncacheable"
@@ -213,10 +612,13 @@ func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 		if !ok {
 			return nil, fp, "parse"
 		}
-		safe := safeShape(sel)
-		c.shapes.Store(fp, safe)
+		class := shapeClassOf(sel)
+		c.shapes.Store(fp, class)
 		if t, ok := c.cfg.Templates.Get(fp); ok {
-			if !safe {
+			switch class {
+			case shapeAgg:
+				return nil, fp, "agg"
+			case shapeUnsafe:
 				return nil, fp, "shape"
 			}
 			a, _, rok := t.Rebind(c.cfg.Extractor, lits)
@@ -229,11 +631,14 @@ func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 			if t != nil {
 				c.cfg.Templates.Put(fp, t)
 			}
+			switch class {
+			case shapeAgg:
+				return nil, fp, "agg"
+			case shapeUnsafe:
+				return nil, fp, "shape"
+			}
 			if xerr != nil || a == nil {
 				return nil, fp, "uncacheable"
-			}
-			if !safe {
-				return nil, fp, "shape"
 			}
 			area = a
 		}
@@ -249,6 +654,28 @@ func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 	return area, fp, ""
 }
 
+// shapeClassOf classifies a statement: safe shapes serve from any
+// containing restricted store; the aggregate class — a top-level HAVING on
+// an otherwise safe, union-free statement — serves via the WHERE-only-area
+// aggregate path; everything else is uncacheable by shape.
+func shapeClassOf(sel *sqlparser.SelectStatement) shapeClass {
+	if safeShape(sel) {
+		return shapeSafe
+	}
+	// The HAVING must be subquery-free: the agg path decides containment on
+	// the WHERE-only area, which never sees a HAVING subquery, so one would
+	// silently execute against the restricted store.
+	if sel != nil && sel.Having != nil && len(sel.Unions) == 0 &&
+		safeExpr(sel.Having) && !exprHasSubquery(sel.Having) {
+		whereOnly := *sel
+		whereOnly.Having = nil
+		if safeShape(&whereOnly) {
+			return shapeAgg
+		}
+	}
+	return shapeUnsafe
+}
+
 // safeShape reports whether a statement may be answered from a restricted
 // row store when its access area is exact and contained in the store's
 // region. Almost every construct is safe — the extraction's Exact flag
@@ -261,7 +688,9 @@ func (c *Cache) lookupArea(sql string) (*extract.AccessArea, uint64, string) {
 //     the rows CONTRIBUTING the extreme but not every row of a qualifying
 //     group; the group's other rows fall outside the area, so a restricted
 //     store computes different aggregates. (The mapping is marked noCache,
-//     not approximate, so Exact survives.)
+//     not approximate, so Exact survives.) The aggregate path (queryAgg)
+//     recovers this class by re-deciding containment on the WHERE-only
+//     area.
 //   - Derived tables "(SELECT ...) t": their inner projection feeds the
 //     outer query rows whose provenance the area does not bound
 //     conservatively in all compositions; rejected outright.
@@ -365,6 +794,56 @@ func safeExpr(e sqlparser.Expr) bool {
 	}
 }
 
+// exprHasSubquery reports whether any subquery construct appears in e.
+func exprHasSubquery(e sqlparser.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *sqlparser.InSubqueryExpr, *sqlparser.ExistsExpr,
+		*sqlparser.QuantifiedExpr, *sqlparser.ScalarSubquery:
+		return true
+	case *sqlparser.BinaryExpr:
+		return exprHasSubquery(x.L) || exprHasSubquery(x.R)
+	case *sqlparser.UnaryExpr:
+		return exprHasSubquery(x.X)
+	case *sqlparser.BetweenExpr:
+		return exprHasSubquery(x.X) || exprHasSubquery(x.Lo) || exprHasSubquery(x.Hi)
+	case *sqlparser.InListExpr:
+		if exprHasSubquery(x.X) {
+			return true
+		}
+		for _, it := range x.List {
+			if exprHasSubquery(it) {
+				return true
+			}
+		}
+		return false
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			if exprHasSubquery(a) {
+				return true
+			}
+		}
+		return false
+	case *sqlparser.LikeExpr:
+		return exprHasSubquery(x.X) || exprHasSubquery(x.Pattern)
+	case *sqlparser.IsNullExpr:
+		return exprHasSubquery(x.X)
+	case *sqlparser.CaseExpr:
+		if exprHasSubquery(x.Operand) || exprHasSubquery(x.Else) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasSubquery(w.When) || exprHasSubquery(w.Then) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
 func anyBadNum(lits []sqlparser.Literal) bool {
 	for _, l := range lits {
 		if l.BadNum {
@@ -376,42 +855,69 @@ func anyBadNum(lits []sqlparser.Literal) bool {
 
 // Metrics is a point-in-time counter snapshot.
 type Metrics struct {
-	Generation  int64           `json:"generation"`
-	Regions     int             `json:"regions"`
-	Hits        int64           `json:"hits"`
-	Misses      int64           `json:"misses"`
-	BytesServed int64           `json:"bytes_served"`
-	VerifyChecked int64         `json:"verify_checked"`
-	VerifyFailed  int64         `json:"verify_failed"`
-	PerRegion   []RegionMetrics `json:"per_region"`
+	Generation      int64           `json:"generation"`
+	Regions         int             `json:"regions"`
+	ShadowRegions   int             `json:"shadow_regions"`
+	BytesResident   int64           `json:"bytes_resident"`
+	Budget          int64           `json:"budget"`
+	Hits            int64           `json:"hits"`
+	Misses          int64           `json:"misses"`
+	BytesServed     int64           `json:"bytes_served"`
+	VerifyChecked   int64           `json:"verify_checked"`
+	VerifyFailed    int64           `json:"verify_failed"`
+	ComposedHits    int64           `json:"composed_hits"`
+	AggHits         int64           `json:"agg_hits"`
+	PreaggHits      int64           `json:"preagg_hits"`
+	NearMisses      int64           `json:"near_misses"`
+	StaleMisses     int64           `json:"stale_misses"`
+	Evicted         int64           `json:"evicted"`
+	Reused          int64           `json:"reused"`
+	ProbationAdmits int64           `json:"probation_admits"`
+	PerRegion       []RegionMetrics `json:"per_region"`
 }
 
 // RegionMetrics are the per-region serving counters of the CURRENT region
-// set; counters reset naturally on Install because regions are rebuilt.
+// set; counters reset naturally on Install because regions are rebuilt
+// (heat persists in the book, surfaced here).
 type RegionMetrics struct {
-	ID          int   `json:"id"`
-	Rows        int   `json:"rows"`
-	Bytes       int64 `json:"bytes"`
-	Hits        int64 `json:"hits"`
-	BytesServed int64 `json:"bytes_served"`
+	ID          int     `json:"id"`
+	Rows        int     `json:"rows"`
+	Bytes       int64   `json:"bytes"`
+	Hits        int64   `json:"hits"`
+	BytesServed int64   `json:"bytes_served"`
+	Heat        float64 `json:"heat"`
+	AgeSeconds  float64 `json:"age_seconds"`
 }
 
 // Metrics returns the current counters and per-region statistics.
 func (c *Cache) Metrics() Metrics {
 	snap := c.snap.Load()
 	m := Metrics{
-		Generation:    snap.generation,
-		Regions:       len(snap.regions),
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		BytesServed:   c.bytesServed.Load(),
-		VerifyChecked: c.verifyChecked.Load(),
-		VerifyFailed:  c.verifyFailed.Load(),
+		Generation:      snap.generation,
+		Regions:         len(snap.regions),
+		ShadowRegions:   len(snap.shadows),
+		BytesResident:   snap.bytesResident,
+		Budget:          c.budget.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		BytesServed:     c.bytesServed.Load(),
+		VerifyChecked:   c.verifyChecked.Load(),
+		VerifyFailed:    c.verifyFailed.Load(),
+		ComposedHits:    c.composedHits.Load(),
+		AggHits:         c.aggHits.Load(),
+		PreaggHits:      c.preaggHits.Load(),
+		NearMisses:      c.nearMisses.Load(),
+		StaleMisses:     c.staleMisses.Load(),
+		Evicted:         c.evicted.Load(),
+		Reused:          c.reused.Load(),
+		ProbationAdmits: c.probationAdmits.Load(),
 	}
 	for _, r := range snap.regions {
 		m.PerRegion = append(m.PerRegion, RegionMetrics{
 			ID: r.ID, Rows: r.Rows, Bytes: r.Bytes,
 			Hits: r.Hits(), BytesServed: r.BytesServed(),
+			Heat:       c.book.heat(r.identity),
+			AgeSeconds: r.Staleness().Seconds(),
 		})
 	}
 	return m

@@ -123,10 +123,10 @@ func TestIndexLookupMatchesBruteForce(t *testing.T) {
 		regions = append(regions, newRegion(db, 1, summary(id, []string{"T"},
 			map[string]interval.Interval{"T.u": interval.Closed(lo, hi)}, nil)))
 	}
-	mk(1, 0, 21)   // whole table
-	mk(2, 3, 9)    // tight
-	mk(3, 5, 14)   // mid
-	mk(4, 16, 19)  // high band
+	mk(1, 0, 21)  // whole table
+	mk(2, 3, 9)   // tight
+	mk(3, 5, 14)  // mid
+	mk(4, 16, 19) // high band
 	regions = append(regions, newRegion(db, 1, summary(5, []string{"S"}, nil, nil)))
 	idx := buildIndex(regions)
 
@@ -150,7 +150,7 @@ func TestIndexLookupMatchesBruteForce(t *testing.T) {
 				want = r
 			}
 		}
-		got := idx.lookup(a)
+		got := idx.lookup(newQueryShape(a))
 		switch {
 		case want == nil && got != nil:
 			t.Errorf("%s: index found region %d, brute force none", q, got.ID)

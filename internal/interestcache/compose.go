@@ -1,0 +1,329 @@
+package interestcache
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/memdb"
+)
+
+var errNoStore = errors.New("interestcache: no member stores to compose")
+
+// Multi-region composition (DESIGN.md §17). When no single region contains
+// the query's access area, a covering set may: a set of regions that each
+// contain the query on every axis except one shared split axis, whose
+// projections onto the split axis jointly cover the query's hull there.
+// Every row the query's WHERE can admit then lies in at least one region of
+// the set (predicate bounds are necessary conditions, so a row satisfying
+// the CNF projects into the hull on every constrained column).
+//
+// Soundness of the merge does not depend on the regions being disjoint:
+// each region remembers the source-row position of every prefetched row
+// (memdb.RestrictIndexed), so the union store is built by merging the
+// members' rows in global source order and dropping positional duplicates.
+// The composed store is therefore itself a restriction of the source
+// database that (a) is a superset of the WHERE rows and (b) preserves
+// source row order — the same two properties a single region's store has —
+// so executing the full statement against it is byte-identical to direct
+// execution for every safeShape statement, including TOP / ORDER BY /
+// DISTINCT. This subsumes the "disjoint or dedup-safe" gate: positional
+// dedup makes every overlap dedup-safe.
+
+// cover is a covering set found for one query shape.
+type cover struct {
+	regions []*Region
+	// splitDim / splitCat name the axis the cover tiles (one of the two is
+	// set); every member contains the query on all other axes.
+	splitDim string
+	splitCat string
+}
+
+// ids returns the member region IDs in cover order.
+func (c *cover) ids() []int {
+	out := make([]int, len(c.regions))
+	for i, r := range c.regions {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func (c *cover) totalRows() int {
+	n := 0
+	for _, r := range c.regions {
+		n += r.Rows
+	}
+	return n
+}
+
+// findCover searches every relation group for a minimal covering set of at
+// most maxRegions regions. Candidate split axes are the box dimensions and
+// categorical columns the group's regions constrain; for each axis the
+// members that contain the query on every other axis are tiled greedily
+// along it. The best cover (fewest regions, then fewest total rows) wins.
+func (idx *containmentIndex) findCover(shape *queryShape, maxRegions int) *cover {
+	if maxRegions <= 1 {
+		return nil
+	}
+	var best *cover
+	better := func(c *cover) bool {
+		if best == nil {
+			return true
+		}
+		if len(c.regions) != len(best.regions) {
+			return len(c.regions) < len(best.regions)
+		}
+		return c.totalRows() < best.totalRows()
+	}
+	for _, g := range idx.groups {
+		if !g.covers(shape.relations) {
+			continue
+		}
+		// Candidate split axes, deterministic order.
+		dimSet := map[string]bool{}
+		catSet := map[string]bool{}
+		for _, r := range g.regions {
+			for _, d := range r.Box.Dims() {
+				dimSet[d] = true
+			}
+			for c := range r.Categorical {
+				catSet[c] = true
+			}
+		}
+		for _, d := range sortedKeys(dimSet) {
+			if rel, _, ok := splitQualified(d); !ok || !containsFold(shape.relations, rel) {
+				continue
+			}
+			var cands []*Region
+			for _, r := range g.regions {
+				if r.Box.Has(d) && r.containsShape(shape, d, "") {
+					cands = append(cands, r)
+				}
+			}
+			if len(cands) < 2 {
+				continue
+			}
+			if picked := greedyIntervalCover(cands, d, shape.hull(d), maxRegions); picked != nil {
+				c := &cover{regions: picked, splitDim: d}
+				if better(c) {
+					best = c
+				}
+			}
+		}
+		for _, col := range sortedKeys(catSet) {
+			rel, _, ok := splitQualified(col)
+			if !ok || !containsFold(shape.relations, rel) {
+				continue
+			}
+			vals, pinned := shape.strs[col]
+			if !pinned {
+				continue
+			}
+			var cands []*Region
+			for _, r := range g.regions {
+				if len(r.Categorical[col]) > 0 && r.containsShape(shape, "", col) {
+					cands = append(cands, r)
+				}
+			}
+			if len(cands) < 2 {
+				continue
+			}
+			if picked := greedySetCover(cands, col, vals, maxRegions); picked != nil {
+				c := &cover{regions: picked, splitCat: col}
+				if better(c) {
+					best = c
+				}
+			}
+		}
+	}
+	if best != nil && len(best.regions) > 0 {
+		return best
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// greedyIntervalCover tiles the query interval q with the candidates'
+// projections onto dim, advancing a frontier (f, fIncl): the points up to f
+// — inclusive when fIncl — are covered. At each step the candidate whose
+// interval extends past the frontier and reaches farthest right is chosen;
+// greedy choice is count-minimal for interval covering. Nil when the query
+// cannot be covered within max picks.
+func greedyIntervalCover(cands []*Region, dim string, q interval.Interval, max int) []*Region {
+	if q.IsEmpty() {
+		return nil
+	}
+	f, fIncl := q.Lo, q.LoOpen // LoOpen: the endpoint itself is not needed
+	done := func() bool {
+		return f > q.Hi || (f == q.Hi && (fIncl || q.HiOpen))
+	}
+	var picked []*Region
+	for !done() {
+		if len(picked) == max {
+			return nil
+		}
+		var bestR *Region
+		var bestHi float64
+		var bestIncl bool
+		for _, r := range cands {
+			iv := r.Box.Get(dim)
+			if iv.IsEmpty() {
+				continue
+			}
+			// The interval must cover the first uncovered point: f itself
+			// when !fIncl, or the points immediately above f when fIncl.
+			reaches := iv.Lo < f || (iv.Lo == f && (fIncl || !iv.LoOpen))
+			if !reaches {
+				continue
+			}
+			hi, hiIncl := iv.Hi, !iv.HiOpen
+			// Must make progress past the current frontier.
+			if hi < f || (hi == f && (!hiIncl || fIncl)) {
+				continue
+			}
+			if bestR == nil || hi > bestHi || (hi == bestHi && hiIncl && !bestIncl) {
+				bestR, bestHi, bestIncl = r, hi, hiIncl
+			}
+		}
+		if bestR == nil {
+			return nil
+		}
+		picked = append(picked, bestR)
+		f, fIncl = bestHi, bestIncl
+	}
+	return picked
+}
+
+// greedySetCover covers the query's pinned value list for a categorical
+// column with the candidates' value lists: repeatedly pick the region
+// covering the most uncovered values (ties by smallest ID).
+func greedySetCover(cands []*Region, col string, vals []string, max int) []*Region {
+	uncovered := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		uncovered[strings.ToLower(v)] = true
+	}
+	var picked []*Region
+	for len(uncovered) > 0 {
+		if len(picked) == max {
+			return nil
+		}
+		var bestR *Region
+		bestGain := 0
+		for _, r := range cands {
+			gain := 0
+			for _, v := range r.Categorical[col] {
+				if uncovered[strings.ToLower(v)] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && bestR != nil && r.ID < bestR.ID) {
+				bestR, bestGain = r, gain
+			}
+		}
+		if bestR == nil {
+			return nil
+		}
+		for _, v := range bestR.Categorical[col] {
+			delete(uncovered, strings.ToLower(v))
+		}
+		picked = append(picked, bestR)
+	}
+	return picked
+}
+
+// coverKey canonicalises a cover for the snapshot's composed-store cache.
+func coverKey(c *cover) string {
+	ids := c.ids()
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// unionStore merges the cover members' stores into one sub-database in
+// global source-row order with positional dedup, caching the result on the
+// snapshot so repeated composed queries over the same cover pay the merge
+// once.
+func (s *snapshot) unionStore(c *cover) (*memdb.DB, error) {
+	key := coverKey(c)
+	if v, ok := s.composed.Load(key); ok {
+		return v.(*memdb.DB), nil
+	}
+	db, err := buildUnionStore(c.regions)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := s.composed.LoadOrStore(key, db)
+	return actual.(*memdb.DB), nil
+}
+
+// buildUnionStore k-way merges the member stores table by table. Rows carry
+// their source positions (Region.rowIdx), so the merge emits each distinct
+// source row once, in source order.
+func buildUnionStore(regions []*Region) (*memdb.DB, error) {
+	if len(regions) == 0 {
+		return nil, errNoStore
+	}
+	out := memdb.New(regions[0].store.Schema)
+	// Union of table names across members (lowercased key, canonical name
+	// from the first member that has the table).
+	seen := map[string]bool{}
+	for _, r := range regions {
+		for _, name := range r.store.Tables() {
+			key := strings.ToLower(name)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			type src struct {
+				rows [][]memdb.Value
+				pos  []int
+				i    int
+			}
+			var srcs []src
+			var canonical *memdb.Table
+			for _, m := range regions {
+				t := m.store.Table(name)
+				if t == nil {
+					continue
+				}
+				if canonical == nil {
+					canonical = t
+				}
+				srcs = append(srcs, src{rows: t.Rows, pos: m.rowIdx[key]})
+			}
+			nt := out.CreateTable(canonical.Name, canonical.Columns...)
+			last := -1
+			for {
+				bi, bp := -1, 0
+				for si := range srcs {
+					s := &srcs[si]
+					for s.i < len(s.pos) && s.pos[s.i] <= last {
+						s.i++
+					}
+					if s.i < len(s.pos) && (bi < 0 || s.pos[s.i] < bp) {
+						bi, bp = si, s.pos[s.i]
+					}
+				}
+				if bi < 0 {
+					break
+				}
+				nt.Rows = append(nt.Rows, srcs[bi].rows[srcs[bi].i])
+				last = bp
+			}
+		}
+	}
+	return out, nil
+}

@@ -4,9 +4,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-
-	"repro/internal/extract"
-	"repro/internal/interval"
 )
 
 // containmentIndex answers "which cached region's box contains this query's
@@ -106,11 +103,10 @@ func (g *regionGroup) build() {
 // lookup returns the best region containing the query's access area: the one
 // with the fewest prefetched rows (cheapest store), ties broken by smallest
 // ID. Nil when no region contains the area.
-func (idx *containmentIndex) lookup(area *extract.AccessArea) *Region {
-	var bounds map[string]interval.Set
+func (idx *containmentIndex) lookup(shape *queryShape) *Region {
 	var best *Region
 	consider := func(r *Region) {
-		if !r.Contains(area) {
+		if !r.containsShape(shape, "", "") {
 			return
 		}
 		if best == nil || r.Rows < best.Rows || (r.Rows == best.Rows && r.ID < best.ID) {
@@ -118,7 +114,7 @@ func (idx *containmentIndex) lookup(area *extract.AccessArea) *Region {
 		}
 	}
 	for _, g := range idx.groups {
-		if !g.covers(area.Relations) {
+		if !g.covers(shape.relations) {
 			continue
 		}
 		if g.primary == "" {
@@ -132,14 +128,8 @@ func (idx *containmentIndex) lookup(area *extract.AccessArea) *Region {
 		// to containment and every region qualifies: probe with the empty
 		// interval (+inf, -inf), which every [start, end] pair admits.
 		qlo, qhi := math.Inf(1), math.Inf(-1)
-		if rel, _, ok := splitQualified(g.primary); ok && containsFold(area.Relations, rel) {
-			if bounds == nil {
-				bounds = area.Bounds()
-			}
-			hull := interval.Full()
-			if set, ok := bounds[g.primary]; ok {
-				hull = set.Hull()
-			}
+		if rel, _, ok := splitQualified(g.primary); ok && containsFold(shape.relations, rel) {
+			hull := shape.hull(g.primary)
 			qlo, qhi = hull.Lo, hull.Hi
 		}
 		// Candidates form the prefix with start <= qlo; within it, only

@@ -66,3 +66,68 @@ func TestWorkloadOracle(t *testing.T) {
 		t.Errorf("hit ratio %.3f below sanity floor 0.3", ratio)
 	}
 }
+
+// TestComposedWorkloadOracle replays the same workload against a region set
+// where every splittable cluster is bisected into two half-regions, so
+// statements that used to be single-region hits must be assembled from
+// covering sets (positional-dedup union stores) and aggregate probes from
+// partial-aggregate combines. Every served result — whatever the path —
+// must stay byte-identical to direct execution.
+func TestComposedWorkloadOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload oracle is slow")
+	}
+	env := experiments.NewEnvRows(2500, 11, 400)
+	miner := env.Miner()
+	res := miner.MineRecords(env.Records)
+	if len(res.Clusters) == 0 {
+		t.Fatal("mining produced no clusters")
+	}
+	opts := memdb.ExecOptions{RowLimit: 500000, StrictTSQL: true}
+	cache := interestcache.New(interestcache.Config{
+		DB:        env.DB,
+		Extractor: &extract.Extractor{Schema: env.Schema, Stats: miner.Stats()},
+		Templates: &extract.TemplateCache{},
+		Exec:      opts,
+		Verify:    true,
+	})
+	split := experiments.SplitClusters(res.Clusters)
+	if len(split) <= len(res.Clusters) {
+		t.Fatalf("no cluster was splittable: %d -> %d", len(res.Clusters), len(split))
+	}
+	cache.Install(1, split)
+
+	probes := experiments.AggProbes(res.Clusters)
+	statements := make([]string, 0, len(env.Records)+len(probes))
+	for _, rec := range env.Records {
+		statements = append(statements, rec.SQL)
+	}
+	statements = append(statements, probes...)
+	for _, sql := range statements {
+		rs, info, err := cache.Query(sql)
+		direct, derr := env.DB.ExecuteSQL(sql, opts)
+		if (err == nil) != (derr == nil) {
+			t.Fatalf("error mismatch for %q: cache=%v direct=%v", sql, err, derr)
+		}
+		if err != nil {
+			continue
+		}
+		if string(interestcache.EncodeResultSet(rs)) != string(interestcache.EncodeResultSet(direct)) {
+			t.Fatalf("result mismatch (hit=%v path=%s regions=%v) for %q",
+				info.Hit, info.Path, info.Regions, sql)
+		}
+	}
+	m := cache.Metrics()
+	if m.VerifyFailed != 0 {
+		t.Fatalf("oracle failures: %+v", m)
+	}
+	if m.ComposedHits == 0 {
+		t.Fatal("split regions produced no composed hits")
+	}
+	if len(probes) > 0 && m.PreaggHits == 0 {
+		t.Errorf("aggregate probes produced no partial-aggregate combines (agg=%d preagg=%d)",
+			m.AggHits, m.PreaggHits)
+	}
+	t.Logf("hits=%d misses=%d composed=%d preagg=%d agg=%d verify_checked=%d regions=%d",
+		m.Hits, m.Misses, m.ComposedHits, m.PreaggHits, m.AggHits, m.VerifyChecked, m.Regions)
+}

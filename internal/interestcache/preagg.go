@@ -1,0 +1,757 @@
+package interestcache
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/extract"
+	"repro/internal/interval"
+	"repro/internal/memdb"
+	"repro/internal/predicate"
+	"repro/internal/sqlparser"
+)
+
+// Aggregate pushdown (DESIGN.md §17). The safeShape gate rejects HAVING
+// because extraction folds HAVING aggregates into the row-level constraint,
+// shrinking the access area below the statement's WHERE row set. The agg
+// path sidesteps that: containment is decided on the WHERE-only area (the
+// statement with HAVING stripped), which IS the row set the aggregation
+// consumes. A single containing region then executes the full statement on
+// its store; a covering set either executes on the positional union store
+// or — when the plan below recognises the statement — combines per-region
+// pre-aggregates without materialising the union.
+//
+// The partial-aggregate merge is only attempted when it is provably
+// byte-identical to direct execution:
+//
+//   - the WHERE clause is fully numeric-decomposable (every CNF clause is a
+//     single-column interval constraint; string predicates are out because
+//     store equality is case-sensitive while region categorical admission
+//     folds case);
+//   - every cover member's box, on every dimension it constrains, is
+//     contained in the query's per-column set — so every prefetched row
+//     satisfies the WHERE clause and partial counts are exact;
+//   - members are pairwise position-disjoint, so nothing is double-counted;
+//   - COUNT/MIN/MAX merge associatively; SUM/AVG are float-order-sensitive,
+//     so any group spanning two members bails the whole query to the union
+//     store rather than risk a differently-rounded sum.
+
+// aggKind enumerates the combinable aggregate functions.
+type aggKind int
+
+const (
+	aggCountStar aggKind = iota
+	aggCount
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+// aggRef is one distinct aggregate call in the statement: the function and
+// its (lowercased) argument column, "" for COUNT(*).
+type aggRef struct {
+	kind aggKind
+	col  string
+}
+
+// planItem is one select-list entry: the group column or an aggregate.
+type planItem struct {
+	group bool
+	agg   int // index into aggPlan.aggs
+	expr  sqlparser.Expr
+	alias string
+}
+
+// aggPlan is a recognised single-table GROUP-BY aggregate statement whose
+// result can be assembled from per-region partial aggregates.
+type aggPlan struct {
+	table    string // FROM table as written
+	groupCol string // GROUP BY column name as written
+	groupRef *sqlparser.ColumnRef
+	aggs     []aggRef
+	items    []planItem
+	having   sqlparser.Expr
+	// orderSensitive marks plans containing SUM or AVG, whose partial sums
+	// must not be merged across members.
+	orderSensitive bool
+}
+
+// buildAggPlan recognises the combinable statement class. Nil means the
+// statement is served by whole-statement execution against a region or
+// union store instead.
+func buildAggPlan(sel *sqlparser.SelectStatement) *aggPlan {
+	if sel.Distinct || sel.Top != nil || sel.Limit != nil ||
+		len(sel.OrderBy) > 0 || len(sel.Unions) > 0 || len(sel.From) != 1 ||
+		len(sel.GroupBy) != 1 {
+		return nil
+	}
+	tn, ok := sel.From[0].(*sqlparser.TableName)
+	if !ok || tn.Alias != "" {
+		return nil
+	}
+	g, ok := sel.GroupBy[0].(*sqlparser.ColumnRef)
+	if !ok || (g.Table != "" && !strings.EqualFold(g.Table, tn.Name)) {
+		return nil
+	}
+	p := &aggPlan{table: tn.Name, groupCol: g.Name, groupRef: g}
+	isGroupRef := func(e sqlparser.Expr) bool {
+		cr, ok := e.(*sqlparser.ColumnRef)
+		return ok && strings.EqualFold(cr.Name, g.Name) &&
+			(cr.Table == "" || strings.EqualFold(cr.Table, tn.Name))
+	}
+	addAgg := func(fc *sqlparser.FuncCall) (int, bool) {
+		if fc.Distinct {
+			return 0, false
+		}
+		var kind aggKind
+		name := strings.ToUpper(fc.Name)
+		col := ""
+		if name == "COUNT" && fc.Star {
+			kind = aggCountStar
+		} else {
+			if len(fc.Args) != 1 {
+				return 0, false
+			}
+			cr, ok := fc.Args[0].(*sqlparser.ColumnRef)
+			if !ok || (cr.Table != "" && !strings.EqualFold(cr.Table, tn.Name)) {
+				return 0, false
+			}
+			col = strings.ToLower(cr.Name)
+			switch name {
+			case "COUNT":
+				kind = aggCount
+			case "SUM":
+				kind = aggSum
+			case "AVG":
+				kind = aggAvg
+			case "MIN":
+				kind = aggMin
+			case "MAX":
+				kind = aggMax
+			default:
+				return 0, false
+			}
+		}
+		for i, a := range p.aggs {
+			if a.kind == kind && a.col == col {
+				return i, true
+			}
+		}
+		p.aggs = append(p.aggs, aggRef{kind: kind, col: col})
+		if kind == aggSum || kind == aggAvg {
+			p.orderSensitive = true
+		}
+		return len(p.aggs) - 1, true
+	}
+	for _, item := range sel.Select {
+		if item.Star {
+			return nil
+		}
+		if isGroupRef(item.Expr) {
+			p.items = append(p.items, planItem{group: true, expr: item.Expr, alias: item.Alias})
+			continue
+		}
+		fc, ok := item.Expr.(*sqlparser.FuncCall)
+		if !ok || !fc.IsAggregate() {
+			return nil
+		}
+		idx, ok := addAgg(fc)
+		if !ok {
+			return nil
+		}
+		p.items = append(p.items, planItem{agg: idx, expr: item.Expr, alias: item.Alias})
+	}
+	// HAVING: Boolean combinations of comparisons between plan aggregates,
+	// the group column, and (possibly negated) numeric literals.
+	var validTerm func(e sqlparser.Expr) bool
+	validTerm = func(e sqlparser.Expr) bool {
+		switch x := e.(type) {
+		case *sqlparser.NumberLit:
+			return true
+		case *sqlparser.UnaryExpr:
+			if x.Op != "-" {
+				return false
+			}
+			_, ok := x.X.(*sqlparser.NumberLit)
+			return ok
+		case *sqlparser.ColumnRef:
+			return isGroupRef(x)
+		case *sqlparser.FuncCall:
+			if !x.IsAggregate() {
+				return false
+			}
+			_, ok := addAgg(x)
+			return ok
+		}
+		return false
+	}
+	var validBool func(e sqlparser.Expr) bool
+	validBool = func(e sqlparser.Expr) bool {
+		switch x := e.(type) {
+		case *sqlparser.BinaryExpr:
+			switch x.Op {
+			case "AND", "OR":
+				return validBool(x.L) && validBool(x.R)
+			case "=", "<>", "<", "<=", ">", ">=":
+				return validTerm(x.L) && validTerm(x.R)
+			}
+			return false
+		case *sqlparser.UnaryExpr:
+			return x.Op == "NOT" && validBool(x.X)
+		}
+		return false
+	}
+	if sel.Having != nil {
+		if !validBool(sel.Having) {
+			return nil
+		}
+		p.having = sel.Having
+	}
+	return p
+}
+
+// planKey canonicalises the plan's book signature: same table, group column
+// and aggregate set share one per-region book.
+func (p *aggPlan) planKey() string {
+	var b strings.Builder
+	b.WriteString(strings.ToLower(p.table))
+	b.WriteString("|")
+	b.WriteString(strings.ToLower(p.groupCol))
+	for _, a := range p.aggs {
+		b.WriteString("|")
+		b.WriteString(strings.ToLower(a.col))
+		b.WriteString(":")
+		b.WriteByte(byte('0' + int(a.kind)))
+	}
+	return b.String()
+}
+
+// aggStat is one aggregate's partial state over one group in one region.
+type aggStat struct {
+	nonNull int
+	sum     float64
+	min     memdb.Value
+	max     memdb.Value
+	hasMM   bool
+}
+
+// bookGroup is one group's partial aggregates in one region.
+type bookGroup struct {
+	val    memdb.Value // group column value of the group's first row
+	minPos int         // global source position of that row
+	count  int         // rows in the group (COUNT(*))
+	stats  []aggStat   // aligned with aggPlan.aggs
+}
+
+// groupBook holds one region's pre-aggregates for one plan signature.
+type groupBook struct {
+	ok     bool
+	byKey  map[string]*bookGroup
+	insert []string // group keys in first-occurrence order
+}
+
+// bookCache lazily materialises and retains a region's group books. Books
+// are immutable once built and shared with carried regions.
+type bookCache struct {
+	mu    sync.Mutex
+	byKey map[string]*groupBook
+}
+
+func (c *bookCache) snapshot() map[string]*groupBook {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*groupBook, len(c.byKey))
+	for k, v := range c.byKey {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *bookCache) get(r *Region, p *aggPlan) *groupBook {
+	key := p.planKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey == nil {
+		c.byKey = make(map[string]*groupBook)
+	}
+	if b, ok := c.byKey[key]; ok {
+		return b
+	}
+	b := buildGroupBook(r, p)
+	c.byKey[key] = b
+	return b
+}
+
+// buildGroupBook scans a region store table once, folding each plan
+// aggregate per group in store (= source) row order, mirroring memdb's
+// evalAggregate fold exactly.
+func buildGroupBook(r *Region, p *aggPlan) *groupBook {
+	b := &groupBook{byKey: map[string]*bookGroup{}}
+	if r.store == nil {
+		return b
+	}
+	t := r.store.Table(p.table)
+	if t == nil {
+		return b
+	}
+	gi, ok := t.ColumnIndex(p.groupCol)
+	if !ok {
+		return b
+	}
+	cols := make([]int, len(p.aggs))
+	for i, a := range p.aggs {
+		if a.kind == aggCountStar {
+			cols[i] = -1
+			continue
+		}
+		ci, ok := t.ColumnIndex(a.col)
+		if !ok {
+			return b
+		}
+		cols[i] = ci
+	}
+	positions := r.rowIdx[strings.ToLower(t.Name)]
+	if len(positions) != len(t.Rows) {
+		return b
+	}
+	for ri, row := range t.Rows {
+		gv := row[gi]
+		key := gv.String()
+		g, ok := b.byKey[key]
+		if !ok {
+			g = &bookGroup{val: gv, minPos: positions[ri], stats: make([]aggStat, len(p.aggs))}
+			b.byKey[key] = g
+			b.insert = append(b.insert, key)
+		}
+		g.count++
+		for i, ci := range cols {
+			if ci < 0 {
+				continue
+			}
+			v := row[ci]
+			if v.Kind == memdb.Null {
+				continue
+			}
+			st := &g.stats[i]
+			st.nonNull++
+			st.sum += v.Num
+			if !st.hasMM {
+				st.min, st.max, st.hasMM = v, v, true
+			} else {
+				if c, ok := v.Compare(st.min); ok && c < 0 {
+					st.min = v
+				}
+				if c, ok := v.Compare(st.max); ok && c > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+	b.ok = true
+	return b
+}
+
+// decomposeWhere projects the WHERE-only area onto per-column interval
+// sets, failing unless EVERY clause decomposes: the per-column sets must be
+// the exact WHERE semantics for row membership, not the usual necessary
+// over-approximation, because partial counts admit every region row.
+func decomposeWhere(area *extract.AccessArea) (map[string]interval.Set, bool) {
+	spec := make(map[string]interval.Set)
+	for _, cl := range area.CNF {
+		col := ""
+		set := interval.EmptySet()
+		for _, p := range cl {
+			if p.Kind != predicate.ColumnConstant {
+				return nil, false
+			}
+			s, ok := p.Interval()
+			if !ok {
+				return nil, false
+			}
+			if col == "" {
+				col = p.Column
+			} else if col != p.Column {
+				return nil, false
+			}
+			set = set.Union(s)
+		}
+		if col == "" {
+			return nil, false
+		}
+		if cur, ok := spec[col]; ok {
+			spec[col] = cur.Intersect(set)
+		} else {
+			spec[col] = set
+		}
+	}
+	return spec, true
+}
+
+// setContainsInterval reports iv ⊆ set: a connected interval is contained
+// in a normalised set iff one member interval contains it.
+func setContainsInterval(set interval.Set, iv interval.Interval) bool {
+	if iv.IsEmpty() {
+		return true
+	}
+	for _, m := range set.Intervals() {
+		if m.ContainsInterval(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// combinePreagg answers the planned statement from the cover members'
+// partial aggregates. ok=false sends the caller to the union-store path.
+func combinePreagg(cv *cover, p *aggPlan, area *extract.AccessArea, shape *queryShape, rowLimit int) (*memdb.ResultSet, bool) {
+	if p == nil || len(shape.strs) > 0 {
+		return nil, false
+	}
+	spec, ok := decomposeWhere(area)
+	if !ok {
+		return nil, false
+	}
+	// Every member's rows must all satisfy the WHERE clause: the member
+	// constrains every WHERE column, inside the query's set, and nothing
+	// else the query leaves free is pre-filtered (guaranteed for box dims by
+	// the check below against spec, and categoricals by the strs gate).
+	for _, r := range cv.regions {
+		if len(r.Categorical) > 0 {
+			return nil, false
+		}
+		dims := map[string]bool{}
+		for _, d := range r.Box.Dims() {
+			rel, _, ok := splitQualified(d)
+			if !ok {
+				return nil, false
+			}
+			if !containsFold(shape.relations, rel) {
+				// Dimensions on relations the query never reads restrict
+				// other tables' rows only; the plan table is untouched.
+				continue
+			}
+			dims[d] = true
+			qset, ok := spec[d]
+			if !ok || !setContainsInterval(qset, r.Box.Get(d)) {
+				return nil, false
+			}
+		}
+		for col := range spec {
+			if !dims[col] {
+				return nil, false
+			}
+		}
+	}
+	if !positionsDisjoint(cv.regions, strings.ToLower(p.table)) {
+		return nil, false
+	}
+	books := make([]*groupBook, len(cv.regions))
+	for i, r := range cv.regions {
+		b := r.books.get(r, p)
+		if !b.ok {
+			return nil, false
+		}
+		books[i] = b
+	}
+	// Merge the members' partial groups. Fold order within a key follows the
+	// group's first source row per member, reproducing memdb's global-order
+	// fold for the associative aggregates; SUM/AVG refuse to span members.
+	type mergeEntry struct {
+		key    string
+		groups []*bookGroup
+	}
+	merged := map[string]*mergeEntry{}
+	var order []*mergeEntry
+	for _, b := range books {
+		for _, key := range b.insert {
+			g := b.byKey[key]
+			e, ok := merged[key]
+			if !ok {
+				e = &mergeEntry{key: key}
+				merged[key] = e
+				order = append(order, e)
+			}
+			e.groups = append(e.groups, g)
+		}
+	}
+	rows := make([]*bookGroup, 0, len(order))
+	for _, e := range order {
+		if len(e.groups) > 1 && p.orderSensitive {
+			return nil, false
+		}
+		sort.SliceStable(e.groups, func(i, j int) bool { return e.groups[i].minPos < e.groups[j].minPos })
+		out := &bookGroup{val: e.groups[0].val, minPos: e.groups[0].minPos, stats: make([]aggStat, len(p.aggs))}
+		for _, g := range e.groups {
+			out.count += g.count
+			for i := range p.aggs {
+				st, in := &out.stats[i], g.stats[i]
+				st.nonNull += in.nonNull
+				st.sum += in.sum
+				if in.hasMM {
+					if !st.hasMM {
+						st.min, st.max, st.hasMM = in.min, in.max, true
+					} else {
+						if c, ok := in.min.Compare(st.min); ok && c < 0 {
+							st.min = in.min
+						}
+						if c, ok := in.max.Compare(st.max); ok && c > 0 {
+							st.max = in.max
+						}
+					}
+				}
+			}
+		}
+		rows = append(rows, out)
+	}
+	// memdb emits groups in first-occurrence order of the full scan = by
+	// the group's earliest source position.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].minPos < rows[j].minPos })
+	// HAVING filter.
+	if p.having != nil {
+		kept := rows[:0]
+		for _, g := range rows {
+			keep, ok := evalHavingBool(p.having, p, g)
+			if !ok {
+				return nil, false
+			}
+			if keep {
+				kept = append(kept, g)
+			}
+		}
+		rows = kept
+	}
+	if rowLimit > 0 && len(rows) > rowLimit {
+		return nil, false
+	}
+	// Result assembly mirroring memdb's projection naming: with at least
+	// one pre-HAVING group the WHERE row set was non-empty, so column refs
+	// qualify against the table; otherwise names fall back to the formatted
+	// expression, exactly as projectionColumns does with no sample row.
+	var tbl *memdb.Table
+	if len(cv.regions) > 0 && cv.regions[0].store != nil {
+		tbl = cv.regions[0].store.Table(p.table)
+	}
+	haveSample := len(order) > 0
+	rs := &memdb.ResultSet{}
+	for _, item := range p.items {
+		name := item.alias
+		if name == "" {
+			if cr, ok := item.expr.(*sqlparser.ColumnRef); ok && haveSample && tbl != nil {
+				if _, ok := tbl.ColumnIndex(cr.Name); ok {
+					name = tbl.Name + "." + cr.Name
+				}
+			}
+			if name == "" {
+				name = sqlparser.FormatExpr(item.expr)
+			}
+		}
+		rs.Columns = append(rs.Columns, name)
+	}
+	for _, g := range rows {
+		row := make([]memdb.Value, len(p.items))
+		for i, item := range p.items {
+			if item.group {
+				row[i] = g.val
+			} else {
+				row[i] = aggValue(p, item.agg, g)
+			}
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, true
+}
+
+// positionsDisjoint verifies no source row of the plan table appears in two
+// members.
+func positionsDisjoint(regions []*Region, tableKey string) bool {
+	idx := make([]int, len(regions))
+	last := -1
+	for {
+		bi, bp := -1, 0
+		for i, r := range regions {
+			pos := r.rowIdx[tableKey]
+			if idx[i] < len(pos) && (bi < 0 || pos[idx[i]] < bp) {
+				bi, bp = i, pos[idx[i]]
+			}
+		}
+		if bi < 0 {
+			return true
+		}
+		if bp == last {
+			return false
+		}
+		last = bp
+		idx[bi]++
+	}
+}
+
+// aggValue finalises one merged aggregate, mirroring memdb's NULL-on-empty
+// semantics.
+func aggValue(p *aggPlan, idx int, g *bookGroup) memdb.Value {
+	a := p.aggs[idx]
+	switch a.kind {
+	case aggCountStar:
+		return memdb.N(float64(g.count))
+	case aggCount:
+		return memdb.N(float64(g.stats[idx].nonNull))
+	}
+	st := g.stats[idx]
+	switch a.kind {
+	case aggSum:
+		if st.nonNull == 0 {
+			return memdb.NullValue()
+		}
+		return memdb.N(st.sum)
+	case aggAvg:
+		if st.nonNull == 0 {
+			return memdb.NullValue()
+		}
+		return memdb.N(st.sum / float64(st.nonNull))
+	case aggMin:
+		if !st.hasMM {
+			return memdb.NullValue()
+		}
+		return st.min
+	case aggMax:
+		if !st.hasMM {
+			return memdb.NullValue()
+		}
+		return st.max
+	}
+	return memdb.NullValue()
+}
+
+// evalHavingBool evaluates the validated HAVING expression over one merged
+// group, mirroring memdb's two-valued comparison semantics.
+func evalHavingBool(e sqlparser.Expr, p *aggPlan, g *bookGroup) (bool, bool) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, ok := evalHavingBool(x.L, p, g)
+			if !ok {
+				return false, false
+			}
+			if !l {
+				return false, true
+			}
+			return evalHavingBool(x.R, p, g)
+		case "OR":
+			l, ok := evalHavingBool(x.L, p, g)
+			if !ok {
+				return false, false
+			}
+			if l {
+				return true, true
+			}
+			return evalHavingBool(x.R, p, g)
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, ok := evalHavingTerm(x.L, p, g)
+			if !ok {
+				return false, false
+			}
+			r, ok := evalHavingTerm(x.R, p, g)
+			if !ok {
+				return false, false
+			}
+			return cmpVals(x.Op, l, r), true
+		}
+	case *sqlparser.UnaryExpr:
+		if x.Op == "NOT" {
+			inner, ok := evalHavingBool(x.X, p, g)
+			return !inner, ok
+		}
+	}
+	return false, false
+}
+
+func evalHavingTerm(e sqlparser.Expr, p *aggPlan, g *bookGroup) (memdb.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparser.NumberLit:
+		return memdb.N(x.Value), true
+	case *sqlparser.UnaryExpr:
+		if x.Op == "-" {
+			if n, ok := x.X.(*sqlparser.NumberLit); ok {
+				return memdb.N(-n.Value), true
+			}
+		}
+		return memdb.Value{}, false
+	case *sqlparser.ColumnRef:
+		return g.val, true
+	case *sqlparser.FuncCall:
+		idx, ok := planAggIndex(p, x)
+		if !ok {
+			return memdb.Value{}, false
+		}
+		return aggValue(p, idx, g), true
+	}
+	return memdb.Value{}, false
+}
+
+// planAggIndex resolves a HAVING aggregate call back to its plan slot.
+func planAggIndex(p *aggPlan, fc *sqlparser.FuncCall) (int, bool) {
+	name := strings.ToUpper(fc.Name)
+	var kind aggKind
+	col := ""
+	if name == "COUNT" && fc.Star {
+		kind = aggCountStar
+	} else {
+		if len(fc.Args) != 1 {
+			return 0, false
+		}
+		cr, ok := fc.Args[0].(*sqlparser.ColumnRef)
+		if !ok {
+			return 0, false
+		}
+		col = strings.ToLower(cr.Name)
+		switch name {
+		case "COUNT":
+			kind = aggCount
+		case "SUM":
+			kind = aggSum
+		case "AVG":
+			kind = aggAvg
+		case "MIN":
+			kind = aggMin
+		case "MAX":
+			kind = aggMax
+		default:
+			return 0, false
+		}
+	}
+	for i, a := range p.aggs {
+		if a.kind == kind && a.col == col {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func cmpVals(op string, l, r memdb.Value) bool {
+	if op == "=" {
+		return l.Equal(r)
+	}
+	if op == "<>" {
+		if l.Kind == memdb.Null || r.Kind == memdb.Null {
+			return false
+		}
+		return !l.Equal(r)
+	}
+	c, ok := l.Compare(r)
+	if !ok {
+		return false
+	}
+	switch op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}

@@ -7,8 +7,11 @@
 package interestcache
 
 import (
+	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/extract"
@@ -23,21 +26,70 @@ import (
 // is immutable after construction; hit counters are atomic so the serving
 // path never takes a lock.
 type Region struct {
-	ID         int
-	Generation int64
-	Relations  []string
-	Box        *interval.Box
+	ID          int
+	Generation  int64
+	Relations   []string
+	Box         *interval.Box
 	Categorical map[string][]string
 
 	store *memdb.DB
+	// rowIdx maps each store table (lowercased canonical name) to the sorted
+	// source-row positions of its rows, so composed covers can merge two
+	// region stores back into global source order (compose.go).
+	rowIdx map[string][]int
 	// Rows and Bytes size the prefetched column store: total row count and
 	// the byte footprint of its cells (8 bytes per number, len+1 per
 	// string, 1 per null — the kind tag).
 	Rows  int
 	Bytes int64
 
+	// identity is the canonical signature of the cluster's access area
+	// (relations + box + categorical). The heat book is keyed by identity so
+	// heat survives epoch re-mining: the same interest area gets new cluster
+	// IDs each epoch but the same identity.
+	identity string
+	// materializedAt stamps when the store was built; with a per-region TTL
+	// configured, stores younger than the TTL are carried into the next
+	// generation instead of being rebuilt, and the age is surfaced as the
+	// hit's staleness bound.
+	materializedAt time.Time
+	// shadow regions keep the area metadata with no store: they exist only
+	// to collect near-miss heat for regions the budget excluded.
+	shadow bool
+
 	hits        atomic.Int64
 	bytesServed atomic.Int64
+	nearMisses  atomic.Int64
+
+	books bookCache
+}
+
+// queryShape is a query's access area projected into the containment test's
+// vocabulary: referenced relations, per-column numeric bound sets, and
+// per-column pinned string values. Computing it once per query lets region
+// containment, index lookup, cover search, and shadow near-miss crediting
+// share the work.
+type queryShape struct {
+	relations []string
+	bounds    map[string]interval.Set
+	strs      map[string][]string
+}
+
+func newQueryShape(area *extract.AccessArea) *queryShape {
+	return &queryShape{
+		relations: area.Relations,
+		bounds:    area.Bounds(),
+		strs:      predicate.StringBounds(area.CNF),
+	}
+}
+
+// hull is the query's projected bound on one dimension: the hull of its
+// interval set, or the full line when the column is unconstrained.
+func (s *queryShape) hull(dim string) interval.Interval {
+	if set, ok := s.bounds[dim]; ok {
+		return set.Hull()
+	}
+	return interval.Full()
 }
 
 // newRegion prefetches the rows of db inside the cluster's aggregated access
@@ -45,14 +97,10 @@ type Region struct {
 // column by column into fresh row slices so the region store stays valid even
 // if the source tables are later mutated.
 func newRegion(db *memdb.DB, generation int64, c *aggregate.Summary) *Region {
-	r := &Region{
-		ID:          c.ID,
-		Generation:  generation,
-		Relations:   append([]string(nil), c.Relations...),
-		Box:         c.Box.Clone(),
-		Categorical: c.Categorical,
-	}
-	view := db.Restrict(r.Relations, r.Box, r.Categorical)
+	r := newShadowRegion(generation, c)
+	r.shadow = false
+	view, rowIdx := db.RestrictIndexed(r.Relations, r.Box, r.Categorical)
+	r.rowIdx = rowIdx
 	r.store = memdb.New(db.Schema)
 	for _, name := range view.Tables() {
 		src := view.Table(name)
@@ -62,7 +110,103 @@ func newRegion(db *memdb.DB, generation int64, c *aggregate.Summary) *Region {
 		r.Rows += len(dst.Rows)
 		r.Bytes += cols.bytes
 	}
+	r.materializedAt = time.Now()
 	return r
+}
+
+// newShadowRegion carries a cluster's area metadata without materialising a
+// store. Shadows sit outside the containment index; the miss path scans them
+// to credit near-miss heat to regions the budget excluded, which is what lets
+// a wrongly-evicted region earn its way back in.
+func newShadowRegion(generation int64, c *aggregate.Summary) *Region {
+	return &Region{
+		ID:          c.ID,
+		Generation:  generation,
+		Relations:   append([]string(nil), c.Relations...),
+		Box:         c.Box.Clone(),
+		Categorical: c.Categorical,
+		identity:    identityOf(c.Relations, c.Box, c.Categorical),
+		shadow:      true,
+	}
+}
+
+// carryRegion re-wraps a prior generation's region under a new generation,
+// sharing the immutable store, row index, and pre-aggregate books but with
+// fresh serving counters (the old counters have already been folded into the
+// heat book by Install).
+func carryRegion(prev *Region, id int, generation int64) *Region {
+	return &Region{
+		ID:             id,
+		Generation:     generation,
+		Relations:      prev.Relations,
+		Box:            prev.Box,
+		Categorical:    prev.Categorical,
+		store:          prev.store,
+		rowIdx:         prev.rowIdx,
+		Rows:           prev.Rows,
+		Bytes:          prev.Bytes,
+		identity:       prev.identity,
+		materializedAt: prev.materializedAt,
+		books:          bookCache{byKey: prev.books.snapshot()},
+	}
+}
+
+// identityOf canonicalises a cluster's access area into a signature string:
+// lowercased sorted relations, each box dimension with exact (bit-preserving)
+// endpoints and openness, and each categorical column with its sorted folded
+// value list. Two epochs that mine the same interest area produce the same
+// identity even though cluster IDs differ.
+func identityOf(relations []string, box *interval.Box, categorical map[string][]string) string {
+	var b strings.Builder
+	rels := make([]string, len(relations))
+	for i, r := range relations {
+		rels[i] = strings.ToLower(r)
+	}
+	sort.Strings(rels)
+	b.WriteString(strings.Join(rels, ","))
+	if box != nil {
+		dims := box.Dims()
+		sort.Strings(dims)
+		for _, d := range dims {
+			iv := box.Get(d)
+			b.WriteString("|")
+			b.WriteString(strings.ToLower(d))
+			b.WriteString(boundMark(iv.LoOpen, "("))
+			b.WriteString(strconv.FormatFloat(iv.Lo, 'x', -1, 64))
+			b.WriteString(",")
+			b.WriteString(strconv.FormatFloat(iv.Hi, 'x', -1, 64))
+			b.WriteString(boundMark(iv.HiOpen, ")"))
+		}
+	}
+	if len(categorical) > 0 {
+		cols := make([]string, 0, len(categorical))
+		for c := range categorical {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			vals := make([]string, len(categorical[c]))
+			for i, v := range categorical[c] {
+				vals[i] = strings.ToLower(v)
+			}
+			sort.Strings(vals)
+			b.WriteString("|")
+			b.WriteString(strings.ToLower(c))
+			b.WriteString("=")
+			b.WriteString(strings.Join(vals, ","))
+		}
+	}
+	return b.String()
+}
+
+func boundMark(open bool, openMark string) string {
+	if open {
+		return openMark
+	}
+	if openMark == "(" {
+		return "["
+	}
+	return "]"
 }
 
 // columns is a per-table column store: one typed vector per column, cells
@@ -143,49 +287,69 @@ func (c *columns) rows() [][]memdb.Value {
 // Dimensions on relations the query never reads are irrelevant: the
 // restriction they induce removes rows of other tables only.
 func (r *Region) Contains(area *extract.AccessArea) bool {
-	for _, rel := range area.Relations {
+	return r.containsShape(newQueryShape(area), "", "")
+}
+
+// containsShape is the containment test proper, shared by Contains, the
+// index lookup, and the cover search. skipDim (a box dimension) and skipCat
+// (a categorical column) name the one axis a composed cover is allowed to
+// split along: the test ignores that axis, certifying the region contains
+// the query on every OTHER axis, and the cover search separately proves the
+// skipped axis is covered by the union of the set's projections.
+func (r *Region) containsShape(s *queryShape, skipDim, skipCat string) bool {
+	for _, rel := range s.relations {
 		if !containsFold(r.Relations, rel) {
 			return false
 		}
 	}
-	bounds := area.Bounds()
 	for _, dim := range r.Box.Dims() {
-		rel, _, ok := splitQualified(dim)
-		if !ok || !containsFold(area.Relations, rel) {
+		if dim == skipDim {
 			continue
 		}
-		q := interval.Full()
-		if set, ok := bounds[dim]; ok {
-			q = set.Hull()
+		rel, _, ok := splitQualified(dim)
+		if !ok || !containsFold(s.relations, rel) {
+			continue
 		}
-		if !r.Box.Get(dim).ContainsInterval(q) {
+		if !r.Box.Get(dim).ContainsInterval(s.hull(dim)) {
 			return false
 		}
 	}
-	if len(r.Categorical) > 0 {
-		strBounds := predicate.StringBounds(area.CNF)
-		for col, regionVals := range r.Categorical {
-			rel, _, ok := splitQualified(col)
-			if !ok || !containsFold(area.Relations, rel) {
-				continue
-			}
-			queryVals, ok := strBounds[col]
-			if !ok {
+	for col, regionVals := range r.Categorical {
+		if col == skipCat {
+			continue
+		}
+		rel, _, ok := splitQualified(col)
+		if !ok || !containsFold(s.relations, rel) {
+			continue
+		}
+		queryVals, ok := s.strs[col]
+		if !ok {
+			return false
+		}
+		for _, v := range queryVals {
+			if !containsFold(regionVals, v) {
 				return false
-			}
-			for _, v := range queryVals {
-				if !containsFold(regionVals, v) {
-					return false
-				}
 			}
 		}
 	}
 	return true
 }
 
-// Hits and BytesServed expose the per-region serving counters.
+// Staleness is the age of the region's materialised store.
+func (r *Region) Staleness() time.Duration {
+	if r.materializedAt.IsZero() {
+		return 0
+	}
+	return time.Since(r.materializedAt)
+}
+
+// Hits, BytesServed, and NearMisses expose the per-region serving counters.
+// NearMisses counts queries this region would have contained but could not
+// serve (shadow regions, or resident regions a composed cover passed over);
+// it feeds the heat book alongside hits.
 func (r *Region) Hits() int64        { return r.hits.Load() }
 func (r *Region) BytesServed() int64 { return r.bytesServed.Load() }
+func (r *Region) NearMisses() int64  { return r.nearMisses.Load() }
 
 func containsFold(list []string, s string) bool {
 	for _, v := range list {

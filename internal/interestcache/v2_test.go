@@ -1,0 +1,310 @@
+package interestcache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/extract"
+	"repro/internal/interval"
+	"repro/internal/memdb"
+)
+
+// budgetCache builds a verifying cache over testDB (or cfg.DB when set)
+// without installing anything.
+func budgetCache(cfg Config) *Cache {
+	if cfg.DB == nil {
+		cfg.DB = testDB()
+	}
+	cfg.Extractor = &extract.Extractor{}
+	cfg.Templates = &extract.TemplateCache{}
+	cfg.Verify = true
+	return New(cfg)
+}
+
+func tSummary(id int, iv interval.Interval) *aggregate.Summary {
+	return summary(id, []string{"T"}, map[string]interval.Interval{"T.u": iv}, nil)
+}
+
+// A T region of k rows costs k rows × 2 numeric cells × 9 bytes.
+const tRowBytes = 2 * 9
+
+func TestBudgetExactFit(t *testing.T) {
+	// Four rows = 72 bytes; a budget of exactly 72 must keep the region
+	// resident, one byte less must demote it to a shadow.
+	c := budgetCache(Config{BudgetBytes: 4 * tRowBytes})
+	c.Install(1, []*aggregate.Summary{tSummary(1, interval.Closed(5, 8))})
+	m := c.Metrics()
+	if m.Regions != 1 || m.ShadowRegions != 0 || m.BytesResident != 4*tRowBytes {
+		t.Fatalf("exact fit: %+v", m)
+	}
+	if _, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 8"); err != nil || !info.Hit {
+		t.Fatalf("hit expected: %+v %v", info, err)
+	}
+
+	c = budgetCache(Config{BudgetBytes: 4*tRowBytes - 1})
+	c.Install(1, []*aggregate.Summary{tSummary(1, interval.Closed(5, 8))})
+	m = c.Metrics()
+	if m.Regions != 0 || m.ShadowRegions != 1 || m.BytesResident != 0 {
+		t.Fatalf("one byte short: %+v", m)
+	}
+	if _, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 8"); err != nil || info.Hit {
+		t.Fatalf("miss expected: %+v %v", info, err)
+	}
+	if m = c.Metrics(); m.NearMisses != 1 {
+		t.Fatalf("shadow near-miss not credited: %+v", m)
+	}
+	// Re-install: the size is now in the book, so the oversized region is
+	// never even materialised.
+	c.Install(2, []*aggregate.Summary{tSummary(7, interval.Closed(5, 8))})
+	if m = c.Metrics(); m.Regions != 0 || m.ShadowRegions != 1 {
+		t.Fatalf("known-oversize re-admitted: %+v", m)
+	}
+}
+
+func TestProbationAdmitThenEvict(t *testing.T) {
+	hot := tSummary(1, interval.Closed(5, 8))
+	newcomer := tSummary(2, interval.Closed(11, 14))
+	c := budgetCache(Config{BudgetBytes: 8 * tRowBytes})
+	c.Install(1, []*aggregate.Summary{hot})
+	for i := 0; i < 3; i++ {
+		if _, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 8"); err != nil || !info.Hit {
+			t.Fatalf("warm-up hit %d: %+v %v", i, info, err)
+		}
+	}
+	// Second generation brings a zero-heat newcomer; the budget fits both,
+	// and the newcomer is admitted on probation.
+	c.Install(2, []*aggregate.Summary{hot, newcomer})
+	m := c.Metrics()
+	if m.Regions != 2 || m.ProbationAdmits < 1 {
+		t.Fatalf("probation admit: %+v", m)
+	}
+	// Shrinking the budget to one region's bytes must evict the coldest —
+	// the newcomer — immediately.
+	c.SetBudget(4 * tRowBytes)
+	m = c.Metrics()
+	if m.Regions != 1 || m.Evicted < 1 || m.PerRegion[0].ID != 1 {
+		t.Fatalf("post-shrink: %+v", m)
+	}
+	if _, info, err := c.Query("SELECT v FROM T WHERE u >= 11 AND u <= 14"); err != nil || info.Hit {
+		t.Fatalf("evicted region still serving: %+v %v", info, err)
+	}
+	if _, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 8"); err != nil || !info.Hit {
+		t.Fatalf("hot region lost: %+v %v", info, err)
+	}
+	if m = c.Metrics(); m.NearMisses < 1 || m.VerifyFailed != 0 {
+		t.Fatalf("final metrics: %+v", m)
+	}
+}
+
+func TestHeatCarryThreeGenerations(t *testing.T) {
+	// Budget fits one region. Generation 1 admits A (candidate order);
+	// near-misses on B's shadow must flip residency at generation 2, and
+	// the carried heat must keep B resident through generation 3.
+	a := func(id int) *aggregate.Summary { return tSummary(id, interval.Closed(1, 4)) }
+	b := func(id int) *aggregate.Summary { return tSummary(id, interval.Closed(11, 14)) }
+	qB := "SELECT v FROM T WHERE u >= 11 AND u <= 14"
+	c := budgetCache(Config{BudgetBytes: 4 * tRowBytes})
+
+	c.Install(1, []*aggregate.Summary{a(1), b(2)})
+	if m := c.Metrics(); m.Regions != 1 || m.PerRegion[0].ID != 1 || m.ShadowRegions != 1 {
+		t.Fatalf("gen1: %+v", m)
+	}
+	for i := 0; i < 3; i++ {
+		if _, info, _ := c.Query(qB); info.Hit {
+			t.Fatal("gen1: B should be a shadow")
+		}
+	}
+
+	c.Install(2, []*aggregate.Summary{a(11), b(12)})
+	if m := c.Metrics(); m.Regions != 1 || m.PerRegion[0].ID != 12 || m.Evicted != 1 {
+		t.Fatalf("gen2: %+v", m)
+	}
+	if _, info, err := c.Query(qB); err != nil || !info.Hit {
+		t.Fatalf("gen2: B hit expected: %+v %v", info, err)
+	}
+
+	c.Install(3, []*aggregate.Summary{a(21), b(22)})
+	if m := c.Metrics(); m.Regions != 1 || m.PerRegion[0].ID != 22 {
+		t.Fatalf("gen3: %+v", m)
+	}
+	if _, info, err := c.Query(qB); err != nil || !info.Hit {
+		t.Fatalf("gen3: B hit expected: %+v %v", info, err)
+	}
+	if m := c.Metrics(); m.VerifyFailed != 0 {
+		t.Fatalf("verify failures: %+v", m)
+	}
+}
+
+func TestComposedQueryByteIdentical(t *testing.T) {
+	// Two overlapping regions tile [5,15]; row u=10 is in both, so the
+	// union store must dedup it positionally. Verify is on: byte identity
+	// with direct execution is enforced on every composed hit.
+	c := budgetCache(Config{})
+	c.Install(1, []*aggregate.Summary{
+		tSummary(1, interval.Closed(1, 10)),
+		tSummary(2, interval.Closed(10, 20)),
+	})
+	q := "SELECT v FROM T WHERE u >= 5 AND u <= 15"
+	rs, info, err := c.Query(q)
+	if err != nil || !info.Hit || info.Path != "composed" || len(info.Regions) != 2 {
+		t.Fatalf("composed hit expected: %+v %v", info, err)
+	}
+	if len(rs.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11 (dedup failed?)", len(rs.Rows))
+	}
+	// Repeat: the union store is cached on the snapshot.
+	if _, info, err := c.Query(q); err != nil || info.Path != "composed" {
+		t.Fatalf("second composed hit: %+v %v", info, err)
+	}
+	m := c.Metrics()
+	if m.ComposedHits != 2 || m.VerifyFailed != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestComposedGapMisses(t *testing.T) {
+	// (8,12) is uncovered; the cover search must refuse rather than serve
+	// a hole.
+	c := budgetCache(Config{})
+	c.Install(1, []*aggregate.Summary{
+		tSummary(1, interval.Closed(1, 8)),
+		tSummary(2, interval.Closed(12, 20)),
+	})
+	_, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 15")
+	if err != nil || info.Hit || info.Reason != "no-region" {
+		t.Fatalf("gap must miss: %+v %v", info, err)
+	}
+	if m := c.Metrics(); m.VerifyFailed != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestAggSingleRegion(t *testing.T) {
+	// HAVING statements are rejected by safeShape but served by the agg
+	// path: containment on the WHERE-only area, full statement executed on
+	// the region store.
+	c := budgetCache(Config{})
+	c.Install(1, []*aggregate.Summary{tSummary(1, interval.Closed(0, 100))})
+	q := "SELECT u, COUNT(*) FROM T WHERE u >= 2 AND u <= 9 GROUP BY u HAVING COUNT(*) >= 1"
+	rs, info, err := c.Query(q)
+	if err != nil || !info.Hit || info.Path != "agg" {
+		t.Fatalf("agg hit expected: %+v %v", info, err)
+	}
+	if len(rs.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rs.Rows))
+	}
+	// Second time through the cached shape class.
+	if _, info, err := c.Query(q); err != nil || info.Path != "agg" {
+		t.Fatalf("second agg hit: %+v %v", info, err)
+	}
+	m := c.Metrics()
+	if m.AggHits != 2 || m.VerifyFailed != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestPreaggCombine(t *testing.T) {
+	// Two position-disjoint halves tile [1,20]; COUNT/MIN/MAX merge from
+	// the per-region books without materialising the union store.
+	c := budgetCache(Config{})
+	c.Install(1, []*aggregate.Summary{
+		tSummary(1, interval.Closed(1, 10)),
+		tSummary(2, interval.Interval{Lo: 10, LoOpen: true, Hi: 20}),
+	})
+	q := "SELECT u, COUNT(*), MIN(v), MAX(v) FROM T WHERE u >= 1 AND u <= 20 GROUP BY u HAVING COUNT(*) >= 1"
+	rs, info, err := c.Query(q)
+	if err != nil || !info.Hit || info.Path != "preagg" || len(info.Regions) != 2 {
+		t.Fatalf("preagg hit expected: %+v %v", info, err)
+	}
+	if len(rs.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rs.Rows))
+	}
+	if m := c.Metrics(); m.PreaggHits != 1 || m.VerifyFailed != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// spanDB has a group column whose groups span both halves of the x range.
+func spanDB() *memdb.DB {
+	db := memdb.New(nil)
+	db.CreateTable("T2", "g", "x")
+	for i := 1; i <= 20; i++ {
+		db.Insert("T2", memdb.N(float64(i%2)), memdb.N(float64(i)))
+	}
+	return db
+}
+
+func t2Summary(id int, iv interval.Interval) *aggregate.Summary {
+	return summary(id, []string{"T2"}, map[string]interval.Interval{"T2.x": iv}, nil)
+}
+
+func TestPreaggSumSpanningGroupFallsBack(t *testing.T) {
+	// SUM is float-order-sensitive: a group spanning two members must not
+	// be merged from partials — the query falls back to the union store
+	// ("composed"), which is still a hit and still byte-identical.
+	c := budgetCache(Config{DB: spanDB()})
+	c.Install(1, []*aggregate.Summary{
+		t2Summary(1, interval.Closed(1, 10)),
+		t2Summary(2, interval.Interval{Lo: 10, LoOpen: true, Hi: 20}),
+	})
+	qSum := "SELECT g, SUM(x) FROM T2 WHERE x >= 1 AND x <= 20 GROUP BY g HAVING COUNT(*) >= 1"
+	_, info, err := c.Query(qSum)
+	if err != nil || !info.Hit || info.Path != "composed" {
+		t.Fatalf("SUM must fall back to the union store: %+v %v", info, err)
+	}
+	// COUNT merges associatively even across spanning groups.
+	qCount := "SELECT g, COUNT(*) FROM T2 WHERE x >= 1 AND x <= 20 GROUP BY g HAVING COUNT(*) > 1"
+	rs, info, err := c.Query(qCount)
+	if err != nil || !info.Hit || info.Path != "preagg" {
+		t.Fatalf("COUNT must combine: %+v %v", info, err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rs.Rows))
+	}
+	if m := c.Metrics(); m.VerifyFailed != 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestRegionTTLCarryAcrossInstall(t *testing.T) {
+	c := budgetCache(Config{RegionTTL: time.Hour})
+	c.Install(1, []*aggregate.Summary{tSummary(1, interval.Closed(5, 8))})
+	if _, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 8"); err != nil || !info.Hit {
+		t.Fatalf("gen1 hit: %+v %v", info, err)
+	}
+	// Same area re-mined under a new cluster ID: the store is carried, not
+	// rebuilt, and the hit reports its (non-zero) age.
+	c.Install(2, []*aggregate.Summary{tSummary(9, interval.Closed(5, 8))})
+	if m := c.Metrics(); m.Reused != 1 {
+		t.Fatalf("expected carried region: %+v", m)
+	}
+	_, info, err := c.Query("SELECT v FROM T WHERE u >= 5 AND u <= 8")
+	if err != nil || !info.Hit || info.RegionID != 9 || info.Staleness <= 0 {
+		t.Fatalf("gen2 carried hit: %+v %v", info, err)
+	}
+}
+
+func TestRegionTTLStaleMiss(t *testing.T) {
+	c := budgetCache(Config{RegionTTL: 30 * time.Millisecond})
+	c.Install(1, []*aggregate.Summary{tSummary(1, interval.Closed(5, 8))})
+	q := "SELECT v FROM T WHERE u >= 5 AND u <= 8"
+	if _, info, err := c.Query(q); err != nil || !info.Hit {
+		t.Fatalf("fresh hit: %+v %v", info, err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, info, err := c.Query(q); err != nil || info.Hit || info.Reason != "stale" {
+		t.Fatalf("stale miss expected: %+v %v", info, err)
+	}
+	if m := c.Metrics(); m.StaleMisses != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	// The next install rebuilds (store too old to carry) and serving resumes.
+	c.Install(2, []*aggregate.Summary{tSummary(9, interval.Closed(5, 8))})
+	if m := c.Metrics(); m.Reused != 0 {
+		t.Fatalf("expired store must not be carried: %+v", m)
+	}
+	if _, info, err := c.Query(q); err != nil || !info.Hit {
+		t.Fatalf("rebuilt hit: %+v %v", info, err)
+	}
+}

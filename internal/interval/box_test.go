@@ -14,9 +14,9 @@ func TestContainsBox(t *testing.T) {
 		return b
 	}
 	cases := []struct {
-		name  string
-		b, o  *Box
-		want  bool
+		name string
+		b, o *Box
+		want bool
 	}{
 		{"empty in anything", box(map[string]Interval{"a": Closed(0, 1)}),
 			box(map[string]Interval{"a": Empty()}), true},

@@ -294,20 +294,39 @@ func (db *DB) ObjectFraction(relations []string, box *interval.Box, categorical 
 // the result is a read-only view for the semantic cache's prefetcher, not an
 // independent copy. Relations absent from db are skipped.
 func (db *DB) Restrict(relations []string, box *interval.Box, categorical map[string][]string) *DB {
+	out, _ := db.RestrictIndexed(relations, box, categorical)
+	return out
+}
+
+// RestrictIndexed is Restrict plus, per restricted table (keyed by the
+// lowercased canonical table name), the sorted positions each admitted row
+// occupied in the source table. The position lists let callers union two
+// restrictions of the same source without re-sorting: merging by position
+// reproduces global source order, which is what makes composed region
+// stores byte-identical to direct execution.
+func (db *DB) RestrictIndexed(relations []string, box *interval.Box, categorical map[string][]string) (*DB, map[string][]int) {
 	out := New(db.Schema)
+	idx := make(map[string][]int, len(relations))
 	for _, rel := range relations {
 		t := db.Table(rel)
 		if t == nil {
 			continue
 		}
+		if out.Table(t.Name) != nil {
+			continue
+		}
 		nt := out.CreateTable(t.Name, t.Columns...)
-		for _, row := range t.Rows {
+		key := strings.ToLower(t.Name)
+		positions := []int{}
+		for ri, row := range t.Rows {
 			if rowMatches(t, row, box, categorical) {
 				nt.Rows = append(nt.Rows, row)
+				positions = append(positions, ri)
 			}
 		}
+		idx[key] = positions
 	}
-	return out
+	return out, idx
 }
 
 func rowMatches(t *Table, row []Value, box *interval.Box, categorical map[string][]string) bool {

@@ -80,7 +80,7 @@ func TestStringBounds(t *testing.T) {
 		{CC("s", Eq, Str("y")), CC("s", Eq, Str("z"))},
 		{CC("t", Eq, Str("a"))},
 		{CC("a", Gt, Number(1))},
-		{CC("u", Eq, Str("p")), CC("v", Eq, Str("q"))}, // multi-column: skipped
+		{CC("u", Eq, Str("p")), CC("v", Eq, Str("q"))},  // multi-column: skipped
 		{CC("w", Eq, Str("m")), CC("a", Eq, Number(2))}, // mixed kinds: skipped
 	}
 	sb := StringBounds(c)

@@ -284,10 +284,13 @@ type queryReply struct {
 	Rows     [][]any  `json:"rows,omitempty"`
 	RowCount int      `json:"row_count"`
 	Cache    struct {
-		Hit        bool   `json:"hit"`
-		Region     int    `json:"region,omitempty"`
-		Generation int64  `json:"generation"`
-		Reason     string `json:"reason,omitempty"`
+		Hit              bool    `json:"hit"`
+		Region           int     `json:"region,omitempty"`
+		Regions          []int   `json:"regions,omitempty"`
+		Path             string  `json:"path,omitempty"`
+		StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
+		Generation       int64   `json:"generation"`
+		Reason           string  `json:"reason,omitempty"`
 	} `json:"cache"`
 	Error string `json:"error,omitempty"`
 }
@@ -332,12 +335,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var reply queryReply
 	reply.Cache.Hit = info.Hit
 	reply.Cache.Region = info.RegionID
+	reply.Cache.Regions = info.Regions
+	reply.Cache.Path = info.Path
+	reply.Cache.StalenessSeconds = info.Staleness.Seconds()
 	reply.Cache.Generation = info.Generation
 	reply.Cache.Reason = info.Reason
 	cacheHeader := "MISS"
 	if info.Hit {
 		cacheHeader = "HIT"
 		w.Header().Set("X-Cache-Region", strconv.Itoa(info.RegionID))
+		w.Header().Set("X-Cache-Path", info.Path)
+		if len(info.Regions) > 1 {
+			ids := make([]string, len(info.Regions))
+			for i, id := range info.Regions {
+				ids[i] = strconv.Itoa(id)
+			}
+			w.Header().Set("X-Cache-Regions", strings.Join(ids, ","))
+		}
+		w.Header().Set("X-Cache-Staleness", strconv.FormatFloat(info.Staleness.Seconds(), 'f', 3, 64))
 	}
 	w.Header().Set("X-Cache", cacheHeader)
 	w.Header().Set("X-Cache-Generation", strconv.FormatInt(info.Generation, 10))
@@ -546,6 +561,17 @@ func (s *Server) legacyMetrics() map[string]any {
 		metrics["semcache_bytes_served"] = m.BytesServed
 		metrics["semcache_verify_checked"] = m.VerifyChecked
 		metrics["semcache_verify_failed"] = m.VerifyFailed
+		metrics["semcache_shadow_regions"] = m.ShadowRegions
+		metrics["semcache_bytes_resident"] = m.BytesResident
+		metrics["semcache_budget"] = m.Budget
+		metrics["semcache_composed_hits"] = m.ComposedHits
+		metrics["semcache_agg_hits"] = m.AggHits
+		metrics["semcache_preagg_hits"] = m.PreaggHits
+		metrics["semcache_near_misses"] = m.NearMisses
+		metrics["semcache_stale_misses"] = m.StaleMisses
+		metrics["semcache_evicted"] = m.Evicted
+		metrics["semcache_reused"] = m.Reused
+		metrics["semcache_probation_admits"] = m.ProbationAdmits
 		if total := m.Hits + m.Misses; total > 0 {
 			metrics["semcache_hit_ratio"] = float64(m.Hits) / float64(total)
 		} else {

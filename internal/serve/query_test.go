@@ -3,11 +3,16 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/aggregate"
+	"repro/internal/interval"
 	"repro/internal/memdb"
 )
 
@@ -257,4 +262,168 @@ func TestSemCacheSmoke(t *testing.T) {
 	if ratio < 0.5 {
 		t.Errorf("hit ratio %.3f below the 0.5 acceptance floor", ratio)
 	}
+}
+
+// TestSemCacheSmokeV2 is the v2 half of the semcache-smoke gate: the cache's
+// new serving paths and the byte budget exercised end-to-end over HTTP. Two
+// half-regions tile Photoz.objid, so a band probe inside one half must be a
+// single-region hit (with a parseable X-Cache-Staleness), a spanning probe
+// must compose both (X-Cache-Regions lists them), and a spanning HAVING
+// probe must combine partial aggregates. A second server under a budget of
+// one region's bytes must evict the other and keep serving its own band.
+// The byte-identity oracle is on throughout: zero verify failures proves
+// every path reproduced direct execution.
+func TestSemCacheSmokeV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke gate is slow")
+	}
+	db := testDB()
+	iv, ok := db.ContentInterval("Photoz.objid")
+	if !ok {
+		t.Fatal("no content interval for Photoz.objid")
+	}
+	mid := iv.Lo + (iv.Hi-iv.Lo)/2
+	w := iv.Hi - iv.Lo
+	halves := []*aggregate.Summary{
+		semBand(1, interval.Closed(iv.Lo, mid)),
+		semBand(2, interval.Interval{Lo: mid, LoOpen: true, Hi: iv.Hi}),
+	}
+	num := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	band := func(lo, hi float64) string {
+		return fmt.Sprintf("SELECT objid FROM Photoz WHERE objid >= %s AND objid <= %s", num(lo), num(hi))
+	}
+
+	s, err := NewServer(Config{
+		Miner:       minerConfig(db),
+		QueryDB:     db,
+		QueryVerify: true,
+		CacheTTL:    time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.QueryCache().Install(1, halves)
+
+	// Single-region band: one containing half serves it; staleness header
+	// must parse (TTL configured, so the info is populated).
+	status, hdr, reply := postQuery(t, ts.URL, "text/plain", band(iv.Lo+w/16, mid-w/16))
+	if status != http.StatusOK || hdr.Get("X-Cache") != "HIT" || reply.Cache.Path != "single" {
+		t.Fatalf("band probe: status %d, X-Cache %q, path %q (reason %q)",
+			status, hdr.Get("X-Cache"), reply.Cache.Path, reply.Cache.Reason)
+	}
+	if st, err := strconv.ParseFloat(hdr.Get("X-Cache-Staleness"), 64); err != nil || st < 0 {
+		t.Fatalf("X-Cache-Staleness %q: %v", hdr.Get("X-Cache-Staleness"), err)
+	}
+
+	// Spanning band: no single half contains it; the covering set must
+	// compose both and say so in X-Cache-Regions.
+	status, hdr, reply = postQuery(t, ts.URL, "text/plain", band(iv.Lo+w/16, iv.Hi-w/16))
+	if status != http.StatusOK || hdr.Get("X-Cache") != "HIT" || reply.Cache.Path != "composed" {
+		t.Fatalf("spanning probe: status %d, X-Cache %q, path %q (reason %q)",
+			status, hdr.Get("X-Cache"), reply.Cache.Path, reply.Cache.Reason)
+	}
+	if got := hdr.Get("X-Cache-Regions"); got != "1,2" {
+		t.Fatalf("X-Cache-Regions = %q, want \"1,2\"", got)
+	}
+
+	// Spanning aggregate: the HAVING class, answered by partial-aggregate
+	// combine across the same cover. The WHERE spans both halves whole —
+	// the combine only fires when every member row satisfies the WHERE, so
+	// partial counts are exact.
+	agg := fmt.Sprintf(
+		"SELECT objid, COUNT(*), MIN(objid), MAX(objid) FROM Photoz WHERE objid >= %s AND objid <= %s GROUP BY objid HAVING COUNT(*) >= 1",
+		num(iv.Lo), num(iv.Hi))
+	status, hdr, reply = postQuery(t, ts.URL, "text/plain", agg)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "HIT" || reply.Cache.Path != "preagg" {
+		t.Fatalf("aggregate probe: status %d, X-Cache %q, path %q (reason %q)",
+			status, hdr.Get("X-Cache"), reply.Cache.Path, reply.Cache.Reason)
+	}
+	if got := hdr.Get("X-Cache-Regions"); got != "1,2" {
+		t.Fatalf("aggregate X-Cache-Regions = %q, want \"1,2\"", got)
+	}
+	if m := s.QueryCache().Metrics(); m.VerifyFailed != 0 {
+		t.Fatalf("verify failures: %+v", m)
+	}
+
+	var r1Bytes int64
+	for _, rm := range s.QueryCache().Metrics().PerRegion {
+		if rm.ID == 1 {
+			r1Bytes = rm.Bytes
+		}
+	}
+	if r1Bytes == 0 {
+		t.Fatal("region 1 has no resident bytes")
+	}
+
+	// Budget-pressure eviction: shrinking the live budget to one half's
+	// bytes must demote the colder half (region 1 took the single-region
+	// hit, so region 2 goes), and its band must now miss.
+	s.QueryCache().SetBudget(r1Bytes)
+	m := s.QueryCache().Metrics()
+	if m.Evicted == 0 || m.Regions != 1 || m.BytesResident > r1Bytes {
+		t.Fatalf("budget shrink did not evict: %+v", m)
+	}
+	status, hdr, reply = postQuery(t, ts.URL, "text/plain", band(mid+w/16, iv.Hi-w/16))
+	if status != http.StatusOK || hdr.Get("X-Cache") != "MISS" {
+		t.Fatalf("evicted band still hits: status %d, X-Cache %q (path %q)",
+			status, hdr.Get("X-Cache"), reply.Cache.Path)
+	}
+
+	// Cold install under the same budget: only one half fits; the trim
+	// keeps the earlier candidate and the other half shadows.
+	s2, err := NewServer(Config{
+		Miner:       minerConfig(db),
+		QueryDB:     db,
+		QueryVerify: true,
+		CacheBudget: r1Bytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	s2.QueryCache().Install(1, halves)
+
+	status, hdr, _ = postQuery(t, ts2.URL, "text/plain", band(iv.Lo+w/16, mid-w/16))
+	if status != http.StatusOK || hdr.Get("X-Cache") != "HIT" {
+		t.Fatalf("budget server band 1: status %d, X-Cache %q", status, hdr.Get("X-Cache"))
+	}
+	status, hdr, reply = postQuery(t, ts2.URL, "text/plain", band(mid+w/16, iv.Hi-w/16))
+	if status != http.StatusOK || hdr.Get("X-Cache") != "MISS" {
+		t.Fatalf("budget server band 2: status %d, X-Cache %q (path %q)",
+			status, hdr.Get("X-Cache"), reply.Cache.Path)
+	}
+	m2 := s2.QueryCache().Metrics()
+	if m2.BytesResident > r1Bytes || m2.Regions != 1 || m2.ShadowRegions != 1 {
+		t.Fatalf("budget pressure not applied: %+v", m2)
+	}
+	if m2.VerifyFailed != 0 {
+		t.Fatalf("budget server verify failures: %+v", m2)
+	}
+
+	// The /metrics endpoint must surface the v2 counters.
+	_, _, metricsBody := get(t, ts2.URL+"/metrics", "")
+	var metrics map[string]any
+	if err := json.Unmarshal(metricsBody, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"semcache_bytes_resident", "semcache_budget",
+		"semcache_evicted", "semcache_composed_hits", "semcache_preagg_hits",
+		"semcache_shadow_regions"} {
+		if _, ok := metrics[key]; !ok {
+			t.Errorf("metrics missing %s", key)
+		}
+	}
+}
+
+// semBand builds a one-dimension Photoz.objid region summary for the v2
+// smoke test.
+func semBand(id int, div interval.Interval) *aggregate.Summary {
+	box := interval.NewBox()
+	box.Set("Photoz.objid", div)
+	return &aggregate.Summary{ID: id, Relations: []string{"Photoz"}, Box: box}
 }

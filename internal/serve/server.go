@@ -97,6 +97,14 @@ type Config struct {
 	// cache-served result is checked against direct execution. Costs a
 	// second execution per hit; for tests and smoke gates.
 	QueryVerify bool
+	// CacheBudget caps the semantic cache's resident region bytes
+	// (<= 0 = unlimited; see interestcache heat-based admission).
+	CacheBudget int64
+	// CacheTTL bounds per-region staleness (0 = rebuild every epoch).
+	CacheTTL time.Duration
+	// CacheComposeMax caps multi-region composition covers (0 = default 4,
+	// negative disables composition).
+	CacheComposeMax int
 	// Traffic, when non-nil, enables traffic-class-aware mining: records
 	// are classified bot/human/admin in processing order, one incremental
 	// miner per class runs alongside the global one (sharing its distance
@@ -263,11 +271,14 @@ func NewServer(cfg Config) (*Server, error) {
 		// with the same schema/stats, so templates warmed by ingestion
 		// serve POST /query without re-extraction.
 		s.qcache = interestcache.New(interestcache.Config{
-			DB:        cfg.QueryDB,
-			Extractor: &extract.Extractor{Schema: cfg.Miner.Schema, PredCap: cfg.Miner.PredCap, Stats: miner.Stats()},
-			Templates: s.pipe.Cache,
-			Exec:      cfg.QueryExec,
-			Verify:    cfg.QueryVerify,
+			DB:          cfg.QueryDB,
+			Extractor:   &extract.Extractor{Schema: cfg.Miner.Schema, PredCap: cfg.Miner.PredCap, Stats: miner.Stats()},
+			Templates:   s.pipe.Cache,
+			Exec:        cfg.QueryExec,
+			Verify:      cfg.QueryVerify,
+			BudgetBytes: cfg.CacheBudget,
+			RegionTTL:   cfg.CacheTTL,
+			ComposeMax:  cfg.CacheComposeMax,
 		})
 	}
 	s.initRegistry()
